@@ -1,0 +1,208 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Ablations of the design choices DESIGN.md calls out:
+//   1. number of indexed coefficients k — filter power (candidates per
+//      query) vs index dimensionality;
+//   2. polar vs rectangular coordinate space — identical correctness for
+//      identity queries; polar additionally admits multiplicative
+//      transforms (moving average), which rectangular must reject;
+//   3. R* forced reinsertion on/off — node accesses per query.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "transform/builtin.h"
+#include "workload/stock_sim.h"
+
+namespace tsq {
+namespace {
+
+workload::StockMarketOptions MarketOptions() {
+  workload::StockMarketOptions opts;
+  opts.num_series = 800;
+  return opts;
+}
+
+void RunCoefficientSweep(const std::vector<TimeSeries>& market) {
+  bench::Banner("Ablation 1: number of indexed DFT coefficients (k)",
+                "More coefficients -> fewer candidates (better filtering) "
+                "but higher dimensionality (larger index, fatter nodes).");
+  bench::Table table({"k", "index dims", "tree height", "avg candidates",
+                      "avg answers", "avg query ms"});
+  const int kQueries = 12;
+  for (const size_t k : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    bench::ScratchDir dir("abl_k" + std::to_string(k));
+    DatabaseOptions base;
+    base.layout = FeatureLayout::Paper();
+    base.layout.num_coefficients = k;
+    auto db = bench::BuildDatabase(dir.path(), "abl", market, base);
+    double ms = 0.0;
+    uint64_t candidates = 0;
+    uint64_t answers = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const RealVec& query = market[(q * 67) % market.size()].values();
+      ms += bench::MeanMillis(
+          [&db, &query]() { db->RangeQuery(query, 2.0).value(); }, 3);
+      candidates += db->last_stats().candidates;
+      answers += db->last_stats().answers;
+    }
+    table.AddRow({std::to_string(k),
+                  std::to_string(db->options().layout.dims()),
+                  std::to_string(db->index()->tree()->height()),
+                  bench::Table::Num(static_cast<double>(candidates) / kQueries,
+                                    1),
+                  bench::Table::Num(static_cast<double>(answers) / kQueries,
+                                    1),
+                  bench::Table::Num(ms / kQueries)});
+  }
+  table.Print();
+}
+
+void RunSpaceComparison(const std::vector<TimeSeries>& market) {
+  bench::Banner(
+      "Ablation 2: polar (Spol) vs rectangular (Srect) coordinate space",
+      "Identity queries behave the same; only Spol admits the moving-"
+      "average transform (Theorem 3), which Srect must reject (Theorem 2).");
+  bench::Table table({"space", "avg candidates", "avg answers",
+                      "avg query ms", "accepts Tmavg20?"});
+  const int kQueries = 12;
+  for (const bool polar : {true, false}) {
+    bench::ScratchDir dir(polar ? "abl_polar" : "abl_rect");
+    DatabaseOptions base;
+    base.layout = FeatureLayout::Paper();
+    base.layout.space =
+        polar ? CoordinateSpace::kPolar : CoordinateSpace::kRectangular;
+    auto db = bench::BuildDatabase(dir.path(), "abl", market, base);
+    double ms = 0.0;
+    uint64_t candidates = 0;
+    uint64_t answers = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const RealVec& query = market[(q * 67) % market.size()].values();
+      ms += bench::MeanMillis(
+          [&db, &query]() { db->RangeQuery(query, 2.0).value(); }, 3);
+      candidates += db->last_stats().candidates;
+      answers += db->last_stats().answers;
+    }
+    QuerySpec ma;
+    ma.transform =
+        FeatureTransform::Spectral(transforms::MovingAverage(128, 20));
+    const bool accepts =
+        db->RangeQuery(market[0].values(), 2.0, ma).ok();
+    table.AddRow({polar ? "polar" : "rectangular",
+                  bench::Table::Num(static_cast<double>(candidates) / kQueries,
+                                    1),
+                  bench::Table::Num(static_cast<double>(answers) / kQueries,
+                                    1),
+                  bench::Table::Num(ms / kQueries),
+                  accepts ? "yes" : "no (rejected, Theorem 2)"});
+  }
+  table.Print();
+}
+
+void RunReinsertAblation(const std::vector<TimeSeries>& market) {
+  bench::Banner("Ablation 3: R* forced reinsertion on/off",
+                "Reinsertion spends insert-time work to tighten MBRs; the "
+                "payoff is fewer node accesses per query.");
+  bench::Table table({"forced reinsert", "build ms", "avg nodes/query",
+                      "avg query ms"});
+  const int kQueries = 12;
+  for (const bool reinsert : {true, false}) {
+    bench::ScratchDir dir(reinsert ? "abl_re1" : "abl_re0");
+    DatabaseOptions base;
+    base.rtree.forced_reinsert = reinsert;
+    Stopwatch build_watch;
+    auto db = bench::BuildDatabase(dir.path(), "abl", market, base);
+    const double build_ms = build_watch.ElapsedMillis();
+    double ms = 0.0;
+    uint64_t nodes = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const RealVec& query = market[(q * 67) % market.size()].values();
+      ms += bench::MeanMillis(
+          [&db, &query]() { db->RangeQuery(query, 2.0).value(); }, 3);
+      nodes += db->last_stats().nodes_visited;
+    }
+    table.AddRow({reinsert ? "on" : "off", bench::Table::Num(build_ms, 1),
+                  bench::Table::Num(static_cast<double>(nodes) / kQueries, 1),
+                  bench::Table::Num(ms / kQueries)});
+  }
+  table.Print();
+}
+
+void RunBulkLoadAblation(const std::vector<TimeSeries>& market) {
+  bench::Banner("Ablation 4: STR bulk loading vs repeated insertion",
+                "Static data sets (the paper's setting) can pack the tree "
+                "in one pass; repeated insertion is the dynamic baseline.");
+  bench::Table table({"build method", "build ms", "tree height",
+                      "avg nodes/query", "avg query ms"});
+  const int kQueries = 12;
+  for (const bool bulk : {true, false}) {
+    bench::ScratchDir dir(bulk ? "abl_bulk" : "abl_incr");
+    DatabaseOptions base;
+    base.bulk_load = bulk;
+    Stopwatch build_watch;
+    auto db = bench::BuildDatabase(dir.path(), "abl", market, base);
+    const double build_ms = build_watch.ElapsedMillis();
+    double ms = 0.0;
+    uint64_t nodes = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const RealVec& query = market[(q * 67) % market.size()].values();
+      ms += bench::MeanMillis(
+          [&db, &query]() { db->RangeQuery(query, 2.0).value(); }, 3);
+      nodes += db->last_stats().nodes_visited;
+    }
+    table.AddRow({bulk ? "STR bulk load" : "repeated insert",
+                  bench::Table::Num(build_ms, 1),
+                  std::to_string(db->index()->tree()->height()),
+                  bench::Table::Num(static_cast<double>(nodes) / kQueries, 1),
+                  bench::Table::Num(ms / kQueries)});
+  }
+  table.Print();
+}
+
+void RunBasisAblation(const std::vector<TimeSeries>& market) {
+  bench::Banner("Ablation 5: Fourier vs Haar coefficient basis",
+                "Both bases are orthonormal (Parseval), so correctness is "
+                "identical; filter power on stock-like data differs.");
+  bench::Table table({"basis", "avg candidates", "avg answers",
+                      "avg query ms"});
+  const int kQueries = 12;
+  for (const bool use_haar : {false, true}) {
+    bench::ScratchDir dir(use_haar ? "abl_haar" : "abl_dft");
+    DatabaseOptions base;
+    if (use_haar) {
+      base.layout = FeatureLayout::Haar(2);  // same 6-D budget as Paper()
+    }
+    auto db = bench::BuildDatabase(dir.path(), "abl", market, base);
+    double ms = 0.0;
+    uint64_t candidates = 0;
+    uint64_t answers = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const RealVec& query = market[(q * 67) % market.size()].values();
+      ms += bench::MeanMillis(
+          [&db, &query]() { db->RangeQuery(query, 2.0).value(); }, 3);
+      candidates += db->last_stats().candidates;
+      answers += db->last_stats().answers;
+    }
+    table.AddRow({use_haar ? "Haar (k=2)" : "Fourier (k=2, paper)",
+                  bench::Table::Num(static_cast<double>(candidates) / kQueries,
+                                    1),
+                  bench::Table::Num(static_cast<double>(answers) / kQueries,
+                                    1),
+                  bench::Table::Num(ms / kQueries)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tsq
+
+int main() {
+  auto market = tsq::workload::MakeStockMarket(31337, tsq::MarketOptions());
+  tsq::RunCoefficientSweep(market);
+  tsq::RunSpaceComparison(market);
+  tsq::RunReinsertAblation(market);
+  tsq::RunBulkLoadAblation(market);
+  tsq::RunBasisAblation(market);
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Micro-benchmarks (google-benchmark) for the computational kernels: FFT
+// variants, unitary DFT, circular convolution, distance kernels (full,
+// early-abandon, fused transform+distance), feature extraction and moving
+// averages. These quantify the constant factors behind the paper's curves
+// (e.g. the CPU-only gap in Figures 8/9 is the rect-transform + complex
+// multiply cost measured here).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/feature.h"
+#include "dft/dft.h"
+#include "dft/fft.h"
+#include "series/distance.h"
+#include "series/moving_average.h"
+#include "series/normal_form.h"
+#include "core/seq_scan.h"
+#include "transform/builtin.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+RealVec MakeSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  return workload::RandomWalkSeries(&rng, n, {});
+}
+
+ComplexVec MakeComplex(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ComplexVec out(n);
+  for (Complex& c : out) {
+    c = Complex(rng.Uniform(-1, 1), rng.Uniform(-1, 1));
+  }
+  return out;
+}
+
+void BM_FftRadix2(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ComplexVec x = MakeComplex(n, 1);
+  for (auto _ : state) {
+    ComplexVec y = x;
+    fft::TransformRadix2(&y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_FftBluestein(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ComplexVec x = MakeComplex(n, 2);
+  for (auto _ : state) {
+    ComplexVec y = x;
+    fft::TransformBluestein(&y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(63)->Arg(127)->Arg(1000)->Arg(1023);
+
+void BM_UnitaryDftRealInput(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RealVec x = MakeSeries(n, 3);
+  for (auto _ : state) {
+    ComplexVec X = dft::Forward(x);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+BENCHMARK(BM_UnitaryDftRealInput)->Arg(128)->Arg(1024);
+
+void BM_CircularConvolution(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RealVec x = MakeSeries(n, 4);
+  RealVec kernel = MovingAverageKernel(n, 20);
+  for (auto _ : state) {
+    RealVec y = dft::CircularConvolution(x, kernel);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CircularConvolution)->Arg(128)->Arg(1024);
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RealVec x = MakeSeries(n, 5);
+  RealVec y = MakeSeries(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(x, y));
+  }
+}
+BENCHMARK(BM_EuclideanDistance)->Arg(128)->Arg(1024);
+
+void BM_EarlyAbandonDistanceFrequencyDomain(benchmark::State& state) {
+  // The paper's scan trick: frequency-domain vectors abandon after a few
+  // coefficients because the energy is concentrated up front.
+  const size_t n = static_cast<size_t>(state.range(0));
+  ComplexVec x = dft::Forward(MakeSeries(n, 7));
+  ComplexVec y = dft::Forward(MakeSeries(n, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EarlyAbandonEuclidean(x, y, 1.0));
+  }
+}
+BENCHMARK(BM_EarlyAbandonDistanceFrequencyDomain)->Arg(128)->Arg(1024);
+
+void BM_TransformedPairDistanceFused(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ComplexVec x = dft::Forward(MakeSeries(n, 9));
+  ComplexVec y = dft::Forward(MakeSeries(n, 10));
+  LinearTransform t = transforms::MovingAverage(n, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EarlyAbandonPairDistance(x, y, &t, 1.0));
+  }
+}
+BENCHMARK(BM_TransformedPairDistanceFused)->Arg(128)->Arg(1024);
+
+void BM_TransformApplyFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ComplexVec x = dft::Forward(MakeSeries(n, 11));
+  LinearTransform t = transforms::MovingAverage(n, 20);
+  for (auto _ : state) {
+    ComplexVec y = t.Apply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TransformApplyFull)->Arg(128)->Arg(1024);
+
+void BM_NormalForm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RealVec x = MakeSeries(n, 12);
+  for (auto _ : state) {
+    NormalForm nf = ToNormalForm(x);
+    benchmark::DoNotOptimize(nf.normalized.data());
+  }
+}
+BENCHMARK(BM_NormalForm)->Arg(128)->Arg(1024);
+
+void BM_CircularMovingAverage(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  RealVec x = MakeSeries(n, 13);
+  for (auto _ : state) {
+    RealVec y = CircularMovingAverage(x, 20);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CircularMovingAverage)->Arg(128)->Arg(1024);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  // The full ingest pipeline per series: normal form + DFT + point.
+  const size_t n = static_cast<size_t>(state.range(0));
+  RealVec x = MakeSeries(n, 14);
+  FeatureExtractor extractor(FeatureLayout::Paper());
+  for (auto _ : state) {
+    SeriesFeatures f = extractor.Extract(x);
+    spatial::Point p = extractor.ToPoint(f);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace tsq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,199 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Micro-benchmarks (google-benchmark) for the R-tree family: insertion and
+// range-search throughput per split algorithm, with and without forced
+// reinsertion — the index-construction ablation called out in DESIGN.md
+// (the paper builds on the R*-tree because of its better query
+// performance; these runs show the construction/query tradeoff).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace tsq {
+namespace {
+
+using rtree::RStarTree;
+using rtree::RTreeOptions;
+using rtree::SplitAlgorithm;
+
+struct TreeEnv {
+  std::string path;
+  std::unique_ptr<PageFile> file;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<RStarTree> tree;
+
+  TreeEnv(SplitAlgorithm split, bool reinsert, size_t dims) {
+    path = (std::filesystem::temp_directory_path() /
+            ("tsq_micrortree_" + std::to_string(reinterpret_cast<uintptr_t>(
+                                     this))))
+               .string();
+    file = PageFile::Create(path).value();
+    pool = std::make_unique<BufferPool>(file.get(), 512);
+    RTreeOptions options;
+    options.split = split;
+    options.forced_reinsert = reinsert;
+    tree = RStarTree::Create(pool.get(), dims, options).value();
+  }
+  ~TreeEnv() {
+    tree.reset();
+    pool.reset();
+    file.reset();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+spatial::Point RandomPoint(Rng* rng, size_t dims) {
+  spatial::Point p(dims);
+  for (double& v : p) v = rng->Uniform(0.0, 100.0);
+  return p;
+}
+
+SplitAlgorithm SplitOf(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return SplitAlgorithm::kRStar;
+    case 1:
+      return SplitAlgorithm::kGuttmanQuadratic;
+    default:
+      return SplitAlgorithm::kGuttmanLinear;
+  }
+}
+
+const char* SplitName(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return "rstar";
+    case 1:
+      return "quadratic";
+    default:
+      return "linear";
+  }
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const SplitAlgorithm split = SplitOf(state.range(0));
+  const bool reinsert = state.range(1) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TreeEnv env(split, reinsert, 6);
+    Rng rng(42);
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < 2000; ++i) {
+      benchmark::DoNotOptimize(
+          env.tree->InsertPoint(RandomPoint(&rng, 6), i).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+  state.SetLabel(std::string(SplitName(state.range(0))) +
+                 (reinsert ? "+reinsert" : ""));
+}
+BENCHMARK(BM_RTreeInsert)
+    ->Args({0, 1})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RTreeRangeSearch(benchmark::State& state) {
+  const SplitAlgorithm split = SplitOf(state.range(0));
+  const bool reinsert = state.range(1) != 0;
+  TreeEnv env(split, reinsert, 6);
+  Rng rng(43);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    env.tree->InsertPoint(RandomPoint(&rng, 6), i).ok();
+  }
+  spatial::Point lo(6), hi(6);
+  for (size_t d = 0; d < 6; ++d) {
+    lo[d] = 40.0;
+    hi[d] = 60.0;
+  }
+  const spatial::Rect query(lo, hi);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    env.tree
+        ->Search(query,
+                 [&sink](uint64_t id, const spatial::Rect&) {
+                   sink += id;
+                   return true;
+                 })
+        .ok();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(std::string(SplitName(state.range(0))) +
+                 (reinsert ? "+reinsert" : ""));
+}
+BENCHMARK(BM_RTreeRangeSearch)
+    ->Args({0, 1})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0});
+
+void BM_RTreeTransformedSearch(benchmark::State& state) {
+  // The Figure 8 gap, isolated: plain vs transformed traversal.
+  const bool transformed = state.range(0) != 0;
+  TreeEnv env(SplitAlgorithm::kRStar, true, 6);
+  Rng rng(44);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    env.tree->InsertPoint(RandomPoint(&rng, 6), i).ok();
+  }
+  spatial::Point lo(6), hi(6);
+  for (size_t d = 0; d < 6; ++d) {
+    lo[d] = 40.0;
+    hi[d] = 60.0;
+  }
+  const spatial::Rect query(lo, hi);
+  const spatial::AffineMap identity = spatial::AffineMap::Identity(6);
+  uint64_t sink = 0;
+  auto emit = [&sink](uint64_t id, const spatial::Rect&) {
+    sink += id;
+    return true;
+  };
+  for (auto _ : state) {
+    if (transformed) {
+      env.tree->SearchTransformed(identity, query, emit).ok();
+    } else {
+      env.tree->Search(query, emit).ok();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(transformed ? "transformed(identity)" : "plain");
+}
+BENCHMARK(BM_RTreeTransformedSearch)->Arg(0)->Arg(1);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  TreeEnv env(SplitAlgorithm::kRStar, true, 6);
+  Rng rng(45);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    env.tree->InsertPoint(RandomPoint(&rng, 6), i).ok();
+  }
+  class Metric final : public rtree::NnMetric {
+   public:
+    explicit Metric(spatial::Point q) : q_(std::move(q)) {}
+    double MinDistSquared(const spatial::Rect& rect) const override {
+      return spatial::MinDistSquared(q_, rect);
+    }
+
+   private:
+    spatial::Point q_;
+  };
+  Metric metric(spatial::Point(6, 50.0));
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<rtree::NnResult> out;
+  for (auto _ : state) {
+    env.tree->NearestNeighbors(metric, k, nullptr, &out).ok();
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace tsq
+
+BENCHMARK_MAIN();

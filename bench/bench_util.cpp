@@ -1,0 +1,101 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace tsq {
+namespace bench {
+
+ScratchDir::ScratchDir(const std::string& tag) {
+  std::string tmpl = (std::filesystem::temp_directory_path() /
+                      ("tsq_bench_" + tag + "_XXXXXX"))
+                         .string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  TSQ_CHECK_MSG(mkdtemp(buf.data()) != nullptr, "mkdtemp failed for %s",
+                tmpl.c_str());
+  path_ = buf.data();
+}
+
+ScratchDir::~ScratchDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+}
+
+std::unique_ptr<Database> BuildDatabase(const std::string& directory,
+                                        const std::string& name,
+                                        const std::vector<TimeSeries>& series,
+                                        const DatabaseOptions& base_options) {
+  DatabaseOptions options = base_options;
+  options.directory = directory;
+  options.name = name;
+  auto db = Database::Create(options);
+  TSQ_CHECK_MSG(db.ok(), "Database::Create: %s",
+                db.status().ToString().c_str());
+  for (const TimeSeries& s : series) {
+    auto id = (*db)->Insert(s.name(), s.values());
+    TSQ_CHECK_MSG(id.ok(), "Insert: %s", id.status().ToString().c_str());
+  }
+  Status built = (*db)->BuildIndex();
+  TSQ_CHECK_MSG(built.ok(), "BuildIndex: %s", built.ToString().c_str());
+  return std::move(*db);
+}
+
+double MeanMillis(const std::function<void()>& fn, int reps) {
+  TSQ_CHECK(reps > 0);
+  Stopwatch watch;
+  for (int i = 0; i < reps; ++i) fn();
+  return watch.ElapsedMillis() / reps;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  TSQ_CHECK_MSG(cells.size() == header_.size(),
+                "row has %zu cells, header has %zu", cells.size(),
+                header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::printf("  ");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total = 2;
+  for (size_t w : widths) total += w + 2;
+  std::printf("  %s\n", std::string(total - 2, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::Num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+void Banner(const std::string& experiment, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace tsq

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Shared plumbing for the paper-reproduction benchmark harness: scratch
+// directories, database construction from generated workloads, repeated
+// timing, and aligned table output so every binary prints rows in the
+// shape of the paper's figures/tables.
+
+#ifndef TSQ_BENCH_BENCH_UTIL_H_
+#define TSQ_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "series/time_series.h"
+
+namespace tsq {
+namespace bench {
+
+/// A unique scratch directory under /tmp, removed at destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag);
+  ~ScratchDir();
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Builds a Database over `series`, inserts everything, builds the index.
+/// Aborts on error (benchmarks have no error consumers).
+std::unique_ptr<Database> BuildDatabase(const std::string& directory,
+                                        const std::string& name,
+                                        const std::vector<TimeSeries>& series,
+                                        const DatabaseOptions& base_options =
+                                            DatabaseOptions{});
+
+/// Runs `fn` `reps` times; returns the mean elapsed milliseconds.
+double MeanMillis(const std::function<void()>& fn, int reps);
+
+/// Aligned-column table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  /// Formats a double with `prec` decimals.
+  static std::string Num(double v, int prec = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard benchmark banner (experiment id + paper reference).
+void Banner(const std::string& experiment, const std::string& description);
+
+}  // namespace bench
+}  // namespace tsq
+
+#endif  // TSQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,35 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "common/logging.h"
+
+namespace tsq {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+
+void Logger::SetLevel(LogLevel level) { level_ = level; }
+
+LogLevel Logger::GetLevel() { return level_; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      tag = "INFO";
+      break;
+    case LogLevel::kWarn:
+      tag = "WARN";
+      break;
+    case LogLevel::kError:
+      tag = "ERROR";
+      break;
+    case LogLevel::kOff:
+      return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+}  // namespace tsq

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Minimal leveled logger. Database libraries must not write to stdout
+// behind the caller's back, so the default sink is stderr and the default
+// level is kWarn; harnesses opt into verbosity.
+
+#ifndef TSQ_COMMON_LOGGING_H_
+#define TSQ_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace tsq {
+
+/// Severity of a log statement, in increasing order.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logger configuration and emission.
+class Logger {
+ public:
+  /// Sets the minimum severity that is emitted. Thread-compatible: call at
+  /// startup before concurrent use.
+  static void SetLevel(LogLevel level);
+
+  /// Current minimum severity.
+  static LogLevel GetLevel();
+
+  /// Emits one formatted line "[LEVEL] message" to stderr when `level` is at
+  /// or above the configured minimum.
+  static void Log(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace internal {
+
+/// Stream-style accumulator used by the TSQ_LOG macro; emits at destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tsq
+
+/// Stream-style logging: TSQ_LOG(kInfo) << "built index with " << n;
+#define TSQ_LOG(level) \
+  ::tsq::internal::LogMessage(::tsq::LogLevel::level)
+
+#endif  // TSQ_COMMON_LOGGING_H_

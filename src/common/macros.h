@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Core preprocessor utilities shared across all tsq modules: invariant
+// checks that abort with a readable message, and class boilerplate helpers.
+//
+// Following the database-engine convention (and the Google style guide),
+// internal invariant violations are programming errors and terminate the
+// process; *expected* failures (bad user input, I/O errors) are reported
+// through tsq::Status instead (see common/status.h).
+
+#ifndef TSQ_COMMON_MACROS_H_
+#define TSQ_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a source-located message when `condition` is
+/// false. Enabled in all build types: invariants in a storage engine must
+/// hold in release builds too; the cost is a predictable branch.
+#define TSQ_CHECK(condition)                                                 \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "TSQ_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// TSQ_CHECK with a printf-style explanation appended to the failure text.
+#define TSQ_CHECK_MSG(condition, ...)                                        \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "TSQ_CHECK failed at %s:%d: %s: ", __FILE__,      \
+                   __LINE__, #condition);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only invariant check; compiles to nothing in NDEBUG builds. Use for
+/// checks on hot paths (per-entry loops in node splits, distance kernels).
+#ifdef NDEBUG
+#define TSQ_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define TSQ_DCHECK(condition) TSQ_CHECK(condition)
+#endif
+
+/// Marks an intentionally unused variable (e.g. a parameter kept for API
+/// symmetry).
+#define TSQ_UNUSED(x) (void)(x)
+
+/// Deletes copy construction/assignment. Place in the public section.
+#define TSQ_DISALLOW_COPY(ClassName)      \
+  ClassName(const ClassName&) = delete;   \
+  ClassName& operator=(const ClassName&) = delete
+
+/// Deletes copy and move construction/assignment.
+#define TSQ_DISALLOW_COPY_AND_MOVE(ClassName) \
+  TSQ_DISALLOW_COPY(ClassName);               \
+  ClassName(ClassName&&) = delete;            \
+  ClassName& operator=(ClassName&&) = delete
+
+/// Propagates a non-OK tsq::Status from the current function.
+#define TSQ_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::tsq::Status _tsq_status = (expr);           \
+    if (!_tsq_status.ok()) return _tsq_status;    \
+  } while (0)
+
+/// Evaluates an expression yielding Result<T>; on success assigns the value
+/// to `lhs`, on failure propagates the Status. `lhs` may declare a variable.
+#define TSQ_ASSIGN_OR_RETURN(lhs, expr)                      \
+  TSQ_ASSIGN_OR_RETURN_IMPL_(                                \
+      TSQ_STATUS_MACROS_CONCAT_(_tsq_result, __LINE__), lhs, expr)
+
+#define TSQ_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#define TSQ_STATUS_MACROS_CONCAT_(x, y) TSQ_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define TSQ_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // TSQ_COMMON_MACROS_H_

@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Experiments must be exactly reproducible across runs and platforms, so tsq
+// does not use std::mt19937/std::normal_distribution (libstdc++ and libc++
+// produce different normal variates). Rng wraps a xoshiro256++ core with
+// explicitly specified uniform / normal samplers.
+
+#ifndef TSQ_COMMON_RANDOM_H_
+#define TSQ_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tsq {
+
+/// xoshiro256++ PRNG (Blackman & Vigna) with platform-stable distribution
+/// samplers. Not cryptographic; period 2^256 - 1.
+class Rng {
+ public:
+  /// Seeds the generator. Any seed (including 0) is valid: the state is
+  /// expanded with SplitMix64, which never yields the all-zero state.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. Uses
+  /// rejection sampling, so results are unbiased.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal variate via the Marsaglia polar method (deterministic
+  /// given the seed, unlike std::normal_distribution across libraries).
+  double Normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+  // Marsaglia polar method produces variates in pairs; cache the spare.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_RANDOM_H_

@@ -1,0 +1,180 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Arrow/RocksDB-style Status and Result<T> types. tsq never throws
+// exceptions across library boundaries: every fallible public operation
+// returns Status (no payload) or Result<T> (payload or error).
+
+#ifndef TSQ_COMMON_STATUS_H_
+#define TSQ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace tsq {
+
+/// Machine-readable category of a Status. Mirrors the small set of codes
+/// database engines actually branch on.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed parameter.
+  kNotFound = 2,          ///< Key / record / file does not exist.
+  kAlreadyExists = 3,     ///< Unique key or file already present.
+  kOutOfRange = 4,        ///< Index or offset beyond a valid bound.
+  kFailedPrecondition = 5,///< Call sequence violated (e.g. index not built).
+  kIOError = 6,           ///< Underlying file system failure.
+  kCorruption = 7,        ///< On-disk bytes failed validation.
+  kUnimplemented = 8,     ///< Feature intentionally not supported.
+  kInternal = 9,          ///< Invariant broken; indicates a tsq bug.
+};
+
+/// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation; error construction is off the fast
+/// path so the message string cost is acceptable. The class is final,
+/// copyable and cheaply movable.
+class Status final {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// True iff this status carries the given code.
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status — tsq's alternative to exceptions
+/// for functions that produce a value.
+///
+/// Usage:
+///   Result<Relation> r = Relation::Open(path);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).value();
+///
+/// or with the macro:
+///   TSQ_ASSIGN_OR_RETURN(Relation rel, Relation::Open(path));
+template <typename T>
+class Result final {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. Aborts if the status is OK:
+  /// an OK Result must carry a value.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    TSQ_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Accessors for the contained value. Aborts when called on an error
+  /// Result — callers must test ok() first.
+  const T& value() const& {
+    TSQ_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    TSQ_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    TSQ_CHECK_MSG(ok(), "Result::value() on error: %s",
+                  status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Wall-clock stopwatch for the benchmark harness and query statistics.
+
+#ifndef TSQ_COMMON_STOPWATCH_H_
+#define TSQ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tsq {
+
+/// Monotonic stopwatch. Started at construction; restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+
+  /// Elapsed time in milliseconds (as a double, for report tables).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_STOPWATCH_H_

@@ -1,0 +1,206 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "core/database.h"
+
+#include <cstdio>
+
+namespace tsq {
+
+Result<std::unique_ptr<Database>> Database::Create(
+    const DatabaseOptions& options) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  auto db = std::unique_ptr<Database>(new Database(options));
+  TSQ_ASSIGN_OR_RETURN(
+      db->relation_,
+      Relation::Create(options.directory + "/" + options.name + ".rel"));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("database name must be non-empty");
+  }
+  auto db = std::unique_ptr<Database>(new Database(options));
+  TSQ_ASSIGN_OR_RETURN(
+      db->relation_,
+      Relation::Open(options.directory + "/" + options.name + ".rel"));
+  if (db->relation_->size() == 0) {
+    return Status::FailedPrecondition("cannot reopen an empty database");
+  }
+  TSQ_ASSIGN_OR_RETURN(SeriesRecord first, db->relation_->Get(0));
+  db->series_length_ = first.values.size();
+
+  const std::string index_path =
+      options.directory + "/" + options.name + ".idx";
+  if (std::FILE* f = std::fopen(index_path.c_str(), "rb")) {
+    std::fclose(f);
+    KIndexOptions kopts;
+    kopts.layout = options.layout;
+    kopts.path = index_path;
+    kopts.page_size = options.page_size;
+    kopts.buffer_pool_frames = options.buffer_pool_frames;
+    kopts.rtree = options.rtree;
+    TSQ_ASSIGN_OR_RETURN(db->index_,
+                         KIndex::Open(kopts, db->series_length_));
+    if (db->index_->size() != db->relation_->size()) {
+      return Status::Corruption(
+          "index holds " + std::to_string(db->index_->size()) +
+          " entries but the relation has " +
+          std::to_string(db->relation_->size()));
+    }
+  }
+  return db;
+}
+
+Status Database::Flush() {
+  TSQ_RETURN_IF_ERROR(relation_->Flush());
+  if (index_ != nullptr) {
+    TSQ_RETURN_IF_ERROR(index_->Flush());
+  }
+  return Status::OK();
+}
+
+Result<SeriesId> Database::Insert(const std::string& name,
+                                  const RealVec& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot insert an empty series");
+  }
+  if (series_length_ == 0) {
+    series_length_ = values.size();
+  } else if (values.size() != series_length_) {
+    return Status::InvalidArgument(
+        "series length " + std::to_string(values.size()) +
+        " != database series length " + std::to_string(series_length_));
+  }
+  const SeriesFeatures features = extractor_.Extract(values);
+  TSQ_ASSIGN_OR_RETURN(const SeriesId id,
+                       relation_->Append(name, values, features.spectrum));
+  if (index_ != nullptr) {
+    TSQ_RETURN_IF_ERROR(index_->Add(id, features));
+  }
+  return id;
+}
+
+Status Database::BuildIndex() {
+  if (relation_->size() == 0) {
+    return Status::FailedPrecondition("BuildIndex on an empty database");
+  }
+  if (index_ != nullptr) {
+    return Status::FailedPrecondition("index already built");
+  }
+  KIndexOptions kopts;
+  kopts.layout = options_.layout;
+  kopts.path = options_.directory + "/" + options_.name + ".idx";
+  kopts.page_size = options_.page_size;
+  kopts.buffer_pool_frames = options_.buffer_pool_frames;
+  kopts.rtree = options_.rtree;
+  TSQ_ASSIGN_OR_RETURN(index_, KIndex::Create(kopts, series_length_));
+
+  // One scan of the relation collects every series' features; mean/std
+  // are recomputed from the stored samples, the spectrum is reused as
+  // stored. STR bulk loading packs the tree in one pass (repeated
+  // insertion remains available as the ablation baseline).
+  std::vector<std::pair<SeriesId, SeriesFeatures>> items;
+  items.reserve(relation_->size());
+  TSQ_RETURN_IF_ERROR(relation_->Scan([&items](const SeriesRecord& rec) {
+    SeriesFeatures f;
+    NormalForm nf = ToNormalForm(rec.values);
+    f.mean = nf.mean;
+    f.std = nf.std;
+    f.spectrum = rec.dft;
+    items.emplace_back(rec.id, std::move(f));
+    return true;
+  }));
+  if (options_.bulk_load) {
+    return index_->BulkLoad(items);
+  }
+  for (const auto& [id, features] : items) {
+    TSQ_RETURN_IF_ERROR(index_->Add(id, features));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
+                                                double epsilon,
+                                                const QuerySpec& spec) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("RangeQuery requires BuildIndex()");
+  }
+  std::vector<Match> out;
+  last_stats_ = QueryStats();
+  TSQ_RETURN_IF_ERROR(IndexRangeQuery(index_.get(), relation_.get(), query,
+                                      epsilon, spec, &out, &last_stats_));
+  return out;
+}
+
+Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
+                                         const QuerySpec& spec) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("Knn requires BuildIndex()");
+  }
+  std::vector<Match> out;
+  last_stats_ = QueryStats();
+  TSQ_RETURN_IF_ERROR(IndexKnnQuery(index_.get(), relation_.get(), query, k,
+                                    spec, &out, &last_stats_));
+  return out;
+}
+
+Result<std::vector<Match>> Database::ScanRangeQuery(const RealVec& query,
+                                                    double epsilon,
+                                                    const QuerySpec& spec,
+                                                    bool early_abandon) {
+  std::vector<Match> out;
+  last_stats_ = QueryStats();
+  TSQ_RETURN_IF_ERROR(SeqScanRangeQuery(relation_.get(), extractor_, query,
+                                        epsilon, spec, early_abandon, &out,
+                                        &last_stats_));
+  return out;
+}
+
+Result<std::vector<JoinPair>> Database::SelfJoin(
+    double epsilon, JoinMethod method,
+    const std::optional<FeatureTransform>& transform) {
+  std::vector<JoinPair> out;
+  last_stats_ = QueryStats();
+  switch (method) {
+    case JoinMethod::kScanFull:
+      TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(relation_.get(), epsilon, transform,
+                                          /*early_abandon=*/false, &out,
+                                          &last_stats_));
+      return out;
+    case JoinMethod::kScanEarlyAbandon:
+      TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(relation_.get(), epsilon, transform,
+                                          /*early_abandon=*/true, &out,
+                                          &last_stats_));
+      return out;
+    case JoinMethod::kIndexPlain:
+      if (index_ == nullptr) {
+        return Status::FailedPrecondition("index join requires BuildIndex()");
+      }
+      TSQ_RETURN_IF_ERROR(IndexSelfJoin(index_.get(), relation_.get(), epsilon,
+                                        /*transform=*/std::nullopt, &out,
+                                        &last_stats_));
+      return out;
+    case JoinMethod::kIndexTransformed:
+      if (index_ == nullptr) {
+        return Status::FailedPrecondition("index join requires BuildIndex()");
+      }
+      TSQ_RETURN_IF_ERROR(IndexSelfJoin(index_.get(), relation_.get(), epsilon,
+                                        transform, &out, &last_stats_));
+      return out;
+    case JoinMethod::kTreeMatch:
+      if (index_ == nullptr) {
+        return Status::FailedPrecondition("index join requires BuildIndex()");
+      }
+      TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(index_.get(), relation_.get(),
+                                            epsilon, transform, &out,
+                                            &last_stats_));
+      return out;
+  }
+  return Status::InvalidArgument("unknown join method");
+}
+
+}  // namespace tsq

@@ -1,0 +1,147 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The tsq public facade: a small time-series database with similarity
+// queries under safe transformations. Wraps the sequence Relation (heap
+// file), the KIndex (R*-tree over DFT features) and the query processors
+// behind one object.
+//
+// Typical use:
+//
+//   DatabaseOptions options;
+//   options.directory = "/tmp/stocks";
+//   auto db = Database::Create(options).value();
+//   for (const auto& s : series) db->Insert(s.name(), s.values()).value();
+//   db->BuildIndex();
+//   QuerySpec spec;
+//   spec.transform =
+//       FeatureTransform::Spectral(transforms::MovingAverage(128, 20));
+//   auto matches = db->RangeQuery(q, /*epsilon=*/2.0, spec).value();
+
+#ifndef TSQ_CORE_DATABASE_H_
+#define TSQ_CORE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/k_index.h"
+#include "core/queries.h"
+#include "core/seq_scan.h"
+#include "storage/relation.h"
+
+namespace tsq {
+
+/// How a self-join is executed (Table 1's four methods).
+enum class JoinMethod {
+  kScanFull,          ///< (a) full scan-scan, no early abandoning
+  kScanEarlyAbandon,  ///< (b) scan-scan, abandon at eps
+  kIndexPlain,        ///< (c) index join, transformation ignored
+  kIndexTransformed,  ///< (d) index join through the transformed index
+  /// tsq extension: one synchronized tree-against-itself traversal instead
+  /// of one range query per record (see TreeMatchSelfJoin).
+  kTreeMatch,
+};
+
+/// Database construction parameters.
+struct DatabaseOptions {
+  /// Directory for the backing files (must exist).
+  std::string directory = ".";
+  /// Base name: files are <directory>/<name>.rel and <name>.idx.
+  std::string name = "tsq";
+  /// Feature space of the index; the paper's 6-D polar layout by default.
+  FeatureLayout layout = FeatureLayout::Paper();
+  size_t page_size = kDefaultPageSize;
+  size_t buffer_pool_frames = 1024;
+  rtree::RTreeOptions rtree;
+  /// Build the index with STR bulk loading (default) or with repeated
+  /// insertions (the ablation baseline; see bench_ablation).
+  bool bulk_load = true;
+};
+
+/// A similarity-searchable collection of equal-length time series.
+/// Not thread-safe.
+class Database {
+ public:
+  TSQ_DISALLOW_COPY_AND_MOVE(Database);
+  ~Database() = default;
+
+  /// Creates a fresh database (truncates existing files of the same name).
+  static Result<std::unique_ptr<Database>> Create(
+      const DatabaseOptions& options);
+
+  /// Reopens an existing database: the relation directory is rebuilt from
+  /// the heap file and, when an index file exists and `options` matches
+  /// its layout, the index is reopened too. Requires at least one stored
+  /// series (an empty database has no recoverable state).
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
+
+  /// Appends a series. The first insert fixes the series length; later
+  /// inserts must match it. When the index is built, the series is indexed
+  /// immediately.
+  Result<SeriesId> Insert(const std::string& name, const RealVec& values);
+
+  /// Builds the k-index over everything inserted so far. Requires at least
+  /// one series.
+  Status BuildIndex();
+
+  /// True once BuildIndex has succeeded.
+  bool index_built() const { return index_ != nullptr; }
+
+  /// Number of stored series / their common length (0 before first insert).
+  uint64_t size() const { return relation_->size(); }
+  size_t series_length() const { return series_length_; }
+
+  /// Range query through the index (Algorithm 2). Requires BuildIndex.
+  Result<std::vector<Match>> RangeQuery(const RealVec& query, double epsilon,
+                                        const QuerySpec& spec = {});
+
+  /// k-nearest neighbors through the index. Requires BuildIndex.
+  Result<std::vector<Match>> Knn(const RealVec& query, size_t k,
+                                 const QuerySpec& spec = {});
+
+  /// Range query by sequential scan (the baseline; works without an index).
+  Result<std::vector<Match>> ScanRangeQuery(const RealVec& query,
+                                            double epsilon,
+                                            const QuerySpec& spec = {},
+                                            bool early_abandon = true);
+
+  /// All-pairs self-join with the chosen execution method. Index methods
+  /// require BuildIndex. Scan methods emit unordered pairs; index methods
+  /// emit ordered pairs (each unordered pair twice), matching Table 1.
+  Result<std::vector<JoinPair>> SelfJoin(
+      double epsilon, JoinMethod method,
+      const std::optional<FeatureTransform>& transform);
+
+  /// Reads one stored record back.
+  Result<SeriesRecord> Get(SeriesId id) { return relation_->Get(id); }
+
+  /// Flushes the relation and (when built) the index to disk so Open can
+  /// recover them.
+  Status Flush();
+
+  /// Statistics of the most recent query (reset per query).
+  const QueryStats& last_stats() const { return last_stats_; }
+
+  /// Underlying components, exposed for benchmarks and white-box tests.
+  Relation* relation() { return relation_.get(); }
+  KIndex* index() { return index_.get(); }
+  const FeatureExtractor& extractor() const { return extractor_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  explicit Database(DatabaseOptions options)
+      : options_(std::move(options)), extractor_(options_.layout) {}
+
+  DatabaseOptions options_;
+  FeatureExtractor extractor_;
+  std::unique_ptr<Relation> relation_;
+  std::unique_ptr<KIndex> index_;
+  size_t series_length_ = 0;
+  QueryStats last_stats_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_CORE_DATABASE_H_

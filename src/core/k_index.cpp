@@ -1,0 +1,112 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "core/k_index.h"
+
+namespace tsq {
+
+Result<std::unique_ptr<KIndex>> KIndex::Create(const KIndexOptions& options,
+                                               size_t series_length) {
+  TSQ_RETURN_IF_ERROR(options.layout.Validate(series_length));
+  auto index = std::unique_ptr<KIndex>(
+      new KIndex(options.layout, series_length));
+  TSQ_ASSIGN_OR_RETURN(index->file_,
+                       PageFile::Create(options.path, options.page_size));
+  index->pool_ = std::make_unique<BufferPool>(index->file_.get(),
+                                              options.buffer_pool_frames);
+  TSQ_ASSIGN_OR_RETURN(
+      index->tree_,
+      rtree::RStarTree::Create(index->pool_.get(), options.layout.dims(),
+                               options.rtree));
+  return index;
+}
+
+Result<std::unique_ptr<KIndex>> KIndex::Open(const KIndexOptions& options,
+                                             size_t series_length) {
+  TSQ_RETURN_IF_ERROR(options.layout.Validate(series_length));
+  auto index = std::unique_ptr<KIndex>(
+      new KIndex(options.layout, series_length));
+  TSQ_ASSIGN_OR_RETURN(index->file_, PageFile::Open(options.path));
+  index->pool_ = std::make_unique<BufferPool>(index->file_.get(),
+                                              options.buffer_pool_frames);
+  // KIndex::Create allocates the meta page first, so it is always page 1.
+  TSQ_ASSIGN_OR_RETURN(
+      index->tree_,
+      rtree::RStarTree::Open(index->pool_.get(), /*meta_page=*/1,
+                             options.rtree));
+  if (index->tree_->dims() != options.layout.dims()) {
+    return Status::InvalidArgument(
+        "index on disk has " + std::to_string(index->tree_->dims()) +
+        " dims but the layout describes " +
+        std::to_string(options.layout.dims()));
+  }
+  return index;
+}
+
+Status KIndex::Add(SeriesId id, const SeriesFeatures& features) {
+  if (features.spectrum.size() != series_length_) {
+    return Status::InvalidArgument(
+        "series spectrum length " + std::to_string(features.spectrum.size()) +
+        " != index series length " + std::to_string(series_length_));
+  }
+  return tree_->InsertPoint(extractor().ToPoint(features), id);
+}
+
+Status KIndex::BulkLoad(
+    const std::vector<std::pair<SeriesId, SeriesFeatures>>& items) {
+  std::vector<rtree::Entry> entries;
+  entries.reserve(items.size());
+  for (const auto& [id, features] : items) {
+    if (features.spectrum.size() != series_length_) {
+      return Status::InvalidArgument(
+          "series spectrum length mismatch in BulkLoad");
+    }
+    rtree::Entry e;
+    e.rect = spatial::Rect::FromPoint(extractor().ToPoint(features));
+    e.id = id;
+    entries.push_back(std::move(e));
+  }
+  return tree_->BulkLoad(std::move(entries));
+}
+
+Result<bool> KIndex::Remove(SeriesId id, const SeriesFeatures& features) {
+  return tree_->Remove(
+      spatial::Rect::FromPoint(extractor().ToPoint(features)), id);
+}
+
+Status KIndex::RangeCandidates(const spatial::Rect& rect,
+                               std::vector<SeriesId>* out) const {
+  TSQ_CHECK(out != nullptr);
+  return tree_->Search(rect, [out](uint64_t id, const spatial::Rect&) {
+    out->push_back(id);
+    return true;
+  });
+}
+
+Status KIndex::RangeCandidatesTransformed(const spatial::AffineMap& map,
+                                          const spatial::Rect& rect,
+                                          std::vector<SeriesId>* out) const {
+  TSQ_CHECK(out != nullptr);
+  return tree_->SearchTransformed(map, rect,
+                                  [out](uint64_t id, const spatial::Rect&) {
+                                    out->push_back(id);
+                                    return true;
+                                  });
+}
+
+Status KIndex::StreamNearest(
+    const rtree::NnMetric& metric, const spatial::AffineMap* map,
+    const std::function<bool(SeriesId, double)>& emit) const {
+  return tree_->NearestNeighborsStream(metric, map, emit);
+}
+
+Status KIndex::Flush() {
+  TSQ_RETURN_IF_ERROR(tree_->SaveMeta());
+  return pool_->FlushAll();
+}
+
+void KIndex::ResetStats() const {
+  tree_->ResetStats();
+  pool_->ResetStats();
+}
+
+}  // namespace tsq

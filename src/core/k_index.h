@@ -1,0 +1,114 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The k-index of [AFS93] as the paper uses it (Sec. 4): an R*-tree over the
+// first k Fourier coefficients of every stored series, extended with the
+// paper's transformed traversal. KIndex bundles the index's storage stack
+// (page file, buffer pool, R*-tree) with the feature-space logic, exposing
+// candidate enumeration; postprocessing (Algorithm 2 step 3) lives in
+// core/queries.h, which combines KIndex with the sequence Relation.
+
+#ifndef TSQ_CORE_K_INDEX_H_
+#define TSQ_CORE_K_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/feature.h"
+#include "core/feature_space.h"
+#include "rtree/rstar_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+
+namespace tsq {
+
+/// Construction parameters for a KIndex.
+struct KIndexOptions {
+  FeatureLayout layout;
+  std::string path = "tsq_index.pages";  ///< backing page file
+  size_t page_size = kDefaultPageSize;
+  size_t buffer_pool_frames = 1024;
+  rtree::RTreeOptions rtree;
+};
+
+/// A k-coefficient spatial index over series features.
+class KIndex {
+ public:
+  TSQ_DISALLOW_COPY_AND_MOVE(KIndex);
+  ~KIndex() = default;
+
+  /// Creates a fresh index for series of the given length.
+  static Result<std::unique_ptr<KIndex>> Create(const KIndexOptions& options,
+                                                size_t series_length);
+
+  /// Reopens an index previously created at options.path. The layout in
+  /// `options` must match the one the index was built with (tsq stores the
+  /// tree geometry, not the layout; a mismatch surfaces as a dimensionality
+  /// error). The tree's meta page is always the first page of the file.
+  static Result<std::unique_ptr<KIndex>> Open(const KIndexOptions& options,
+                                              size_t series_length);
+
+  /// Adds one series' features under its relation id.
+  Status Add(SeriesId id, const SeriesFeatures& features);
+
+  /// Bulk-loads many series at once into an empty index (STR packing —
+  /// faster and better clustered than repeated Add; see
+  /// rtree::RStarTree::BulkLoad).
+  Status BulkLoad(
+      const std::vector<std::pair<SeriesId, SeriesFeatures>>& items);
+
+  /// Removes a previously added series (exact feature match required).
+  Result<bool> Remove(SeriesId id, const SeriesFeatures& features);
+
+  /// Plain range search (no transformation machinery touched at all — the
+  /// baseline curve of Figures 8/9).
+  Status RangeCandidates(const spatial::Rect& rect,
+                         std::vector<SeriesId>* out) const;
+
+  /// Algorithm 2 traversal: MBRs pass through `map` before the overlap
+  /// test.
+  Status RangeCandidatesTransformed(const spatial::AffineMap& map,
+                                    const spatial::Rect& rect,
+                                    std::vector<SeriesId>* out) const;
+
+  /// Streams data entries in ascending lower-bound distance order under
+  /// `metric` (optionally through `map`); the callback returns false to
+  /// stop. Backbone of the optimal multi-step kNN in core/queries.h.
+  Status StreamNearest(
+      const rtree::NnMetric& metric, const spatial::AffineMap* map,
+      const std::function<bool(SeriesId id, double lower_bound)>& emit) const;
+
+  const FeatureSpace& space() const { return space_; }
+  const FeatureExtractor& extractor() const { return space_.extractor(); }
+  const FeatureLayout& layout() const { return space_.layout(); }
+  size_t series_length() const { return series_length_; }
+  uint64_t size() const { return tree_->size(); }
+
+  /// The underlying tree / pool, exposed for stats and white-box tests.
+  rtree::RStarTree* tree() { return tree_.get(); }
+  const rtree::RStarTree* tree() const { return tree_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  const BufferPool* pool() const { return pool_.get(); }
+
+  /// Clears traversal and buffer-pool counters (per-query measurement).
+  void ResetStats() const;
+
+  /// Persists the tree meta page and writes back every dirty page.
+  Status Flush();
+
+ private:
+  KIndex(FeatureLayout layout, size_t series_length)
+      : space_(layout), series_length_(series_length) {}
+
+  FeatureSpace space_;
+  size_t series_length_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<rtree::RStarTree> tree_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_CORE_K_INDEX_H_

@@ -1,0 +1,327 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "core/queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace tsq {
+
+namespace {
+
+/// Captures tree/pool counter deltas around a query.
+class StatsScope {
+ public:
+  StatsScope(const KIndex* index, QueryStats* stats)
+      : index_(index), stats_(stats) {
+    if (index_ != nullptr) {
+      tree_before_ = index_->tree()->stats();
+      pool_before_ = index_->pool()->stats();
+    }
+  }
+  ~StatsScope() {
+    if (stats_ == nullptr) return;
+    if (index_ != nullptr) {
+      const rtree::TraversalStats& t = index_->tree()->stats();
+      const BufferPoolStats& p = index_->pool()->stats();
+      stats_->nodes_visited += t.nodes_visited - tree_before_.nodes_visited;
+      stats_->rect_transforms +=
+          t.rect_transforms - tree_before_.rect_transforms;
+      stats_->disk_reads += p.disk_reads - pool_before_.disk_reads;
+    }
+    stats_->elapsed_ms += watch_.ElapsedMillis();
+  }
+
+ private:
+  const KIndex* index_;
+  QueryStats* stats_;
+  rtree::TraversalStats tree_before_;
+  BufferPoolStats pool_before_;
+  Stopwatch watch_;
+};
+
+/// Preprocessing (Algorithm 2 step 1): extracted query features with the
+/// transformation applied per `spec.mode`.
+struct PreparedQuery {
+  ComplexVec full_spectrum;    ///< comparison target, full length
+  ComplexVec coefficients;     ///< stored slice for the search rectangle
+  double mean = 0.0;           ///< (transformed) query mean
+  double std = 0.0;            ///< (transformed) query std
+};
+
+PreparedQuery PrepareQuery(const KIndex& index, const SeriesFeatures& qf,
+                           const QuerySpec& spec) {
+  PreparedQuery out;
+  out.mean = qf.mean;
+  out.std = qf.std;
+  if (spec.transform.has_value() && spec.mode == TransformMode::kBoth) {
+    const FeatureTransform& t = *spec.transform;
+    out.full_spectrum = t.spectral.Apply(qf.spectrum);
+    out.mean = t.mean_scale * qf.mean + t.mean_offset;
+    out.std = t.std_scale * qf.std;
+  } else {
+    out.full_spectrum = qf.spectrum;
+  }
+  out.coefficients = index.extractor().StoredCoefficients(out.full_spectrum);
+  return out;
+}
+
+Status ValidateQuery(const KIndex& index, const RealVec& query) {
+  if (query.size() != index.series_length()) {
+    return Status::InvalidArgument(
+        "query length " + std::to_string(query.size()) +
+        " != indexed series length " +
+        std::to_string(index.series_length()));
+  }
+  return Status::OK();
+}
+
+/// Full-length verification distance: D(T(X_data), Q_target).
+double VerifyDistance(const ComplexVec& data_spectrum,
+                      const std::optional<FeatureTransform>& transform,
+                      const ComplexVec& query_target) {
+  if (transform.has_value()) {
+    return cvec::Distance(transform->spectral.Apply(data_spectrum),
+                          query_target);
+  }
+  return cvec::Distance(data_spectrum, query_target);
+}
+
+}  // namespace
+
+Status IndexRangeQuery(KIndex* index, Relation* relation, const RealVec& query,
+                       double epsilon, const QuerySpec& spec,
+                       std::vector<Match>* out, QueryStats* stats) {
+  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
+  out->clear();
+  TSQ_RETURN_IF_ERROR(ValidateQuery(*index, query));
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("negative query threshold");
+  }
+  StatsScope scope(index, stats);
+
+  // Step 1 — preprocessing.
+  const SeriesFeatures qf = index->extractor().Extract(query);
+  const PreparedQuery prepared = PrepareQuery(*index, qf, spec);
+  const spatial::Rect search_rect = BuildSearchRect(
+      index->layout(), prepared.coefficients, epsilon, spec.window);
+
+  // Step 2 — search, with the transformed traversal when applicable.
+  std::vector<SeriesId> candidates;
+  if (spec.transform.has_value()) {
+    TSQ_ASSIGN_OR_RETURN(const spatial::AffineMap map,
+                         index->space().ToAffineMap(*spec.transform));
+    TSQ_RETURN_IF_ERROR(
+        index->RangeCandidatesTransformed(map, search_rect, &candidates));
+  } else {
+    TSQ_RETURN_IF_ERROR(index->RangeCandidates(search_rect, &candidates));
+  }
+
+  // Step 3 — postprocessing against full database records.
+  for (const SeriesId id : candidates) {
+    TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation->Get(id));
+    const double d =
+        VerifyDistance(rec.dft, spec.transform, prepared.full_spectrum);
+    if (d <= epsilon) {
+      out->push_back(Match{id, std::move(rec.name), d});
+    }
+  }
+  std::sort(out->begin(), out->end(), [](const Match& a, const Match& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
+  });
+
+  if (stats != nullptr) {
+    stats->candidates += candidates.size();
+    stats->verified += candidates.size();
+    stats->answers += out->size();
+  }
+  return Status::OK();
+}
+
+Status IndexKnnQuery(KIndex* index, Relation* relation, const RealVec& query,
+                     size_t k, const QuerySpec& spec, std::vector<Match>* out,
+                     QueryStats* stats) {
+  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
+  out->clear();
+  TSQ_RETURN_IF_ERROR(ValidateQuery(*index, query));
+  if (k == 0) return Status::OK();
+  StatsScope scope(index, stats);
+
+  const SeriesFeatures qf = index->extractor().Extract(query);
+  const PreparedQuery prepared = PrepareQuery(*index, qf, spec);
+  const spatial::Point query_point = index->extractor().ToPointFromCoefficients(
+      prepared.coefficients, prepared.mean, prepared.std);
+  const auto metric = index->space().MakeNnMetric(query_point);
+
+  std::optional<spatial::AffineMap> map;
+  if (spec.transform.has_value()) {
+    TSQ_ASSIGN_OR_RETURN(map, index->space().ToAffineMap(*spec.transform));
+  }
+
+  // Optimal multi-step kNN: verify candidates in ascending lower-bound
+  // order; once k answers are verified and the next lower bound exceeds the
+  // k-th verified distance, no better answer can exist (the lower bound is
+  // admissible w.r.t. the full-length distance).
+  struct Verified {
+    double distance;
+    SeriesId id;
+    std::string name;
+    bool operator<(const Verified& other) const {
+      return distance < other.distance ||
+             (distance == other.distance && id < other.id);
+    }
+  };
+  std::vector<Verified> best;  // kept as a max-heap on distance
+  auto heap_cmp = [](const Verified& a, const Verified& b) { return a < b; };
+
+  Status inner_status;
+  uint64_t candidates = 0;
+  TSQ_RETURN_IF_ERROR(index->StreamNearest(
+      *metric, map.has_value() ? &*map : nullptr,
+      [&](SeriesId id, double lower_bound) {
+        if (best.size() == k && lower_bound > best.front().distance) {
+          return false;  // no unexplored candidate can improve the answer
+        }
+        ++candidates;
+        Result<SeriesRecord> rec = relation->Get(id);
+        if (!rec.ok()) {
+          inner_status = rec.status();
+          return false;
+        }
+        const double d = VerifyDistance(rec->dft, spec.transform,
+                                        prepared.full_spectrum);
+        if (best.size() < k) {
+          best.push_back(Verified{d, id, std::move(rec->name)});
+          std::push_heap(best.begin(), best.end(), heap_cmp);
+        } else if (d < best.front().distance) {
+          std::pop_heap(best.begin(), best.end(), heap_cmp);
+          best.back() = Verified{d, id, std::move(rec->name)};
+          std::push_heap(best.begin(), best.end(), heap_cmp);
+        }
+        return true;
+      }));
+  TSQ_RETURN_IF_ERROR(inner_status);
+
+  std::sort(best.begin(), best.end());
+  for (Verified& v : best) {
+    out->push_back(Match{v.id, std::move(v.name), v.distance});
+  }
+  if (stats != nullptr) {
+    stats->candidates += candidates;
+    stats->verified += candidates;
+    stats->answers += out->size();
+  }
+  return Status::OK();
+}
+
+Status IndexSelfJoin(KIndex* index, Relation* relation, double epsilon,
+                     const std::optional<FeatureTransform>& transform,
+                     std::vector<JoinPair>* out, QueryStats* stats) {
+  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
+  out->clear();
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("negative join threshold");
+  }
+  StatsScope scope(index, stats);
+
+  std::optional<spatial::AffineMap> map;
+  if (transform.has_value()) {
+    TSQ_ASSIGN_OR_RETURN(map, index->space().ToAffineMap(*transform));
+  }
+
+  // Paper Sec. 5 methods c/d: scan the relation; for every sequence build a
+  // search rectangle and pose it to the (transformed) index as a range
+  // query; verify candidates with full-length distances.
+  const uint64_t n = relation->size();
+  for (SeriesId qid = 0; qid < n; ++qid) {
+    TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation->Get(qid));
+    if (stats != nullptr) ++stats->records_scanned;
+
+    ComplexVec target = transform.has_value()
+                            ? transform->spectral.Apply(qrec.dft)
+                            : qrec.dft;
+    const ComplexVec coeffs = index->extractor().StoredCoefficients(target);
+    const spatial::Rect rect =
+        BuildSearchRect(index->layout(), coeffs, epsilon, std::nullopt);
+
+    std::vector<SeriesId> candidates;
+    if (map.has_value()) {
+      TSQ_RETURN_IF_ERROR(
+          index->RangeCandidatesTransformed(*map, rect, &candidates));
+    } else {
+      TSQ_RETURN_IF_ERROR(index->RangeCandidates(rect, &candidates));
+    }
+    if (stats != nullptr) stats->candidates += candidates.size();
+
+    for (const SeriesId cid : candidates) {
+      if (cid == qid) continue;
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord crec, relation->Get(cid));
+      if (stats != nullptr) ++stats->verified;
+      const double d = VerifyDistance(crec.dft, transform, target);
+      if (d <= epsilon) {
+        out->push_back(JoinPair{qid, cid, d});
+      }
+    }
+  }
+  if (stats != nullptr) stats->answers += out->size();
+  return Status::OK();
+}
+
+Status TreeMatchSelfJoin(KIndex* index, Relation* relation, double epsilon,
+                         const std::optional<FeatureTransform>& transform,
+                         std::vector<JoinPair>* out, QueryStats* stats) {
+  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
+  out->clear();
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("negative join threshold");
+  }
+  StatsScope scope(index, stats);
+
+  std::optional<spatial::AffineMap> map;
+  if (transform.has_value()) {
+    TSQ_ASSIGN_OR_RETURN(map, index->space().ToAffineMap(*transform));
+  }
+  const spatial::AffineMap* map_ptr = map.has_value() ? &*map : nullptr;
+
+  // One synchronized descent collects candidate pairs; full-length
+  // verification resolves them, caching transformed spectra so each record
+  // is fetched and transformed once.
+  std::vector<std::pair<SeriesId, SeriesId>> candidates;
+  TSQ_RETURN_IF_ERROR(index->tree()->JoinWith(
+      *index->tree(), map_ptr, map_ptr,
+      index->space().MakeJoinPredicate(epsilon),
+      [&candidates](uint64_t a, uint64_t b) {
+        if (a != b) candidates.emplace_back(a, b);
+        return true;
+      }));
+  if (stats != nullptr) stats->candidates += candidates.size();
+
+  std::unordered_map<SeriesId, ComplexVec> transformed_cache;
+  auto transformed_spectrum =
+      [&](SeriesId id) -> Result<const ComplexVec*> {
+    auto it = transformed_cache.find(id);
+    if (it == transformed_cache.end()) {
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation->Get(id));
+      if (stats != nullptr) ++stats->verified;
+      ComplexVec spectrum = transform.has_value()
+                                ? transform->spectral.Apply(rec.dft)
+                                : std::move(rec.dft);
+      it = transformed_cache.emplace(id, std::move(spectrum)).first;
+    }
+    return &it->second;
+  };
+
+  for (const auto& [a, b] : candidates) {
+    TSQ_ASSIGN_OR_RETURN(const ComplexVec* sa, transformed_spectrum(a));
+    TSQ_ASSIGN_OR_RETURN(const ComplexVec* sb, transformed_spectrum(b));
+    const double d = cvec::Distance(*sa, *sb);
+    if (d <= epsilon) out->push_back(JoinPair{a, b, d});
+  }
+  if (stats != nullptr) stats->answers += out->size();
+  return Status::OK();
+}
+
+}  // namespace tsq

@@ -1,0 +1,108 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The paper's query processing (Sec. 4, Algorithm 2) over a KIndex plus the
+// sequence Relation:
+//
+//   1. Preprocessing  — transform the query into the frequency domain,
+//      apply the transformation where the mode calls for it, and build the
+//      search rectangle (Sec. 3.1).
+//   2. Search         — traverse the R*-tree, applying the transformation
+//      to every MBR on the fly (Algorithm 1), collecting candidates.
+//   3. Postprocessing — fetch each candidate's full record and keep it iff
+//      its full-length Euclidean distance is within the threshold.
+//
+// Lemma 1 guarantees step 2 returns a superset of the answers, so the
+// combination is exact.
+//
+// Supported queries: range, k-nearest-neighbor (optimal multi-step: verify
+// candidates in ascending lower-bound order, stop when the bound passes the
+// k-th verified distance), and the all-pairs self-join of Sec. 5 (Table 1).
+
+#ifndef TSQ_CORE_QUERIES_H_
+#define TSQ_CORE_QUERIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/k_index.h"
+#include "core/search_rect.h"
+#include "storage/relation.h"
+
+namespace tsq {
+
+/// Which side(s) of the comparison the transformation applies to.
+enum class TransformMode {
+  /// Compare T(data) against T(query) — the motivating use ("their 3-day
+  /// moving averages look the same", Ex. 1.1; both sides smoothed).
+  kBoth,
+  /// Compare T(data) against the query as given — the paper's formal Query
+  /// of Sec. 4 ("find all objects o in T(e) with D(o, q) < eps").
+  kDataOnly,
+};
+
+/// One similarity answer.
+struct Match {
+  SeriesId id = kInvalidSeriesId;
+  std::string name;
+  double distance = 0.0;
+};
+
+/// One join answer; ordered pair (the paper's Table 1 counts (a,b) and
+/// (b,a) separately for the transformed join).
+struct JoinPair {
+  SeriesId first = kInvalidSeriesId;
+  SeriesId second = kInvalidSeriesId;
+  double distance = 0.0;
+};
+
+/// Everything a query run measures. Disk/node counters are deltas captured
+/// around the query.
+struct QueryStats {
+  uint64_t candidates = 0;       ///< leaf hits emitted by the index
+  uint64_t verified = 0;         ///< records fetched in postprocessing
+  uint64_t answers = 0;
+  uint64_t nodes_visited = 0;    ///< R-tree nodes touched
+  uint64_t rect_transforms = 0;  ///< MBR transformations (Algorithm 1 work)
+  uint64_t disk_reads = 0;       ///< buffer-pool misses gone to disk
+  uint64_t records_scanned = 0;  ///< relation records read (scans)
+  double elapsed_ms = 0.0;
+};
+
+/// Shared query parameters.
+struct QuerySpec {
+  std::optional<FeatureTransform> transform;
+  TransformMode mode = TransformMode::kBoth;
+  std::optional<MeanStdWindow> window;
+};
+
+/// Range query via the index (Algorithm 2).
+Status IndexRangeQuery(KIndex* index, Relation* relation, const RealVec& query,
+                       double epsilon, const QuerySpec& spec,
+                       std::vector<Match>* out, QueryStats* stats);
+
+/// k-nearest-neighbor query via the index (optimal multi-step).
+Status IndexKnnQuery(KIndex* index, Relation* relation, const RealVec& query,
+                     size_t k, const QuerySpec& spec, std::vector<Match>* out,
+                     QueryStats* stats);
+
+/// All-pairs self-join via the index: for every stored series, a range
+/// query against the (transformed) index — the paper's methods c (no
+/// transformation) and d (with transformation). Emits ordered pairs
+/// (a, b), a != b.
+Status IndexSelfJoin(KIndex* index, Relation* relation, double epsilon,
+                     const std::optional<FeatureTransform>& transform,
+                     std::vector<JoinPair>* out, QueryStats* stats);
+
+/// All-pairs self-join via a single synchronized traversal of the R*-tree
+/// against its (transformed) self — the tree-matching extension of the
+/// paper's method d: one lockstep descent instead of one range query per
+/// record. Same answers as IndexSelfJoin (ordered pairs, a != b).
+Status TreeMatchSelfJoin(KIndex* index, Relation* relation, double epsilon,
+                         const std::optional<FeatureTransform>& transform,
+                         std::vector<JoinPair>* out, QueryStats* stats);
+
+}  // namespace tsq
+
+#endif  // TSQ_CORE_QUERIES_H_

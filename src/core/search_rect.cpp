@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "core/search_rect.h"
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace tsq {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kPi = std::numbers::pi;
+}  // namespace
+
+MeanStdWindow MeanStdWindow::Unbounded() {
+  return MeanStdWindow{-kInf, kInf, -kInf, kInf};
+}
+
+spatial::Rect BuildSearchRect(const FeatureLayout& layout,
+                              const ComplexVec& coefficients, double eps,
+                              const std::optional<MeanStdWindow>& window) {
+  TSQ_CHECK_MSG(coefficients.size() == layout.num_coefficients,
+                "expected %zu coefficients, got %zu", layout.num_coefficients,
+                coefficients.size());
+  TSQ_CHECK_MSG(eps >= 0.0, "negative query threshold");
+
+  // Rounding slack: the stored (transformed) point and the query-side
+  // coefficients travel through different floating-point expressions
+  // (e.g. wrapped angle sums vs arg of a product), so a zero-width
+  // rectangle could falsely dismiss an exact match. Widening by a few ulps
+  // keeps the rectangle a superset; postprocessing removes the extras.
+  double slack = 1e-9;
+  for (const Complex& c : coefficients) {
+    slack = std::max(slack, 1e-12 * std::abs(c));
+  }
+  eps += slack;
+
+  spatial::Point lo(layout.dims());
+  spatial::Point hi(layout.dims());
+
+  if (layout.include_mean_std) {
+    const MeanStdWindow w = window.value_or(MeanStdWindow::Unbounded());
+    TSQ_CHECK_MSG(w.mean_lo <= w.mean_hi && w.std_lo <= w.std_hi,
+                  "inverted mean/std window");
+    lo[0] = w.mean_lo;
+    hi[0] = w.mean_hi;
+    lo[1] = w.std_lo;
+    hi[1] = w.std_hi;
+  }
+
+  const size_t off = layout.spectral_offset();
+  for (size_t j = 0; j < layout.num_coefficients; ++j) {
+    const Complex c = coefficients[j];
+    if (layout.space == CoordinateSpace::kRectangular) {
+      lo[off + 2 * j] = c.real() - eps;
+      hi[off + 2 * j] = c.real() + eps;
+      lo[off + 2 * j + 1] = c.imag() - eps;
+      hi[off + 2 * j + 1] = c.imag() + eps;
+    } else {
+      const double m = std::abs(c);
+      const double alpha = std::arg(c);
+      lo[off + 2 * j] = std::max(0.0, m - eps);
+      hi[off + 2 * j] = m + eps;
+      if (m > eps) {
+        const double theta = std::asin(eps / m);
+        const double a0 = alpha - theta;
+        const double a1 = alpha + theta;
+        if (a0 < -kPi || a1 > kPi) {
+          // The interval leaves the canonical parametrization; cover the
+          // whole circle (conservative superset).
+          lo[off + 2 * j + 1] = -kPi;
+          hi[off + 2 * j + 1] = kPi;
+        } else {
+          lo[off + 2 * j + 1] = a0;
+          hi[off + 2 * j + 1] = a1;
+        }
+      } else {
+        // The eps-disk around c contains the origin: every phase angle is
+        // possible (Fig. 7 degenerates).
+        lo[off + 2 * j + 1] = -kPi;
+        hi[off + 2 * j + 1] = kPi;
+      }
+    }
+  }
+  return spatial::Rect(std::move(lo), std::move(hi));
+}
+
+}  // namespace tsq

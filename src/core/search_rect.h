@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Search-rectangle construction (Sec. 3.1, Fig. 7): the minimum bounding
+// rectangle, in index coordinates, of all points within Euclidean distance
+// eps of the query's complex coefficients.
+//
+//   * Srect: (q_d - eps, q_d + eps) per dimension — the trivial case.
+//   * Spol: per coefficient with polar (m, alpha): magnitude in
+//     [max(0, m - eps), m + eps]; angle in alpha +- asin(eps / m) when
+//     m > eps, otherwise the whole circle (the eps-disk contains the
+//     origin, so every phase is reachable). Angle intervals that cross the
+//     +-pi cut are widened to the full circle (conservative superset —
+//     preserves Lemma 1).
+//
+// The mean/std dimensions are not part of the spectral distance; they are
+// constrained only by an optional explicit window (GK95-style predicates),
+// otherwise left unbounded.
+
+#ifndef TSQ_CORE_SEARCH_RECT_H_
+#define TSQ_CORE_SEARCH_RECT_H_
+
+#include <optional>
+
+#include "core/feature.h"
+#include "dft/complex_vec.h"
+#include "spatial/rect.h"
+
+namespace tsq {
+
+/// Optional rectangle predicate on the (mean, std) index dimensions.
+struct MeanStdWindow {
+  double mean_lo;
+  double mean_hi;
+  double std_lo;
+  double std_hi;
+
+  /// A window containing everything (the default predicate).
+  static MeanStdWindow Unbounded();
+};
+
+/// Builds the eps search rectangle around a query described by its stored
+/// coefficient slice (already transformed if the query side is
+/// transformed). `coefficients` must hold exactly layout.num_coefficients
+/// complex values. Requires eps >= 0.
+spatial::Rect BuildSearchRect(const FeatureLayout& layout,
+                              const ComplexVec& coefficients, double eps,
+                              const std::optional<MeanStdWindow>& window);
+
+}  // namespace tsq
+
+#endif  // TSQ_CORE_SEARCH_RECT_H_

@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Complex-vector primitives shared by the DFT engine and the transformation
+// framework. A time series of length n maps to a ComplexVec of n Fourier
+// coefficients; transformations are elementwise affine maps on such vectors
+// (Sec. 3 of the paper).
+
+#ifndef TSQ_DFT_COMPLEX_VEC_H_
+#define TSQ_DFT_COMPLEX_VEC_H_
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace tsq {
+
+/// tsq's complex scalar. Double precision throughout: the index stores
+/// features as doubles and the no-false-dismissal guarantee (Lemma 1) relies
+/// on distances not being corrupted by precision loss.
+using Complex = std::complex<double>;
+
+/// A dense vector of complex scalars (a full or truncated DFT).
+using ComplexVec = std::vector<Complex>;
+
+/// A dense vector of real scalars (a time-domain sequence).
+using RealVec = std::vector<double>;
+
+namespace cvec {
+
+/// Elementwise product `x * y` (the paper's `X ∗ Y`, Eq. 6 right side).
+/// Requires equal sizes.
+inline ComplexVec Multiply(const ComplexVec& x, const ComplexVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(), "Multiply: size mismatch %zu vs %zu",
+                x.size(), y.size());
+  ComplexVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y[i];
+  return out;
+}
+
+/// Elementwise sum `x + y`. Requires equal sizes.
+inline ComplexVec Add(const ComplexVec& x, const ComplexVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(), "Add: size mismatch %zu vs %zu",
+                x.size(), y.size());
+  ComplexVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+/// Elementwise difference `x - y`. Requires equal sizes.
+inline ComplexVec Subtract(const ComplexVec& x, const ComplexVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(), "Subtract: size mismatch %zu vs %zu",
+                x.size(), y.size());
+  ComplexVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+/// Scales every element by the real factor `s`.
+inline ComplexVec Scale(const ComplexVec& x, double s) {
+  ComplexVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * s;
+  return out;
+}
+
+/// Signal energy E(x) = sum |x_i|^2 (Eq. 3).
+inline double Energy(const ComplexVec& x) {
+  double e = 0.0;
+  for (const Complex& c : x) e += std::norm(c);
+  return e;
+}
+
+/// Signal energy of a real sequence.
+inline double Energy(const RealVec& x) {
+  double e = 0.0;
+  for (double v : x) e += v * v;
+  return e;
+}
+
+/// Euclidean distance between complex vectors, D(x, y) = sqrt(E(x - y))
+/// (Eq. 8). Requires equal sizes.
+inline double Distance(const ComplexVec& x, const ComplexVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(), "Distance: size mismatch %zu vs %zu",
+                x.size(), y.size());
+  double e = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) e += std::norm(x[i] - y[i]);
+  return std::sqrt(e);
+}
+
+/// Squared Euclidean distance over the first `k` coefficients only — the
+/// lower bound used by the k-index (Eq. 13/15). Requires k <= min size.
+inline double PrefixDistanceSquared(const ComplexVec& x, const ComplexVec& y,
+                                    size_t k) {
+  TSQ_DCHECK(k <= x.size() && k <= y.size());
+  double e = 0.0;
+  for (size_t i = 0; i < k; ++i) e += std::norm(x[i] - y[i]);
+  return e;
+}
+
+/// Promotes a real sequence to a complex vector with zero imaginary parts.
+inline ComplexVec FromReal(const RealVec& x) {
+  ComplexVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = Complex(x[i], 0.0);
+  return out;
+}
+
+/// Extracts the real parts of a complex vector.
+inline RealVec RealPart(const ComplexVec& x) {
+  RealVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i].real();
+  return out;
+}
+
+/// Max |imaginary part| over the vector; a sanity probe when a result is
+/// expected to be real (e.g. inverse DFT of a conjugate-symmetric spectrum).
+inline double MaxImagAbs(const ComplexVec& x) {
+  double m = 0.0;
+  for (const Complex& c : x) m = std::max(m, std::abs(c.imag()));
+  return m;
+}
+
+/// True when every element of x is within `tol` (absolute, per component)
+/// of the matching element of y.
+inline bool ApproxEqual(const ComplexVec& x, const ComplexVec& y, double tol) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i].real() - y[i].real()) > tol) return false;
+    if (std::abs(x[i].imag() - y[i].imag()) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace cvec
+}  // namespace tsq
+
+#endif  // TSQ_DFT_COMPLEX_VEC_H_

@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "dft/dft.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "dft/fft.h"
+
+namespace tsq {
+namespace dft {
+
+ComplexVec Forward(const RealVec& x) { return Forward(cvec::FromReal(x)); }
+
+ComplexVec Forward(const ComplexVec& x) {
+  ComplexVec X = x;
+  fft::Transform(&X, /*inverse=*/false);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(x.empty() ? 1 : x.size()));
+  for (Complex& c : X) c *= scale;
+  return X;
+}
+
+ComplexVec Inverse(const ComplexVec& X) {
+  ComplexVec x = X;
+  fft::Transform(&x, /*inverse=*/true);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(X.empty() ? 1 : X.size()));
+  for (Complex& c : x) c *= scale;
+  return x;
+}
+
+RealVec InverseReal(const ComplexVec& X, double tol) {
+  ComplexVec x = Inverse(X);
+  TSQ_DCHECK(cvec::MaxImagAbs(x) <= tol * (1.0 + std::sqrt(cvec::Energy(x))));
+  TSQ_UNUSED(tol);
+  return cvec::RealPart(x);
+}
+
+RealVec CircularConvolution(const RealVec& x, const RealVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "circular convolution requires equal lengths (%zu vs %zu)",
+                x.size(), y.size());
+  if (x.empty()) return {};
+  // conv = InverseUnscaled(DFTUnscaled(x) * DFTUnscaled(y)) / n.
+  ComplexVec X = cvec::FromReal(x);
+  ComplexVec Y = cvec::FromReal(y);
+  fft::Transform(&X, /*inverse=*/false);
+  fft::Transform(&Y, /*inverse=*/false);
+  for (size_t i = 0; i < X.size(); ++i) X[i] *= Y[i];
+  fft::Transform(&X, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  RealVec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = X[i].real() * inv_n;
+  return out;
+}
+
+RealVec CircularConvolutionNaive(const RealVec& x, const RealVec& y) {
+  TSQ_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  RealVec out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      // i - k modulo n, kept non-negative.
+      const size_t idx = (i + n - (k % n)) % n;
+      acc += x[k] * y[idx];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+ComplexVec TransferFunction(const RealVec& kernel) {
+  ComplexVec a = cvec::FromReal(kernel);
+  fft::Transform(&a, /*inverse=*/false);  // unscaled on purpose
+  return a;
+}
+
+ComplexVec Truncate(const ComplexVec& X, size_t k) {
+  TSQ_CHECK_MSG(k <= X.size(), "Truncate: k=%zu > n=%zu", k, X.size());
+  return ComplexVec(X.begin(), X.begin() + static_cast<ptrdiff_t>(k));
+}
+
+double ParsevalGap(const RealVec& x) {
+  return std::abs(cvec::Energy(x) - cvec::Energy(Forward(x)));
+}
+
+double EnergyConcentration(const ComplexVec& X, size_t k) {
+  TSQ_CHECK(k <= X.size());
+  const double total = cvec::Energy(X);
+  if (total == 0.0) return 1.0;
+  double head = 0.0;
+  for (size_t i = 0; i < k; ++i) head += std::norm(X[i]);
+  return head / total;
+}
+
+}  // namespace dft
+}  // namespace tsq

@@ -1,0 +1,134 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "dft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace tsq {
+namespace fft {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Bit-reversal permutation for the iterative radix-2 kernel.
+void BitReversePermute(ComplexVec* data) {
+  const size_t n = data->size();
+  size_t j = 0;
+  for (size_t i = 1; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap((*data)[i], (*data)[j]);
+  }
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  TSQ_CHECK(n >= 1);
+  size_t p = 1;
+  while (p < n) {
+    TSQ_CHECK_MSG(p <= (static_cast<size_t>(1) << 62),
+                  "NextPowerOfTwo overflow for n=%zu", n);
+    p <<= 1;
+  }
+  return p;
+}
+
+void TransformRadix2(ComplexVec* data, bool inverse) {
+  const size_t n = data->size();
+  TSQ_CHECK_MSG(IsPowerOfTwo(n), "radix-2 FFT requires power-of-two length");
+  if (n == 1) return;
+
+  BitReversePermute(data);
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = (*data)[i + k];
+        const Complex v = (*data)[i + k + len / 2] * w;
+        (*data)[i + k] = u + v;
+        (*data)[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void TransformBluestein(ComplexVec* data, bool inverse) {
+  const size_t n = data->size();
+  if (n <= 1) return;
+
+  // Chirp-z: X_f = b*_f . sum_k (x_k b*_k) b_{f-k}, with b_t = e^{j pi t^2/n}.
+  // The sum is a linear convolution, computed as a circular convolution of
+  // length m = next power of two >= 2n - 1 using the radix-2 kernel.
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+
+  // exp table: chirp_t = e^{-j pi t^2 / n} for the forward transform.
+  // t^2 mod 2n keeps the angle argument bounded for large t.
+  ComplexVec chirp(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t t = 0; t < n; ++t) {
+    const uintmax_t t2 = (static_cast<uintmax_t>(t) * t) % (2 * n);
+    const double angle = sign * kPi * static_cast<double>(t2) /
+                         static_cast<double>(n);
+    chirp[t] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  ComplexVec a(m, Complex(0.0, 0.0));
+  for (size_t t = 0; t < n; ++t) a[t] = (*data)[t] * chirp[t];
+
+  ComplexVec b(m, Complex(0.0, 0.0));
+  b[0] = std::conj(chirp[0]);
+  for (size_t t = 1; t < n; ++t) {
+    b[t] = std::conj(chirp[t]);
+    b[m - t] = std::conj(chirp[t]);  // wrap-around for circular convolution
+  }
+
+  TransformRadix2(&a, /*inverse=*/false);
+  TransformRadix2(&b, /*inverse=*/false);
+  for (size_t i = 0; i < m; ++i) a[i] *= b[i];
+  TransformRadix2(&a, /*inverse=*/true);
+  // The radix-2 inverse kernel is unscaled: divide by m once here.
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t f = 0; f < n; ++f) {
+    (*data)[f] = a[f] * inv_m * chirp[f];
+  }
+}
+
+void Transform(ComplexVec* data, bool inverse) {
+  TSQ_CHECK(data != nullptr);
+  if (data->size() <= 1) return;
+  if (IsPowerOfTwo(data->size())) {
+    TransformRadix2(data, inverse);
+  } else {
+    TransformBluestein(data, inverse);
+  }
+}
+
+ComplexVec NaiveDft(const ComplexVec& input, bool inverse) {
+  const size_t n = input.size();
+  ComplexVec out(n, Complex(0.0, 0.0));
+  const double sign = inverse ? 2.0 : -2.0;
+  for (size_t f = 0; f < n; ++f) {
+    Complex acc(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = sign * kPi * static_cast<double>(t) *
+                           static_cast<double>(f) / static_cast<double>(n);
+      acc += input[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[f] = acc;
+  }
+  return out;
+}
+
+}  // namespace fft
+}  // namespace tsq

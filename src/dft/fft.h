@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Fast Fourier transform kernels. The paper assumes an FFT library (the
+// original implementation era would use FFTW-class code); this module is the
+// from-scratch substitute: an iterative radix-2 Cooley-Tukey kernel for
+// power-of-two lengths and the Bluestein chirp-z algorithm for everything
+// else, so any sequence length is O(n log n).
+//
+// These kernels compute the *unscaled* DFT
+//     X_f = sum_t x_t e^(-2 pi j t f / n)            (forward)
+//     x_t = sum_f X_f e^(+2 pi j t f / n)            (inverse, unscaled)
+// Scaling conventions (the paper's unitary 1/sqrt(n), Eq. 1/2) live one
+// layer up in dft/dft.h.
+
+#ifndef TSQ_DFT_FFT_H_
+#define TSQ_DFT_FFT_H_
+
+#include <cstddef>
+
+#include "dft/complex_vec.h"
+
+namespace tsq {
+namespace fft {
+
+/// True iff n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// Smallest power of two >= n. Requires n >= 1; aborts on overflow.
+size_t NextPowerOfTwo(size_t n);
+
+/// In-place unscaled DFT of `data` (any length >= 1).
+/// `inverse` selects the conjugate (unscaled inverse) transform. Dispatches
+/// to radix-2 for power-of-two lengths and Bluestein otherwise.
+void Transform(ComplexVec* data, bool inverse);
+
+/// In-place radix-2 Cooley-Tukey kernel. Requires power-of-two length.
+void TransformRadix2(ComplexVec* data, bool inverse);
+
+/// In-place Bluestein chirp-z kernel. Works for any length; used for
+/// non-power-of-two sizes.
+void TransformBluestein(ComplexVec* data, bool inverse);
+
+/// Reference O(n^2) unscaled DFT, used by tests to validate the fast
+/// kernels and by callers that transform very short vectors.
+ComplexVec NaiveDft(const ComplexVec& input, bool inverse);
+
+}  // namespace fft
+}  // namespace tsq
+
+#endif  // TSQ_DFT_FFT_H_

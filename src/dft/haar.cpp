@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "dft/haar.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tsq {
+namespace haar {
+
+namespace {
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+bool IsValidLength(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+RealVec Forward(const RealVec& x) {
+  TSQ_CHECK_MSG(IsValidLength(x.size()),
+                "Haar transform requires a power-of-two length, got %zu",
+                x.size());
+  RealVec out = x;
+  RealVec scratch(x.size());
+  // Cascade: each pass halves the approximation band, writing averages to
+  // the front and details behind them; detail bands already produced stay
+  // in place, so the final ordering is coarse-first.
+  for (size_t len = x.size(); len > 1; len /= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] = (out[2 * i] + out[2 * i + 1]) * kInvSqrt2;
+      scratch[half + i] = (out[2 * i] - out[2 * i + 1]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) out[i] = scratch[i];
+  }
+  return out;
+}
+
+RealVec Inverse(const RealVec& coefficients) {
+  TSQ_CHECK_MSG(IsValidLength(coefficients.size()),
+                "Haar transform requires a power-of-two length, got %zu",
+                coefficients.size());
+  RealVec out = coefficients;
+  RealVec scratch(coefficients.size());
+  for (size_t len = 2; len <= coefficients.size(); len *= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[2 * i] = (out[i] + out[half + i]) * kInvSqrt2;
+      scratch[2 * i + 1] = (out[i] - out[half + i]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) out[i] = scratch[i];
+  }
+  return out;
+}
+
+}  // namespace haar
+}  // namespace tsq

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Orthonormal Haar wavelet transform — the classic alternative feature
+// basis for GEMINI-style time-series indexing (Chan & Fu's follow-up to
+// the paper's DFT features). Like the unitary DFT, the transform is
+// orthonormal, so Parseval holds and Euclidean distances transfer between
+// domains; the first coefficients capture the coarse shape, giving the
+// same prefix-distance lower bound the k-index needs.
+//
+// tsq exposes Haar as a FeatureBasis option on FeatureLayout: whole-match
+// indexing and queries work identically (identity/scale transformations
+// only — the paper's filter transformations are DFT-specific transfer
+// functions and do not apply to wavelet coefficients).
+
+#ifndef TSQ_DFT_HAAR_H_
+#define TSQ_DFT_HAAR_H_
+
+#include "dft/complex_vec.h"
+
+namespace tsq {
+namespace haar {
+
+/// True iff `n` is a valid Haar length (power of two, >= 1).
+bool IsValidLength(size_t n);
+
+/// Orthonormal forward Haar transform. Output ordering is coarse-first:
+/// out[0] is the scaled mean, out[1] the coarsest detail, followed by
+/// finer detail bands. Requires a power-of-two length.
+RealVec Forward(const RealVec& x);
+
+/// Inverse of Forward. Requires a power-of-two length.
+RealVec Inverse(const RealVec& coefficients);
+
+}  // namespace haar
+}  // namespace tsq
+
+#endif  // TSQ_DFT_HAAR_H_

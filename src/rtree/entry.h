@@ -1,0 +1,26 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// R-tree entries: an MBR plus a payload id. In internal nodes the id is the
+// child's PageId; in leaves it is the application's data id (tsq stores the
+// SeriesId of the indexed sequence).
+
+#ifndef TSQ_RTREE_ENTRY_H_
+#define TSQ_RTREE_ENTRY_H_
+
+#include <cstdint>
+
+#include "spatial/rect.h"
+
+namespace tsq {
+namespace rtree {
+
+/// One slot of an R-tree node.
+struct Entry {
+  spatial::Rect rect;
+  uint64_t id = 0;
+};
+
+}  // namespace rtree
+}  // namespace tsq
+
+#endif  // TSQ_RTREE_ENTRY_H_

@@ -1,0 +1,289 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Guttman's quadratic and linear splits [Gut84], plus the R* split
+// [BKSS90]. Kept together: they share the grouping helpers, and each is a
+// pure function from an overfull entry set to two groups.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "rtree/split.h"
+
+namespace tsq {
+namespace rtree {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+spatial::Rect BoundingRectOf(const std::vector<Entry>& entries, size_t from,
+                             size_t to) {
+  TSQ_DCHECK(from < to && to <= entries.size());
+  spatial::Rect mbr = entries[from].rect;
+  for (size_t i = from + 1; i < to; ++i) mbr.ExpandToInclude(entries[i].rect);
+  return mbr;
+}
+
+void ValidateSplitArgs(const std::vector<Entry>& entries, size_t min_fill) {
+  TSQ_CHECK_MSG(entries.size() >= 2, "cannot split %zu entries",
+                entries.size());
+  TSQ_CHECK_MSG(min_fill >= 1 && 2 * min_fill <= entries.size(),
+                "min_fill %zu invalid for %zu entries", min_fill,
+                entries.size());
+}
+
+}  // namespace
+
+SplitResult RStarSplit(std::vector<Entry> entries, size_t min_fill) {
+  ValidateSplitArgs(entries, min_fill);
+  const size_t total = entries.size();
+  const size_t dims = entries[0].rect.dims();
+  const size_t num_dists = total - 2 * min_fill + 1;
+
+  // Phase 1 — ChooseSplitAxis: for every axis, consider entries sorted by
+  // lower and by upper bound; sum the margins of all distributions; pick the
+  // axis with the smallest total margin ("margin-value" S in [BKSS90]).
+  size_t best_axis = 0;
+  bool best_axis_by_upper = false;
+  double best_axis_margin = kInf;
+
+  auto sort_by = [&entries](size_t axis, bool by_upper) {
+    std::sort(entries.begin(), entries.end(),
+              [axis, by_upper](const Entry& a, const Entry& b) {
+                const double ka = by_upper ? a.rect.hi(axis) : a.rect.lo(axis);
+                const double kb = by_upper ? b.rect.hi(axis) : b.rect.lo(axis);
+                if (ka != kb) return ka < kb;
+                // Secondary key keeps the sort deterministic.
+                return (by_upper ? a.rect.lo(axis) : a.rect.hi(axis)) <
+                       (by_upper ? b.rect.lo(axis) : b.rect.hi(axis));
+              });
+  };
+
+  for (size_t axis = 0; axis < dims; ++axis) {
+    for (const bool by_upper : {false, true}) {
+      sort_by(axis, by_upper);
+      double margin_sum = 0.0;
+      for (size_t k = 0; k < num_dists; ++k) {
+        const size_t left_count = min_fill + k;
+        margin_sum += BoundingRectOf(entries, 0, left_count).Margin() +
+                      BoundingRectOf(entries, left_count, total).Margin();
+      }
+      if (margin_sum < best_axis_margin) {
+        best_axis_margin = margin_sum;
+        best_axis = axis;
+        best_axis_by_upper = by_upper;
+      }
+    }
+  }
+
+  // Phase 2 — ChooseSplitIndex on the winning axis/sort: minimize overlap,
+  // ties by minimum combined area.
+  sort_by(best_axis, best_axis_by_upper);
+  double best_overlap = kInf;
+  double best_area = kInf;
+  size_t best_left_count = min_fill;
+  for (size_t k = 0; k < num_dists; ++k) {
+    const size_t left_count = min_fill + k;
+    const spatial::Rect left = BoundingRectOf(entries, 0, left_count);
+    const spatial::Rect right = BoundingRectOf(entries, left_count, total);
+    const double overlap = left.IntersectionArea(right);
+    const double area = left.Area() + right.Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_left_count = left_count;
+    }
+  }
+
+  SplitResult out;
+  out.left.assign(entries.begin(),
+                  entries.begin() + static_cast<ptrdiff_t>(best_left_count));
+  out.right.assign(entries.begin() + static_cast<ptrdiff_t>(best_left_count),
+                   entries.end());
+  return out;
+}
+
+SplitResult GuttmanQuadraticSplit(std::vector<Entry> entries,
+                                  size_t min_fill) {
+  ValidateSplitArgs(entries, min_fill);
+  const size_t total = entries.size();
+
+  // PickSeeds: the pair whose combined rect wastes the most area.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst_waste = -kInf;
+  for (size_t i = 0; i < total; ++i) {
+    for (size_t j = i + 1; j < total; ++j) {
+      const double waste =
+          entries[i].rect.UnionWith(entries[j].rect).Area() -
+          entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  SplitResult out;
+  spatial::Rect mbr_a = entries[seed_a].rect;
+  spatial::Rect mbr_b = entries[seed_b].rect;
+  out.left.push_back(entries[seed_a]);
+  out.right.push_back(entries[seed_b]);
+
+  std::vector<Entry> rest;
+  rest.reserve(total - 2);
+  for (size_t i = 0; i < total; ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(std::move(entries[i]));
+  }
+
+  while (!rest.empty()) {
+    // Force-assign when one group must take everything left to reach
+    // min_fill.
+    if (out.left.size() + rest.size() == min_fill) {
+      for (Entry& e : rest) {
+        mbr_a.ExpandToInclude(e.rect);
+        out.left.push_back(std::move(e));
+      }
+      break;
+    }
+    if (out.right.size() + rest.size() == min_fill) {
+      for (Entry& e : rest) {
+        mbr_b.ExpandToInclude(e.rect);
+        out.right.push_back(std::move(e));
+      }
+      break;
+    }
+
+    // PickNext: the entry with the strongest preference for one group.
+    size_t best_idx = 0;
+    double best_pref = -kInf;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const double da = mbr_a.Enlargement(rest[i].rect);
+      const double db = mbr_b.Enlargement(rest[i].rect);
+      const double pref = std::abs(da - db);
+      if (pref > best_pref) {
+        best_pref = pref;
+        best_idx = i;
+      }
+    }
+    Entry e = std::move(rest[best_idx]);
+    rest.erase(rest.begin() + static_cast<ptrdiff_t>(best_idx));
+
+    const double da = mbr_a.Enlargement(e.rect);
+    const double db = mbr_b.Enlargement(e.rect);
+    bool to_a;
+    if (da != db) {
+      to_a = da < db;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = out.left.size() <= out.right.size();
+    }
+    if (to_a) {
+      mbr_a.ExpandToInclude(e.rect);
+      out.left.push_back(std::move(e));
+    } else {
+      mbr_b.ExpandToInclude(e.rect);
+      out.right.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+SplitResult GuttmanLinearSplit(std::vector<Entry> entries, size_t min_fill) {
+  ValidateSplitArgs(entries, min_fill);
+  const size_t total = entries.size();
+  const size_t dims = entries[0].rect.dims();
+
+  // LinearPickSeeds: on each dimension find the entry with the highest low
+  // side and the one with the lowest high side; normalize the separation by
+  // the overall extent; keep the dimension with the greatest separation.
+  size_t seed_a = 0;
+  size_t seed_b = (total > 1) ? 1 : 0;
+  double best_sep = -kInf;
+  for (size_t d = 0; d < dims; ++d) {
+    size_t highest_low = 0;
+    size_t lowest_high = 0;
+    double overall_lo = kInf;
+    double overall_hi = -kInf;
+    for (size_t i = 0; i < total; ++i) {
+      if (entries[i].rect.lo(d) > entries[highest_low].rect.lo(d)) {
+        highest_low = i;
+      }
+      if (entries[i].rect.hi(d) < entries[lowest_high].rect.hi(d)) {
+        lowest_high = i;
+      }
+      overall_lo = std::min(overall_lo, entries[i].rect.lo(d));
+      overall_hi = std::max(overall_hi, entries[i].rect.hi(d));
+    }
+    if (highest_low == lowest_high) continue;
+    const double extent = overall_hi - overall_lo;
+    const double sep = entries[highest_low].rect.lo(d) -
+                       entries[lowest_high].rect.hi(d);
+    const double norm_sep = (extent > 0.0) ? sep / extent : sep;
+    if (norm_sep > best_sep) {
+      best_sep = norm_sep;
+      seed_a = lowest_high;
+      seed_b = highest_low;
+    }
+  }
+  if (seed_a == seed_b) seed_b = (seed_a + 1) % total;
+
+  SplitResult out;
+  spatial::Rect mbr_a = entries[seed_a].rect;
+  spatial::Rect mbr_b = entries[seed_b].rect;
+  out.left.push_back(entries[seed_a]);
+  out.right.push_back(entries[seed_b]);
+
+  std::vector<Entry> rest;
+  rest.reserve(total - 2);
+  for (size_t i = 0; i < total; ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(std::move(entries[i]));
+  }
+
+  for (size_t i = 0; i < rest.size(); ++i) {
+    Entry& e = rest[i];
+    const size_t unassigned = rest.size() - i;  // including e
+    if (out.left.size() + unassigned <= min_fill) {
+      mbr_a.ExpandToInclude(e.rect);
+      out.left.push_back(std::move(e));
+      continue;
+    }
+    if (out.right.size() + unassigned <= min_fill) {
+      mbr_b.ExpandToInclude(e.rect);
+      out.right.push_back(std::move(e));
+      continue;
+    }
+    const double da = mbr_a.Enlargement(e.rect);
+    const double db = mbr_b.Enlargement(e.rect);
+    if (da < db || (da == db && out.left.size() <= out.right.size())) {
+      mbr_a.ExpandToInclude(e.rect);
+      out.left.push_back(std::move(e));
+    } else {
+      mbr_b.ExpandToInclude(e.rect);
+      out.right.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+SplitResult SplitEntries(SplitAlgorithm algo, std::vector<Entry> entries,
+                         size_t min_fill) {
+  switch (algo) {
+    case SplitAlgorithm::kRStar:
+      return RStarSplit(std::move(entries), min_fill);
+    case SplitAlgorithm::kGuttmanQuadratic:
+      return GuttmanQuadraticSplit(std::move(entries), min_fill);
+    case SplitAlgorithm::kGuttmanLinear:
+      return GuttmanLinearSplit(std::move(entries), min_fill);
+  }
+  TSQ_CHECK_MSG(false, "unknown split algorithm");
+  return {};
+}
+
+}  // namespace rtree
+}  // namespace tsq

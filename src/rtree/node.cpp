@@ -1,0 +1,158 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "rtree/node.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tsq {
+namespace rtree {
+
+namespace {
+
+constexpr uint32_t kNodeMagic = 0x4E515354;  // "TSQN"
+constexpr size_t kNodeHeaderBytes = 16;
+
+inline size_t EntryBytes(size_t dims) { return 16 * dims + 8; }
+
+inline void PutU32At(Page* page, size_t off, uint32_t v) {
+  for (size_t i = 0; i < 4; ++i) {
+    page->data()[off + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint32_t GetU32At(const Page& page, size_t off) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(page.data()[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+inline void PutF64At(Page* page, size_t off, double d) {
+  const uint64_t bits = std::bit_cast<uint64_t>(d);
+  for (size_t i = 0; i < 8; ++i) {
+    page->data()[off + i] = static_cast<uint8_t>(bits >> (8 * i));
+  }
+}
+
+inline double GetF64At(const Page& page, size_t off) {
+  uint64_t bits = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(page.data()[off + i]) << (8 * i);
+  }
+  return std::bit_cast<double>(bits);
+}
+
+inline void PutU64At(Page* page, size_t off, uint64_t v) {
+  for (size_t i = 0; i < 8; ++i) {
+    page->data()[off + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint64_t GetU64At(const Page& page, size_t off) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(page.data()[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+spatial::Rect Node::BoundingRect() const {
+  TSQ_CHECK_MSG(!entries.empty(), "BoundingRect of an empty node");
+  spatial::Rect mbr = entries[0].rect;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    mbr.ExpandToInclude(entries[i].rect);
+  }
+  return mbr;
+}
+
+size_t NodeCapacity(size_t page_size, size_t dims) {
+  TSQ_CHECK(dims >= 1);
+  if (page_size <= kNodeHeaderBytes) return 0;
+  return (page_size - kNodeHeaderBytes) / EntryBytes(dims);
+}
+
+Status SerializeNode(const Node& node, size_t dims, Page* page) {
+  TSQ_CHECK(page != nullptr);
+  const size_t capacity = NodeCapacity(page->size(), dims);
+  if (node.entries.size() > capacity) {
+    return Status::InvalidArgument(
+        "node with " + std::to_string(node.entries.size()) +
+        " entries exceeds capacity " + std::to_string(capacity));
+  }
+  page->Clear();
+  PutU32At(page, 0, kNodeMagic);
+  PutU32At(page, 4, node.level);
+  PutU32At(page, 8, static_cast<uint32_t>(node.entries.size()));
+  PutU32At(page, 12, 0);
+
+  size_t off = kNodeHeaderBytes;
+  for (const Entry& e : node.entries) {
+    if (e.rect.dims() != dims) {
+      return Status::InvalidArgument("entry dims " +
+                                     std::to_string(e.rect.dims()) +
+                                     " != tree dims " + std::to_string(dims));
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      PutF64At(page, off, e.rect.lo(d));
+      off += 8;
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      PutF64At(page, off, e.rect.hi(d));
+      off += 8;
+    }
+    PutU64At(page, off, e.id);
+    off += 8;
+  }
+  return Status::OK();
+}
+
+Status DeserializeNode(const Page& page, size_t dims, Node* node) {
+  TSQ_CHECK(node != nullptr);
+  if (page.size() < kNodeHeaderBytes) {
+    return Status::Corruption("page too small for a node header");
+  }
+  if (GetU32At(page, 0) != kNodeMagic) {
+    return Status::Corruption("bad node magic");
+  }
+  node->level = GetU32At(page, 4);
+  const uint32_t count = GetU32At(page, 8);
+  const size_t capacity = NodeCapacity(page.size(), dims);
+  if (count > capacity) {
+    return Status::Corruption("node count " + std::to_string(count) +
+                              " exceeds capacity " + std::to_string(capacity));
+  }
+
+  node->entries.clear();
+  node->entries.reserve(count);
+  size_t off = kNodeHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i) {
+    spatial::Point lo(dims);
+    spatial::Point hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = GetF64At(page, off);
+      off += 8;
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      hi[d] = GetF64At(page, off);
+      off += 8;
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      if (lo[d] > hi[d]) {
+        return Status::Corruption("inverted MBR interval on disk");
+      }
+    }
+    Entry e;
+    e.rect = spatial::Rect(std::move(lo), std::move(hi));
+    e.id = GetU64At(page, off);
+    off += 8;
+    node->entries.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace rtree
+}  // namespace tsq

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// In-memory R-tree nodes and their on-page serialization.
+//
+// Page layout (little-endian):
+//   u32 magic 'TSQN' | u32 level | u32 count | u32 reserved
+//   count * entry, entry = dims * (f64 lo) | dims * (f64 hi) | u64 id
+//
+// level 0 is a leaf. Node capacity is derived from the page size and the
+// tree dimensionality; the same formula determines the paper's branching
+// factors for its 6-D index over 4 KiB pages.
+
+#ifndef TSQ_RTREE_NODE_H_
+#define TSQ_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/entry.h"
+#include "spatial/rect.h"
+#include "storage/page.h"
+
+namespace tsq {
+namespace rtree {
+
+/// Deserialized R-tree node.
+struct Node {
+  PageId id = kInvalidPageId;
+  uint32_t level = 0;  ///< 0 = leaf; root has the highest level
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  /// Union of all entry rectangles. Requires a non-empty node.
+  spatial::Rect BoundingRect() const;
+};
+
+/// Maximum entries per node for a given page size and dimensionality.
+size_t NodeCapacity(size_t page_size, size_t dims);
+
+/// Serializes `node` into `page`. Fails with InvalidArgument when the node
+/// exceeds capacity or an entry has the wrong dimensionality.
+Status SerializeNode(const Node& node, size_t dims, Page* page);
+
+/// Parses `page` into `node` (id is left untouched: the caller knows the
+/// page id). Fails with Corruption on malformed bytes.
+Status DeserializeNode(const Page& page, size_t dims, Node* node);
+
+}  // namespace rtree
+}  // namespace tsq
+
+#endif  // TSQ_RTREE_NODE_H_

@@ -1,0 +1,831 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "rtree/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace tsq {
+namespace rtree {
+
+namespace {
+
+// Meta page layout: u64 magic | u64 dims | u64 root | u64 size | u64 height.
+constexpr uint64_t kMetaMagic = 0x3154524151535400ull;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double CenterDistSquared(const spatial::Rect& a, const spatial::Rect& b) {
+  return spatial::PointDistSquared(a.Center(), b.Center());
+}
+
+}  // namespace
+
+RStarTree::RStarTree(BufferPool* pool, size_t dims,
+                     const RTreeOptions& options)
+    : pool_(pool), dims_(dims), options_(options) {
+  TSQ_CHECK(pool != nullptr);
+  const size_t page_capacity = NodeCapacity(pool->file()->page_size(), dims);
+  max_entries_ = page_capacity;
+  if (options_.max_entries_override != 0) {
+    TSQ_CHECK_MSG(options_.max_entries_override <= page_capacity,
+                  "max_entries_override %zu exceeds page capacity %zu",
+                  options_.max_entries_override, page_capacity);
+    max_entries_ = options_.max_entries_override;
+  }
+  min_fill_ = std::max<size_t>(
+      1, max_entries_ * options_.min_fill_percent / 100);
+  // A sane tree needs room for a split into two min-filled halves.
+  TSQ_CHECK_MSG(max_entries_ >= 4,
+                "node capacity %zu too small; raise the page size",
+                max_entries_);
+  TSQ_CHECK_MSG(2 * min_fill_ <= max_entries_ + 1,
+                "min_fill_percent %u leaves no legal split",
+                options_.min_fill_percent);
+}
+
+RStarTree::~RStarTree() {
+  // Persist meta so reopening sees the final tree. Errors are swallowed:
+  // destructors have no error channel, and SaveMeta is available to callers
+  // who need the status.
+  SaveMeta().ok();
+}
+
+Result<std::unique_ptr<RStarTree>> RStarTree::Create(
+    BufferPool* pool, size_t dims, const RTreeOptions& options) {
+  if (dims < 1) {
+    return Status::InvalidArgument("tree dimensionality must be >= 1");
+  }
+  if (options.reinsert_fraction < 0.0 || options.reinsert_fraction > 0.45) {
+    return Status::InvalidArgument("reinsert_fraction out of [0, 0.45]");
+  }
+  if (NodeCapacity(pool->file()->page_size(), dims) < 4) {
+    return Status::InvalidArgument(
+        "page size too small for dimensionality " + std::to_string(dims));
+  }
+  auto tree =
+      std::unique_ptr<RStarTree>(new RStarTree(pool, dims, options));
+
+  // Allocate meta page and an empty leaf root.
+  TSQ_ASSIGN_OR_RETURN(PageHandle meta, pool->New());
+  tree->meta_page_ = meta.id();
+  meta.Release();
+
+  TSQ_ASSIGN_OR_RETURN(tree->root_, tree->AllocateNodePage());
+  Node root;
+  root.id = tree->root_;
+  root.level = 0;
+  TSQ_RETURN_IF_ERROR(tree->StoreNode(root));
+  tree->height_ = 1;
+  TSQ_RETURN_IF_ERROR(tree->SaveMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<RStarTree>> RStarTree::Open(
+    BufferPool* pool, PageId meta_page, const RTreeOptions& options) {
+  TSQ_ASSIGN_OR_RETURN(PageHandle meta, pool->Fetch(meta_page));
+  const Page* p = meta.page();
+  if (p->ReadU64(0) != kMetaMagic) {
+    return Status::Corruption("bad R-tree meta magic");
+  }
+  const uint64_t dims = p->ReadU64(8);
+  if (dims < 1 || dims > 1024) {
+    return Status::Corruption("implausible R-tree dimensionality " +
+                              std::to_string(dims));
+  }
+  auto tree = std::unique_ptr<RStarTree>(
+      new RStarTree(pool, static_cast<size_t>(dims), options));
+  tree->meta_page_ = meta_page;
+  tree->root_ = p->ReadU64(16);
+  tree->size_ = p->ReadU64(24);
+  tree->height_ = static_cast<uint32_t>(p->ReadU64(32));
+  return tree;
+}
+
+Status RStarTree::SaveMeta() {
+  TSQ_ASSIGN_OR_RETURN(PageHandle meta, pool_->Fetch(meta_page_));
+  Page* p = meta.page();
+  p->WriteU64(0, kMetaMagic);
+  p->WriteU64(8, dims_);
+  p->WriteU64(16, root_);
+  p->WriteU64(24, size_);
+  p->WriteU64(32, height_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Result<Node> RStarTree::LoadNode(PageId id) const {
+  TSQ_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(id));
+  Node node;
+  TSQ_RETURN_IF_ERROR(DeserializeNode(*handle.page(), dims_, &node));
+  node.id = id;
+  ++stats_.nodes_visited;
+  return node;
+}
+
+Status RStarTree::StoreNode(const Node& node) {
+  TSQ_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(node.id));
+  TSQ_RETURN_IF_ERROR(SerializeNode(node, dims_, handle.page()));
+  handle.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> RStarTree::AllocateNodePage() {
+  TSQ_ASSIGN_OR_RETURN(PageHandle handle, pool_->New());
+  const PageId id = handle.id();
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+Status RStarTree::Insert(const spatial::Rect& rect, uint64_t id) {
+  if (rect.dims() != dims_) {
+    return Status::InvalidArgument("rect dims " + std::to_string(rect.dims()) +
+                                   " != tree dims " + std::to_string(dims_));
+  }
+  if (rect.IsEmpty()) {
+    return Status::InvalidArgument("cannot index an empty rectangle");
+  }
+  reinsert_done_levels_.clear();
+  pending_reinserts_.clear();
+
+  Entry entry;
+  entry.rect = rect;
+  entry.id = id;
+  TSQ_RETURN_IF_ERROR(InsertEntryAtLevel(std::move(entry), 0));
+  while (!pending_reinserts_.empty()) {
+    auto [e, level] = std::move(pending_reinserts_.front());
+    pending_reinserts_.pop_front();
+    TSQ_RETURN_IF_ERROR(InsertEntryAtLevel(std::move(e), level));
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status RStarTree::InsertPoint(const spatial::Point& point, uint64_t id) {
+  return Insert(spatial::Rect::FromPoint(point), id);
+}
+
+Status RStarTree::InsertEntryAtLevel(Entry entry, uint32_t target_level) {
+  TSQ_ASSIGN_OR_RETURN(InsertOutcome outcome,
+                       InsertRecurse(root_, entry, target_level));
+  if (outcome.split.has_value()) {
+    // Root split: grow the tree by one level.
+    TSQ_ASSIGN_OR_RETURN(const PageId new_root_id, AllocateNodePage());
+    TSQ_ASSIGN_OR_RETURN(Node old_root, LoadNode(root_));
+    Node new_root;
+    new_root.id = new_root_id;
+    new_root.level = old_root.level + 1;
+    Entry left;
+    left.rect = outcome.mbr;
+    left.id = root_;
+    new_root.entries.push_back(std::move(left));
+    new_root.entries.push_back(std::move(*outcome.split));
+    TSQ_RETURN_IF_ERROR(StoreNode(new_root));
+    root_ = new_root_id;
+    ++height_;
+  }
+  return Status::OK();
+}
+
+size_t RStarTree::ChooseSubtree(const Node& node,
+                                const spatial::Rect& rect) const {
+  TSQ_DCHECK(!node.entries.empty());
+  // [BKSS90]: when children are leaves minimize overlap enlargement; higher
+  // up minimize area enlargement. Ties: smaller enlargement, then smaller
+  // area.
+  const bool children_are_leaves = (node.level == 1);
+  size_t best = 0;
+  double best_primary = kInf;
+  double best_enlargement = kInf;
+  double best_area = kInf;
+
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const spatial::Rect& r = node.entries[i].rect;
+    const spatial::Rect grown = r.UnionWith(rect);
+    const double enlargement = grown.Area() - r.Area();
+    const double area = r.Area();
+
+    double primary = enlargement;
+    if (children_are_leaves) {
+      // Overlap enlargement of candidate i w.r.t. its siblings.
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += r.IntersectionArea(node.entries[j].rect);
+        overlap_after += grown.IntersectionArea(node.entries[j].rect);
+      }
+      primary = overlap_after - overlap_before;
+    }
+
+    if (primary < best_primary ||
+        (primary == best_primary && enlargement < best_enlargement) ||
+        (primary == best_primary && enlargement == best_enlargement &&
+         area < best_area)) {
+      best_primary = primary;
+      best_enlargement = enlargement;
+      best_area = area;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<Entry> RStarTree::SplitNode(Node* node) {
+  SplitResult split =
+      SplitEntries(options_.split, std::move(node->entries), min_fill_);
+  node->entries = std::move(split.left);
+  TSQ_RETURN_IF_ERROR(StoreNode(*node));
+
+  Node sibling;
+  TSQ_ASSIGN_OR_RETURN(sibling.id, AllocateNodePage());
+  sibling.level = node->level;
+  sibling.entries = std::move(split.right);
+  TSQ_RETURN_IF_ERROR(StoreNode(sibling));
+
+  Entry out;
+  out.rect = sibling.BoundingRect();
+  out.id = sibling.id;
+  return out;
+}
+
+Status RStarTree::ForcedReinsert(Node* node) {
+  // Evict the p entries whose centers are farthest from the node's center
+  // ([BKSS90] reinsert, "far reinsert" variant).
+  const size_t p = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options_.reinsert_fraction *
+                       static_cast<double>(node->entries.size()))));
+  const spatial::Rect mbr = node->BoundingRect();
+  std::vector<std::pair<double, size_t>> by_dist;
+  by_dist.reserve(node->entries.size());
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    by_dist.emplace_back(CenterDistSquared(node->entries[i].rect, mbr), i);
+  }
+  std::sort(by_dist.begin(), by_dist.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<bool> evicted(node->entries.size(), false);
+  for (size_t i = 0; i < p; ++i) evicted[by_dist[i].second] = true;
+
+  std::vector<Entry> kept;
+  kept.reserve(node->entries.size() - p);
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    if (evicted[i]) {
+      pending_reinserts_.emplace_back(std::move(node->entries[i]),
+                                      node->level);
+    } else {
+      kept.push_back(std::move(node->entries[i]));
+    }
+  }
+  node->entries = std::move(kept);
+  return StoreNode(*node);
+}
+
+Result<RStarTree::InsertOutcome> RStarTree::InsertRecurse(
+    PageId node_id, const Entry& entry, uint32_t target_level) {
+  TSQ_ASSIGN_OR_RETURN(Node node, LoadNode(node_id));
+
+  if (node.level == target_level) {
+    node.entries.push_back(entry);
+    InsertOutcome outcome;
+    if (node.entries.size() > max_entries_) {
+      const bool can_reinsert = options_.forced_reinsert &&
+                                node_id != root_ &&
+                                !reinsert_done_levels_.contains(node.level);
+      if (can_reinsert) {
+        reinsert_done_levels_.insert(node.level);
+        TSQ_RETURN_IF_ERROR(ForcedReinsert(&node));
+        outcome.mbr = node.BoundingRect();
+        return outcome;
+      }
+      TSQ_ASSIGN_OR_RETURN(Entry sibling, SplitNode(&node));
+      outcome.mbr = node.BoundingRect();
+      outcome.split = std::move(sibling);
+      return outcome;
+    }
+    TSQ_RETURN_IF_ERROR(StoreNode(node));
+    outcome.mbr = node.BoundingRect();
+    return outcome;
+  }
+
+  TSQ_CHECK_MSG(node.level > target_level,
+                "insert level %u below node level %u", target_level,
+                node.level);
+  const size_t child_idx = ChooseSubtree(node, entry.rect);
+  const PageId child_id = node.entries[child_idx].id;
+  TSQ_ASSIGN_OR_RETURN(InsertOutcome child_outcome,
+                       InsertRecurse(child_id, entry, target_level));
+
+  node.entries[child_idx].rect = child_outcome.mbr;
+  InsertOutcome outcome;
+  if (child_outcome.split.has_value()) {
+    node.entries.push_back(std::move(*child_outcome.split));
+    if (node.entries.size() > max_entries_) {
+      const bool can_reinsert = options_.forced_reinsert &&
+                                node_id != root_ &&
+                                !reinsert_done_levels_.contains(node.level);
+      if (can_reinsert) {
+        reinsert_done_levels_.insert(node.level);
+        TSQ_RETURN_IF_ERROR(ForcedReinsert(&node));
+        outcome.mbr = node.BoundingRect();
+        return outcome;
+      }
+      TSQ_ASSIGN_OR_RETURN(Entry sibling, SplitNode(&node));
+      outcome.mbr = node.BoundingRect();
+      outcome.split = std::move(sibling);
+      return outcome;
+    }
+  }
+  TSQ_RETURN_IF_ERROR(StoreNode(node));
+  outcome.mbr = node.BoundingRect();
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loading (Sort-Tile-Recursive)
+// ---------------------------------------------------------------------------
+
+void RStarTree::TilePartition(std::vector<Entry>&& entries, size_t dim,
+                              size_t group_size,
+                              std::vector<std::vector<Entry>>* groups) const {
+  const size_t n = entries.size();
+  auto sort_by_center = [dim](std::vector<Entry>* items) {
+    std::sort(items->begin(), items->end(),
+              [dim](const Entry& a, const Entry& b) {
+                const double ca = 0.5 * (a.rect.lo(dim) + a.rect.hi(dim));
+                const double cb = 0.5 * (b.rect.lo(dim) + b.rect.hi(dim));
+                if (ca != cb) return ca < cb;
+                return a.id < b.id;  // deterministic
+              });
+  };
+
+  if (dim + 1 == dims_ || n <= group_size) {
+    // Final dimension: sort and chop into groups of `group_size`,
+    // rebalancing the last two groups so none falls under min_fill.
+    sort_by_center(&entries);
+    std::vector<std::vector<Entry>> chunks;
+    for (size_t start = 0; start < n; start += group_size) {
+      const size_t end = std::min(start + group_size, n);
+      chunks.emplace_back(
+          std::make_move_iterator(entries.begin() +
+                                  static_cast<ptrdiff_t>(start)),
+          std::make_move_iterator(entries.begin() +
+                                  static_cast<ptrdiff_t>(end)));
+    }
+    if (chunks.size() >= 2 && chunks.back().size() < min_fill_) {
+      // Steal from the second-to-last chunk to even out the tail.
+      std::vector<Entry>& prev = chunks[chunks.size() - 2];
+      std::vector<Entry>& last = chunks.back();
+      const size_t total = prev.size() + last.size();
+      const size_t want_last = total / 2;
+      while (last.size() < want_last) {
+        last.insert(last.begin(), std::move(prev.back()));
+        prev.pop_back();
+      }
+    }
+    for (auto& chunk : chunks) groups->push_back(std::move(chunk));
+    return;
+  }
+
+  // Slabs along this dimension: S = ceil(P^(1/remaining_dims)) where P is
+  // the number of groups still to produce.
+  const size_t remaining_dims = dims_ - dim;
+  const double p = std::ceil(static_cast<double>(n) /
+                             static_cast<double>(group_size));
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(p, 1.0 / static_cast<double>(remaining_dims)))));
+  const size_t per_slab = (n + slabs - 1) / slabs;
+
+  sort_by_center(&entries);
+  for (size_t start = 0; start < n; start += per_slab) {
+    const size_t end = std::min(start + per_slab, n);
+    std::vector<Entry> slab(
+        std::make_move_iterator(entries.begin() +
+                                static_cast<ptrdiff_t>(start)),
+        std::make_move_iterator(entries.begin() +
+                                static_cast<ptrdiff_t>(end)));
+    TilePartition(std::move(slab), dim + 1, group_size, groups);
+  }
+}
+
+Status RStarTree::BulkLoad(std::vector<Entry> entries) {
+  if (size_ != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty tree");
+  }
+  for (const Entry& e : entries) {
+    if (e.rect.dims() != dims_) {
+      return Status::InvalidArgument("entry dims mismatch in BulkLoad");
+    }
+    if (e.rect.IsEmpty()) {
+      return Status::InvalidArgument("cannot bulk-load an empty rectangle");
+    }
+  }
+  if (entries.empty()) return Status::OK();
+  const uint64_t total = entries.size();
+
+  // Pack to ~90% fill so post-load inserts do not split immediately.
+  const size_t fill = std::max<size_t>(
+      min_fill_, std::max<size_t>(1, max_entries_ * 9 / 10));
+
+  // Level 0: tile data entries into leaves.
+  uint32_t level = 0;
+  std::vector<Entry> current = std::move(entries);
+  while (true) {
+    if (current.size() <= max_entries_) {
+      // Everything fits in the root at this level; reuse the existing root
+      // page for it.
+      Node root;
+      root.id = root_;
+      root.level = level;
+      root.entries = std::move(current);
+      TSQ_RETURN_IF_ERROR(StoreNode(root));
+      height_ = level + 1;
+      size_ = total;
+      return SaveMeta();
+    }
+    std::vector<std::vector<Entry>> groups;
+    TilePartition(std::move(current), 0, fill, &groups);
+    std::vector<Entry> parents;
+    parents.reserve(groups.size());
+    for (auto& group : groups) {
+      Node node;
+      TSQ_ASSIGN_OR_RETURN(node.id, AllocateNodePage());
+      node.level = level;
+      node.entries = std::move(group);
+      TSQ_RETURN_IF_ERROR(StoreNode(node));
+      Entry parent;
+      parent.rect = node.BoundingRect();
+      parent.id = node.id;
+      parents.push_back(std::move(parent));
+    }
+    current = std::move(parents);
+    ++level;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+Result<bool> RStarTree::Remove(const spatial::Rect& rect, uint64_t id) {
+  if (rect.dims() != dims_) {
+    return Status::InvalidArgument("rect dims mismatch in Remove");
+  }
+  reinsert_done_levels_.clear();
+  pending_reinserts_.clear();
+
+  TSQ_ASSIGN_OR_RETURN(DeleteOutcome outcome, DeleteRecurse(root_, rect, id));
+  if (!outcome.removed) return false;
+  --size_;
+
+  // Reinsert orphans collected by condensation, then shrink the root.
+  while (!pending_reinserts_.empty()) {
+    auto [e, level] = std::move(pending_reinserts_.front());
+    pending_reinserts_.pop_front();
+    TSQ_RETURN_IF_ERROR(InsertEntryAtLevel(std::move(e), level));
+  }
+  TSQ_RETURN_IF_ERROR(ShrinkRootIfNeeded());
+  return true;
+}
+
+Result<RStarTree::DeleteOutcome> RStarTree::DeleteRecurse(
+    PageId node_id, const spatial::Rect& rect, uint64_t id) {
+  TSQ_ASSIGN_OR_RETURN(Node node, LoadNode(node_id));
+  DeleteOutcome outcome;
+
+  if (node.IsLeaf()) {
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].id == id && node.entries[i].rect == rect) {
+        node.entries.erase(node.entries.begin() + static_cast<ptrdiff_t>(i));
+        TSQ_RETURN_IF_ERROR(StoreNode(node));
+        outcome.removed = true;
+        outcome.underflow =
+            node_id != root_ && node.entries.size() < min_fill_;
+        if (!node.entries.empty()) outcome.mbr = node.BoundingRect();
+        return outcome;
+      }
+    }
+    return outcome;  // not found here
+  }
+
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (!node.entries[i].rect.ContainsRect(rect)) continue;
+    TSQ_ASSIGN_OR_RETURN(DeleteOutcome child_outcome,
+                         DeleteRecurse(node.entries[i].id, rect, id));
+    if (!child_outcome.removed) continue;
+
+    if (child_outcome.underflow) {
+      // Dissolve the child: orphan its entries for reinsertion at their
+      // level and reclaim the page (CondenseTree of [Gut84]).
+      const PageId child_id = node.entries[i].id;
+      TSQ_ASSIGN_OR_RETURN(Node child, LoadNode(child_id));
+      for (Entry& e : child.entries) {
+        pending_reinserts_.emplace_back(std::move(e), child.level);
+      }
+      TSQ_RETURN_IF_ERROR(pool_->Delete(child_id));
+      node.entries.erase(node.entries.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      node.entries[i].rect = child_outcome.mbr;
+    }
+    TSQ_RETURN_IF_ERROR(StoreNode(node));
+    outcome.removed = true;
+    outcome.underflow = node_id != root_ && node.entries.size() < min_fill_;
+    if (!node.entries.empty()) outcome.mbr = node.BoundingRect();
+    return outcome;
+  }
+  return outcome;  // not found in any qualifying subtree
+}
+
+Status RStarTree::ShrinkRootIfNeeded() {
+  while (true) {
+    TSQ_ASSIGN_OR_RETURN(Node root, LoadNode(root_));
+    if (root.IsLeaf() || root.entries.size() != 1) return Status::OK();
+    const PageId old_root = root_;
+    root_ = root.entries[0].id;
+    --height_;
+    TSQ_RETURN_IF_ERROR(pool_->Delete(old_root));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+Status RStarTree::Search(const spatial::Rect& query,
+                         const SearchCallback& emit) const {
+  if (query.dims() != dims_) {
+    return Status::InvalidArgument("query dims mismatch");
+  }
+  bool keep_going = true;
+  return SearchRecurse(root_, /*map=*/nullptr, query, emit, &keep_going);
+}
+
+Status RStarTree::SearchTransformed(const spatial::AffineMap& map,
+                                    const spatial::Rect& query,
+                                    const SearchCallback& emit) const {
+  if (query.dims() != dims_) {
+    return Status::InvalidArgument("query dims mismatch");
+  }
+  if (map.dims() != dims_) {
+    return Status::InvalidArgument("transform dims mismatch");
+  }
+  bool keep_going = true;
+  return SearchRecurse(root_, &map, query, emit, &keep_going);
+}
+
+Status RStarTree::SearchRecurse(PageId node_id, const spatial::AffineMap* map,
+                                const spatial::Rect& query,
+                                const SearchCallback& emit,
+                                bool* keep_going) const {
+  TSQ_ASSIGN_OR_RETURN(Node node, LoadNode(node_id));
+
+  for (const Entry& e : node.entries) {
+    if (!*keep_going) return Status::OK();
+    spatial::Rect rect = e.rect;
+    if (map != nullptr) {
+      rect = map->Apply(rect);
+      ++stats_.rect_transforms;
+    }
+    if (node.IsLeaf()) {
+      ++stats_.leaf_entries_tested;
+      if (rect.Intersects(query)) {
+        if (!emit(e.id, rect)) {
+          *keep_going = false;
+          return Status::OK();
+        }
+      }
+    } else if (rect.Intersects(query)) {
+      TSQ_RETURN_IF_ERROR(
+          SearchRecurse(e.id, map, query, emit, keep_going));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Spatial join (synchronized traversal)
+// ---------------------------------------------------------------------------
+
+Status RStarTree::JoinWith(const RStarTree& other,
+                           const spatial::AffineMap* map,
+                           const spatial::AffineMap* other_map,
+                           const JoinPredicate& may_join,
+                           const JoinCallback& emit) const {
+  if (dims() != other.dims()) {
+    return Status::InvalidArgument("join between trees of different dims");
+  }
+  if (size_ == 0 || other.size() == 0) return Status::OK();
+  bool keep_going = true;
+  return JoinRecurse(root_, other, other.root_, map, other_map, may_join,
+                     emit, &keep_going);
+}
+
+Status RStarTree::JoinRecurse(PageId a_id, const RStarTree& other,
+                              PageId b_id, const spatial::AffineMap* map_a,
+                              const spatial::AffineMap* map_b,
+                              const JoinPredicate& may_join,
+                              const JoinCallback& emit,
+                              bool* keep_going) const {
+  TSQ_ASSIGN_OR_RETURN(Node na, LoadNode(a_id));
+  TSQ_ASSIGN_OR_RETURN(Node nb, other.LoadNode(b_id));
+
+  auto transformed = [this](const spatial::AffineMap* map,
+                            const spatial::Rect& rect) {
+    if (map == nullptr) return rect;
+    ++stats_.rect_transforms;
+    return map->Apply(rect);
+  };
+
+  if (na.IsLeaf() && nb.IsLeaf()) {
+    for (const Entry& ea : na.entries) {
+      const spatial::Rect ta = transformed(map_a, ea.rect);
+      for (const Entry& eb : nb.entries) {
+        if (!*keep_going) return Status::OK();
+        ++stats_.leaf_entries_tested;
+        if (may_join(ta, transformed(map_b, eb.rect))) {
+          if (!emit(ea.id, eb.id)) {
+            *keep_going = false;
+            return Status::OK();
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  if (!na.IsLeaf() && (nb.IsLeaf() || na.level > nb.level)) {
+    // Descend only this side until the levels meet.
+    const spatial::Rect tb = transformed(map_b, nb.BoundingRect());
+    for (const Entry& ea : na.entries) {
+      if (!*keep_going) return Status::OK();
+      if (may_join(transformed(map_a, ea.rect), tb)) {
+        TSQ_RETURN_IF_ERROR(JoinRecurse(ea.id, other, b_id, map_a, map_b,
+                                        may_join, emit, keep_going));
+      }
+    }
+    return Status::OK();
+  }
+  if (!nb.IsLeaf() && (na.IsLeaf() || nb.level > na.level)) {
+    const spatial::Rect ta = transformed(map_a, na.BoundingRect());
+    for (const Entry& eb : nb.entries) {
+      if (!*keep_going) return Status::OK();
+      if (may_join(ta, transformed(map_b, eb.rect))) {
+        TSQ_RETURN_IF_ERROR(JoinRecurse(a_id, other, eb.id, map_a, map_b,
+                                        may_join, emit, keep_going));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Same internal level on both sides: descend qualifying entry pairs.
+  for (const Entry& ea : na.entries) {
+    const spatial::Rect ta = transformed(map_a, ea.rect);
+    for (const Entry& eb : nb.entries) {
+      if (!*keep_going) return Status::OK();
+      if (may_join(ta, transformed(map_b, eb.rect))) {
+        TSQ_RETURN_IF_ERROR(JoinRecurse(ea.id, other, eb.id, map_a, map_b,
+                                        may_join, emit, keep_going));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Nearest neighbors
+// ---------------------------------------------------------------------------
+
+Status RStarTree::NearestNeighborsStream(
+    const NnMetric& metric, const spatial::AffineMap* map,
+    const std::function<bool(uint64_t, double)>& emit) const {
+  if (size_ == 0) return Status::OK();
+
+  // Best-first search: a min-heap of nodes and leaf entries keyed by
+  // MINDIST under `metric`. When an entry surfaces, its lower bound is
+  // exact for the indexed point (degenerate rect) and no unexplored item
+  // can beat it, so emission order is correct.
+  struct Item {
+    double dist_sq;
+    bool is_entry;
+    uint64_t id;  // data id or child page id
+  };
+  auto cmp = [](const Item& a, const Item& b) { return a.dist_sq > b.dist_sq; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+  heap.push(Item{0.0, false, root_});
+
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      if (!emit(item.id, std::sqrt(item.dist_sq))) return Status::OK();
+      continue;
+    }
+    TSQ_ASSIGN_OR_RETURN(Node node, LoadNode(item.id));
+    for (const Entry& e : node.entries) {
+      spatial::Rect rect = e.rect;
+      if (map != nullptr) {
+        rect = map->Apply(rect);
+        ++stats_.rect_transforms;
+      }
+      const double d = metric.MinDistSquared(rect);
+      if (node.IsLeaf()) {
+        ++stats_.leaf_entries_tested;
+        heap.push(Item{d, true, e.id});
+      } else {
+        heap.push(Item{d, false, e.id});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RStarTree::NearestNeighbors(const NnMetric& metric, size_t k,
+                                   const spatial::AffineMap* map,
+                                   std::vector<NnResult>* out) const {
+  TSQ_CHECK(out != nullptr);
+  out->clear();
+  if (k == 0) return Status::OK();
+  return NearestNeighborsStream(metric, map,
+                                [out, k](uint64_t id, double dist) {
+                                  out->push_back(NnResult{id, dist});
+                                  return out->size() < k;
+                                });
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------------
+
+Result<CheckReport> RStarTree::CheckInvariants() const {
+  CheckReport report;
+  TSQ_RETURN_IF_ERROR(CheckRecurse(root_, height_ - 1, true, &report));
+  if (report.ok && report.leaf_entries != size_) {
+    report.ok = false;
+    report.message = "size() = " + std::to_string(size_) +
+                     " but tree holds " + std::to_string(report.leaf_entries) +
+                     " leaf entries";
+  }
+  return report;
+}
+
+Status RStarTree::CheckRecurse(PageId node_id, uint32_t expected_level,
+                               bool is_root, CheckReport* report) const {
+  if (!report->ok) return Status::OK();
+  TSQ_ASSIGN_OR_RETURN(Node node, LoadNode(node_id));
+
+  if (node.level != expected_level) {
+    report->ok = false;
+    report->message = "node " + std::to_string(node_id) + " at level " +
+                      std::to_string(node.level) + ", expected " +
+                      std::to_string(expected_level);
+    return Status::OK();
+  }
+  if (node.entries.size() > max_entries_) {
+    report->ok = false;
+    report->message = "node " + std::to_string(node_id) + " overfull";
+    return Status::OK();
+  }
+  if (!is_root && node.entries.size() < min_fill_) {
+    report->ok = false;
+    report->message = "node " + std::to_string(node_id) + " underfull: " +
+                      std::to_string(node.entries.size()) + " < " +
+                      std::to_string(min_fill_);
+    return Status::OK();
+  }
+  if (is_root && !node.IsLeaf() && node.entries.size() < 2) {
+    report->ok = false;
+    report->message = "internal root with fewer than 2 children";
+    return Status::OK();
+  }
+
+  if (node.IsLeaf()) {
+    report->leaf_entries += node.entries.size();
+    return Status::OK();
+  }
+  for (const Entry& e : node.entries) {
+    TSQ_ASSIGN_OR_RETURN(Node child, LoadNode(e.id));
+    if (child.entries.empty()) {
+      report->ok = false;
+      report->message = "empty child node " + std::to_string(e.id);
+      return Status::OK();
+    }
+    if (!(child.BoundingRect() == e.rect)) {
+      report->ok = false;
+      report->message = "stale parent MBR for child " + std::to_string(e.id);
+      return Status::OK();
+    }
+    TSQ_RETURN_IF_ERROR(CheckRecurse(e.id, expected_level - 1, false, report));
+    if (!report->ok) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace rtree
+}  // namespace tsq

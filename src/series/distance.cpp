@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "series/distance.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tsq {
+
+double SquaredEuclideanDistance(const RealVec& x, const RealVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "Euclidean distance requires equal lengths (%zu vs %zu)",
+                x.size(), y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double EuclideanDistance(const RealVec& x, const RealVec& y) {
+  return std::sqrt(SquaredEuclideanDistance(x, y));
+}
+
+double EuclideanDistance(const TimeSeries& x, const TimeSeries& y) {
+  return EuclideanDistance(x.values(), y.values());
+}
+
+double CityBlockDistance(const RealVec& x, const RealVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "city-block distance requires equal lengths (%zu vs %zu)",
+                x.size(), y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += std::abs(x[i] - y[i]);
+  return acc;
+}
+
+double CityBlockDistance(const TimeSeries& x, const TimeSeries& y) {
+  return CityBlockDistance(x.values(), y.values());
+}
+
+std::optional<double> EarlyAbandonEuclidean(const RealVec& x, const RealVec& y,
+                                            double threshold) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "Euclidean distance requires equal lengths (%zu vs %zu)",
+                x.size(), y.size());
+  TSQ_DCHECK(threshold >= 0.0);
+  const double limit = threshold * threshold;
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+    if (acc > limit) return std::nullopt;
+  }
+  return std::sqrt(acc);
+}
+
+std::optional<double> EarlyAbandonEuclidean(const ComplexVec& x,
+                                            const ComplexVec& y,
+                                            double threshold) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "Euclidean distance requires equal lengths (%zu vs %zu)",
+                x.size(), y.size());
+  TSQ_DCHECK(threshold >= 0.0);
+  const double limit = threshold * threshold;
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    acc += std::norm(x[i] - y[i]);
+    if (acc > limit) return std::nullopt;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace tsq

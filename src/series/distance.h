@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Distance kernels between time-domain sequences. The similarity predicate
+// everywhere in the paper is Euclidean distance under a threshold; the
+// city-block distance is mentioned as an alternative (Sec. 1) and provided
+// for completeness. EarlyAbandon* kernels implement the optimized
+// sequential-scan baseline of Sec. 5 ("we stop the distance computation
+// process as soon as the distance exceeds eps").
+
+#ifndef TSQ_SERIES_DISTANCE_H_
+#define TSQ_SERIES_DISTANCE_H_
+
+#include <optional>
+
+#include "dft/complex_vec.h"
+#include "series/time_series.h"
+
+namespace tsq {
+
+/// Euclidean distance between equal-length sequences. Aborts on length
+/// mismatch — comparing different lengths is a caller bug (the paper warps
+/// time first, Ex. 1.2).
+double EuclideanDistance(const RealVec& x, const RealVec& y);
+double EuclideanDistance(const TimeSeries& x, const TimeSeries& y);
+
+/// Squared Euclidean distance (no sqrt); the kernel used in inner loops.
+double SquaredEuclideanDistance(const RealVec& x, const RealVec& y);
+
+/// City-block (L1 / Manhattan) distance.
+double CityBlockDistance(const RealVec& x, const RealVec& y);
+double CityBlockDistance(const TimeSeries& x, const TimeSeries& y);
+
+/// Early-abandoning Euclidean distance: returns the distance if it is
+/// <= threshold, std::nullopt as soon as the running sum proves the
+/// distance exceeds the threshold. Requires threshold >= 0.
+std::optional<double> EarlyAbandonEuclidean(const RealVec& x, const RealVec& y,
+                                            double threshold);
+
+/// Early-abandoning Euclidean distance over complex coefficient vectors —
+/// the frequency-domain scan of Sec. 5, which abandons fast because energy
+/// concentrates in the leading coefficients.
+std::optional<double> EarlyAbandonEuclidean(const ComplexVec& x,
+                                            const ComplexVec& y,
+                                            double threshold);
+
+}  // namespace tsq
+
+#endif  // TSQ_SERIES_DISTANCE_H_

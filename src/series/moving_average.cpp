@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "series/moving_average.h"
+
+#include "common/macros.h"
+
+namespace tsq {
+
+RealVec CircularMovingAverage(const RealVec& x, size_t window) {
+  const size_t n = x.size();
+  TSQ_CHECK_MSG(window >= 1 && window <= n,
+                "moving-average window %zu out of range for length %zu",
+                window, n);
+  // Sliding sum: out[i] = out[i-1] + x[i] - x[i-window], all indices mod n.
+  RealVec out(n);
+  double sum = 0.0;
+  // Seed with the trailing window ending at index 0: x[0], x[n-1], ...
+  for (size_t d = 0; d < window; ++d) sum += x[(n - d) % n];
+  const double inv_w = 1.0 / static_cast<double>(window);
+  out[0] = sum * inv_w;
+  for (size_t i = 1; i < n; ++i) {
+    sum += x[i] - x[(i + n - window) % n];
+    out[i] = sum * inv_w;
+  }
+  return out;
+}
+
+RealVec TruncatingMovingAverage(const RealVec& x, size_t window) {
+  const size_t n = x.size();
+  TSQ_CHECK_MSG(window >= 1 && window <= n,
+                "moving-average window %zu out of range for length %zu",
+                window, n);
+  RealVec out(n - window + 1);
+  double sum = 0.0;
+  for (size_t i = 0; i < window; ++i) sum += x[i];
+  const double inv_w = 1.0 / static_cast<double>(window);
+  out[0] = sum * inv_w;
+  for (size_t i = 1; i + window <= n; ++i) {
+    sum += x[i + window - 1] - x[i - 1];
+    out[i] = sum * inv_w;
+  }
+  return out;
+}
+
+RealVec CircularWeightedMovingAverage(const RealVec& x,
+                                      const RealVec& weights) {
+  const size_t n = x.size();
+  const size_t w = weights.size();
+  TSQ_CHECK_MSG(w >= 1 && w <= n,
+                "weighted window %zu out of range for length %zu", w, n);
+  RealVec out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t d = 0; d < w; ++d) acc += weights[d] * x[(i + n - d) % n];
+    out[i] = acc;
+  }
+  return out;
+}
+
+RealVec SuccessiveCircularMovingAverage(const RealVec& x, size_t window,
+                                        size_t times) {
+  RealVec out = x;
+  for (size_t i = 0; i < times; ++i) out = CircularMovingAverage(out, window);
+  return out;
+}
+
+RealVec ExponentialWeights(double alpha, size_t window) {
+  TSQ_CHECK_MSG(alpha > 0.0 && alpha <= 1.0, "alpha %f out of (0, 1]", alpha);
+  TSQ_CHECK_MSG(window >= 1, "EWMA window must be >= 1");
+  RealVec weights(window);
+  double w = alpha;
+  double sum = 0.0;
+  for (size_t d = 0; d < window; ++d) {
+    weights[d] = w;
+    sum += w;
+    w *= (1.0 - alpha);
+  }
+  for (double& v : weights) v /= sum;  // truncated tail renormalized
+  return weights;
+}
+
+RealVec MovingAverageKernel(size_t n, size_t window) {
+  TSQ_CHECK_MSG(window >= 1 && window <= n,
+                "moving-average window %zu out of range for length %zu",
+                window, n);
+  RealVec kernel(n, 0.0);
+  const double inv_w = 1.0 / static_cast<double>(window);
+  for (size_t i = 0; i < window; ++i) kernel[i] = inv_w;
+  return kernel;
+}
+
+TimeSeries CircularMovingAverage(const TimeSeries& x, size_t window) {
+  return TimeSeries(CircularMovingAverage(x.values(), window), x.name());
+}
+
+TimeSeries TruncatingMovingAverage(const TimeSeries& x, size_t window) {
+  return TimeSeries(TruncatingMovingAverage(x.values(), window), x.name());
+}
+
+}  // namespace tsq

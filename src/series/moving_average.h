@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Moving averages in the time domain (paper Sec. 1, Example 1.1 and
+// Sec. 3.2). Two variants:
+//
+//  * the classic *truncating* l-day moving average of length n - l + 1
+//    ("step the window through the beginning of the sequence"), and
+//  * the paper's *circular* variant of length n ("we circulate the window to
+//    the end of the sequence when it reaches the beginning"), which equals
+//    the circular convolution with the kernel (1/l, ..., 1/l, 0, ..., 0) and
+//    is therefore expressible as a linear transformation on the DFT.
+//
+// Weighted windows (Eq. 11 discussion: "the weights w1..wm are not
+// necessarily equal") are supported by the *Weighted variants.
+
+#ifndef TSQ_SERIES_MOVING_AVERAGE_H_
+#define TSQ_SERIES_MOVING_AVERAGE_H_
+
+#include "dft/complex_vec.h"
+#include "series/time_series.h"
+
+namespace tsq {
+
+/// Circular (wrap-around) l-day trailing moving average, length n.
+/// out[i] = (x[i] + x[i-1] + ... + x[i-l+1]) / l with indices modulo n.
+/// Requires 1 <= window <= n.
+RealVec CircularMovingAverage(const RealVec& x, size_t window);
+
+/// Truncating l-day moving average, length n - l + 1.
+/// out[i] = mean(x[i..i+l)). Requires 1 <= window <= n.
+RealVec TruncatingMovingAverage(const RealVec& x, size_t window);
+
+/// Circular moving average with explicit weights; `weights.size()` is the
+/// window length. out[i] = sum_d weights[d] * x[(i - d) mod n]. The paper's
+/// trend-prediction windows put higher weight on recent days.
+/// Requires 1 <= weights.size() <= n.
+RealVec CircularWeightedMovingAverage(const RealVec& x,
+                                      const RealVec& weights);
+
+/// Applies the circular moving average `times` times in succession
+/// (Example 2.3 takes up to the 10th successive 20-day moving average).
+RealVec SuccessiveCircularMovingAverage(const RealVec& x, size_t window,
+                                        size_t times);
+
+/// Exponentially decaying window weights w_d = alpha * (1 - alpha)^d for
+/// d = 0..window-1, normalized to sum to 1 — the EWMA smoother of
+/// technical stock analysis, trailing-weighted exactly as Sec. 3.2
+/// suggests for trend prediction. Requires 0 < alpha <= 1, window >= 1.
+RealVec ExponentialWeights(double alpha, size_t window);
+
+/// The convolution kernel of the uniform circular moving average:
+/// (1/l, ..., 1/l, 0, ..., 0) of total length n (the paper's ~m3 for
+/// l = 3, n = 15). Requires 1 <= window <= n.
+RealVec MovingAverageKernel(size_t n, size_t window);
+
+/// Convenience overloads preserving the series name.
+TimeSeries CircularMovingAverage(const TimeSeries& x, size_t window);
+TimeSeries TruncatingMovingAverage(const TimeSeries& x, size_t window);
+
+}  // namespace tsq
+
+#endif  // TSQ_SERIES_MOVING_AVERAGE_H_

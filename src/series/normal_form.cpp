@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "series/normal_form.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "series/distance.h"
+
+namespace tsq {
+
+NormalForm ToNormalForm(const RealVec& x) {
+  NormalForm nf;
+  nf.normalized.assign(x.size(), 0.0);
+  if (x.empty()) return nf;
+
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  nf.mean = sum / static_cast<double>(x.size());
+
+  double acc = 0.0;
+  for (double v : x) acc += (v - nf.mean) * (v - nf.mean);
+  nf.std = std::sqrt(acc / static_cast<double>(x.size()));
+
+  // A numerically flat series (std at rounding-noise level relative to the
+  // magnitude of the data) must not be amplified into garbage: treat it as
+  // exactly flat.
+  if (nf.std <= 1e-12 * std::max(1.0, std::abs(nf.mean))) {
+    nf.std = 0.0;
+  }
+
+  if (nf.std > 0.0) {
+    const double inv = 1.0 / nf.std;
+    for (size_t i = 0; i < x.size(); ++i) {
+      nf.normalized[i] = (x[i] - nf.mean) * inv;
+    }
+  }
+  // Flat series: normalized stays all-zero; reconstruction uses mean only.
+  return nf;
+}
+
+NormalForm ToNormalForm(const TimeSeries& x) { return ToNormalForm(x.values()); }
+
+RealVec FromNormalForm(const NormalForm& nf) {
+  RealVec out(nf.normalized.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = nf.normalized[i] * nf.std + nf.mean;
+  }
+  return out;
+}
+
+double NormalFormDistance(const RealVec& x, const RealVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "normal-form distance requires equal lengths (%zu vs %zu)",
+                x.size(), y.size());
+  return EuclideanDistance(ToNormalForm(x).normalized,
+                           ToNormalForm(y).normalized);
+}
+
+}  // namespace tsq

@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The normal form of Goldin & Kanellakis [GK95] (paper Eq. 9):
+//     s'_i = (s_i - mean(s)) / std(s).
+// The paper stores every series in normal form and keeps (mean, std) as the
+// first two index dimensions (Sec. 5), which makes shift/scale similarity a
+// free by-product and zeroes the first DFT coefficient.
+
+#ifndef TSQ_SERIES_NORMAL_FORM_H_
+#define TSQ_SERIES_NORMAL_FORM_H_
+
+#include "common/status.h"
+#include "dft/complex_vec.h"
+#include "series/time_series.h"
+
+namespace tsq {
+
+/// A series decomposed into its normal form plus the two scalars needed to
+/// reconstruct it: original = normalized * std + mean.
+struct NormalForm {
+  RealVec normalized;  ///< zero mean, unit population std (unless flat)
+  double mean = 0.0;   ///< mean of the original series
+  double std = 0.0;    ///< population standard deviation of the original
+};
+
+/// Computes the normal form (Eq. 9). A flat (zero-variance) series cannot be
+/// scaled to unit variance; by convention its normalized samples are all
+/// zero and `std` records 0, so reconstruction is still exact.
+NormalForm ToNormalForm(const RealVec& x);
+NormalForm ToNormalForm(const TimeSeries& x);
+
+/// Reconstructs the original samples from a normal form.
+RealVec FromNormalForm(const NormalForm& nf);
+
+/// Distance between the normal forms of x and y — the [GK95] notion of
+/// shift-and-scale-invariant similarity used throughout the paper's Sec. 2
+/// examples. Requires equal lengths.
+double NormalFormDistance(const RealVec& x, const RealVec& y);
+
+}  // namespace tsq
+
+#endif  // TSQ_SERIES_NORMAL_FORM_H_

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "series/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tsq {
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double TimeSeries::StdDev() const {
+  if (values_.empty()) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double TimeSeries::Energy() const { return cvec::Energy(values_); }
+
+double TimeSeries::Min() const {
+  TSQ_CHECK_MSG(!values_.empty(), "Min() on empty series");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Max() const {
+  TSQ_CHECK_MSG(!values_.empty(), "Max() on empty series");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace tsq

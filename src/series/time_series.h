@@ -1,0 +1,87 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The TimeSeries value type: an identified finite sequence of real samples
+// ("a sequence of real numbers, each number representing a value at a time
+// point", paper Sec. 1), plus its basic statistics.
+
+#ifndef TSQ_SERIES_TIME_SERIES_H_
+#define TSQ_SERIES_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dft/complex_vec.h"
+
+namespace tsq {
+
+/// Row identifier of a series inside a Relation / Database.
+using SeriesId = uint64_t;
+
+/// Sentinel for "no id assigned yet".
+inline constexpr SeriesId kInvalidSeriesId = UINT64_MAX;
+
+/// A named, immutable-by-convention sequence of real samples.
+///
+/// TimeSeries is a plain value type: cheap to move, explicit to copy via the
+/// copy constructor. Statistics (mean, population standard deviation) are
+/// computed on demand; they are the two extra dimensions the paper stores in
+/// the index alongside the DFT features (Sec. 5).
+class TimeSeries {
+ public:
+  /// Constructs an empty unnamed series.
+  TimeSeries() = default;
+
+  /// Constructs a series from samples, with an optional display name (e.g.
+  /// a ticker symbol).
+  explicit TimeSeries(RealVec values, std::string name = "")
+      : values_(std::move(values)), name_(std::move(name)) {}
+
+  /// Number of samples.
+  size_t length() const { return values_.size(); }
+
+  /// True iff the series has no samples.
+  bool empty() const { return values_.empty(); }
+
+  /// Sample access (bounds-checked in debug builds).
+  double operator[](size_t i) const {
+    TSQ_DCHECK(i < values_.size());
+    return values_[i];
+  }
+
+  /// The underlying sample vector.
+  const RealVec& values() const { return values_; }
+
+  /// Display name; empty when unnamed.
+  const std::string& name() const { return name_; }
+
+  /// Replaces the display name.
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Arithmetic mean of the samples; 0.0 for an empty series.
+  double Mean() const;
+
+  /// Population standard deviation (divide by n, matching the paper's
+  /// normal-form definition); 0.0 for an empty series.
+  double StdDev() const;
+
+  /// Signal energy, sum of squared samples (paper Eq. 3).
+  double Energy() const;
+
+  /// Minimum / maximum sample. Require a non-empty series.
+  double Min() const;
+  double Max() const;
+
+  bool operator==(const TimeSeries& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  RealVec values_;
+  std::string name_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_SERIES_TIME_SERIES_H_

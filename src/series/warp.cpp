@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "series/warp.h"
+
+#include "common/macros.h"
+
+namespace tsq {
+
+RealVec StretchTime(const RealVec& x, size_t m) {
+  TSQ_CHECK_MSG(m >= 1, "stretch factor must be >= 1");
+  RealVec out;
+  out.reserve(x.size() * m);
+  for (double v : x) {
+    for (size_t r = 0; r < m; ++r) out.push_back(v);
+  }
+  return out;
+}
+
+RealVec CompressTime(const RealVec& x, size_t m) {
+  TSQ_CHECK_MSG(m >= 1, "compress factor must be >= 1");
+  TSQ_CHECK_MSG(x.size() % m == 0, "length %zu not divisible by %zu", x.size(),
+                m);
+  RealVec out;
+  out.reserve(x.size() / m);
+  for (size_t i = 0; i < x.size(); i += m) out.push_back(x[i]);
+  return out;
+}
+
+TimeSeries StretchTime(const TimeSeries& x, size_t m) {
+  return TimeSeries(StretchTime(x.values(), m), x.name());
+}
+
+}  // namespace tsq

@@ -1,0 +1,30 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Time warping in the time domain (paper Example 1.2 and Appendix A): the
+// time dimension of a series is stretched by an integer factor m, replacing
+// every sample v by m copies of itself. The frequency-domain counterpart
+// (constructing the warped spectrum directly from the original one with a
+// linear transformation) lives in transform/builtin.h.
+
+#ifndef TSQ_SERIES_WARP_H_
+#define TSQ_SERIES_WARP_H_
+
+#include "dft/complex_vec.h"
+#include "series/time_series.h"
+
+namespace tsq {
+
+/// Stretches the time axis by factor m >= 1: output length is m * n, with
+/// out[m*i .. m*(i+1)) = x[i] (Appendix A, Eq. 16).
+RealVec StretchTime(const RealVec& x, size_t m);
+
+/// Inverse of StretchTime for exactly-warped inputs: keeps every m-th
+/// sample. Requires x.size() % m == 0.
+RealVec CompressTime(const RealVec& x, size_t m);
+
+/// Convenience overload preserving the series name.
+TimeSeries StretchTime(const TimeSeries& x, size_t m);
+
+}  // namespace tsq
+
+#endif  // TSQ_SERIES_WARP_H_

@@ -1,0 +1,81 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "spatial/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace tsq {
+namespace spatial {
+
+double MinDistSquared(const Point& p, const Rect& r) {
+  TSQ_DCHECK(p.size() == r.dims());
+  double acc = 0.0;
+  for (size_t d = 0; d < p.size(); ++d) {
+    double gap = 0.0;
+    if (p[d] < r.lo(d)) {
+      gap = r.lo(d) - p[d];
+    } else if (p[d] > r.hi(d)) {
+      gap = p[d] - r.hi(d);
+    }
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+double MinMaxDistSquared(const Point& p, const Rect& r) {
+  TSQ_DCHECK(p.size() == r.dims());
+  const size_t dims = p.size();
+
+  // rm_k: the nearer hyperplane in dim k; rM_k: the farther corner in dim k.
+  // MINMAXDIST^2 = min over k of (p_k - rm_k)^2 + sum_{i != k} (p_i - rM_i)^2.
+  double total_far = 0.0;
+  std::vector<double> far_sq(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    const double mid = 0.5 * (r.lo(d) + r.hi(d));
+    const double far = (p[d] >= mid) ? r.lo(d) : r.hi(d);
+    far_sq[d] = (p[d] - far) * (p[d] - far);
+    total_far += far_sq[d];
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < dims; ++k) {
+    const double mid = 0.5 * (r.lo(k) + r.hi(k));
+    const double near = (p[k] <= mid) ? r.lo(k) : r.hi(k);
+    const double near_sq = (p[k] - near) * (p[k] - near);
+    best = std::min(best, total_far - far_sq[k] + near_sq);
+  }
+  return best;
+}
+
+double PointSegmentDistSquared(double px, double py, double ax, double ay,
+                               double bx, double by) {
+  const double abx = bx - ax;
+  const double aby = by - ay;
+  const double apx = px - ax;
+  const double apy = py - ay;
+  const double ab_len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (ab_len_sq > 0.0) {
+    t = std::clamp((apx * abx + apy * aby) / ab_len_sq, 0.0, 1.0);
+  }
+  const double cx = ax + t * abx;
+  const double cy = ay + t * aby;
+  return (px - cx) * (px - cx) + (py - cy) * (py - cy);
+}
+
+double PointDistSquared(const Point& a, const Point& b) {
+  TSQ_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace spatial
+}  // namespace tsq

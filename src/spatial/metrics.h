@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Distance metrics between points and rectangles used for nearest-neighbor
+// pruning: MINDIST and MINMAXDIST of Roussopoulos, Kelley & Vincent
+// ([RKV95], cited by the paper for NN query processing). Plus the 2-D
+// point/segment helper needed by the polar feature-space metric in
+// src/core.
+
+#ifndef TSQ_SPATIAL_METRICS_H_
+#define TSQ_SPATIAL_METRICS_H_
+
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace tsq {
+namespace spatial {
+
+/// MINDIST^2(p, R): squared Euclidean distance from p to the nearest point
+/// of R; 0 when p is inside R. Lower-bounds the distance from p to every
+/// object enclosed by R — the admissible pruning bound for NN search.
+double MinDistSquared(const Point& p, const Rect& r);
+
+/// MINMAXDIST^2(p, R): the minimum over faces of the maximum distance to
+/// the "nearest face's farthest corner" ([RKV95] Eq. MM). Upper-bounds the
+/// distance from p to the nearest *object* inside R, assuming R is a
+/// minimum bounding rectangle (every face touches an object).
+double MinMaxDistSquared(const Point& p, const Rect& r);
+
+/// Squared distance from 2-D point (px, py) to segment (ax, ay)-(bx, by).
+double PointSegmentDistSquared(double px, double py, double ax, double ay,
+                               double bx, double by);
+
+/// Squared Euclidean distance between points of equal dimension.
+double PointDistSquared(const Point& a, const Point& b);
+
+}  // namespace spatial
+}  // namespace tsq
+
+#endif  // TSQ_SPATIAL_METRICS_H_

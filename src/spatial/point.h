@@ -1,0 +1,23 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Spatial primitives. tsq views every object as a point in a low-dimensional
+// feature space (paper Sec. 3); the spatial layer is deliberately ignorant
+// of what the dimensions mean — feature semantics (complex coefficients,
+// polar coordinates) live in src/core.
+
+#ifndef TSQ_SPATIAL_POINT_H_
+#define TSQ_SPATIAL_POINT_H_
+
+#include <vector>
+
+namespace tsq {
+namespace spatial {
+
+/// A point in R^d. Dimensionality is dynamic (the paper's index is 6-D by
+/// default but k is a tuning knob).
+using Point = std::vector<double>;
+
+}  // namespace spatial
+}  // namespace tsq
+
+#endif  // TSQ_SPATIAL_POINT_H_

@@ -1,0 +1,170 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "storage/buffer_pool.h"
+
+namespace tsq {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+Page* PageHandle::page() {
+  TSQ_CHECK_MSG(valid(), "access through an invalid PageHandle");
+  return &pool_->frames_[frame_].page;
+}
+
+const Page* PageHandle::page() const {
+  TSQ_CHECK_MSG(valid(), "access through an invalid PageHandle");
+  return &pool_->frames_[frame_].page;
+}
+
+void PageHandle::MarkDirty() {
+  TSQ_CHECK_MSG(valid(), "MarkDirty on an invalid PageHandle");
+  pool_->MarkDirty(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {
+  TSQ_CHECK(file != nullptr);
+  TSQ_CHECK_MSG(capacity >= 1, "buffer pool needs at least one frame");
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort write-back; errors at teardown have no one to report to.
+  FlushAll().ok();
+}
+
+void BufferPool::TouchLru(size_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  TSQ_CHECK_MSG(f.pins > 0, "unpin of an unpinned frame");
+  if (--f.pins == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), frame_idx);
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(size_t frame_idx) { frames_[frame_idx].dirty = true; }
+
+Result<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all frames pinned");
+  }
+  const size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  if (f.dirty) {
+    TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
+    ++stats_.disk_writes;
+    f.dirty = false;
+  }
+  page_to_frame_.erase(f.id);
+  ++stats_.evictions;
+  return idx;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    const size_t idx = it->second;
+    Frame& f = frames_[idx];
+    TouchLru(idx);
+    ++f.pins;
+    return PageHandle(this, id, idx);
+  }
+  ++stats_.misses;
+  TSQ_ASSIGN_OR_RETURN(const size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  if (Status rs = file_->Read(id, &f.page); !rs.ok()) {
+    free_frames_.push_back(idx);  // return the frame; nothing was cached
+    return rs;
+  }
+  ++stats_.disk_reads;
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  page_to_frame_[id] = idx;
+  return PageHandle(this, id, idx);
+}
+
+Result<PageHandle> BufferPool::New() {
+  TSQ_ASSIGN_OR_RETURN(const PageId id, file_->Allocate());
+  TSQ_ASSIGN_OR_RETURN(const size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  if (f.page.size() != file_->page_size()) {
+    f.page = Page(file_->page_size());
+  } else {
+    f.page.Clear();
+  }
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;
+  page_to_frame_[id] = idx;
+  return PageHandle(this, id, idx);
+}
+
+Status BufferPool::Delete(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pins > 0) {
+      return Status::FailedPrecondition("Delete of a pinned page " +
+                                        std::to_string(id));
+    }
+    TouchLru(it->second);
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    page_to_frame_.erase(it);
+  }
+  return file_->Free(id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
+      ++stats_.disk_writes;
+      f.dirty = false;
+    }
+  }
+  return file_->Sync();
+}
+
+void BufferPool::ResetStats() {
+  stats_ = BufferPoolStats();
+  file_->ResetStats();
+}
+
+}  // namespace tsq

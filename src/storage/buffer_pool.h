@@ -1,0 +1,134 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// LRU buffer pool over a PageFile. The R-tree performs all page access
+// through the pool; its hit/miss/eviction counters are how tsq measures the
+// "number of disk accesses" the paper reports for index traversals.
+
+#ifndef TSQ_STORAGE_BUFFER_POOL_H_
+#define TSQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace tsq {
+
+/// Cache counters. disk_reads/disk_writes mirror the underlying PageFile
+/// activity caused by this pool.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageHandle is alive the frame cannot
+/// be evicted. Move-only; unpins at destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle() { Release(); }
+
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+
+  TSQ_DISALLOW_COPY(PageHandle);
+
+  /// True iff this handle pins a page.
+  bool valid() const { return pool_ != nullptr; }
+
+  /// The pinned page id.
+  PageId id() const { return id_; }
+
+  /// Byte access to the cached frame.
+  Page* page();
+  const Page* page() const;
+
+  /// Marks the frame dirty; it will be written back on eviction/flush.
+  void MarkDirty();
+
+  /// Explicitly unpins (also called by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, size_t frame)
+      : pool_(pool), id_(id), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  size_t frame_ = 0;
+};
+
+/// Fixed-capacity LRU page cache. Not thread-safe.
+class BufferPool {
+ public:
+  /// Creates a pool of `capacity` frames over `file` (non-owning: the file
+  /// must outlive the pool).
+  BufferPool(PageFile* file, size_t capacity);
+  ~BufferPool();
+
+  TSQ_DISALLOW_COPY_AND_MOVE(BufferPool);
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page and pins it (zeroed, marked dirty).
+  Result<PageHandle> New();
+
+  /// Removes page `id` from the cache (writing back if dirty) and frees it
+  /// in the file. The page must not be pinned.
+  Status Delete(PageId id);
+
+  /// Writes back every dirty frame (keeps them cached).
+  Status FlushAll();
+
+  /// Number of frames the pool may hold.
+  size_t capacity() const { return capacity_; }
+
+  /// Counters; Reset clears both pool and file counters.
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats();
+
+  /// The underlying file.
+  PageFile* file() { return file_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    int pins = 0;
+    bool dirty = false;
+    // Position in lru_ when unpinned; lru_.end() while pinned.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_idx);
+  void MarkDirty(size_t frame_idx);
+  void TouchLru(size_t frame_idx);
+  Result<size_t> AcquireFrame();  // free frame, evicting if needed
+
+  PageFile* file_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  std::list<size_t> lru_;  // front = least recently used, unpinned only
+  BufferPoolStats stats_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "storage/page_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsq {
+
+namespace {
+
+// Header layout (all little-endian u64 at fixed offsets):
+//   [0..8)   magic "TSQPGF01"
+//   [8..16)  page size
+//   [16..24) number of data pages
+//   [24..32) free-list head page id
+constexpr uint64_t kMagic = 0x3130464750515354ull;  // "TSQPGF01" LE
+constexpr size_t kHeaderBytes = 32;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+PageFile::PageFile(std::FILE* file, std::string path, size_t page_size)
+    : file_(file), path_(std::move(path)), page_size_(page_size) {}
+
+PageFile::~PageFile() {
+  if (file_ != nullptr) {
+    // Best effort: persist the header so page counts survive.
+    WriteHeader().ok();
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
+                                                   size_t page_size) {
+  if (page_size < kHeaderBytes || page_size % 512 != 0) {
+    return Status::InvalidArgument("page size must be a multiple of 512, got " +
+                                   std::to_string(page_size));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot create page file", path));
+  }
+  auto pf = std::unique_ptr<PageFile>(new PageFile(f, path, page_size));
+  TSQ_RETURN_IF_ERROR(pf->WriteHeader());
+  return pf;
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open page file", path));
+  }
+  uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, f) != kHeaderBytes) {
+    std::fclose(f);
+    return Status::Corruption("page file header truncated: " + path);
+  }
+  auto get_u64 = [&header](size_t off) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(header[off + i]) << (8 * i);
+    }
+    return v;
+  };
+  if (get_u64(0) != kMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad page file magic: " + path);
+  }
+  const uint64_t page_size = get_u64(8);
+  if (page_size < kHeaderBytes || page_size % 512 != 0) {
+    std::fclose(f);
+    return Status::Corruption("bad page size in header: " +
+                              std::to_string(page_size));
+  }
+  auto pf = std::unique_ptr<PageFile>(
+      new PageFile(f, path, static_cast<size_t>(page_size)));
+  pf->num_pages_ = get_u64(16);
+  pf->free_list_head_ = get_u64(24);
+  return pf;
+}
+
+Status PageFile::WriteHeader() {
+  uint8_t header[kHeaderBytes];
+  std::memset(header, 0, sizeof(header));
+  auto put_u64 = [&header](size_t off, uint64_t v) {
+    for (size_t i = 0; i < 8; ++i) {
+      header[off + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  };
+  put_u64(0, kMagic);
+  put_u64(8, page_size_);
+  put_u64(16, num_pages_);
+  put_u64(24, free_list_head_);
+  return WriteRaw(0, header, kHeaderBytes);
+}
+
+Status PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed in", path_));
+  }
+  if (std::fread(buf, 1, n, file_) != n) {
+    return Status::IOError("short read at offset " + std::to_string(offset) +
+                           " in " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed in", path_));
+  }
+  if (std::fwrite(buf, 1, n, file_) != n) {
+    return Status::IOError("short write at offset " + std::to_string(offset) +
+                           " in " + path_);
+  }
+  return Status::OK();
+}
+
+Result<PageId> PageFile::Allocate() {
+  if (free_list_head_ != kInvalidPageId) {
+    const PageId id = free_list_head_;
+    Page page(page_size_);
+    TSQ_RETURN_IF_ERROR(Read(id, &page));
+    free_list_head_ = page.ReadU64(0);
+    return id;
+  }
+  const PageId id = num_pages_ + 1;  // ids start after the header page
+  ++num_pages_;
+  // Extend the file eagerly so Read on a fresh page is well-defined.
+  Page zero(page_size_);
+  TSQ_RETURN_IF_ERROR(Write(id, zero));
+  return id;
+}
+
+Status PageFile::Free(PageId id) {
+  if (id == kInvalidPageId || id > num_pages_) {
+    return Status::InvalidArgument("Free: bad page id " + std::to_string(id));
+  }
+  Page page(page_size_);
+  page.WriteU64(0, free_list_head_);
+  TSQ_RETURN_IF_ERROR(Write(id, page));
+  free_list_head_ = id;
+  return Status::OK();
+}
+
+Status PageFile::Read(PageId id, Page* out) {
+  TSQ_CHECK(out != nullptr);
+  if (id == kInvalidPageId || id > num_pages_) {
+    return Status::InvalidArgument("Read: bad page id " + std::to_string(id));
+  }
+  if (out->size() != page_size_) *out = Page(page_size_);
+  ++stats_.page_reads;
+  return ReadRaw(id * page_size_, out->data(), page_size_);
+}
+
+Status PageFile::Write(PageId id, const Page& page) {
+  if (id == kInvalidPageId || id > num_pages_) {
+    return Status::InvalidArgument("Write: bad page id " + std::to_string(id));
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("Write: page size mismatch");
+  }
+  ++stats_.page_writes;
+  return WriteRaw(id * page_size_, page.data(), page_size_);
+}
+
+Status PageFile::Sync() {
+  TSQ_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("fflush failed for", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsq

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// File-backed page store. Layout:
+//
+//   page 0           header: magic, format version, page size, page count,
+//                    free-list head
+//   pages 1..N       data pages; a freed page stores the id of the next
+//                    free page in its first 8 bytes (intrusive free list)
+//
+// PageFile performs raw page I/O and byte accounting; caching and pinning
+// live in BufferPool.
+
+#ifndef TSQ_STORAGE_PAGE_FILE_H_
+#define TSQ_STORAGE_PAGE_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tsq {
+
+/// I/O counters for a PageFile.
+struct PageFileStats {
+  uint64_t page_reads = 0;   ///< pages fetched from the file
+  uint64_t page_writes = 0;  ///< pages written to the file
+};
+
+/// A file of fixed-size pages with allocate/free/read/write operations.
+/// Not thread-safe; callers serialize access (tsq queries are
+/// single-threaded, as in the paper's experiments).
+class PageFile {
+ public:
+  TSQ_DISALLOW_COPY_AND_MOVE(PageFile);
+  ~PageFile();
+
+  /// Creates a new page file at `path` (truncating any existing file).
+  static Result<std::unique_ptr<PageFile>> Create(
+      const std::string& path, size_t page_size = kDefaultPageSize);
+
+  /// Opens an existing page file and validates its header.
+  static Result<std::unique_ptr<PageFile>> Open(const std::string& path);
+
+  /// Allocates a page (recycling the free list when possible) and returns
+  /// its id. The page content on disk is unspecified until written.
+  Result<PageId> Allocate();
+
+  /// Returns a page to the free list. Requires a valid, allocated id.
+  Status Free(PageId id);
+
+  /// Reads page `id` into `out` (resized to the page size).
+  Status Read(PageId id, Page* out);
+
+  /// Writes `page` (must match the page size) to page `id`.
+  Status Write(PageId id, const Page& page);
+
+  /// Persists the header and flushes stdio buffers to the OS.
+  Status Sync();
+
+  /// Page size in bytes.
+  size_t page_size() const { return page_size_; }
+
+  /// Total pages ever allocated (including freed ones), excluding header.
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// I/O counters.
+  const PageFileStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PageFileStats(); }
+
+ private:
+  PageFile(std::FILE* file, std::string path, size_t page_size);
+
+  Status WriteHeader();
+  Status ReadRaw(uint64_t offset, void* buf, size_t n);
+  Status WriteRaw(uint64_t offset, const void* buf, size_t n);
+
+  std::FILE* file_;
+  std::string path_;
+  size_t page_size_;
+  uint64_t num_pages_ = 0;        // data pages allocated so far
+  PageId free_list_head_ = kInvalidPageId;
+  PageFileStats stats_;
+};
+
+}  // namespace tsq
+
+#endif  // TSQ_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,176 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "storage/relation.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsq {
+
+namespace {
+
+// Record wire format:
+//   u32 magic | u32 payload_crc | u64 payload_len | payload
+// payload:
+//   u64 id | string name | realvec values | complexvec dft
+constexpr uint32_t kRecordMagic = 0x54535152;  // "RQST"
+constexpr size_t kRecordHeaderBytes = 4 + 4 + 8;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Relation::Relation(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)) {}
+
+Relation::~Relation() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Relation>> Relation::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot create relation", path));
+  }
+  return std::unique_ptr<Relation>(new Relation(f, path));
+}
+
+Result<std::unique_ptr<Relation>> Relation::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError(ErrnoMessage("cannot open relation", path));
+  }
+  auto rel = std::unique_ptr<Relation>(new Relation(f, path));
+  // Rebuild the directory: walk record headers until EOF.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed in", path));
+  }
+  const uint64_t file_size = static_cast<uint64_t>(std::ftell(f));
+  uint64_t offset = 0;
+  while (offset < file_size) {
+    SeriesRecord rec;
+    uint64_t next = 0;
+    TSQ_RETURN_IF_ERROR(rel->ReadRecordAt(offset, &rec, &next));
+    if (rec.id != rel->offsets_.size()) {
+      return Status::Corruption("non-dense record id " +
+                                std::to_string(rec.id) + " at offset " +
+                                std::to_string(offset));
+    }
+    rel->offsets_.push_back(offset);
+    offset = next;
+  }
+  rel->end_offset_ = offset;
+  rel->ResetStats();  // directory rebuild I/O is not query work
+  return rel;
+}
+
+Result<SeriesId> Relation::Append(const std::string& name,
+                                  const RealVec& values,
+                                  const ComplexVec& dft) {
+  const SeriesId id = offsets_.size();
+
+  serde::Buffer payload;
+  serde::PutU64(&payload, id);
+  serde::PutString(&payload, name);
+  serde::PutRealVec(&payload, values);
+  serde::PutComplexVec(&payload, dft);
+
+  serde::Buffer record;
+  serde::PutU32(&record, kRecordMagic);
+  serde::PutU32(&record, serde::Crc32(payload));
+  serde::PutU64(&record, payload.size());
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  if (std::fseek(file_, static_cast<long>(end_offset_), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed in", path_));
+  }
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError(ErrnoMessage("append failed in", path_));
+  }
+  stats_.bytes_written += record.size();
+  offsets_.push_back(end_offset_);
+  end_offset_ += record.size();
+  return id;
+}
+
+Status Relation::ReadRecordAt(uint64_t offset, SeriesRecord* out,
+                              uint64_t* next_offset) {
+  uint8_t header[kRecordHeaderBytes];
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError(ErrnoMessage("seek failed in", path_));
+  }
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return Status::Corruption("record header truncated at offset " +
+                              std::to_string(offset));
+  }
+  serde::Reader header_reader(header, sizeof(header));
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  uint64_t payload_len = 0;
+  TSQ_RETURN_IF_ERROR(header_reader.GetU32(&magic));
+  TSQ_RETURN_IF_ERROR(header_reader.GetU32(&crc));
+  TSQ_RETURN_IF_ERROR(header_reader.GetU64(&payload_len));
+  if (magic != kRecordMagic) {
+    return Status::Corruption("bad record magic at offset " +
+                              std::to_string(offset));
+  }
+  if (payload_len > (1ull << 32)) {
+    return Status::Corruption("implausible record length " +
+                              std::to_string(payload_len));
+  }
+
+  serde::Buffer payload(payload_len);
+  if (payload_len > 0 &&
+      std::fread(payload.data(), 1, payload_len, file_) != payload_len) {
+    return Status::Corruption("record payload truncated at offset " +
+                              std::to_string(offset));
+  }
+  if (serde::Crc32(payload) != crc) {
+    return Status::Corruption("record checksum mismatch at offset " +
+                              std::to_string(offset));
+  }
+
+  serde::Reader reader(payload);
+  uint64_t id = 0;
+  TSQ_RETURN_IF_ERROR(reader.GetU64(&id));
+  out->id = id;
+  TSQ_RETURN_IF_ERROR(reader.GetString(&out->name));
+  TSQ_RETURN_IF_ERROR(reader.GetRealVec(&out->values));
+  TSQ_RETURN_IF_ERROR(reader.GetComplexVec(&out->dft));
+
+  stats_.records_read += 1;
+  stats_.bytes_read += kRecordHeaderBytes + payload_len;
+  if (next_offset != nullptr) {
+    *next_offset = offset + kRecordHeaderBytes + payload_len;
+  }
+  return Status::OK();
+}
+
+Result<SeriesRecord> Relation::Get(SeriesId id) {
+  if (id >= offsets_.size()) {
+    return Status::NotFound("no record with id " + std::to_string(id));
+  }
+  SeriesRecord rec;
+  TSQ_RETURN_IF_ERROR(ReadRecordAt(offsets_[id], &rec, nullptr));
+  return rec;
+}
+
+Status Relation::Scan(const std::function<bool(const SeriesRecord&)>& fn) {
+  for (uint64_t id = 0; id < offsets_.size(); ++id) {
+    SeriesRecord rec;
+    TSQ_RETURN_IF_ERROR(ReadRecordAt(offsets_[id], &rec, nullptr));
+    if (!fn(rec)) break;
+  }
+  return Status::OK();
+}
+
+Status Relation::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("fflush failed for", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsq

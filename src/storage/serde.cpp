@@ -1,0 +1,156 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "storage/serde.h"
+
+#include <bit>
+#include <cstring>
+
+namespace tsq {
+namespace serde {
+
+namespace {
+
+// Fixed-width little-endian primitives. On big-endian hosts the bytes are
+// swapped explicitly, so files written on any platform read on any other.
+template <typename T>
+void PutFixed(Buffer* buf, T v) {
+  static_assert(std::is_unsigned_v<T>);
+  uint8_t bytes[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  buf->insert(buf->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T GetFixed(const uint8_t* p) {
+  static_assert(std::is_unsigned_v<T>);
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void PutU32(Buffer* buf, uint32_t v) { PutFixed(buf, v); }
+void PutU64(Buffer* buf, uint64_t v) { PutFixed(buf, v); }
+
+void PutDouble(Buffer* buf, double v) {
+  PutFixed(buf, std::bit_cast<uint64_t>(v));
+}
+
+void PutString(Buffer* buf, const std::string& s) {
+  PutU32(buf, static_cast<uint32_t>(s.size()));
+  buf->insert(buf->end(), s.begin(), s.end());
+}
+
+void PutRealVec(Buffer* buf, const RealVec& v) {
+  PutU64(buf, v.size());
+  for (double d : v) PutDouble(buf, d);
+}
+
+void PutComplexVec(Buffer* buf, const ComplexVec& v) {
+  PutU64(buf, v.size());
+  for (const Complex& c : v) {
+    PutDouble(buf, c.real());
+    PutDouble(buf, c.imag());
+  }
+}
+
+Status Reader::Need(size_t n) {
+  if (size_ - pos_ < n) {
+    return Status::Corruption("record truncated: need " + std::to_string(n) +
+                              " bytes, have " + std::to_string(size_ - pos_));
+  }
+  return Status::OK();
+}
+
+Status Reader::GetU32(uint32_t* out) {
+  TSQ_RETURN_IF_ERROR(Need(4));
+  *out = GetFixed<uint32_t>(data_ + pos_);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status Reader::GetU64(uint64_t* out) {
+  TSQ_RETURN_IF_ERROR(Need(8));
+  *out = GetFixed<uint64_t>(data_ + pos_);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status Reader::GetDouble(double* out) {
+  uint64_t bits = 0;
+  TSQ_RETURN_IF_ERROR(GetU64(&bits));
+  *out = std::bit_cast<double>(bits);
+  return Status::OK();
+}
+
+Status Reader::GetString(std::string* out) {
+  uint32_t len = 0;
+  TSQ_RETURN_IF_ERROR(GetU32(&len));
+  TSQ_RETURN_IF_ERROR(Need(len));
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::GetRealVec(RealVec* out) {
+  uint64_t n = 0;
+  TSQ_RETURN_IF_ERROR(GetU64(&n));
+  TSQ_RETURN_IF_ERROR(Need(n * 8));
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TSQ_RETURN_IF_ERROR(GetDouble(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status Reader::GetComplexVec(ComplexVec* out) {
+  uint64_t n = 0;
+  TSQ_RETURN_IF_ERROR(GetU64(&n));
+  TSQ_RETURN_IF_ERROR(Need(n * 16));
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    double re = 0.0;
+    double im = 0.0;
+    TSQ_RETURN_IF_ERROR(GetDouble(&re));
+    TSQ_RETURN_IF_ERROR(GetDouble(&im));
+    (*out)[i] = Complex(re, im);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Lazily built table for the reflected CRC-32 polynomial 0xEDB88320.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const Crc32Table table;
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const Buffer& buf) { return Crc32(buf.data(), buf.size()); }
+
+}  // namespace serde
+}  // namespace tsq

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Binary record encoding for the storage layer: explicit little-endian
+// fixed-width codecs (stable across platforms) plus CRC32C-style integrity
+// checking. Decoders never trust on-disk bytes — every read is
+// bounds-checked and returns Status::Corruption on malformed input.
+
+#ifndef TSQ_STORAGE_SERDE_H_
+#define TSQ_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dft/complex_vec.h"
+
+namespace tsq {
+namespace serde {
+
+/// Byte buffer used for encoding.
+using Buffer = std::vector<uint8_t>;
+
+/// Appends fixed-width little-endian values.
+void PutU32(Buffer* buf, uint32_t v);
+void PutU64(Buffer* buf, uint64_t v);
+void PutDouble(Buffer* buf, double v);
+
+/// Appends a length-prefixed (u32) byte string.
+void PutString(Buffer* buf, const std::string& s);
+
+/// Appends a length-prefixed (u64) vector of doubles.
+void PutRealVec(Buffer* buf, const RealVec& v);
+
+/// Appends a length-prefixed (u64) vector of complex doubles (re, im pairs).
+void PutComplexVec(Buffer* buf, const ComplexVec& v);
+
+/// Sequential decoder over a byte span. All Get* methods return
+/// Status::Corruption when the remaining bytes are insufficient.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Buffer& buf) : Reader(buf.data(), buf.size()) {}
+
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetDouble(double* out);
+  Status GetString(std::string* out);
+  Status GetRealVec(RealVec* out);
+  Status GetComplexVec(ComplexVec* out);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (polynomial 0xEDB88320, the zlib polynomial) over a byte span.
+/// Used as the record integrity check in the heap file.
+uint32_t Crc32(const uint8_t* data, size_t size);
+uint32_t Crc32(const Buffer& buf);
+
+}  // namespace serde
+}  // namespace tsq
+
+#endif  // TSQ_STORAGE_SERDE_H_

@@ -1,0 +1,110 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "transform/builtin.h"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/macros.h"
+#include "dft/dft.h"
+#include "series/moving_average.h"
+
+namespace tsq {
+namespace transforms {
+
+LinearTransform Identity(size_t n) { return LinearTransform::Identity(n); }
+
+LinearTransform MovingAverage(size_t n, size_t window, double cost) {
+  TSQ_CHECK_MSG(window >= 1 && window <= n,
+                "moving-average window %zu out of range for n=%zu", window, n);
+  ComplexVec a = dft::TransferFunction(MovingAverageKernel(n, window));
+  return LinearTransform(std::move(a), ComplexVec(n, Complex(0.0, 0.0)), cost,
+                         "mavg" + std::to_string(window));
+}
+
+LinearTransform WeightedMovingAverage(size_t n, const RealVec& weights,
+                                      double cost) {
+  TSQ_CHECK_MSG(!weights.empty() && weights.size() <= n,
+                "weighted window size %zu out of range for n=%zu",
+                weights.size(), n);
+  RealVec kernel(n, 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) kernel[i] = weights[i];
+  ComplexVec a = dft::TransferFunction(kernel);
+  return LinearTransform(std::move(a), ComplexVec(n, Complex(0.0, 0.0)), cost,
+                         "wmavg" + std::to_string(weights.size()));
+}
+
+LinearTransform ExponentialMovingAverage(size_t n, double alpha,
+                                         size_t window, double cost) {
+  LinearTransform t =
+      WeightedMovingAverage(n, ExponentialWeights(alpha, window), cost);
+  return LinearTransform(t.a(), t.b(), t.cost(),
+                         "ewma" + std::to_string(window));
+}
+
+LinearTransform SuccessiveMovingAverage(size_t n, size_t window, size_t times,
+                                        double cost_each) {
+  LinearTransform out = Identity(n);
+  const LinearTransform once = MovingAverage(n, window, cost_each);
+  for (size_t i = 0; i < times; ++i) out = once.Compose(out);
+  return LinearTransform(out.a(), out.b(), out.cost(),
+                         "mavg" + std::to_string(window) + "^" +
+                             std::to_string(times));
+}
+
+LinearTransform Difference(size_t n, double cost) {
+  TSQ_CHECK(n >= 2);
+  RealVec kernel(n, 0.0);
+  kernel[0] = 1.0;
+  kernel[1] = -1.0;
+  ComplexVec a = dft::TransferFunction(kernel);
+  return LinearTransform(std::move(a), ComplexVec(n, Complex(0.0, 0.0)), cost,
+                         "diff");
+}
+
+LinearTransform Reverse(size_t n, double cost) {
+  return LinearTransform(ComplexVec(n, Complex(-1.0, 0.0)),
+                         ComplexVec(n, Complex(0.0, 0.0)), cost, "reverse");
+}
+
+LinearTransform Shift(size_t n, double delta, double cost) {
+  TSQ_CHECK(n >= 1);
+  ComplexVec b(n, Complex(0.0, 0.0));
+  // DFT of the constant sequence (delta,...,delta) under the unitary
+  // convention: delta*sqrt(n) at frequency 0, zero elsewhere.
+  b[0] = Complex(delta * std::sqrt(static_cast<double>(n)), 0.0);
+  return LinearTransform(ComplexVec(n, Complex(1.0, 0.0)), std::move(b), cost,
+                         "shift");
+}
+
+LinearTransform Scale(size_t n, double factor, double cost) {
+  return LinearTransform(ComplexVec(n, Complex(factor, 0.0)),
+                         ComplexVec(n, Complex(0.0, 0.0)), cost, "scale");
+}
+
+LinearTransform TimeWarp(size_t n, size_t m, size_t k,
+                         WarpConvention convention, double cost) {
+  TSQ_CHECK_MSG(m >= 1, "warp factor must be >= 1");
+  TSQ_CHECK_MSG(k <= n, "warp prefix k=%zu > n=%zu", k, n);
+  constexpr double kPi = std::numbers::pi;
+  ComplexVec a(n, Complex(0.0, 0.0));
+  const double mn = static_cast<double>(m) * static_cast<double>(n);
+  for (size_t f = 0; f < k; ++f) {
+    Complex acc(0.0, 0.0);
+    for (size_t t = 0; t < m; ++t) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(t) * static_cast<double>(f) / mn;
+      acc += Complex(std::cos(angle), std::sin(angle));
+    }
+    if (convention == WarpConvention::kUnitary) {
+      acc /= std::sqrt(static_cast<double>(m));
+    }
+    a[f] = acc;
+  }
+  return LinearTransform(std::move(a), ComplexVec(n, Complex(0.0, 0.0)), cost,
+                         "warp" + std::to_string(m));
+}
+
+}  // namespace transforms
+}  // namespace tsq

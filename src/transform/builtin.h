@@ -1,0 +1,98 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The paper's catalogue of similarity transformations, expressed as
+// LinearTransforms over the DFT representation:
+//
+//   * MovingAverage (Sec. 3.2, Eq. 11)  — Tmavg = (M, 0), M the transfer
+//     function of the uniform window kernel; applying it in the frequency
+//     domain equals circular convolution in the time domain (Eq. 6).
+//   * WeightedMovingAverage              — arbitrary window weights.
+//   * Reverse (Ex. 2.2)                  — Trev = (-1, 0): negates prices.
+//   * Shift (Sec. 2, [GK95])             — adds a constant delta to every
+//     sample; in the frequency domain only X_0 moves (by delta * sqrt(n)).
+//   * Scale (Sec. 2, [GK95])             — multiplies every sample by a real
+//     factor (negative factors allowed — the paper drops the positive-scale
+//     restriction of [GK95]).
+//   * TimeWarp (Ex. 1.2, Appendix A)     — builds the first k coefficients
+//     of the m-fold time-stretched series from the original coefficients
+//     (Eq. 19).
+//
+// All factories return full-length (size n) transforms; the index layer
+// truncates them to the stored k coefficients.
+
+#ifndef TSQ_TRANSFORM_BUILTIN_H_
+#define TSQ_TRANSFORM_BUILTIN_H_
+
+#include <cstddef>
+
+#include "dft/complex_vec.h"
+#include "transform/linear_transform.h"
+
+namespace tsq {
+namespace transforms {
+
+/// The identity transformation of length n.
+LinearTransform Identity(size_t n);
+
+/// The uniform m-day circular moving average transform of length n
+/// (Eq. 11): a = TransferFunction((1/m,...,1/m,0,...,0)), b = 0.
+/// Safe in Spol (Theorem 3). Requires 1 <= window <= n.
+LinearTransform MovingAverage(size_t n, size_t window, double cost = 0.0);
+
+/// Weighted circular moving-average transform; `weights` is the window
+/// (higher trailing weights for trend prediction, per Sec. 3.2).
+/// Requires 1 <= weights.size() <= n.
+LinearTransform WeightedMovingAverage(size_t n, const RealVec& weights,
+                                      double cost = 0.0);
+
+/// Exponentially-weighted moving average transform: the weighted window
+/// of ExponentialWeights(alpha, window) pushed into the frequency domain.
+/// Safe in Spol. Requires 0 < alpha <= 1, 1 <= window <= n.
+LinearTransform ExponentialMovingAverage(size_t n, double alpha,
+                                         size_t window, double cost = 0.0);
+
+/// Applies MovingAverage `times` times (successive smoothing, Ex. 2.3).
+LinearTransform SuccessiveMovingAverage(size_t n, size_t window, size_t times,
+                                        double cost_each = 0.0);
+
+/// Circular first difference: out_t = x_t - x_{t-1} (indices modulo n) —
+/// the momentum/trend-change signal of technical analysis, expressed as
+/// convolution with the kernel (1, -1, 0, ..., 0). Safe in Spol.
+LinearTransform Difference(size_t n, double cost = 0.0);
+
+/// Trev = (-1, 0): reverses the direction of price movements. Safe in both
+/// spaces (a is real; b is zero).
+LinearTransform Reverse(size_t n, double cost = 0.0);
+
+/// Adds `delta` to every sample. a = 1; b = delta*sqrt(n) at f = 0, else 0.
+/// Safe in Srect (Theorem 2) but NOT in Spol (b != 0).
+LinearTransform Shift(size_t n, double delta, double cost = 0.0);
+
+/// Multiplies every sample by real `factor` (may be negative). a = factor,
+/// b = 0: safe in both spaces.
+LinearTransform Scale(size_t n, double factor, double cost = 0.0);
+
+/// Normalization convention for the warped spectrum.
+enum class WarpConvention {
+  /// Appendix A, Eq. 19 verbatim: the warped series' DFT is normalized by
+  /// 1/sqrt(n) (the *original* length), matching the paper's derivation.
+  kPaper,
+  /// Unitary: the warped series' DFT is normalized by 1/sqrt(m*n) (its own
+  /// length), i.e. Eq. 19 divided by sqrt(m). Use this when comparing
+  /// against tsq::dft::Forward of the stretched series.
+  kUnitary,
+};
+
+/// Time-warp transform (Appendix A): maps the first k coefficients of a
+/// length-n series to the first k coefficients of its m-fold time-stretched
+/// version, a_f = sum_{t=0}^{m-1} e^(-j 2 pi t f / (m n)) (Eq. 19).
+/// Coefficients at f >= k are zeroed (the warp is only defined for the
+/// indexed prefix). Requires m >= 1, k <= n. Safe in Spol.
+LinearTransform TimeWarp(size_t n, size_t m, size_t k,
+                         WarpConvention convention = WarpConvention::kUnitary,
+                         double cost = 0.0);
+
+}  // namespace transforms
+}  // namespace tsq
+
+#endif  // TSQ_TRANSFORM_BUILTIN_H_

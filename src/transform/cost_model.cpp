@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "transform/cost_model.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace tsq {
+
+namespace {
+
+struct SearchState {
+  ComplexVec x;
+  ComplexVec y;
+  double cost;
+  std::vector<std::string> applied_x;
+  std::vector<std::string> applied_y;
+  size_t apps_x;
+  size_t apps_y;
+};
+
+}  // namespace
+
+Result<CostedDistanceResult> CostedDistance(
+    const ComplexVec& x, const ComplexVec& y,
+    const std::vector<LinearTransform>& transforms,
+    const CostedDistanceOptions& options) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("CostedDistance: length mismatch");
+  }
+  for (const LinearTransform& t : transforms) {
+    if (t.size() != x.size()) {
+      return Status::InvalidArgument("transform '" + t.name() +
+                                     "' length mismatch");
+    }
+    if (t.cost() < 0.0) {
+      return Status::InvalidArgument("transform '" + t.name() +
+                                     "' has negative cost");
+    }
+  }
+
+  CostedDistanceResult best;
+  best.distance = cvec::Distance(x, y);  // the D0 branch of Eq. 10
+  best.transform_cost = 0.0;
+
+  // Depth-first branch-and-bound over transformation sequences. States are
+  // expanded by applying one more transformation to either side; a state's
+  // accumulated cost is an admissible lower bound on every answer reachable
+  // from it (distance >= 0), so cost >= best.distance prunes.
+  std::vector<SearchState> stack;
+  stack.push_back(SearchState{x, y, 0.0, {}, {}, 0, 0});
+  size_t states = 0;
+
+  while (!stack.empty()) {
+    SearchState state = std::move(stack.back());
+    stack.pop_back();
+    if (++states > options.max_states) {
+      return Status::FailedPrecondition(
+          "CostedDistance exceeded max_states = " +
+          std::to_string(options.max_states) +
+          "; tighten the bounds or shrink the transformation set");
+    }
+    if (state.cost >= best.distance) continue;  // bound
+
+    const double d = state.cost + cvec::Distance(state.x, state.y);
+    if (d < best.distance) {
+      best.distance = d;
+      best.transform_cost = state.cost;
+      best.applied_to_x = state.applied_x;
+      best.applied_to_y = state.applied_y;
+    }
+
+    for (const LinearTransform& t : transforms) {
+      const double next_cost = state.cost + t.cost();
+      if (next_cost > options.cost_budget) continue;
+      if (next_cost >= best.distance) continue;
+      if (state.apps_x < options.max_applications_per_side) {
+        SearchState next = state;
+        next.x = t.Apply(state.x);
+        next.cost = next_cost;
+        next.applied_x.push_back(t.name());
+        ++next.apps_x;
+        stack.push_back(std::move(next));
+      }
+      if (state.apps_y < options.max_applications_per_side) {
+        SearchState next = state;
+        next.y = t.Apply(state.y);
+        next.cost = next_cost;
+        next.applied_y.push_back(t.name());
+        ++next.apps_y;
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tsq

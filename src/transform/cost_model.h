@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The cost-bounded similarity distance of Eq. 10 (following [JMM95]): given
+// a set of transformations t, each with a cost,
+//
+//   D(x, y) = min( D0(x, y),
+//                  min_T     cost(T)  + D(T(x), y),
+//                  min_T     cost(T)  + D(x, T(y)),
+//                  min_T1,T2 cost(T1) + cost(T2) + D(T1(x), T2(y)) )
+//
+// i.e. the cheapest way to make x and y close by spending transformation
+// cost on either side. The recursion is evaluated by branch-and-bound
+// enumeration of transformation sequences, bounded by a per-side
+// application limit, a total cost budget, and a state cap; costs are
+// non-negative, so any partial sequence whose accumulated cost already
+// exceeds the best answer found can be pruned ("we are limited by an upper
+// bound on the total cost", Sec. 2).
+
+#ifndef TSQ_TRANSFORM_COST_MODEL_H_
+#define TSQ_TRANSFORM_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dft/complex_vec.h"
+#include "transform/linear_transform.h"
+
+namespace tsq {
+
+/// Bounds on the Eq. 10 search.
+struct CostedDistanceOptions {
+  /// Maximum transformation applications per side.
+  size_t max_applications_per_side = 2;
+  /// Hard ceiling on summed transformation cost; sequences above it are
+  /// not considered ([JMM95]'s cost bound c).
+  double cost_budget = 1e18;
+  /// Safety valve on explored states.
+  size_t max_states = 100000;
+};
+
+/// The answer: the minimized value together with the witnessing
+/// transformation sequences (by name) for each side.
+struct CostedDistanceResult {
+  double distance = 0.0;        ///< minimized cost(T...) + D0 value
+  double transform_cost = 0.0;  ///< cost part of the minimum
+  std::vector<std::string> applied_to_x;  ///< names, application order
+  std::vector<std::string> applied_to_y;
+};
+
+/// Evaluates Eq. 10 for frequency-domain vectors x and y over the given
+/// transformation set. Requires equal lengths, transforms of matching
+/// length, and non-negative costs.
+Result<CostedDistanceResult> CostedDistance(
+    const ComplexVec& x, const ComplexVec& y,
+    const std::vector<LinearTransform>& transforms,
+    const CostedDistanceOptions& options = {});
+
+}  // namespace tsq
+
+#endif  // TSQ_TRANSFORM_COST_MODEL_H_

@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Umbrella header: the full public API of tsq, the similarity-query engine
+// for time-series data reproducing Rafiei & Mendelzon (SIGMOD 1997).
+//
+//   #include "tsq.h"
+//
+// Most applications need only tsq::Database (core/database.h) together
+// with the transformation factories in tsq::transforms (transform/
+// builtin.h); the remaining headers expose the substrates (DFT engine,
+// R*-tree, paged storage) for direct use.
+
+#ifndef TSQ_TSQ_H_
+#define TSQ_TSQ_H_
+
+#include "common/logging.h"    // IWYU pragma: export
+#include "common/random.h"     // IWYU pragma: export
+#include "common/status.h"     // IWYU pragma: export
+#include "common/stopwatch.h"  // IWYU pragma: export
+
+#include "dft/complex_vec.h"  // IWYU pragma: export
+#include "dft/dft.h"          // IWYU pragma: export
+#include "dft/fft.h"          // IWYU pragma: export
+#include "dft/haar.h"         // IWYU pragma: export
+
+#include "series/distance.h"        // IWYU pragma: export
+#include "series/moving_average.h"  // IWYU pragma: export
+#include "series/normal_form.h"     // IWYU pragma: export
+#include "series/time_series.h"     // IWYU pragma: export
+#include "series/warp.h"            // IWYU pragma: export
+
+#include "spatial/affine_map.h"  // IWYU pragma: export
+#include "spatial/metrics.h"     // IWYU pragma: export
+#include "spatial/point.h"       // IWYU pragma: export
+#include "spatial/rect.h"        // IWYU pragma: export
+
+#include "storage/buffer_pool.h"  // IWYU pragma: export
+#include "storage/page_file.h"    // IWYU pragma: export
+#include "storage/relation.h"     // IWYU pragma: export
+
+#include "rtree/rstar_tree.h"  // IWYU pragma: export
+
+#include "transform/builtin.h"           // IWYU pragma: export
+#include "transform/cost_model.h"        // IWYU pragma: export
+#include "transform/linear_transform.h"  // IWYU pragma: export
+
+#include "core/database.h"       // IWYU pragma: export
+#include "core/feature.h"        // IWYU pragma: export
+#include "core/feature_space.h"  // IWYU pragma: export
+#include "core/k_index.h"        // IWYU pragma: export
+#include "core/queries.h"        // IWYU pragma: export
+#include "core/search_rect.h"    // IWYU pragma: export
+#include "core/seq_scan.h"       // IWYU pragma: export
+#include "core/subsequence.h"    // IWYU pragma: export
+
+#include "workload/paper_data.h"   // IWYU pragma: export
+#include "workload/random_walk.h"  // IWYU pragma: export
+#include "workload/stock_sim.h"    // IWYU pragma: export
+
+#endif  // TSQ_TSQ_H_

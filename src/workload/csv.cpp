@@ -1,0 +1,140 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "workload/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tsq {
+namespace workload {
+
+namespace {
+
+/// Splits on commas; does not support quoted cells (series names with
+/// commas are not a thing tsq needs).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+bool ParseDouble(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end == cell.c_str()) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string Strip(const std::string& s) {
+  size_t from = s.find_first_not_of(" \t\r\n");
+  if (from == std::string::npos) return "";
+  size_t to = s.find_last_not_of(" \t\r\n");
+  return s.substr(from, to - from + 1);
+}
+
+}  // namespace
+
+Result<TimeSeries> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells = SplitCsv(line);
+  if (cells.size() < 2) {
+    return Status::InvalidArgument("CSV row needs a name and at least one "
+                                   "value: '" +
+                                   line + "'");
+  }
+  RealVec values;
+  values.reserve(cells.size() - 1);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    double v = 0.0;
+    if (!ParseDouble(Strip(cells[i]), &v)) {
+      return Status::InvalidArgument("CSV cell " + std::to_string(i) +
+                                     " is not a number: '" + cells[i] + "'");
+    }
+    values.push_back(v);
+  }
+  return TimeSeries(std::move(values), Strip(cells[0]));
+}
+
+Result<std::vector<TimeSeries>> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open CSV file '" + path + "'");
+  }
+  std::vector<TimeSeries> out;
+  std::string line;
+  size_t line_number = 0;
+  size_t expected_length = 0;
+  bool first_data_row = true;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string stripped = Strip(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+
+    if (first_data_row) {
+      // Header detection: if no cell after the first parses as a number,
+      // treat the row as a header and skip it.
+      std::vector<std::string> cells = SplitCsv(stripped);
+      bool any_number = false;
+      for (size_t i = 1; i < cells.size(); ++i) {
+        double v;
+        if (ParseDouble(Strip(cells[i]), &v)) {
+          any_number = true;
+          break;
+        }
+      }
+      first_data_row = false;
+      if (!any_number && cells.size() >= 2) continue;  // header row
+    }
+
+    Result<TimeSeries> series = ParseCsvLine(stripped);
+    if (!series.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + series.status().message());
+    }
+    if (expected_length == 0) {
+      expected_length = series->length();
+    } else if (series->length() != expected_length) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": series length " +
+          std::to_string(series->length()) + " != " +
+          std::to_string(expected_length) + " of earlier rows");
+    }
+    out.push_back(std::move(*series));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("CSV file '" + path +
+                                   "' contains no series");
+  }
+  return out;
+}
+
+Status SaveCsv(const std::string& path,
+               const std::vector<TimeSeries>& series) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot create CSV file '" + path + "'");
+  }
+  out.precision(17);
+  for (const TimeSeries& s : series) {
+    out << s.name();
+    for (double v : s.values()) out << ',' << v;
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed for CSV file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace tsq

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// CSV import/export for time series — the bridge between tsq and real data
+// sets (e.g. daily closing prices exported from any market data source,
+// the modern equivalent of the paper's ftp.ai.mit.edu files).
+//
+// Format: one series per row,
+//     name,v1,v2,...,vn
+// All rows must have the same number of values. Lines starting with '#'
+// and blank lines are skipped. An optional header row is detected when the
+// first data cell of the first row does not parse as a number.
+
+#ifndef TSQ_WORKLOAD_CSV_H_
+#define TSQ_WORKLOAD_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "series/time_series.h"
+
+namespace tsq {
+namespace workload {
+
+/// Parses one CSV line into a series. Exposed for testing.
+Result<TimeSeries> ParseCsvLine(const std::string& line);
+
+/// Loads every series from a CSV file. Fails with InvalidArgument on
+/// malformed rows or inconsistent lengths, IOError when the file cannot
+/// be read.
+Result<std::vector<TimeSeries>> LoadCsv(const std::string& path);
+
+/// Writes series to a CSV file (one row per series, full precision).
+Status SaveCsv(const std::string& path,
+               const std::vector<TimeSeries>& series);
+
+}  // namespace workload
+}  // namespace tsq
+
+#endif  // TSQ_WORKLOAD_CSV_H_

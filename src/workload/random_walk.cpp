@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "workload/random_walk.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace tsq {
+namespace workload {
+
+RealVec RandomWalkSeries(Rng* rng, size_t length,
+                         const RandomWalkOptions& options) {
+  TSQ_CHECK(rng != nullptr);
+  TSQ_CHECK_MSG(length >= 1, "random walk needs length >= 1");
+  TSQ_CHECK(options.y_lo < options.y_hi && options.z_lo < options.z_hi);
+
+  double start = 0.0;
+  switch (options.start) {
+    case StartDistribution::kUniform:
+      start = rng->Uniform(options.y_lo, options.y_hi);
+      break;
+    case StartDistribution::kTruncatedNormal: {
+      const double mid = 0.5 * (options.y_lo + options.y_hi);
+      const double sd = 0.25 * (options.y_hi - options.y_lo);
+      do {
+        start = rng->Normal(mid, sd);
+      } while (start < options.y_lo || start > options.y_hi);
+      break;
+    }
+  }
+
+  RealVec out(length);
+  out[0] = start;
+  for (size_t i = 1; i < length; ++i) {
+    out[i] = out[i - 1] + rng->Uniform(options.z_lo, options.z_hi);
+  }
+  return out;
+}
+
+std::vector<TimeSeries> MakeRandomWalkDataset(
+    uint64_t seed, size_t count, size_t length,
+    const RandomWalkOptions& options) {
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "RW%06zu", i);
+    out.emplace_back(RandomWalkSeries(&rng, length, options), name);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace tsq

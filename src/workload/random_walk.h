@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The paper's synthetic workload (Sec. 5): random-walk sequences
+//     x_0 = y,          y drawn from [20, 99]
+//     x_i = x_{i-1} + z_i,  z_i drawn from [-4, 4].
+// (The paper says "a normally distributed random number in the range
+// [20,99]", a truncated normal; both that and the plain uniform reading are
+// provided — the distance distributions they induce are indistinguishable
+// for the experiments, see tests.)
+
+#ifndef TSQ_WORKLOAD_RANDOM_WALK_H_
+#define TSQ_WORKLOAD_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "dft/complex_vec.h"
+#include "series/time_series.h"
+
+namespace tsq {
+namespace workload {
+
+/// Distribution of the starting value y.
+enum class StartDistribution {
+  kUniform,          ///< uniform on [y_lo, y_hi]
+  kTruncatedNormal,  ///< normal(mid, range/4) resampled into [y_lo, y_hi]
+};
+
+/// Generator parameters (defaults = the paper's).
+struct RandomWalkOptions {
+  double y_lo = 20.0;
+  double y_hi = 99.0;
+  double z_lo = -4.0;
+  double z_hi = 4.0;
+  StartDistribution start = StartDistribution::kUniform;
+};
+
+/// One random-walk sequence of the given length.
+RealVec RandomWalkSeries(Rng* rng, size_t length,
+                         const RandomWalkOptions& options = {});
+
+/// A data set of `count` sequences of `length`, deterministically derived
+/// from `seed`. Names are "RW000000", "RW000001", ...
+std::vector<TimeSeries> MakeRandomWalkDataset(
+    uint64_t seed, size_t count, size_t length,
+    const RandomWalkOptions& options = {});
+
+}  // namespace workload
+}  // namespace tsq
+
+#endif  // TSQ_WORKLOAD_RANDOM_WALK_H_

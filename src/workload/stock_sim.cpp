@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "workload/stock_sim.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "series/normal_form.h"
+
+namespace tsq {
+namespace workload {
+
+RealVec GeometricWalk(Rng* rng, size_t length, double start_price,
+                      double drift, double volatility) {
+  TSQ_CHECK(rng != nullptr);
+  TSQ_CHECK(length >= 1 && start_price > 0.0);
+  RealVec out(length);
+  out[0] = start_price;
+  for (size_t t = 1; t < length; ++t) {
+    out[t] = out[t - 1] * std::exp(drift + volatility * rng->Normal());
+  }
+  return out;
+}
+
+namespace {
+
+/// Standard deviation of a series' daily log returns.
+double ReturnSd(const RealVec& prices) {
+  const size_t n = prices.size();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (size_t t = 1; t < n; ++t) {
+    const double r = std::log(prices[t] / prices[t - 1]);
+    sum += r;
+    sq += r * r;
+  }
+  const double steps = static_cast<double>(n - 1);
+  const double var = std::max(0.0, sq / steps - (sum / steps) * (sum / steps));
+  return std::sqrt(var);
+}
+
+/// A partner series with the same (noised) log-returns, possibly negated,
+/// re-based at an independent price level. The noise is *relative*: its
+/// per-step standard deviation is `noise` times the base series' own
+/// return volatility, so partners stay equally similar across low- and
+/// high-volatility regimes (the property the planted join answers need).
+RealVec DerivedWalk(Rng* rng, const RealVec& base, double noise, bool negate,
+                    double start_price) {
+  const size_t n = base.size();
+  const double return_sd = ReturnSd(base);
+  RealVec out(n);
+  out[0] = start_price;
+  for (size_t t = 1; t < n; ++t) {
+    double r = std::log(base[t] / base[t - 1]);
+    if (negate) r = -r;
+    r += noise * return_sd * rng->Normal();
+    out[t] = out[t - 1] * std::exp(r);
+  }
+  return out;
+}
+
+/// Multiplies iid daily price noise into a series (high-frequency jitter a
+/// moving average removes).
+void AddDailyPriceNoise(Rng* rng, RealVec* prices, double relative_sd,
+                        double return_sd) {
+  for (double& p : *prices) {
+    p *= std::exp(relative_sd * return_sd * rng->Normal());
+  }
+}
+
+}  // namespace
+
+std::vector<TimeSeries> MakeStockMarket(uint64_t seed,
+                                        const StockMarketOptions& options) {
+  const size_t planted = 2 * (options.similar_pairs + options.opposite_pairs);
+  TSQ_CHECK_MSG(options.num_series >= planted,
+                "num_series %zu too small for %zu planted series",
+                options.num_series, planted);
+  Rng rng(seed);
+  std::vector<TimeSeries> out;
+  out.reserve(options.num_series);
+  char name[40];
+
+  auto fresh_walk = [&]() {
+    const double start = rng.Uniform(options.price_lo, options.price_hi);
+    const double drift = rng.Uniform(options.drift_lo, options.drift_hi);
+    const double vol = rng.Uniform(options.vol_lo, options.vol_hi);
+    return GeometricWalk(&rng, options.length, start, drift, vol);
+  };
+
+  for (size_t i = 0; i < options.similar_pairs; ++i) {
+    RealVec base = fresh_walk();
+    RealVec partner =
+        DerivedWalk(&rng, base, options.similar_noise, /*negate=*/false,
+                    rng.Uniform(options.price_lo, options.price_hi));
+    AddDailyPriceNoise(&rng, &partner, options.similar_daily_noise,
+                       ReturnSd(base));
+    std::snprintf(name, sizeof(name), "SIMa%04zu", i);
+    out.emplace_back(std::move(base), name);
+    std::snprintf(name, sizeof(name), "SIMb%04zu", i);
+    out.emplace_back(std::move(partner), name);
+  }
+  for (size_t i = 0; i < options.opposite_pairs; ++i) {
+    RealVec base = fresh_walk();
+    // Mirror in (normalized) *price* space — the space Trev acts on: the
+    // partner's normal form approximates the negated normal form of the
+    // base. A log-return negation would only mirror in log space, which
+    // the exp nonlinearity distorts for volatile walks.
+    NormalForm nf = ToNormalForm(base);
+    const double level = rng.Uniform(options.price_lo, options.price_hi);
+    const double swing = 0.08;  // keeps prices positive (|nf| <~ 4)
+    RealVec partner(options.length);
+    for (size_t t = 0; t < options.length; ++t) {
+      const double jitter =
+          options.opposite_noise * swing * rng.Normal();
+      partner[t] = level * (1.0 - swing * nf.normalized[t] + jitter);
+    }
+    std::snprintf(name, sizeof(name), "OPPa%04zu", i);
+    out.emplace_back(std::move(base), name);
+    std::snprintf(name, sizeof(name), "OPPb%04zu", i);
+    out.emplace_back(std::move(partner), name);
+  }
+  for (size_t i = out.size(); i < options.num_series; ++i) {
+    std::snprintf(name, sizeof(name), "STK%06zu", i);
+    out.emplace_back(fresh_walk(), name);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace tsq

@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Simulated stock-market data set. The paper's real-data experiments
+// (Figures 3-5, 12 and Table 1) ran on 1067 daily-close series of length
+// 128 from "ftp.ai.mit.edu/pub/stocks/results/", which no longer exists.
+// This generator substitutes a statistically comparable synthetic market:
+//
+//   * base series: geometric random walks p_{t+1} = p_t * exp(mu + sigma*N)
+//     with per-series drift/volatility regimes (prices stay positive and
+//     heteroscedastic like real closes);
+//   * planted *similar pairs*: a clone of another series with small
+//     multiplicative noise and an arbitrary price level (similar after
+//     normal form + smoothing — what Table 1's join finds);
+//   * planted *opposite pairs*: returns negated plus noise (Ex. 2.2's
+//     CC/VAR behaviour, found by joining with Trev);
+//   * a volatility mix so that normal forms are non-trivially spread.
+//
+// The substitution preserves what the experiments measure: join/range
+// selectivities in the same regime (answer sets of tens out of ~1000), and
+// transformation pipelines (normal form -> moving average -> distance)
+// showing the same qualitative distance drops as Figures 3-5.
+
+#ifndef TSQ_WORKLOAD_STOCK_SIM_H_
+#define TSQ_WORKLOAD_STOCK_SIM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "series/time_series.h"
+
+namespace tsq {
+namespace workload {
+
+/// Market generator parameters; defaults mirror the paper's data set shape.
+struct StockMarketOptions {
+  size_t num_series = 1067;
+  size_t length = 128;
+  /// Planted near-duplicate pairs (become join answers under smoothing).
+  size_t similar_pairs = 10;
+  /// Return noise applied to planted similar partners, as a fraction of the
+  /// base series' return volatility (shared-trend fidelity).
+  double similar_noise = 0.02;
+  /// iid daily price noise on similar partners, as a fraction of the base
+  /// return volatility. This is the Ex. 1.1 ingredient: it pushes the raw
+  /// normal-form distance up while the 20-day moving average removes it,
+  /// so the planted pairs are found by the *smoothed* join (paper method
+  /// d) but mostly missed by the unsmoothed one (method c).
+  double similar_daily_noise = 0.6;
+  /// Planted opposite-mover pairs (join answers under Trev).
+  size_t opposite_pairs = 8;
+  double opposite_noise = 0.02;
+  /// Per-series drift range (daily log-return mean).
+  double drift_lo = -0.004;
+  double drift_hi = 0.004;
+  /// Per-series volatility range (daily log-return sd).
+  double vol_lo = 0.005;
+  double vol_hi = 0.04;
+  /// Starting price range.
+  double price_lo = 5.0;
+  double price_hi = 80.0;
+};
+
+/// Generates the market. Planted pairs occupy the first
+/// 2*(similar_pairs + opposite_pairs) slots: (SIMa_i, SIMb_i) then
+/// (OPPa_i, OPPb_i); the rest are independent walks named "STK...".
+std::vector<TimeSeries> MakeStockMarket(uint64_t seed,
+                                        const StockMarketOptions& options = {});
+
+/// A single geometric-random-walk close series.
+RealVec GeometricWalk(Rng* rng, size_t length, double start_price,
+                      double drift, double volatility);
+
+}  // namespace workload
+}  // namespace tsq
+
+#endif  // TSQ_WORKLOAD_STOCK_SIM_H_

@@ -1,0 +1,242 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the common runtime: Status/Result, logging levels, the
+// deterministic PRNG, and the stopwatch.
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace tsq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("record 7");
+  EXPECT_EQ(s.ToString(), "NotFound: record 7");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_NE(Status::IOError("a"), Status::IOError("b"));
+  EXPECT_NE(Status::IOError("a"), Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+// ---------------------------------------------------------------------------
+// Result<T>
+// ---------------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r = 3;
+  EXPECT_EQ(r.ValueOr(9), 3);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int in, int* out) {
+  TSQ_ASSIGN_OR_RETURN(const int half, HalveEven(in));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesErrors) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UseAssignOrReturn(7, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(rng.NextU64());
+  EXPECT_GT(seen.size(), 12u);  // not stuck in a degenerate cycle
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-4.0, 4.0);
+    EXPECT_GE(v, -4.0);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of {3,4,5,6,7} hit in 1000 draws
+}
+
+TEST(RngTest, UniformMeanConverges) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NormalMomentsConverge) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch & logging
+// ---------------------------------------------------------------------------
+
+TEST(StopwatchTest, MeasuresMonotonicallyAndRestarts) {
+  Stopwatch w;
+  const int64_t t0 = w.ElapsedNanos();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  const int64_t t1 = w.ElapsedNanos();
+  EXPECT_GE(t1, t0);
+  EXPECT_GT(w.ElapsedSeconds(), 0.0);
+  w.Restart();
+  EXPECT_LT(w.ElapsedNanos(), t1 + 1000000000);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel before = Logger::GetLevel();
+  Logger::SetLevel(LogLevel::kError);
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (no crash, no output check
+  // needed — the call path is what we exercise).
+  TSQ_LOG(kDebug) << "suppressed " << 42;
+  TSQ_LOG(kError) << "emitted";
+  Logger::SetLevel(before);
+}
+
+}  // namespace
+}  // namespace tsq

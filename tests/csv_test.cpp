@@ -1,0 +1,115 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the CSV import/export bridge.
+
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/csv.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace workload {
+namespace {
+
+using tsq::testing::TempDir;
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CsvParseTest, ParsesNameAndValues) {
+  auto series = ParseCsvLine("IBM,1.5,2.25,-3.0");
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  EXPECT_EQ(series->name(), "IBM");
+  EXPECT_EQ(series->values(), (RealVec{1.5, 2.25, -3.0}));
+}
+
+TEST(CsvParseTest, StripsWhitespace) {
+  auto series = ParseCsvLine("  MSFT , 1.0 ,\t2.0 ");
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->name(), "MSFT");
+  EXPECT_EQ(series->length(), 2u);
+}
+
+TEST(CsvParseTest, RejectsMalformedRows) {
+  EXPECT_TRUE(ParseCsvLine("onlyname").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvLine("name,notanumber").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvLine("name,1.0,").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCsvLine("name,1.0,2.0x").status().IsInvalidArgument());
+}
+
+TEST(CsvParseTest, ScientificNotationAndNegatives) {
+  auto series = ParseCsvLine("X,1e3,-2.5e-2,+4");
+  ASSERT_TRUE(series.ok());
+  EXPECT_DOUBLE_EQ((*series)[0], 1000.0);
+  EXPECT_DOUBLE_EQ((*series)[1], -0.025);
+  EXPECT_DOUBLE_EQ((*series)[2], 4.0);
+}
+
+TEST(CsvFileTest, LoadsSimpleFile) {
+  TempDir dir;
+  const std::string path = dir.file("data.csv");
+  WriteFile(path,
+            "# daily closes\n"
+            "AAA,1,2,3\n"
+            "\n"
+            "BBB,4,5,6\n");
+  auto series = LoadCsv(path);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ((*series)[0].name(), "AAA");
+  EXPECT_EQ((*series)[1].values(), (RealVec{4, 5, 6}));
+}
+
+TEST(CsvFileTest, SkipsHeaderRow) {
+  TempDir dir;
+  const std::string path = dir.file("data.csv");
+  WriteFile(path,
+            "ticker,day1,day2,day3\n"
+            "AAA,1,2,3\n");
+  auto series = LoadCsv(path);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 1u);
+  EXPECT_EQ((*series)[0].name(), "AAA");
+}
+
+TEST(CsvFileTest, RejectsInconsistentLengths) {
+  TempDir dir;
+  const std::string path = dir.file("data.csv");
+  WriteFile(path, "AAA,1,2,3\nBBB,4,5\n");
+  auto series = LoadCsv(path);
+  EXPECT_TRUE(series.status().IsInvalidArgument());
+}
+
+TEST(CsvFileTest, RejectsEmptyAndMissingFiles) {
+  TempDir dir;
+  const std::string path = dir.file("empty.csv");
+  WriteFile(path, "# nothing but comments\n");
+  EXPECT_TRUE(LoadCsv(path).status().IsInvalidArgument());
+  EXPECT_TRUE(LoadCsv(dir.file("missing.csv")).status().IsIOError());
+}
+
+TEST(CsvFileTest, SaveLoadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.file("roundtrip.csv");
+  auto original = MakeRandomWalkDataset(31, 10, 16);
+  ASSERT_TRUE(SaveCsv(path, original).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].name(), original[i].name());
+    ASSERT_EQ((*loaded)[i].length(), original[i].length());
+    for (size_t t = 0; t < original[i].length(); ++t) {
+      // Full-precision output: exact round trip.
+      EXPECT_DOUBLE_EQ((*loaded)[i][t], original[i][t]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace tsq

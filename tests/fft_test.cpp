@@ -1,0 +1,279 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the DFT engine: the fast kernels against the O(n^2) reference,
+// the paper's unitary convention (Eq. 1/2), Parseval (Eq. 7), distance
+// preservation (Eq. 8), circular convolution (Eq. 4/6) and the energy
+// concentration property that justifies the k-index.
+
+#include <cmath>
+
+#include "common/random.h"
+#include "dft/dft.h"
+#include "dft/fft.h"
+#include "gtest/gtest.h"
+#include "series/distance.h"
+#include "test_util.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+using testing::ExpectComplexNear;
+using testing::ExpectRealNear;
+using testing::RandomComplexVec;
+using testing::RandomRealVec;
+
+TEST(FftUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(fft::IsPowerOfTwo(1));
+  EXPECT_TRUE(fft::IsPowerOfTwo(2));
+  EXPECT_TRUE(fft::IsPowerOfTwo(1024));
+  EXPECT_FALSE(fft::IsPowerOfTwo(0));
+  EXPECT_FALSE(fft::IsPowerOfTwo(3));
+  EXPECT_FALSE(fft::IsPowerOfTwo(1023));
+}
+
+TEST(FftUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(fft::NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(fft::NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(fft::NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(fft::NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(fft::NextPowerOfTwo(1025), 2048u);
+}
+
+// --- fast kernels vs naive reference, parameterized over lengths ----------
+
+class FftAgainstNaiveTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftAgainstNaiveTest, ForwardMatchesNaive) {
+  const size_t n = GetParam();
+  Rng rng(n * 7919 + 1);
+  ComplexVec x = RandomComplexVec(&rng, n);
+  ComplexVec expected = fft::NaiveDft(x, /*inverse=*/false);
+  ComplexVec actual = x;
+  fft::Transform(&actual, /*inverse=*/false);
+  ExpectComplexNear(actual, expected, 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftAgainstNaiveTest, InverseMatchesNaive) {
+  const size_t n = GetParam();
+  Rng rng(n * 7919 + 2);
+  ComplexVec x = RandomComplexVec(&rng, n);
+  ComplexVec expected = fft::NaiveDft(x, /*inverse=*/true);
+  ComplexVec actual = x;
+  fft::Transform(&actual, /*inverse=*/true);
+  ExpectComplexNear(actual, expected, 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftAgainstNaiveTest, RoundTripRecoversInput) {
+  const size_t n = GetParam();
+  Rng rng(n * 7919 + 3);
+  ComplexVec x = RandomComplexVec(&rng, n);
+  ComplexVec y = x;
+  fft::Transform(&y, /*inverse=*/false);
+  fft::Transform(&y, /*inverse=*/true);
+  for (Complex& c : y) c /= static_cast<double>(n);  // unscaled kernels
+  ExpectComplexNear(y, x, 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoAndOddSizes, FftAgainstNaiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 15, 16,
+                                           31, 32, 33, 60, 64, 100, 127, 128,
+                                           129, 255, 256, 1000, 1024));
+
+// --- unitary convention ----------------------------------------------------
+
+class UnitaryDftTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UnitaryDftTest, ParsevalHolds) {
+  const size_t n = GetParam();
+  Rng rng(n + 40);
+  RealVec x = RandomRealVec(&rng, n);
+  EXPECT_NEAR(dft::ParsevalGap(x), 0.0, 1e-6 * (1.0 + cvec::Energy(x)));
+}
+
+TEST_P(UnitaryDftTest, InverseRoundTrip) {
+  const size_t n = GetParam();
+  Rng rng(n + 41);
+  RealVec x = RandomRealVec(&rng, n);
+  RealVec back = dft::InverseReal(dft::Forward(x));
+  ExpectRealNear(back, x, 1e-8);
+}
+
+TEST_P(UnitaryDftTest, DistancePreserved) {
+  // Eq. 8: D(x, y) == D(X, Y) under the unitary convention — the linchpin
+  // of the whole indexing approach.
+  const size_t n = GetParam();
+  Rng rng(n + 42);
+  RealVec x = RandomRealVec(&rng, n);
+  RealVec y = RandomRealVec(&rng, n);
+  const double dt = EuclideanDistance(x, y);
+  const double df = cvec::Distance(dft::Forward(x), dft::Forward(y));
+  EXPECT_NEAR(dt, df, 1e-8 * (1.0 + dt));
+}
+
+TEST_P(UnitaryDftTest, PrefixDistanceLowerBounds) {
+  // Eq. 13/15: the truncated distance never exceeds the full distance —
+  // no false dismissals.
+  const size_t n = GetParam();
+  Rng rng(n + 43);
+  ComplexVec X = dft::Forward(RandomRealVec(&rng, n));
+  ComplexVec Y = dft::Forward(RandomRealVec(&rng, n));
+  const double full = cvec::Distance(X, Y);
+  for (size_t k = 0; k <= n; k += (n >= 8 ? n / 8 : 1)) {
+    EXPECT_LE(std::sqrt(cvec::PrefixDistanceSquared(X, Y, k)),
+              full + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, UnitaryDftTest,
+                         ::testing::Values(1, 2, 8, 15, 64, 100, 128, 1024));
+
+TEST(UnitaryDftTest, KnownConstantSignal) {
+  // DFT of (c, c, ..., c): X_0 = c * sqrt(n), all else 0 (Eq. 1).
+  const size_t n = 16;
+  RealVec x(n, 3.0);
+  ComplexVec X = dft::Forward(x);
+  EXPECT_NEAR(X[0].real(), 3.0 * std::sqrt(16.0), 1e-9);
+  EXPECT_NEAR(X[0].imag(), 0.0, 1e-9);
+  for (size_t f = 1; f < n; ++f) {
+    EXPECT_NEAR(std::abs(X[f]), 0.0, 1e-9) << "f=" << f;
+  }
+}
+
+TEST(UnitaryDftTest, KnownImpulseSignal) {
+  // DFT of the unit impulse: flat spectrum of 1/sqrt(n).
+  const size_t n = 8;
+  RealVec x(n, 0.0);
+  x[0] = 1.0;
+  ComplexVec X = dft::Forward(x);
+  for (size_t f = 0; f < n; ++f) {
+    EXPECT_NEAR(X[f].real(), 1.0 / std::sqrt(8.0), 1e-12);
+    EXPECT_NEAR(X[f].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(UnitaryDftTest, LinearityOfDft) {
+  // Eq. 5: a*x + b*y <-> a*X + b*Y.
+  Rng rng(99);
+  const size_t n = 64;
+  RealVec x = RandomRealVec(&rng, n);
+  RealVec y = RandomRealVec(&rng, n);
+  RealVec combo(n);
+  for (size_t i = 0; i < n; ++i) combo[i] = 2.5 * x[i] - 1.5 * y[i];
+  ComplexVec expected(n);
+  ComplexVec X = dft::Forward(x);
+  ComplexVec Y = dft::Forward(y);
+  for (size_t f = 0; f < n; ++f) expected[f] = 2.5 * X[f] - 1.5 * Y[f];
+  ExpectComplexNear(dft::Forward(combo), expected, 1e-9);
+}
+
+TEST(UnitaryDftTest, RealSignalHasConjugateSymmetricSpectrum) {
+  Rng rng(100);
+  const size_t n = 32;
+  ComplexVec X = dft::Forward(RandomRealVec(&rng, n));
+  for (size_t f = 1; f < n; ++f) {
+    EXPECT_NEAR(X[f].real(), X[n - f].real(), 1e-9);
+    EXPECT_NEAR(X[f].imag(), -X[n - f].imag(), 1e-9);
+  }
+}
+
+// --- circular convolution ---------------------------------------------------
+
+class ConvolutionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ConvolutionTest, FftMatchesNaive) {
+  const size_t n = GetParam();
+  Rng rng(n + 7);
+  RealVec x = RandomRealVec(&rng, n);
+  RealVec y = RandomRealVec(&rng, n);
+  ExpectRealNear(dft::CircularConvolution(x, y),
+                 dft::CircularConvolutionNaive(x, y),
+                 1e-7 * static_cast<double>(n));
+}
+
+TEST_P(ConvolutionTest, TransferFunctionMultiplicationEqualsConvolution) {
+  // Eq. 6 with the unitary convention: Forward(conv(x, k)) =
+  // TransferFunction(k) * Forward(x).
+  const size_t n = GetParam();
+  Rng rng(n + 8);
+  RealVec x = RandomRealVec(&rng, n);
+  RealVec kernel = RandomRealVec(&rng, n, -1.0, 1.0);
+  ComplexVec via_transfer =
+      cvec::Multiply(dft::TransferFunction(kernel), dft::Forward(x));
+  ComplexVec via_conv = dft::Forward(dft::CircularConvolution(x, kernel));
+  testing::ExpectComplexNear(via_conv, via_transfer,
+                             1e-7 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ConvolutionTest,
+                         ::testing::Values(1, 2, 4, 15, 16, 60, 128));
+
+TEST(ConvolutionTest, ConvolutionIsCommutative) {
+  Rng rng(55);
+  const size_t n = 24;
+  RealVec x = RandomRealVec(&rng, n);
+  RealVec y = RandomRealVec(&rng, n);
+  ExpectRealNear(dft::CircularConvolution(x, y),
+                 dft::CircularConvolution(y, x), 1e-8);
+}
+
+// --- misc --------------------------------------------------------------------
+
+TEST(DftTest, TruncateKeepsPrefix) {
+  Rng rng(66);
+  ComplexVec X = RandomComplexVec(&rng, 10);
+  ComplexVec head = dft::Truncate(X, 3);
+  ASSERT_EQ(head.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(head[i], X[i]);
+  EXPECT_EQ(dft::Truncate(X, 0).size(), 0u);
+  EXPECT_EQ(dft::Truncate(X, 10).size(), 10u);
+}
+
+TEST(DftTest, EnergyConcentrationOnRandomWalks) {
+  // The indexing premise (Sec. 1.1): for random-walk style signals most
+  // energy sits in the first few coefficients (after removing the mean the
+  // claim applies to low frequencies).
+  Rng rng(77);
+  workload::RandomWalkOptions opts;
+  double worst = 1.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    RealVec x = workload::RandomWalkSeries(&rng, 128, opts);
+    ComplexVec X = dft::Forward(x);
+    // First 8 of 128 coefficients (including X_0, which holds the mean).
+    worst = std::min(worst, dft::EnergyConcentration(X, 8));
+  }
+  EXPECT_GT(worst, 0.9);
+}
+
+TEST(DftTest, EnergyConcentrationEdgeCases) {
+  ComplexVec zero(8, Complex(0.0, 0.0));
+  EXPECT_EQ(dft::EnergyConcentration(zero, 4), 1.0);
+  ComplexVec x(4, Complex(1.0, 0.0));
+  EXPECT_NEAR(dft::EnergyConcentration(x, 2), 0.5, 1e-12);
+  EXPECT_NEAR(dft::EnergyConcentration(x, 4), 1.0, 1e-12);
+}
+
+TEST(ComplexVecTest, ElementwiseOps) {
+  ComplexVec x = {Complex(1, 2), Complex(3, -1)};
+  ComplexVec y = {Complex(2, 0), Complex(0, 1)};
+  ComplexVec prod = cvec::Multiply(x, y);
+  EXPECT_EQ(prod[0], Complex(2, 4));
+  EXPECT_EQ(prod[1], Complex(1, 3));
+  ComplexVec sum = cvec::Add(x, y);
+  EXPECT_EQ(sum[0], Complex(3, 2));
+  ComplexVec diff = cvec::Subtract(x, y);
+  EXPECT_EQ(diff[0], Complex(-1, 2));
+  EXPECT_NEAR(cvec::Energy(x), 1 + 4 + 9 + 1, 1e-12);
+  EXPECT_NEAR(cvec::Distance(x, x), 0.0, 1e-12);
+}
+
+TEST(ComplexVecTest, ApproxEqualRespectsTolerance) {
+  ComplexVec x = {Complex(1.0, 1.0)};
+  ComplexVec y = {Complex(1.0 + 1e-9, 1.0 - 1e-9)};
+  EXPECT_TRUE(cvec::ApproxEqual(x, y, 1e-8));
+  EXPECT_FALSE(cvec::ApproxEqual(x, y, 1e-10));
+  EXPECT_FALSE(cvec::ApproxEqual(x, ComplexVec{}, 1.0));
+}
+
+}  // namespace
+}  // namespace tsq

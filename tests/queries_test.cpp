@@ -1,0 +1,564 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// End-to-end tests of the query engine through the Database facade:
+// index-vs-scan parity (the no-false-dismissal guarantee of Lemma 1, as an
+// executable property), transformed queries (moving average, reverse,
+// shift/scale), both transform modes, kNN, mean/std windows, and the four
+// self-join methods of Table 1.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/database.h"
+#include "gtest/gtest.h"
+#include "series/moving_average.h"
+#include "series/normal_form.h"
+#include "test_util.h"
+#include "transform/builtin.h"
+#include "workload/random_walk.h"
+#include "workload/stock_sim.h"
+
+namespace tsq {
+namespace {
+
+using testing::TempDir;
+
+std::set<SeriesId> Ids(const std::vector<Match>& ms) {
+  std::set<SeriesId> out;
+  for (const Match& m : ms) out.insert(m.id);
+  return out;
+}
+
+std::set<std::pair<SeriesId, SeriesId>> UnorderedPairs(
+    const std::vector<JoinPair>& ps) {
+  std::set<std::pair<SeriesId, SeriesId>> out;
+  for (const JoinPair& p : ps) {
+    out.insert({std::min(p.first, p.second), std::max(p.first, p.second)});
+  }
+  return out;
+}
+
+class DatabaseQueryTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Database> MakeDb(size_t count, size_t length,
+                                   FeatureLayout layout = FeatureLayout::Paper(),
+                                   uint64_t seed = 42) {
+    DatabaseOptions options;
+    options.directory = dir_.path();
+    options.name = "db" + std::to_string(db_counter_++);
+    options.layout = layout;
+    auto db = Database::Create(options);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    auto data = workload::MakeRandomWalkDataset(seed, count, length);
+    for (const TimeSeries& s : data) {
+      auto id = (*db)->Insert(s.name(), s.values());
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+    }
+    EXPECT_TRUE((*db)->BuildIndex().ok());
+    return std::move(*db);
+  }
+
+  TempDir dir_;
+  int db_counter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Facade basics
+// ---------------------------------------------------------------------------
+
+TEST_F(DatabaseQueryTest, InsertValidatesLengths) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "basic";
+  auto db = Database::Create(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Insert("empty", {}).status().IsInvalidArgument());
+  ASSERT_TRUE((*db)->Insert("a", RealVec(16, 1.0)).ok());
+  EXPECT_TRUE((*db)->Insert("b", RealVec(8, 1.0)).status().IsInvalidArgument());
+  EXPECT_EQ((*db)->size(), 1u);
+  EXPECT_EQ((*db)->series_length(), 16u);
+}
+
+TEST_F(DatabaseQueryTest, QueriesRequireIndex) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "noidx";
+  auto db = Database::Create(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Insert("a", RealVec(16, 1.0)).ok());
+  EXPECT_TRUE(
+      (*db)->RangeQuery(RealVec(16, 1.0), 1.0).status().IsFailedPrecondition());
+  EXPECT_TRUE((*db)->Knn(RealVec(16, 1.0), 3).status().IsFailedPrecondition());
+  // Scans work without an index.
+  EXPECT_TRUE((*db)->ScanRangeQuery(RealVec(16, 1.0), 1.0).ok());
+}
+
+TEST_F(DatabaseQueryTest, BuildIndexTwiceFails) {
+  auto db = MakeDb(20, 32);
+  EXPECT_TRUE(db->BuildIndex().IsFailedPrecondition());
+}
+
+TEST_F(DatabaseQueryTest, InsertAfterBuildIndexIsIndexed) {
+  auto db = MakeDb(50, 32);
+  workload::RandomWalkOptions rw;
+  Rng rng(777);
+  const RealVec probe = workload::RandomWalkSeries(&rng, 32, rw);
+  ASSERT_TRUE(db->Insert("late", probe).ok());
+  // The new series must be findable: query for itself with tiny epsilon.
+  auto matches = db->RangeQuery(probe, 1e-6);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].name, "late");
+}
+
+// ---------------------------------------------------------------------------
+// Range queries: index == scan (Lemma 1 end to end)
+// ---------------------------------------------------------------------------
+
+class RangeParityTest : public DatabaseQueryTest,
+                        public ::testing::WithParamInterface<double> {};
+
+TEST_P(RangeParityTest, IdentityQueryParity) {
+  const double eps = GetParam();
+  auto db = MakeDb(200, 64);
+  Rng rng(7);
+  for (int q = 0; q < 5; ++q) {
+    const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+    auto via_index = db->RangeQuery(query, eps);
+    ASSERT_TRUE(via_index.ok()) << via_index.status().ToString();
+    auto via_scan = db->ScanRangeQuery(query, eps);
+    ASSERT_TRUE(via_scan.ok());
+    EXPECT_EQ(Ids(*via_index), Ids(*via_scan)) << "eps=" << eps;
+    // Distances agree too.
+    for (size_t i = 0; i < via_index->size(); ++i) {
+      EXPECT_NEAR((*via_index)[i].distance, (*via_scan)[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST_P(RangeParityTest, MovingAverageQueryParity) {
+  const double eps = GetParam();
+  auto db = MakeDb(200, 64);
+  QuerySpec spec;
+  spec.transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(64, 8));
+  Rng rng(8);
+  for (int q = 0; q < 5; ++q) {
+    const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+    auto via_index = db->RangeQuery(query, eps, spec);
+    ASSERT_TRUE(via_index.ok()) << via_index.status().ToString();
+    auto via_scan = db->ScanRangeQuery(query, eps, spec);
+    ASSERT_TRUE(via_scan.ok());
+    EXPECT_EQ(Ids(*via_index), Ids(*via_scan)) << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, RangeParityTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0));
+
+TEST_F(DatabaseQueryTest, DataOnlyModeParity) {
+  auto db = MakeDb(150, 64);
+  QuerySpec spec;
+  spec.transform = FeatureTransform::Spectral(transforms::MovingAverage(64, 4));
+  spec.mode = TransformMode::kDataOnly;
+  Rng rng(9);
+  for (double eps : {0.5, 2.0, 8.0}) {
+    const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+    auto via_index = db->RangeQuery(query, eps, spec);
+    ASSERT_TRUE(via_index.ok());
+    auto via_scan = db->ScanRangeQuery(query, eps, spec);
+    ASSERT_TRUE(via_scan.ok());
+    EXPECT_EQ(Ids(*via_index), Ids(*via_scan));
+  }
+}
+
+TEST_F(DatabaseQueryTest, ReverseFindsOppositeMovers) {
+  // Ex. 2.2 as a query: joining a series against the Trev-transformed
+  // database must surface its planted opposite partner.
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "opposite";
+  auto db = Database::Create(options);
+  ASSERT_TRUE(db.ok());
+  workload::StockMarketOptions market;
+  market.num_series = 120;
+  market.similar_pairs = 0;
+  market.opposite_pairs = 5;
+  market.opposite_noise = 0.001;
+  auto series = workload::MakeStockMarket(99, market);
+  for (const TimeSeries& s : series) {
+    ASSERT_TRUE((*db)->Insert(s.name(), s.values()).ok());
+  }
+  ASSERT_TRUE((*db)->BuildIndex().ok());
+
+  QuerySpec spec;
+  spec.transform = FeatureTransform::Spectral(transforms::Reverse(128));
+  spec.mode = TransformMode::kDataOnly;  // reverse the data, not the query
+  // Query with OPPa0000 (index 0); its partner OPPb0000 (id 1) reversed
+  // should be very close to it in normal form.
+  auto matches = (*db)->RangeQuery(series[0].values(), 3.0, spec);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  EXPECT_TRUE(Ids(*matches).contains(1)) << "partner not found";
+  // Parity with the scan under the same spec.
+  auto scan = (*db)->ScanRangeQuery(series[0].values(), 3.0, spec);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(Ids(*matches), Ids(*scan));
+}
+
+TEST_F(DatabaseQueryTest, MeanStdWindowFiltersAnswers) {
+  auto db = MakeDb(300, 64);
+  Rng rng(10);
+  const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+  QuerySpec all;
+  auto unfiltered = db->RangeQuery(query, 6.0, all);
+  ASSERT_TRUE(unfiltered.ok());
+
+  QuerySpec windowed;
+  windowed.window = MeanStdWindow{40.0, 70.0, 0.0, 1e9};
+  auto filtered = db->RangeQuery(query, 6.0, windowed);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LE(filtered->size(), unfiltered->size());
+  // Every filtered answer's mean is inside the window; every unfiltered
+  // answer with an in-window mean survived.
+  for (const Match& m : *filtered) {
+    auto rec = db->Get(m.id);
+    ASSERT_TRUE(rec.ok());
+    NormalForm nf = ToNormalForm(rec->values);
+    EXPECT_GE(nf.mean, 40.0);
+    EXPECT_LE(nf.mean, 70.0);
+  }
+  std::set<SeriesId> expected;
+  for (const Match& m : *unfiltered) {
+    auto rec = db->Get(m.id);
+    ASSERT_TRUE(rec.ok());
+    NormalForm nf = ToNormalForm(rec->values);
+    if (nf.mean >= 40.0 && nf.mean <= 70.0) expected.insert(m.id);
+  }
+  EXPECT_EQ(Ids(*filtered), expected);
+}
+
+TEST_F(DatabaseQueryTest, GoldinKanellakisShiftScaleQuery) {
+  // [GK95]-style: find series that, after v -> 2v + 10, land near the
+  // query in raw terms. Normal forms are unchanged; the mean/std index
+  // dims move through the transformed index.
+  auto db = MakeDb(100, 32);
+  auto rec = db->Get(17);
+  ASSERT_TRUE(rec.ok());
+  RealVec shifted(32);
+  for (size_t i = 0; i < 32; ++i) shifted[i] = 2.0 * rec->values[i] + 10.0;
+  NormalForm nfq = ToNormalForm(shifted);
+
+  QuerySpec spec;
+  spec.transform = FeatureTransform::ShiftScale(32, 10.0, 2.0);
+  spec.mode = TransformMode::kDataOnly;
+  // Window around the transformed mean/std of the target.
+  spec.window = MeanStdWindow{nfq.mean - 0.5, nfq.mean + 0.5, nfq.std - 0.5,
+                              nfq.std + 0.5};
+  auto matches = db->RangeQuery(shifted, 0.01, spec);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  EXPECT_TRUE(Ids(*matches).contains(17));
+}
+
+// ---------------------------------------------------------------------------
+// Rectangular-space database
+// ---------------------------------------------------------------------------
+
+TEST_F(DatabaseQueryTest, RectangularLayoutParity) {
+  FeatureLayout layout = FeatureLayout::Agrawal(4);
+  auto db = MakeDb(150, 64, layout);
+  Rng rng(11);
+  for (double eps : {1.0, 5.0, 20.0}) {
+    const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+    auto via_index = db->RangeQuery(query, eps);
+    ASSERT_TRUE(via_index.ok());
+    auto via_scan = db->ScanRangeQuery(query, eps);
+    ASSERT_TRUE(via_scan.ok());
+    EXPECT_EQ(Ids(*via_index), Ids(*via_scan));
+  }
+}
+
+TEST_F(DatabaseQueryTest, RectangularShiftTransformParity) {
+  // Shift is Srect-safe; querying through the shifted index must match the
+  // shifted scan.
+  FeatureLayout layout = FeatureLayout::Agrawal(4);
+  auto db = MakeDb(150, 64, layout);
+  QuerySpec spec;
+  spec.transform = FeatureTransform::Spectral(transforms::Shift(64, 3.0));
+  Rng rng(12);
+  for (double eps : {1.0, 10.0}) {
+    const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+    auto via_index = db->RangeQuery(query, eps, spec);
+    ASSERT_TRUE(via_index.ok()) << via_index.status().ToString();
+    auto via_scan = db->ScanRangeQuery(query, eps, spec);
+    ASSERT_TRUE(via_scan.ok());
+    EXPECT_EQ(Ids(*via_index), Ids(*via_scan));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kNN
+// ---------------------------------------------------------------------------
+
+class KnnTest : public DatabaseQueryTest,
+                public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(KnnTest, MatchesScanTopK) {
+  const size_t k = GetParam();
+  auto db = MakeDb(250, 64);
+  Rng rng(13);
+  for (int q = 0; q < 4; ++q) {
+    const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+    auto knn = db->Knn(query, k);
+    ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+    ASSERT_EQ(knn->size(), std::min<size_t>(k, 250));
+
+    // Brute force through the scan with a huge threshold.
+    auto scan = db->ScanRangeQuery(query, 1e9);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan->size(), 250u);
+    for (size_t i = 0; i < knn->size(); ++i) {
+      EXPECT_NEAR((*knn)[i].distance, (*scan)[i].distance, 1e-9)
+          << "rank " << i << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnTest, ::testing::Values(1, 3, 10, 50));
+
+TEST_F(DatabaseQueryTest, KnnWithTransformMatchesScan) {
+  auto db = MakeDb(200, 64);
+  QuerySpec spec;
+  spec.transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(64, 8));
+  Rng rng(14);
+  const RealVec query = workload::RandomWalkSeries(&rng, 64, {});
+  auto knn = db->Knn(query, 10, spec);
+  ASSERT_TRUE(knn.ok()) << knn.status().ToString();
+  ASSERT_EQ(knn->size(), 10u);
+  auto scan = db->ScanRangeQuery(query, 1e9, spec);
+  ASSERT_TRUE(scan.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR((*knn)[i].distance, (*scan)[i].distance, 1e-9) << "rank " << i;
+  }
+}
+
+TEST_F(DatabaseQueryTest, KnnSelfQueryFindsSelfFirst) {
+  auto db = MakeDb(100, 32);
+  auto rec = db->Get(42);
+  ASSERT_TRUE(rec.ok());
+  auto knn = db->Knn(rec->values, 1);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 1u);
+  EXPECT_EQ((*knn)[0].id, 42u);
+  EXPECT_NEAR((*knn)[0].distance, 0.0, 1e-9);
+}
+
+TEST_F(DatabaseQueryTest, KnnZeroAndOversizedK) {
+  auto db = MakeDb(20, 32);
+  Rng rng(15);
+  const RealVec query = workload::RandomWalkSeries(&rng, 32, {});
+  auto zero = db->Knn(query, 0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->empty());
+  auto all = db->Knn(query, 1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-join (Table 1 methods)
+// ---------------------------------------------------------------------------
+
+TEST_F(DatabaseQueryTest, JoinMethodsAgree) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "join";
+  auto dbr = Database::Create(options);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(*dbr);
+  workload::StockMarketOptions market;
+  market.num_series = 150;
+  market.similar_pairs = 6;
+  market.opposite_pairs = 0;
+  auto series = workload::MakeStockMarket(1234, market);
+  for (const TimeSeries& s : series) {
+    ASSERT_TRUE(db->Insert(s.name(), s.values()).ok());
+  }
+  ASSERT_TRUE(db->BuildIndex().ok());
+
+  const double eps = 2.0;
+  auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(128, 20));
+
+  auto a = db->SelfJoin(eps, JoinMethod::kScanFull, transform);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = db->SelfJoin(eps, JoinMethod::kScanEarlyAbandon, transform);
+  ASSERT_TRUE(b.ok());
+  auto d = db->SelfJoin(eps, JoinMethod::kIndexTransformed, transform);
+  ASSERT_TRUE(d.ok());
+
+  // a == b exactly (same unordered pairs).
+  EXPECT_EQ(UnorderedPairs(*a), UnorderedPairs(*b));
+  // d finds the same unordered pairs, each counted twice (Table 1:
+  // "the answer set of d contains every pair twice").
+  EXPECT_EQ(UnorderedPairs(*d), UnorderedPairs(*a));
+  EXPECT_EQ(d->size(), 2 * a->size());
+  // Planted similar pairs are found.
+  EXPECT_GE(a->size(), market.similar_pairs);
+
+  // Method c (no transformation) answers a different question: pairs close
+  // without smoothing — a subset in practice on this workload.
+  auto c = db->SelfJoin(eps, JoinMethod::kIndexPlain, transform);
+  ASSERT_TRUE(c.ok());
+  auto c_pairs = UnorderedPairs(*c);
+  auto a_pairs = UnorderedPairs(*a);
+  EXPECT_LE(c_pairs.size(), a_pairs.size());
+}
+
+TEST_F(DatabaseQueryTest, JoinStatsArePopulated) {
+  auto db = MakeDb(80, 32);
+  auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(32, 4));
+  auto d = db->SelfJoin(1.0, JoinMethod::kIndexTransformed, transform);
+  ASSERT_TRUE(d.ok());
+  const QueryStats& stats = db->last_stats();
+  EXPECT_EQ(stats.records_scanned, 80u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.rect_transforms, 0u);
+  EXPECT_GE(stats.elapsed_ms, 0.0);
+}
+
+TEST_F(DatabaseQueryTest, RangeQueryStatsArePopulated) {
+  auto db = MakeDb(100, 32);
+  Rng rng(16);
+  const RealVec query = workload::RandomWalkSeries(&rng, 32, {});
+  auto matches = db->RangeQuery(query, 5.0);
+  ASSERT_TRUE(matches.ok());
+  const QueryStats& stats = db->last_stats();
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GE(stats.candidates, matches->size());
+  EXPECT_EQ(stats.answers, matches->size());
+}
+
+TEST_F(DatabaseQueryTest, InvalidQueryArguments) {
+  auto db = MakeDb(20, 32);
+  EXPECT_TRUE(db->RangeQuery(RealVec(16, 0.0), 1.0).status()
+                  .IsInvalidArgument());  // wrong length
+  EXPECT_TRUE(db->RangeQuery(RealVec(32, 0.0), -1.0).status()
+                  .IsInvalidArgument());  // negative eps
+}
+
+}  // namespace
+}  // namespace tsq
+
+namespace tsq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tree-match self-join (tsq extension)
+// ---------------------------------------------------------------------------
+
+class TreeMatchJoinTest : public ::testing::Test {
+ protected:
+  testing::TempDir dir_;
+};
+
+TEST_F(TreeMatchJoinTest, MatchesIndexNestedLoopJoin) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "tmj";
+  auto dbr = Database::Create(options);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(*dbr);
+  workload::StockMarketOptions market;
+  market.num_series = 200;
+  auto series = workload::MakeStockMarket(555, market);
+  for (const TimeSeries& s : series) {
+    ASSERT_TRUE(db->Insert(s.name(), s.values()).ok());
+  }
+  ASSERT_TRUE(db->BuildIndex().ok());
+
+  const auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(128, 20));
+  for (double eps : {0.3, 0.6, 1.5}) {
+    auto nested = db->SelfJoin(eps, JoinMethod::kIndexTransformed, transform);
+    ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+    auto matched = db->SelfJoin(eps, JoinMethod::kTreeMatch, transform);
+    ASSERT_TRUE(matched.ok()) << matched.status().ToString();
+    EXPECT_EQ(UnorderedPairs(*nested), UnorderedPairs(*matched))
+        << "eps=" << eps;
+    EXPECT_EQ(nested->size(), matched->size()) << "eps=" << eps;
+  }
+}
+
+TEST_F(TreeMatchJoinTest, PlainTreeMatchAgainstScan) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "tmj2";
+  auto dbr = Database::Create(options);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(*dbr);
+  auto data = workload::MakeRandomWalkDataset(77, 150, 64);
+  for (const TimeSeries& s : data) {
+    ASSERT_TRUE(db->Insert(s.name(), s.values()).ok());
+  }
+  ASSERT_TRUE(db->BuildIndex().ok());
+
+  for (double eps : {1.0, 4.0}) {
+    auto matched = db->SelfJoin(eps, JoinMethod::kTreeMatch, std::nullopt);
+    ASSERT_TRUE(matched.ok());
+    auto scan = db->SelfJoin(eps, JoinMethod::kScanEarlyAbandon, std::nullopt);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(UnorderedPairs(*matched), UnorderedPairs(*scan)) << "eps=" << eps;
+  }
+}
+
+TEST_F(TreeMatchJoinTest, RectangularSpaceTreeMatch) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "tmj3";
+  options.layout = FeatureLayout::Agrawal(3);
+  auto dbr = Database::Create(options);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(*dbr);
+  auto data = workload::MakeRandomWalkDataset(78, 120, 64);
+  for (const TimeSeries& s : data) {
+    ASSERT_TRUE(db->Insert(s.name(), s.values()).ok());
+  }
+  ASSERT_TRUE(db->BuildIndex().ok());
+
+  auto matched = db->SelfJoin(5.0, JoinMethod::kTreeMatch, std::nullopt);
+  ASSERT_TRUE(matched.ok());
+  auto scan = db->SelfJoin(5.0, JoinMethod::kScanEarlyAbandon, std::nullopt);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(UnorderedPairs(*matched), UnorderedPairs(*scan));
+}
+
+TEST_F(TreeMatchJoinTest, FewerNodeAccessesThanNestedLoop) {
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "tmj4";
+  auto dbr = Database::Create(options);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(*dbr);
+  workload::StockMarketOptions market;
+  market.num_series = 400;
+  auto series = workload::MakeStockMarket(556, market);
+  for (const TimeSeries& s : series) {
+    ASSERT_TRUE(db->Insert(s.name(), s.values()).ok());
+  }
+  ASSERT_TRUE(db->BuildIndex().ok());
+
+  const auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(128, 20));
+  ASSERT_TRUE(db->SelfJoin(0.5, JoinMethod::kIndexTransformed, transform).ok());
+  const uint64_t nested_nodes = db->last_stats().nodes_visited;
+  ASSERT_TRUE(db->SelfJoin(0.5, JoinMethod::kTreeMatch, transform).ok());
+  const uint64_t matched_nodes = db->last_stats().nodes_visited;
+  // One synchronized traversal touches far fewer nodes than N range queries.
+  EXPECT_LT(matched_nodes, nested_nodes);
+}
+
+}  // namespace
+}  // namespace tsq

@@ -1,0 +1,806 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the R-tree family: structural invariants under bulk inserts
+// and deletes, exact agreement with brute force for range and NN queries,
+// on-the-fly transformed search (Algorithm 1/2), and persistence — all
+// parameterized over the three split algorithms and the forced-reinsert
+// policy.
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "rtree/node.h"
+#include "rtree/rstar_tree.h"
+#include "rtree/split.h"
+#include "spatial/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "core/database.h"
+#include "workload/random_walk.h"
+#include "test_util.h"
+
+namespace tsq {
+namespace rtree {
+namespace {
+
+using spatial::AffineMap;
+using spatial::Point;
+using spatial::Rect;
+using tsq::testing::RandomPoint;
+using tsq::testing::TempDir;
+
+// ---------------------------------------------------------------------------
+// Node serialization
+// ---------------------------------------------------------------------------
+
+TEST(NodeTest, CapacityFormula) {
+  // 4096-byte pages, 6 dims: (4096 - 16) / (16*6 + 8) = 39 entries.
+  EXPECT_EQ(NodeCapacity(4096, 6), 39u);
+  EXPECT_EQ(NodeCapacity(4096, 2), 102u);
+  EXPECT_GE(NodeCapacity(4096, 20), 4u);
+  EXPECT_EQ(NodeCapacity(8, 2), 0u);
+}
+
+TEST(NodeTest, SerializeDeserializeRoundTrip) {
+  const size_t dims = 3;
+  Node node;
+  node.level = 2;
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    Entry e;
+    e.rect = tsq::testing::RandomRect(&rng, dims);
+    e.id = 1000 + i;
+    node.entries.push_back(e);
+  }
+  Page page(4096);
+  ASSERT_TRUE(SerializeNode(node, dims, &page).ok());
+  Node back;
+  ASSERT_TRUE(DeserializeNode(page, dims, &back).ok());
+  EXPECT_EQ(back.level, 2u);
+  ASSERT_EQ(back.entries.size(), node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].rect, node.entries[i].rect);
+    EXPECT_EQ(back.entries[i].id, node.entries[i].id);
+  }
+}
+
+TEST(NodeTest, SerializeRejectsOverfullNode) {
+  const size_t dims = 6;
+  Node node;
+  node.level = 0;
+  for (size_t i = 0; i < NodeCapacity(4096, dims) + 1; ++i) {
+    Entry e;
+    e.rect = Rect::FromPoint(Point(dims, 0.0));
+    node.entries.push_back(e);
+  }
+  Page page(4096);
+  EXPECT_TRUE(SerializeNode(node, dims, &page).IsInvalidArgument());
+}
+
+TEST(NodeTest, DeserializeRejectsGarbage) {
+  Page page(4096);
+  Node node;
+  EXPECT_TRUE(DeserializeNode(page, 3, &node).IsCorruption());
+}
+
+TEST(NodeTest, BoundingRectCoversAllEntries) {
+  Node node;
+  node.level = 0;
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    Entry e;
+    e.rect = tsq::testing::RandomRect(&rng, 4);
+    node.entries.push_back(e);
+  }
+  const Rect mbr = node.BoundingRect();
+  for (const Entry& e : node.entries) {
+    EXPECT_TRUE(mbr.ContainsRect(e.rect));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Split algorithms (pure functions)
+// ---------------------------------------------------------------------------
+
+class SplitTest : public ::testing::TestWithParam<SplitAlgorithm> {};
+
+TEST_P(SplitTest, PartitionsAllEntriesRespectingMinFill) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t total = 10 + static_cast<size_t>(rng.UniformInt(0, 30));
+    const size_t min_fill = std::max<size_t>(1, total * 2 / 5);
+    std::vector<Entry> entries;
+    std::set<uint64_t> ids;
+    for (size_t i = 0; i < total; ++i) {
+      Entry e;
+      e.rect = tsq::testing::RandomRect(&rng, 3);
+      e.id = i;
+      ids.insert(i);
+      entries.push_back(e);
+    }
+    SplitResult split = SplitEntries(GetParam(), entries, min_fill);
+    EXPECT_GE(split.left.size(), min_fill);
+    EXPECT_GE(split.right.size(), min_fill);
+    EXPECT_EQ(split.left.size() + split.right.size(), total);
+    std::set<uint64_t> seen;
+    for (const Entry& e : split.left) seen.insert(e.id);
+    for (const Entry& e : split.right) seen.insert(e.id);
+    EXPECT_EQ(seen, ids);  // no loss, no duplication
+  }
+}
+
+TEST_P(SplitTest, SeparatesTwoObviousClusters) {
+  // Two tight clusters far apart: any sane split keeps clusters intact.
+  Rng rng(10);
+  std::vector<Entry> entries;
+  for (int i = 0; i < 8; ++i) {
+    Entry e;
+    const double base = (i < 4) ? 0.0 : 1000.0;
+    Point p{base + rng.Uniform(0, 1), base + rng.Uniform(0, 1)};
+    e.rect = Rect::FromPoint(p);
+    e.id = i;
+    entries.push_back(e);
+  }
+  SplitResult split = SplitEntries(GetParam(), entries, 2);
+  auto side_of = [](const Entry& e) { return e.rect.lo(0) > 500.0; };
+  const bool left_side = side_of(split.left[0]);
+  for (const Entry& e : split.left) EXPECT_EQ(side_of(e), left_side);
+  for (const Entry& e : split.right) EXPECT_EQ(side_of(e), !left_side);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SplitTest,
+                         ::testing::Values(SplitAlgorithm::kRStar,
+                                           SplitAlgorithm::kGuttmanQuadratic,
+                                           SplitAlgorithm::kGuttmanLinear));
+
+// ---------------------------------------------------------------------------
+// Tree fixture, parameterized over (split, forced_reinsert)
+// ---------------------------------------------------------------------------
+
+struct TreeConfig {
+  SplitAlgorithm split;
+  bool forced_reinsert;
+};
+
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<SplitAlgorithm, bool>> {
+ protected:
+  void SetUp() override {
+    auto pf = PageFile::Create(dir_.file("tree.pages"));
+    ASSERT_TRUE(pf.ok());
+    file_ = std::move(*pf);
+    pool_ = std::make_unique<BufferPool>(file_.get(), 128);
+  }
+
+  std::unique_ptr<RStarTree> MakeTree(size_t dims,
+                                      size_t max_entries_override = 8) {
+    RTreeOptions options;
+    options.split = std::get<0>(GetParam());
+    options.forced_reinsert = std::get<1>(GetParam());
+    options.max_entries_override = max_entries_override;  // deep trees
+    auto tree = RStarTree::Create(pool_.get(), dims, options);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(*tree);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_P(RTreeParamTest, EmptyTreeBasics) {
+  auto tree = MakeTree(2);
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->height(), 1u);
+  int hits = 0;
+  ASSERT_TRUE(tree->Search(Rect({-1e9, -1e9}, {1e9, 1e9}),
+                           [&hits](uint64_t, const Rect&) {
+                             ++hits;
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(hits, 0);
+  auto check = tree->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok) << check->message;
+}
+
+TEST_P(RTreeParamTest, InsertManyAndSearchMatchesBruteForce) {
+  const size_t dims = 3;
+  auto tree = MakeTree(dims);
+  Rng rng(11);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 500; ++i) {
+    Point p = RandomPoint(&rng, dims, 0.0, 100.0);
+    ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+    points.push_back(std::move(p));
+  }
+  EXPECT_EQ(tree->size(), 500u);
+  EXPECT_GT(tree->height(), 1u);
+
+  auto check = tree->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok) << check->message;
+
+  for (int q = 0; q < 25; ++q) {
+    Rect query = tsq::testing::RandomRect(&rng, dims, 0.0, 100.0);
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      if (query.Contains(points[i])) expected.insert(i);
+    }
+    std::set<uint64_t> actual;
+    ASSERT_TRUE(tree->Search(query,
+                             [&actual](uint64_t id, const Rect&) {
+                               actual.insert(id);
+                               return true;
+                             })
+                    .ok());
+    EXPECT_EQ(actual, expected) << "query " << query.ToString();
+  }
+}
+
+TEST_P(RTreeParamTest, RectangleEntriesSearch) {
+  // Rect (non-point) data: overlap semantics.
+  const size_t dims = 2;
+  auto tree = MakeTree(dims);
+  Rng rng(12);
+  std::vector<Rect> rects;
+  for (uint64_t i = 0; i < 300; ++i) {
+    Point lo = RandomPoint(&rng, dims, 0.0, 90.0);
+    Point hi = lo;
+    for (size_t d = 0; d < dims; ++d) hi[d] += rng.Uniform(0.0, 10.0);
+    Rect r(lo, hi);
+    ASSERT_TRUE(tree->Insert(r, i).ok());
+    rects.push_back(std::move(r));
+  }
+  for (int q = 0; q < 20; ++q) {
+    Rect query = tsq::testing::RandomRect(&rng, dims, 0.0, 100.0);
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < rects.size(); ++i) {
+      if (query.Intersects(rects[i])) expected.insert(i);
+    }
+    std::set<uint64_t> actual;
+    ASSERT_TRUE(tree->Search(query,
+                             [&actual](uint64_t id, const Rect&) {
+                               actual.insert(id);
+                               return true;
+                             })
+                    .ok());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(RTreeParamTest, DuplicatePointsAreAllRetrievable) {
+  auto tree = MakeTree(2);
+  const Point p{5.0, 5.0};
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+  }
+  std::set<uint64_t> actual;
+  ASSERT_TRUE(tree->Search(Rect({4.0, 4.0}, {6.0, 6.0}),
+                           [&actual](uint64_t id, const Rect&) {
+                             actual.insert(id);
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(actual.size(), 50u);
+  auto check = tree->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok) << check->message;
+}
+
+TEST_P(RTreeParamTest, SearchEarlyStop) {
+  auto tree = MakeTree(2);
+  Rng rng(13);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree->InsertPoint(RandomPoint(&rng, 2, 0.0, 10.0), i).ok());
+  }
+  int emitted = 0;
+  ASSERT_TRUE(tree->Search(Rect({0.0, 0.0}, {10.0, 10.0}),
+                           [&emitted](uint64_t, const Rect&) {
+                             ++emitted;
+                             return emitted < 5;
+                           })
+                  .ok());
+  EXPECT_EQ(emitted, 5);
+}
+
+TEST_P(RTreeParamTest, RemoveHalfAndInvariantsHold) {
+  const size_t dims = 2;
+  auto tree = MakeTree(dims);
+  Rng rng(14);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 400; ++i) {
+    Point p = RandomPoint(&rng, dims, 0.0, 50.0);
+    ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+    points.push_back(std::move(p));
+  }
+  // Remove every even id.
+  for (uint64_t i = 0; i < 400; i += 2) {
+    auto removed = tree->Remove(Rect::FromPoint(points[i]), i);
+    ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+    EXPECT_TRUE(*removed) << "id " << i;
+  }
+  EXPECT_EQ(tree->size(), 200u);
+  auto check = tree->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok) << check->message;
+
+  // Brute-force parity on the survivors.
+  for (int q = 0; q < 15; ++q) {
+    Rect query = tsq::testing::RandomRect(&rng, dims, 0.0, 50.0);
+    std::set<uint64_t> expected;
+    for (uint64_t i = 1; i < 400; i += 2) {
+      if (query.Contains(points[i])) expected.insert(i);
+    }
+    std::set<uint64_t> actual;
+    ASSERT_TRUE(tree->Search(query,
+                             [&actual](uint64_t id, const Rect&) {
+                               actual.insert(id);
+                               return true;
+                             })
+                    .ok());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(RTreeParamTest, RemoveMissingEntryReturnsFalse) {
+  auto tree = MakeTree(2);
+  ASSERT_TRUE(tree->InsertPoint({1.0, 1.0}, 7).ok());
+  auto removed = tree->Remove(Rect::FromPoint(Point{2.0, 2.0}), 7);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(*removed);
+  removed = tree->Remove(Rect::FromPoint(Point{1.0, 1.0}), 8);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(*removed);
+  EXPECT_EQ(tree->size(), 1u);
+}
+
+TEST_P(RTreeParamTest, RemoveEverything) {
+  auto tree = MakeTree(2);
+  Rng rng(15);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 150; ++i) {
+    Point p = RandomPoint(&rng, 2, 0.0, 20.0);
+    ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+    points.push_back(std::move(p));
+  }
+  for (uint64_t i = 0; i < 150; ++i) {
+    auto removed = tree->Remove(Rect::FromPoint(points[i]), i);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_TRUE(*removed);
+  }
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->height(), 1u);  // shrunk back to a leaf root
+  int hits = 0;
+  ASSERT_TRUE(tree->Search(Rect({-1e9, -1e9}, {1e9, 1e9}),
+                           [&hits](uint64_t, const Rect&) {
+                             ++hits;
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(hits, 0);
+}
+
+// --- transformed search -----------------------------------------------------
+
+TEST_P(RTreeParamTest, TransformedSearchMatchesBruteForce) {
+  // Algorithm 1/2: searching the transformed index == searching the
+  // transformed points.
+  const size_t dims = 2;
+  auto tree = MakeTree(dims);
+  Rng rng(16);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 300; ++i) {
+    Point p = RandomPoint(&rng, dims, -50.0, 50.0);
+    ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+    points.push_back(std::move(p));
+  }
+  for (int q = 0; q < 20; ++q) {
+    AffineMap map({rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0)},
+                  {rng.Uniform(-10.0, 10.0), rng.Uniform(-10.0, 10.0)});
+    Rect query = tsq::testing::RandomRect(&rng, dims, -100.0, 100.0);
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      if (query.Contains(map.Apply(points[i]))) expected.insert(i);
+    }
+    std::set<uint64_t> actual;
+    ASSERT_TRUE(tree->SearchTransformed(map, query,
+                                        [&actual](uint64_t id, const Rect&) {
+                                          actual.insert(id);
+                                          return true;
+                                        })
+                    .ok());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(RTreeParamTest, IdentityTransformEqualsPlainSearch) {
+  // The Figure 8/9 premise: the identity transformation gives the same
+  // answers (and visits the same nodes) as the plain search.
+  const size_t dims = 4;
+  auto tree = MakeTree(dims);
+  Rng rng(17);
+  for (uint64_t i = 0; i < 250; ++i) {
+    ASSERT_TRUE(tree->InsertPoint(RandomPoint(&rng, dims, 0.0, 10.0), i).ok());
+  }
+  const AffineMap identity = AffineMap::Identity(dims);
+  for (int q = 0; q < 10; ++q) {
+    Rect query = tsq::testing::RandomRect(&rng, dims, 0.0, 10.0);
+    std::set<uint64_t> plain;
+    tree->ResetStats();
+    ASSERT_TRUE(tree->Search(query,
+                             [&plain](uint64_t id, const Rect&) {
+                               plain.insert(id);
+                               return true;
+                             })
+                    .ok());
+    const uint64_t plain_nodes = tree->stats().nodes_visited;
+    std::set<uint64_t> transformed;
+    tree->ResetStats();
+    ASSERT_TRUE(tree->SearchTransformed(identity, query,
+                                        [&transformed](uint64_t id,
+                                                       const Rect&) {
+                                          transformed.insert(id);
+                                          return true;
+                                        })
+                    .ok());
+    EXPECT_EQ(plain, transformed);
+    EXPECT_EQ(plain_nodes, tree->stats().nodes_visited);
+    EXPECT_GT(tree->stats().rect_transforms, 0u);
+  }
+}
+
+// --- nearest neighbors --------------------------------------------------------
+
+/// Plain Euclidean MINDIST metric for NN tests.
+class EuclideanMetric final : public NnMetric {
+ public:
+  explicit EuclideanMetric(Point q) : q_(std::move(q)) {}
+  double MinDistSquared(const Rect& rect) const override {
+    return spatial::MinDistSquared(q_, rect);
+  }
+
+ private:
+  Point q_;
+};
+
+TEST_P(RTreeParamTest, NearestNeighborsMatchBruteForce) {
+  const size_t dims = 3;
+  auto tree = MakeTree(dims);
+  Rng rng(18);
+  std::vector<Point> points;
+  for (uint64_t i = 0; i < 400; ++i) {
+    Point p = RandomPoint(&rng, dims, 0.0, 100.0);
+    ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+    points.push_back(std::move(p));
+  }
+  for (int q = 0; q < 10; ++q) {
+    Point query = RandomPoint(&rng, dims, 0.0, 100.0);
+    EuclideanMetric metric(query);
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 9));
+    std::vector<NnResult> got;
+    ASSERT_TRUE(tree->NearestNeighbors(metric, k, nullptr, &got).ok());
+    ASSERT_EQ(got.size(), k);
+
+    std::vector<std::pair<double, uint64_t>> brute;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      brute.emplace_back(spatial::PointDistSquared(query, points[i]), i);
+    }
+    std::sort(brute.begin(), brute.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(got[i].distance, std::sqrt(brute[i].first), 1e-9)
+          << "rank " << i;
+    }
+    // Ascending order.
+    for (size_t i = 1; i < k; ++i) {
+      EXPECT_LE(got[i - 1].distance, got[i].distance + 1e-12);
+    }
+  }
+}
+
+TEST_P(RTreeParamTest, NearestNeighborsStreamEnumeratesAllInOrder) {
+  auto tree = MakeTree(2);
+  Rng rng(19);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree->InsertPoint(RandomPoint(&rng, 2, 0.0, 10.0), i).ok());
+  }
+  EuclideanMetric metric(Point{5.0, 5.0});
+  std::vector<double> dists;
+  ASSERT_TRUE(tree->NearestNeighborsStream(metric, nullptr,
+                                           [&dists](uint64_t, double d) {
+                                             dists.push_back(d);
+                                             return true;
+                                           })
+                  .ok());
+  ASSERT_EQ(dists.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(dists.begin(), dists.end()));
+}
+
+TEST_P(RTreeParamTest, KnnWithMoreThanSizeReturnsAll) {
+  auto tree = MakeTree(2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        tree->InsertPoint({static_cast<double>(i), 0.0}, i).ok());
+  }
+  EuclideanMetric metric(Point{0.0, 0.0});
+  std::vector<NnResult> got;
+  ASSERT_TRUE(tree->NearestNeighbors(metric, 50, nullptr, &got).ok());
+  EXPECT_EQ(got.size(), 5u);
+  EXPECT_EQ(got[0].id, 0u);
+}
+
+// --- persistence -----------------------------------------------------------------
+
+TEST_P(RTreeParamTest, PersistsAcrossReopen) {
+  const size_t dims = 2;
+  Rng rng(20);
+  std::vector<Point> points;
+  PageId meta = kInvalidPageId;
+  {
+    auto tree = MakeTree(dims);
+    for (uint64_t i = 0; i < 200; ++i) {
+      Point p = RandomPoint(&rng, dims, 0.0, 30.0);
+      ASSERT_TRUE(tree->InsertPoint(p, i).ok());
+      points.push_back(std::move(p));
+    }
+    meta = tree->meta_page();
+    ASSERT_TRUE(tree->SaveMeta().ok());
+    ASSERT_TRUE(pool_->FlushAll().ok());
+  }
+  RTreeOptions options;
+  options.split = std::get<0>(GetParam());
+  options.forced_reinsert = std::get<1>(GetParam());
+  options.max_entries_override = 8;
+  auto tree = RStarTree::Open(pool_.get(), meta, options);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ((*tree)->size(), 200u);
+
+  Rect query({5.0, 5.0}, {25.0, 25.0});
+  std::set<uint64_t> expected;
+  for (uint64_t i = 0; i < points.size(); ++i) {
+    if (query.Contains(points[i])) expected.insert(i);
+  }
+  std::set<uint64_t> actual;
+  ASSERT_TRUE((*tree)
+                  ->Search(query,
+                           [&actual](uint64_t id, const Rect&) {
+                             actual.insert(id);
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, RTreeParamTest,
+    ::testing::Combine(::testing::Values(SplitAlgorithm::kRStar,
+                                         SplitAlgorithm::kGuttmanQuadratic,
+                                         SplitAlgorithm::kGuttmanLinear),
+                       ::testing::Bool()));
+
+// --- non-parameterized edge cases ------------------------------------------------
+
+class RTreeEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pf = PageFile::Create(dir_.file("tree.pages"));
+    ASSERT_TRUE(pf.ok());
+    file_ = std::move(*pf);
+    pool_ = std::make_unique<BufferPool>(file_.get(), 64);
+  }
+  TempDir dir_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(RTreeEdgeTest, RejectsDimensionMismatches) {
+  auto tree = RStarTree::Create(pool_.get(), 3, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->InsertPoint({1.0, 2.0}, 0).IsInvalidArgument());
+  EXPECT_TRUE((*tree)
+                  ->Search(Rect({0.0}, {1.0}),
+                           [](uint64_t, const Rect&) { return true; })
+                  .IsInvalidArgument());
+}
+
+TEST_F(RTreeEdgeTest, RejectsEmptyRectAndBadOptions) {
+  auto tree = RStarTree::Create(pool_.get(), 2, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->Insert(Rect::Empty(2), 0).IsInvalidArgument());
+  RTreeOptions bad;
+  bad.reinsert_fraction = 0.9;
+  EXPECT_TRUE(
+      RStarTree::Create(pool_.get(), 2, bad).status().IsInvalidArgument());
+  EXPECT_TRUE(RStarTree::Create(pool_.get(), 0, {}).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(RTreeEdgeTest, OpenRejectsNonMetaPage) {
+  auto tree = RStarTree::Create(pool_.get(), 2, {});
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->InsertPoint({0.0, 0.0}, 0).ok());
+  // Page 2 is the root node, not the meta page.
+  EXPECT_FALSE(RStarTree::Open(pool_.get(), (*tree)->meta_page() + 1, {}).ok());
+}
+
+TEST_F(RTreeEdgeTest, HeightGrowsLogarithmically) {
+  RTreeOptions options;
+  options.max_entries_override = 4;
+  auto tree = RStarTree::Create(pool_.get(), 2, options);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(21);
+  for (uint64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE((*tree)->InsertPoint(RandomPoint(&rng, 2, 0.0, 1.0), i).ok());
+  }
+  // Fanout 4, 256 points: height must be at least 4 and not absurd.
+  EXPECT_GE((*tree)->height(), 4u);
+  EXPECT_LE((*tree)->height(), 10u);
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace tsq
+
+namespace tsq {
+namespace rtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// STR bulk loading
+// ---------------------------------------------------------------------------
+
+class BulkLoadTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    auto pf = PageFile::Create(dir_.file("bulk.pages"));
+    ASSERT_TRUE(pf.ok());
+    file_ = std::move(*pf);
+    pool_ = std::make_unique<BufferPool>(file_.get(), 256);
+  }
+  tsq::testing::TempDir dir_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_P(BulkLoadTest, LoadsAndSearchesExactly) {
+  const size_t count = GetParam();
+  RTreeOptions options;
+  options.max_entries_override = 10;
+  auto tree = RStarTree::Create(pool_.get(), 3, options).value();
+
+  Rng rng(count + 5);
+  std::vector<Entry> entries;
+  std::vector<spatial::Point> points;
+  for (uint64_t i = 0; i < count; ++i) {
+    spatial::Point p = tsq::testing::RandomPoint(&rng, 3, 0.0, 100.0);
+    Entry e;
+    e.rect = spatial::Rect::FromPoint(p);
+    e.id = i;
+    entries.push_back(e);
+    points.push_back(std::move(p));
+  }
+  ASSERT_TRUE(tree->BulkLoad(entries).ok());
+  EXPECT_EQ(tree->size(), count);
+
+  auto check = tree->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok) << check->message;
+
+  for (int q = 0; q < 10; ++q) {
+    spatial::Rect query = tsq::testing::RandomRect(&rng, 3, 0.0, 100.0);
+    std::set<uint64_t> expected;
+    for (uint64_t i = 0; i < count; ++i) {
+      if (query.Contains(points[i])) expected.insert(i);
+    }
+    std::set<uint64_t> actual;
+    ASSERT_TRUE(tree->Search(query,
+                             [&actual](uint64_t id, const spatial::Rect&) {
+                               actual.insert(id);
+                               return true;
+                             })
+                    .ok());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadTest,
+                         ::testing::Values(0, 1, 5, 10, 11, 100, 1000, 5000));
+
+TEST(BulkLoadEdgeTest, RequiresEmptyTreeAndValidEntries) {
+  tsq::testing::TempDir dir;
+  auto file = PageFile::Create(dir.file("b.pages")).value();
+  BufferPool pool(file.get(), 64);
+  auto tree = RStarTree::Create(&pool, 2, {}).value();
+  ASSERT_TRUE(tree->InsertPoint({1.0, 1.0}, 0).ok());
+
+  Entry e;
+  e.rect = spatial::Rect::FromPoint(spatial::Point{2.0, 2.0});
+  e.id = 1;
+  EXPECT_TRUE(tree->BulkLoad({e}).IsFailedPrecondition());
+
+  auto tree2 = RStarTree::Create(&pool, 2, {}).value();
+  Entry bad;
+  bad.rect = spatial::Rect::FromPoint(spatial::Point{1.0});  // wrong dims
+  EXPECT_TRUE(tree2->BulkLoad({bad}).IsInvalidArgument());
+  Entry empty_rect;
+  empty_rect.rect = spatial::Rect::Empty(2);
+  EXPECT_TRUE(tree2->BulkLoad({empty_rect}).IsInvalidArgument());
+}
+
+TEST(BulkLoadEdgeTest, InsertAndRemoveWorkAfterBulkLoad) {
+  tsq::testing::TempDir dir;
+  auto file = PageFile::Create(dir.file("b.pages")).value();
+  BufferPool pool(file.get(), 128);
+  RTreeOptions options;
+  options.max_entries_override = 8;
+  auto tree = RStarTree::Create(&pool, 2, options).value();
+
+  Rng rng(8);
+  std::vector<Entry> entries;
+  std::vector<spatial::Point> points;
+  for (uint64_t i = 0; i < 500; ++i) {
+    spatial::Point p = tsq::testing::RandomPoint(&rng, 2, 0.0, 50.0);
+    Entry e;
+    e.rect = spatial::Rect::FromPoint(p);
+    e.id = i;
+    entries.push_back(e);
+    points.push_back(std::move(p));
+  }
+  ASSERT_TRUE(tree->BulkLoad(entries).ok());
+
+  // Post-load mutations.
+  for (uint64_t i = 500; i < 600; ++i) {
+    ASSERT_TRUE(
+        tree->InsertPoint(tsq::testing::RandomPoint(&rng, 2, 0.0, 50.0), i)
+            .ok());
+  }
+  for (uint64_t i = 0; i < 500; i += 3) {
+    auto removed = tree->Remove(spatial::Rect::FromPoint(points[i]), i);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_TRUE(*removed);
+  }
+  auto check = tree->CheckInvariants();
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok) << check->message;
+}
+
+TEST(BulkLoadEdgeTest, BulkLoadedDatabaseMatchesIncremental) {
+  tsq::testing::TempDir dir;
+  auto data = tsq::workload::MakeRandomWalkDataset(313, 400, 64);
+
+  auto build = [&](bool bulk) {
+    DatabaseOptions options;
+    options.directory = dir.path();
+    options.name = bulk ? "bulk" : "incr";
+    options.bulk_load = bulk;
+    auto db = Database::Create(options).value();
+    for (const TimeSeries& s : data) {
+      EXPECT_TRUE(db->Insert(s.name(), s.values()).ok());
+    }
+    EXPECT_TRUE(db->BuildIndex().ok());
+    return db;
+  };
+  auto bulk_db = build(true);
+  auto incr_db = build(false);
+
+  Rng rng(9);
+  for (double eps : {0.5, 3.0, 9.0}) {
+    const RealVec query = tsq::workload::RandomWalkSeries(&rng, 64, {});
+    auto a = bulk_db->RangeQuery(query, eps).value();
+    auto b = incr_db->RangeQuery(query, eps).value();
+    ASSERT_EQ(a.size(), b.size()) << "eps=" << eps;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_NEAR(a[i].distance, b[i].distance, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace tsq

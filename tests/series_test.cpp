@@ -1,0 +1,331 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the time-series kernel: statistics, distances (including the
+// early-abandon kernels), both moving-average variants, the normal form,
+// and time warping. Includes the paper's Figure 1 numbers as golden values.
+
+#include <cmath>
+#include <optional>
+
+#include "common/random.h"
+#include "dft/dft.h"
+#include "gtest/gtest.h"
+#include "series/distance.h"
+#include "series/moving_average.h"
+#include "series/normal_form.h"
+#include "series/time_series.h"
+#include "series/warp.h"
+#include "test_util.h"
+#include "workload/paper_data.h"
+
+namespace tsq {
+namespace {
+
+using testing::ExpectRealNear;
+using testing::RandomRealVec;
+
+// ---------------------------------------------------------------------------
+// TimeSeries
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries s({1.0, 2.0, 3.0}, "abc");
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 2.0);
+  EXPECT_EQ(s.name(), "abc");
+  s.set_name("xyz");
+  EXPECT_EQ(s.name(), "xyz");
+  EXPECT_EQ(s.Min(), 1.0);
+  EXPECT_EQ(s.Max(), 3.0);
+}
+
+TEST(TimeSeriesTest, Statistics) {
+  TimeSeries s({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.Mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), 2.0, 1e-12);  // classic population-sd example
+  EXPECT_NEAR(s.Energy(), 4 + 16 * 3 + 25 * 2 + 49 + 81, 1e-12);
+}
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Distances
+// ---------------------------------------------------------------------------
+
+TEST(DistanceTest, EuclideanBasics) {
+  RealVec x = {0.0, 3.0};
+  RealVec y = {4.0, 0.0};
+  EXPECT_NEAR(EuclideanDistance(x, y), 5.0, 1e-12);
+  EXPECT_NEAR(SquaredEuclideanDistance(x, y), 25.0, 1e-12);
+  EXPECT_NEAR(CityBlockDistance(x, y), 7.0, 1e-12);
+  EXPECT_EQ(EuclideanDistance(x, x), 0.0);
+}
+
+TEST(DistanceTest, PaperFigure1Distance) {
+  // "the high Euclidean distance D(s1, s2) = 11.92" (Example 1.1).
+  const TimeSeries s1 = workload::paper::Fig1SeriesS1();
+  const TimeSeries s2 = workload::paper::Fig1SeriesS2();
+  EXPECT_NEAR(EuclideanDistance(s1, s2), 11.92, 0.005);
+}
+
+TEST(DistanceTest, TriangleInequalityProperty) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    RealVec a = RandomRealVec(&rng, 32);
+    RealVec b = RandomRealVec(&rng, 32);
+    RealVec c = RandomRealVec(&rng, 32);
+    EXPECT_LE(EuclideanDistance(a, c),
+              EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-9);
+  }
+}
+
+class EarlyAbandonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EarlyAbandonTest, AgreesWithFullDistance) {
+  const double threshold = GetParam();
+  Rng rng(static_cast<uint64_t>(threshold * 1000) + 17);
+  for (int trial = 0; trial < 100; ++trial) {
+    RealVec x = RandomRealVec(&rng, 48, -2.0, 2.0);
+    RealVec y = RandomRealVec(&rng, 48, -2.0, 2.0);
+    const double full = EuclideanDistance(x, y);
+    std::optional<double> got = EarlyAbandonEuclidean(x, y, threshold);
+    if (full <= threshold) {
+      ASSERT_TRUE(got.has_value()) << "full=" << full;
+      EXPECT_NEAR(*got, full, 1e-9);
+    } else {
+      EXPECT_FALSE(got.has_value()) << "full=" << full;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, EarlyAbandonTest,
+                         ::testing::Values(0.0, 1.0, 5.0, 10.0, 14.0, 30.0));
+
+TEST(EarlyAbandonTest, ComplexVectorVariant) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    ComplexVec x = testing::RandomComplexVec(&rng, 32, -2.0, 2.0);
+    ComplexVec y = testing::RandomComplexVec(&rng, 32, -2.0, 2.0);
+    const double full = cvec::Distance(x, y);
+    std::optional<double> got = EarlyAbandonEuclidean(x, y, full + 0.001);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_NEAR(*got, full, 1e-9);
+    EXPECT_FALSE(EarlyAbandonEuclidean(x, y, full - 0.001).has_value() &&
+                 full > 0.001);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Moving averages
+// ---------------------------------------------------------------------------
+
+TEST(MovingAverageTest, PaperFigure1MovingAverageDistance) {
+  // "The Euclidean distance between the three-day moving averages of two
+  // sequences is 0.47" (Example 1.1) — with the paper's circular variant.
+  const TimeSeries s1 = workload::paper::Fig1SeriesS1();
+  const TimeSeries s2 = workload::paper::Fig1SeriesS2();
+  const RealVec m1 = CircularMovingAverage(s1.values(), 3);
+  const RealVec m2 = CircularMovingAverage(s2.values(), 3);
+  EXPECT_NEAR(EuclideanDistance(m1, m2), 0.4714, 0.001);
+}
+
+TEST(MovingAverageTest, CircularEqualsKernelConvolution) {
+  // The definitional identity behind Tmavg (Sec. 3.2): circular MA ==
+  // circular convolution with the (1/l,...,1/l,0,...) kernel.
+  Rng rng(23);
+  for (size_t window : {1u, 2u, 3u, 5u, 20u}) {
+    RealVec x = RandomRealVec(&rng, 32);
+    ExpectRealNear(
+        CircularMovingAverage(x, window),
+        dft::CircularConvolution(x, MovingAverageKernel(32, window)), 1e-9);
+  }
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  Rng rng(24);
+  RealVec x = RandomRealVec(&rng, 10);
+  ExpectRealNear(CircularMovingAverage(x, 1), x, 1e-12);
+  ExpectRealNear(TruncatingMovingAverage(x, 1), x, 1e-12);
+}
+
+TEST(MovingAverageTest, FullWindowIsGlobalMean) {
+  RealVec x = {1.0, 2.0, 3.0, 4.0};
+  RealVec ma = CircularMovingAverage(x, 4);
+  for (double v : ma) EXPECT_NEAR(v, 2.5, 1e-12);
+}
+
+TEST(MovingAverageTest, TruncatingLengthAndValues) {
+  RealVec x = {1, 2, 3, 4, 5};
+  RealVec ma = TruncatingMovingAverage(x, 3);
+  ASSERT_EQ(ma.size(), 3u);
+  EXPECT_NEAR(ma[0], 2.0, 1e-12);
+  EXPECT_NEAR(ma[1], 3.0, 1e-12);
+  EXPECT_NEAR(ma[2], 4.0, 1e-12);
+}
+
+TEST(MovingAverageTest, CircularMatchesTruncatingAwayFromWrap) {
+  // The paper argues both variants "are almost the same" for small windows;
+  // in the non-wrapped region they agree exactly (up to alignment): the
+  // circular trailing MA at position i equals the truncating MA at i-l+1.
+  Rng rng(25);
+  RealVec x = RandomRealVec(&rng, 64);
+  const size_t l = 5;
+  RealVec circ = CircularMovingAverage(x, l);
+  RealVec trunc = TruncatingMovingAverage(x, l);
+  for (size_t i = l - 1; i < x.size(); ++i) {
+    EXPECT_NEAR(circ[i], trunc[i - l + 1], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(MovingAverageTest, WeightedReducesToUniform) {
+  Rng rng(26);
+  RealVec x = RandomRealVec(&rng, 20);
+  RealVec w(4, 0.25);
+  ExpectRealNear(CircularWeightedMovingAverage(x, w),
+                 CircularMovingAverage(x, 4), 1e-9);
+}
+
+TEST(MovingAverageTest, WeightedTrailingWeights) {
+  // weights (1, 0, 0): out[i] = x[i]; weights (0, 1, 0): out[i] = x[i-1].
+  RealVec x = {1, 2, 3, 4};
+  ExpectRealNear(CircularWeightedMovingAverage(x, {1, 0, 0}), x, 1e-12);
+  RealVec lagged = CircularWeightedMovingAverage(x, {0, 1, 0});
+  ExpectRealNear(lagged, {4, 1, 2, 3}, 1e-12);
+}
+
+TEST(MovingAverageTest, SuccessiveApplication) {
+  Rng rng(27);
+  RealVec x = RandomRealVec(&rng, 30);
+  RealVec twice = CircularMovingAverage(CircularMovingAverage(x, 7), 7);
+  ExpectRealNear(SuccessiveCircularMovingAverage(x, 7, 2), twice, 1e-9);
+  ExpectRealNear(SuccessiveCircularMovingAverage(x, 7, 0), x, 1e-12);
+}
+
+TEST(MovingAverageTest, SmoothingShrinksDistancesOfNoisyTwins) {
+  // Example 1.1's moral: two series equal up to noise get much closer
+  // after smoothing.
+  Rng rng(28);
+  RealVec base = RandomRealVec(&rng, 128, 0.0, 1.0);
+  RealVec a(128);
+  RealVec b(128);
+  for (size_t i = 0; i < 128; ++i) {
+    a[i] = base[i] + rng.Uniform(-1.0, 1.0);
+    b[i] = base[i] + rng.Uniform(-1.0, 1.0);
+  }
+  const double before = EuclideanDistance(a, b);
+  const double after = EuclideanDistance(CircularMovingAverage(a, 20),
+                                         CircularMovingAverage(b, 20));
+  EXPECT_LT(after, before / 2.0);
+}
+
+TEST(MovingAverageTest, PreservesMean) {
+  Rng rng(29);
+  TimeSeries x(RandomRealVec(&rng, 50), "x");
+  TimeSeries ma = CircularMovingAverage(x, 9);
+  EXPECT_NEAR(ma.Mean(), x.Mean(), 1e-9);
+  EXPECT_EQ(ma.name(), "x");
+}
+
+// ---------------------------------------------------------------------------
+// Normal form
+// ---------------------------------------------------------------------------
+
+TEST(NormalFormTest, ZeroMeanUnitStd) {
+  Rng rng(35);
+  RealVec x = RandomRealVec(&rng, 40, 5.0, 25.0);
+  NormalForm nf = ToNormalForm(x);
+  TimeSeries normalized(nf.normalized);
+  EXPECT_NEAR(normalized.Mean(), 0.0, 1e-9);
+  EXPECT_NEAR(normalized.StdDev(), 1.0, 1e-9);
+}
+
+TEST(NormalFormTest, RoundTripReconstruction) {
+  Rng rng(36);
+  RealVec x = RandomRealVec(&rng, 40);
+  ExpectRealNear(FromNormalForm(ToNormalForm(x)), x, 1e-9);
+}
+
+TEST(NormalFormTest, FlatSeriesConvention) {
+  RealVec flat(10, 4.2);
+  NormalForm nf = ToNormalForm(flat);
+  EXPECT_EQ(nf.std, 0.0);
+  EXPECT_NEAR(nf.mean, 4.2, 1e-12);
+  for (double v : nf.normalized) EXPECT_EQ(v, 0.0);
+  ExpectRealNear(FromNormalForm(nf), flat, 1e-12);
+}
+
+TEST(NormalFormTest, ShiftAndScaleInvariance) {
+  // The [GK95] point: normal forms are invariant under v -> a*v + b, a > 0.
+  Rng rng(37);
+  RealVec x = RandomRealVec(&rng, 64);
+  RealVec y(64);
+  for (size_t i = 0; i < 64; ++i) y[i] = 3.7 * x[i] - 11.0;
+  EXPECT_NEAR(NormalFormDistance(x, y), 0.0, 1e-9);
+}
+
+TEST(NormalFormTest, NegativeScaleFlips) {
+  Rng rng(38);
+  RealVec x = RandomRealVec(&rng, 64);
+  RealVec y(64);
+  for (size_t i = 0; i < 64; ++i) y[i] = -x[i];
+  NormalForm nx = ToNormalForm(x);
+  NormalForm ny = ToNormalForm(y);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(ny.normalized[i], -nx.normalized[i], 1e-9);
+  }
+}
+
+TEST(NormalFormTest, FirstDftCoefficientIsZero) {
+  // Sec. 5: "the mean of a normal form series is zero by definition, [so]
+  // the first Fourier coefficient is always zero".
+  Rng rng(39);
+  NormalForm nf = ToNormalForm(RandomRealVec(&rng, 32, 10.0, 90.0));
+  ComplexVec spec = dft::Forward(nf.normalized);
+  EXPECT_NEAR(std::abs(spec[0]), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Time warping (time domain)
+// ---------------------------------------------------------------------------
+
+TEST(WarpTest, StretchBasics) {
+  RealVec p = {20, 21, 20, 23};
+  RealVec s = StretchTime(p, 2);
+  ExpectRealNear(s, {20, 20, 21, 21, 20, 20, 23, 23}, 1e-12);
+  ExpectRealNear(StretchTime(p, 1), p, 1e-12);
+}
+
+TEST(WarpTest, PaperFigure2WarpMakesSeriesIdentical) {
+  // Example 1.2: "if the time dimension of ~p is scaled by 2 ... the
+  // resulting sequence will be identical to ~s".
+  const TimeSeries p = workload::paper::Fig2SeriesP();
+  const TimeSeries s = workload::paper::Fig2SeriesS();
+  ExpectRealNear(StretchTime(p.values(), 2), s.values(), 1e-12);
+}
+
+TEST(WarpTest, CompressInvertsStretch) {
+  Rng rng(44);
+  RealVec x = RandomRealVec(&rng, 25);
+  for (size_t m : {1u, 2u, 3u, 5u}) {
+    ExpectRealNear(CompressTime(StretchTime(x, m), m), x, 1e-12);
+  }
+}
+
+TEST(WarpTest, StretchPreservesMeanAndRange) {
+  Rng rng(45);
+  TimeSeries x(RandomRealVec(&rng, 16), "w");
+  TimeSeries s = StretchTime(x, 3);
+  EXPECT_EQ(s.length(), 48u);
+  EXPECT_NEAR(s.Mean(), x.Mean(), 1e-9);
+  EXPECT_EQ(s.Min(), x.Min());
+  EXPECT_EQ(s.Max(), x.Max());
+}
+
+}  // namespace
+}  // namespace tsq

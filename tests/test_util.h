@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Shared helpers for the tsq test suite.
+
+#ifndef TSQ_TESTS_TEST_UTIL_H_
+#define TSQ_TESTS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dft/complex_vec.h"
+#include "gtest/gtest.h"
+#include "spatial/point.h"
+#include "spatial/rect.h"
+
+namespace tsq {
+namespace testing {
+
+/// A unique temporary directory, removed at destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string tag = "tsq";
+    if (info != nullptr) {
+      tag = std::string(info->test_suite_name()) + "_" + info->name();
+      for (char& c : tag) {
+        if (c == '/' || c == '\\') c = '_';
+      }
+    }
+    path_ = std::filesystem::temp_directory_path() /
+            (tag + "_" + std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  std::string path() const { return path_.string(); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+/// Random vector helpers (deterministic via the seeded Rng).
+inline RealVec RandomRealVec(Rng* rng, size_t n, double lo = -10.0,
+                             double hi = 10.0) {
+  RealVec out(n);
+  for (double& v : out) v = rng->Uniform(lo, hi);
+  return out;
+}
+
+inline ComplexVec RandomComplexVec(Rng* rng, size_t n, double lo = -10.0,
+                                   double hi = 10.0) {
+  ComplexVec out(n);
+  for (Complex& c : out) {
+    c = Complex(rng->Uniform(lo, hi), rng->Uniform(lo, hi));
+  }
+  return out;
+}
+
+inline spatial::Point RandomPoint(Rng* rng, size_t dims, double lo = -100.0,
+                                  double hi = 100.0) {
+  spatial::Point p(dims);
+  for (double& v : p) v = rng->Uniform(lo, hi);
+  return p;
+}
+
+inline spatial::Rect RandomRect(Rng* rng, size_t dims, double lo = -100.0,
+                                double hi = 100.0) {
+  spatial::Point a = RandomPoint(rng, dims, lo, hi);
+  spatial::Point b = RandomPoint(rng, dims, lo, hi);
+  for (size_t d = 0; d < dims; ++d) {
+    if (a[d] > b[d]) std::swap(a[d], b[d]);
+  }
+  return spatial::Rect(std::move(a), std::move(b));
+}
+
+/// EXPECT helper: complex vectors elementwise close.
+inline void ExpectComplexNear(const ComplexVec& actual,
+                              const ComplexVec& expected, double tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i].real(), expected[i].real(), tol) << "at index " << i;
+    EXPECT_NEAR(actual[i].imag(), expected[i].imag(), tol) << "at index " << i;
+  }
+}
+
+/// EXPECT helper: real vectors elementwise close.
+inline void ExpectRealNear(const RealVec& actual, const RealVec& expected,
+                           double tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << "at index " << i;
+  }
+}
+
+}  // namespace testing
+}  // namespace tsq
+
+#endif  // TSQ_TESTS_TEST_UTIL_H_

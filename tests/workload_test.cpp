@@ -1,0 +1,279 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the workload generators: the paper's synthetic random walk
+// (Sec. 5), the stock-market simulator (including the planted-pair
+// behaviours the Table 1 join relies on), and the paper's literal example
+// data with its printed distances — plus the Sec. 2 example pipelines on
+// the simulated stand-in pairs.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "series/distance.h"
+#include "series/moving_average.h"
+#include "series/normal_form.h"
+#include "series/warp.h"
+#include "test_util.h"
+#include "workload/paper_data.h"
+#include "workload/random_walk.h"
+#include "workload/stock_sim.h"
+
+namespace tsq {
+namespace workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random walk
+// ---------------------------------------------------------------------------
+
+TEST(RandomWalkTest, RespectsStartAndStepBounds) {
+  Rng rng(1);
+  RandomWalkOptions opts;
+  for (int trial = 0; trial < 50; ++trial) {
+    RealVec x = RandomWalkSeries(&rng, 100, opts);
+    ASSERT_EQ(x.size(), 100u);
+    EXPECT_GE(x[0], 20.0);
+    EXPECT_LE(x[0], 99.0);
+    for (size_t i = 1; i < x.size(); ++i) {
+      EXPECT_LE(std::abs(x[i] - x[i - 1]), 4.0 + 1e-12);
+    }
+  }
+}
+
+TEST(RandomWalkTest, TruncatedNormalStartStaysInRange) {
+  Rng rng(2);
+  RandomWalkOptions opts;
+  opts.start = StartDistribution::kTruncatedNormal;
+  for (int trial = 0; trial < 100; ++trial) {
+    RealVec x = RandomWalkSeries(&rng, 4, opts);
+    EXPECT_GE(x[0], 20.0);
+    EXPECT_LE(x[0], 99.0);
+  }
+}
+
+TEST(RandomWalkTest, DatasetIsDeterministicPerSeed) {
+  auto a = MakeRandomWalkDataset(7, 10, 32);
+  auto b = MakeRandomWalkDataset(7, 10, 32);
+  auto c = MakeRandomWalkDataset(8, 10, 32);
+  ASSERT_EQ(a.size(), 10u);
+  EXPECT_EQ(a[3].values(), b[3].values());
+  EXPECT_NE(a[3].values(), c[3].values());
+  EXPECT_EQ(a[0].name(), "RW000000");
+  EXPECT_EQ(a[9].name(), "RW000009");
+}
+
+TEST(RandomWalkTest, SeriesAreDiverse) {
+  auto data = MakeRandomWalkDataset(9, 50, 64);
+  // No two series identical; pairwise distances are nontrivial.
+  double min_dist = 1e18;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      min_dist = std::min(
+          min_dist, EuclideanDistance(data[i].values(), data[j].values()));
+    }
+  }
+  EXPECT_GT(min_dist, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stock market simulator
+// ---------------------------------------------------------------------------
+
+TEST(StockSimTest, GeneratesRequestedShape) {
+  StockMarketOptions opts;
+  opts.num_series = 200;
+  opts.length = 64;
+  auto market = MakeStockMarket(3, opts);
+  ASSERT_EQ(market.size(), 200u);
+  for (const TimeSeries& s : market) {
+    ASSERT_EQ(s.length(), 64u);
+    EXPECT_GT(s.Min(), 0.0);  // prices stay positive
+  }
+  EXPECT_EQ(market[0].name(), "SIMa0000");
+  EXPECT_EQ(market[1].name(), "SIMb0000");
+}
+
+TEST(StockSimTest, DefaultMatchesPaperDataSetShape) {
+  auto market = MakeStockMarket(4);
+  EXPECT_EQ(market.size(), 1067u);  // the paper's relation size
+  EXPECT_EQ(market[0].length(), 128u);
+}
+
+TEST(StockSimTest, DeterministicPerSeed) {
+  StockMarketOptions opts;
+  opts.num_series = 50;
+  auto a = MakeStockMarket(5, opts);
+  auto b = MakeStockMarket(5, opts);
+  EXPECT_EQ(a[20].values(), b[20].values());
+}
+
+TEST(StockSimTest, PlantedSimilarPairsAreCloseAfterSmoothing) {
+  StockMarketOptions opts;
+  opts.num_series = 100;
+  opts.similar_pairs = 5;
+  opts.opposite_pairs = 0;
+  auto market = MakeStockMarket(6, opts);
+  // For each planted pair, the normal-form + 20-day-MA distance must be
+  // small compared to a random pair's.
+  double planted_max = 0.0;
+  for (size_t p = 0; p < 5; ++p) {
+    const RealVec a = SuccessiveCircularMovingAverage(
+        ToNormalForm(market[2 * p].values()).normalized, 20, 1);
+    const RealVec b = SuccessiveCircularMovingAverage(
+        ToNormalForm(market[2 * p + 1].values()).normalized, 20, 1);
+    planted_max = std::max(planted_max, EuclideanDistance(a, b));
+  }
+  // Random (non-planted) pairs for contrast.
+  double random_min = 1e18;
+  for (size_t i = 10; i < 30; i += 2) {
+    const RealVec a = SuccessiveCircularMovingAverage(
+        ToNormalForm(market[i].values()).normalized, 20, 1);
+    const RealVec b = SuccessiveCircularMovingAverage(
+        ToNormalForm(market[i + 1].values()).normalized, 20, 1);
+    random_min = std::min(random_min, EuclideanDistance(a, b));
+  }
+  EXPECT_LT(planted_max, random_min);
+  EXPECT_LT(planted_max, 2.0);
+}
+
+TEST(StockSimTest, PlantedOppositePairsReverseCorrectly) {
+  StockMarketOptions opts;
+  opts.num_series = 100;
+  opts.similar_pairs = 0;
+  opts.opposite_pairs = 5;
+  auto market = MakeStockMarket(7, opts);
+  for (size_t p = 0; p < 5; ++p) {
+    const RealVec nfa = ToNormalForm(market[2 * p].values()).normalized;
+    RealVec nfb = ToNormalForm(market[2 * p + 1].values()).normalized;
+    const double straight =
+        EuclideanDistance(CircularMovingAverage(nfa, 20),
+                          CircularMovingAverage(nfb, 20));
+    for (double& v : nfb) v = -v;  // reverse
+    const double reversed =
+        EuclideanDistance(CircularMovingAverage(nfa, 20),
+                          CircularMovingAverage(nfb, 20));
+    EXPECT_LT(reversed, straight / 2.0) << "pair " << p;
+  }
+}
+
+TEST(StockSimTest, RejectsImpossiblePlantCounts) {
+  StockMarketOptions opts;
+  opts.num_series = 5;
+  opts.similar_pairs = 2;
+  opts.opposite_pairs = 2;  // needs 8 slots > 5
+  EXPECT_DEATH(MakeStockMarket(8, opts), "too small");
+}
+
+// ---------------------------------------------------------------------------
+// Paper example data (exact)
+// ---------------------------------------------------------------------------
+
+TEST(PaperDataTest, Figure1SequencesAndDistances) {
+  const TimeSeries s1 = paper::Fig1SeriesS1();
+  const TimeSeries s2 = paper::Fig1SeriesS2();
+  ASSERT_EQ(s1.length(), 15u);
+  ASSERT_EQ(s2.length(), 15u);
+  EXPECT_EQ(s1[0], 36.0);
+  EXPECT_EQ(s2[0], 40.0);
+  // Example 1.1's two printed distances.
+  EXPECT_NEAR(EuclideanDistance(s1, s2), 11.92, 0.005);
+  EXPECT_NEAR(EuclideanDistance(CircularMovingAverage(s1.values(), 3),
+                                CircularMovingAverage(s2.values(), 3)),
+              0.47, 0.005);
+}
+
+TEST(PaperDataTest, Figure2WarpIdentity) {
+  const TimeSeries p = paper::Fig2SeriesP();
+  const TimeSeries s = paper::Fig2SeriesS();
+  ASSERT_EQ(p.length(), 4u);
+  ASSERT_EQ(s.length(), 8u);
+  EXPECT_EQ(StretchTime(p.values(), 2), s.values());
+}
+
+TEST(PaperDataTest, Figure2SubsequenceDistanceClaim) {
+  // "The Euclidean distance between ~p and any subsequence of length four
+  // of ~s is more than 1.41."
+  const RealVec p = paper::Fig2SeriesP().values();
+  const RealVec s = paper::Fig2SeriesS().values();
+  for (size_t off = 0; off + 4 <= s.size(); ++off) {
+    const RealVec sub(s.begin() + static_cast<ptrdiff_t>(off),
+                      s.begin() + static_cast<ptrdiff_t>(off + 4));
+    EXPECT_GT(EuclideanDistance(p, sub), 1.41 - 1e-9) << "offset " << off;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sec. 2 example pipelines on the simulated stand-ins
+// ---------------------------------------------------------------------------
+
+TEST(PaperDataTest, TrendingPairPipelineShrinksDistance) {
+  // Ex. 2.1 shape: original >> shifted > scaled(normal form) >> 20-day MA.
+  auto [a, b] = paper::TrendingPair();
+  const double original = EuclideanDistance(a, b);
+  RealVec sa = a.values();
+  RealVec sb = b.values();
+  const double mean_a = a.Mean();
+  const double mean_b = b.Mean();
+  for (double& v : sa) v -= mean_a;
+  for (double& v : sb) v -= mean_b;
+  const double shifted = EuclideanDistance(sa, sb);
+  const RealVec na = ToNormalForm(a.values()).normalized;
+  const RealVec nb = ToNormalForm(b.values()).normalized;
+  const double normalized = EuclideanDistance(na, nb);
+  const double smoothed = EuclideanDistance(CircularMovingAverage(na, 20),
+                                            CircularMovingAverage(nb, 20));
+  EXPECT_LT(shifted, original);
+  EXPECT_LT(smoothed, normalized);
+  EXPECT_LT(smoothed, original / 4.0);  // the big drop the example shows
+}
+
+TEST(PaperDataTest, OppositePairPipelineNeedsReversal) {
+  // Ex. 2.2 shape: normal form helps, reversal + smoothing collapses it.
+  auto [a, b] = paper::OppositePair();
+  const double original = EuclideanDistance(a, b);
+  const RealVec na = ToNormalForm(a.values()).normalized;
+  RealVec nb = ToNormalForm(b.values()).normalized;
+  const double normalized = EuclideanDistance(na, nb);
+  for (double& v : nb) v = -v;
+  const double reversed = EuclideanDistance(na, nb);
+  const double smoothed = EuclideanDistance(CircularMovingAverage(na, 20),
+                                            CircularMovingAverage(nb, 20));
+  EXPECT_LT(normalized, original);
+  EXPECT_LT(reversed, normalized);
+  EXPECT_LT(smoothed, reversed + 1e-9);
+  EXPECT_LT(smoothed, original / 8.0);
+}
+
+TEST(PaperDataTest, DissimilarPairStaysFar) {
+  // Ex. 2.3 shape: smoothing keeps reducing the distance slightly but the
+  // pair never becomes close — "two series that have dissimilar trends
+  // still look different".
+  auto [a, b] = paper::DissimilarPair();
+  const RealVec na = ToNormalForm(a.values()).normalized;
+  const RealVec nb = ToNormalForm(b.values()).normalized;
+  const double normalized = EuclideanDistance(na, nb);
+  double prev = normalized;
+  RealVec sa = na;
+  RealVec sb = nb;
+  for (int round = 1; round <= 10; ++round) {
+    sa = CircularMovingAverage(sa, 20);
+    sb = CircularMovingAverage(sb, 20);
+    const double d = EuclideanDistance(sa, sb);
+    EXPECT_LE(d, prev + 1e-9) << "round " << round;
+    prev = d;
+  }
+  // Even the 10th moving average leaves them clearly apart (paper: 6.57
+  // from 11.06; we require the same "more than half remains" shape).
+  EXPECT_GT(prev, normalized / 2.5);
+}
+
+TEST(PaperDataTest, StandInsAreDeterministic) {
+  auto [a1, b1] = paper::TrendingPair();
+  auto [a2, b2] = paper::TrendingPair();
+  EXPECT_EQ(a1.values(), a2.values());
+  EXPECT_EQ(b1.values(), b2.values());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace tsq

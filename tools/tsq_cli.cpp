@@ -1,0 +1,346 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// tsq command-line tool: create a similarity-searchable database from a
+// CSV of time series and query it — the artifact a downstream user runs
+// without writing C++.
+//
+// Usage:
+//   tsq_cli create  --db DIR/NAME --csv FILE
+//   tsq_cli info    --db DIR/NAME
+//   tsq_cli range   --db DIR/NAME --series NAME --eps X
+//                   [--transform mavg:20 | ewma:0.3:20 | reverse | identity]
+//                   [--mode both|data]
+//   tsq_cli knn     --db DIR/NAME --series NAME --k K [--transform ...]
+//   tsq_cli join    --db DIR/NAME --eps X [--transform ...]
+//                   [--method scan|scan-fast|index|index-transform|tree]
+//   tsq_cli demo    --db DIR/NAME [--count N] [--days D]   (simulated market)
+//
+// --db takes "directory/name"; files NAME.rel / NAME.idx are stored in the
+// directory. --series names a stored series to use as the query point.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <sstream>
+#include <vector>
+
+#include "tsq.h"
+#include "workload/csv.h"
+
+namespace {
+
+using namespace tsq;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const char* Get(const std::string& key) const {
+    auto it = options.find(key);
+    return it == options.end() ? nullptr : it->second.c_str();
+  }
+  std::string GetOr(const std::string& key, const std::string& fallback) const {
+    const char* v = Get(key);
+    return v == nullptr ? fallback : v;
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tsq_cli create --db DIR/NAME --csv FILE\n"
+      "  tsq_cli info   --db DIR/NAME\n"
+      "  tsq_cli range  --db DIR/NAME --series NAME --eps X [--transform T] "
+      "[--mode both|data]\n"
+      "  tsq_cli knn    --db DIR/NAME --series NAME --k K [--transform T]\n"
+      "  tsq_cli join   --db DIR/NAME --eps X [--transform T] [--method M]\n"
+      "  tsq_cli demo   --db DIR/NAME [--count N] [--days D]\n"
+      "transforms: identity | mavg:W | ewma:ALPHA:W | reverse | scale:F | "
+      "shift:D\n"
+      "join methods: scan | scan-fast | index | index-transform | tree\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return false;
+    out->options[argv[i] + 2] = argv[i + 1];
+  }
+  return true;
+}
+
+/// Splits "dir/name" into DatabaseOptions directory + name.
+bool SplitDbPath(const std::string& path, DatabaseOptions* options) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    options->directory = ".";
+    options->name = path;
+  } else {
+    options->directory = path.substr(0, slash);
+    options->name = path.substr(slash + 1);
+  }
+  return !options->name.empty();
+}
+
+/// Parses "mavg:20", "ewma:0.3:20", "reverse", "scale:2", "shift:5",
+/// "identity".
+Result<FeatureTransform> ParseTransform(const std::string& spec, size_t n) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::stringstream stream(spec);
+  while (std::getline(stream, part, ':')) parts.push_back(part);
+  if (parts.empty()) return Status::InvalidArgument("empty transform spec");
+  const std::string& kind = parts[0];
+  auto arg = [&parts](size_t i) { return std::stod(parts.at(i)); };
+  if (kind == "identity") {
+    return FeatureTransform::Spectral(transforms::Identity(n));
+  }
+  if (kind == "mavg" && parts.size() == 2) {
+    return FeatureTransform::Spectral(
+        transforms::MovingAverage(n, static_cast<size_t>(arg(1))));
+  }
+  if (kind == "ewma" && parts.size() == 3) {
+    return FeatureTransform::Spectral(transforms::ExponentialMovingAverage(
+        n, arg(1), static_cast<size_t>(arg(2))));
+  }
+  if (kind == "reverse") {
+    return FeatureTransform::Spectral(transforms::Reverse(n));
+  }
+  if (kind == "scale" && parts.size() == 2) {
+    return FeatureTransform::Spectral(transforms::Scale(n, arg(1)));
+  }
+  if (kind == "shift" && parts.size() == 2) {
+    return FeatureTransform::Spectral(transforms::Shift(n, arg(1)));
+  }
+  return Status::InvalidArgument("unknown transform spec '" + spec + "'");
+}
+
+/// Finds a stored series by name (linear scan over the relation).
+Result<SeriesRecord> FindByName(Database* db, const std::string& name) {
+  SeriesRecord found;
+  bool hit = false;
+  Status s = db->relation()->Scan([&](const SeriesRecord& rec) {
+    if (rec.name == name) {
+      found = rec;
+      hit = true;
+      return false;
+    }
+    return true;
+  });
+  if (!s.ok()) return s;
+  if (!hit) return Status::NotFound("no series named '" + name + "'");
+  return found;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdCreate(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  const char* csv = args.Get("csv");
+  if (db_path == nullptr || csv == nullptr || !SplitDbPath(db_path, &options)) {
+    return Usage();
+  }
+  std::filesystem::create_directories(options.directory);
+  auto series = workload::LoadCsv(csv);
+  if (!series.ok()) return Fail(series.status());
+  auto db = Database::Create(options);
+  if (!db.ok()) return Fail(db.status());
+  for (const TimeSeries& s : *series) {
+    auto id = (*db)->Insert(s.name(), s.values());
+    if (!id.ok()) return Fail(id.status());
+  }
+  if (Status s = (*db)->BuildIndex(); !s.ok()) return Fail(s);
+  if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
+  std::printf("created %s/%s: %llu series of length %zu, index built\n",
+              options.directory.c_str(), options.name.c_str(),
+              static_cast<unsigned long long>((*db)->size()),
+              (*db)->series_length());
+  return 0;
+}
+
+int CmdDemo(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  if (db_path == nullptr || !SplitDbPath(db_path, &options)) return Usage();
+  std::filesystem::create_directories(options.directory);
+  workload::StockMarketOptions market;
+  market.num_series = std::stoul(args.GetOr("count", "1067"));
+  market.length = std::stoul(args.GetOr("days", "128"));
+  auto series = workload::MakeStockMarket(20260610, market);
+  auto db = Database::Create(options);
+  if (!db.ok()) return Fail(db.status());
+  for (const TimeSeries& s : series) {
+    auto id = (*db)->Insert(s.name(), s.values());
+    if (!id.ok()) return Fail(id.status());
+  }
+  if (Status s = (*db)->BuildIndex(); !s.ok()) return Fail(s);
+  if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
+  std::printf(
+      "created demo market %s/%s: %llu stocks x %zu days (planted SIMa/SIMb "
+      "trend twins and OPPa/OPPb opposite movers)\n",
+      options.directory.c_str(), options.name.c_str(),
+      static_cast<unsigned long long>((*db)->size()), (*db)->series_length());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  if (db_path == nullptr || !SplitDbPath(db_path, &options)) return Usage();
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("database   %s/%s\n", options.directory.c_str(),
+              options.name.c_str());
+  std::printf("series     %llu x length %zu\n",
+              static_cast<unsigned long long>((*db)->size()),
+              (*db)->series_length());
+  std::printf("index      %s\n", (*db)->index_built() ? "built" : "none");
+  if ((*db)->index_built()) {
+    const auto* tree = (*db)->index()->tree();
+    std::printf("  dims %zu, height %u, node capacity %zu, %llu entries\n",
+                tree->dims(), tree->height(), tree->node_capacity(),
+                static_cast<unsigned long long>(tree->size()));
+  }
+  return 0;
+}
+
+int CmdRange(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  const char* series_name = args.Get("series");
+  const char* eps = args.Get("eps");
+  if (db_path == nullptr || series_name == nullptr || eps == nullptr ||
+      !SplitDbPath(db_path, &options)) {
+    return Usage();
+  }
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+  auto query = FindByName(db->get(), series_name);
+  if (!query.ok()) return Fail(query.status());
+
+  QuerySpec spec;
+  if (const char* t = args.Get("transform")) {
+    auto transform = ParseTransform(t, (*db)->series_length());
+    if (!transform.ok()) return Fail(transform.status());
+    spec.transform = *transform;
+  }
+  if (args.GetOr("mode", "both") == "data") {
+    spec.mode = TransformMode::kDataOnly;
+  }
+  auto matches = (*db)->RangeQuery(query->values, std::stod(eps), spec);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("%zu matches:\n", matches->size());
+  for (const Match& m : *matches) {
+    std::printf("  %-16s %.6f\n", m.name.c_str(), m.distance);
+  }
+  const QueryStats& stats = (*db)->last_stats();
+  std::printf("(%llu candidates, %llu node accesses, %.3f ms)\n",
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.nodes_visited),
+              stats.elapsed_ms);
+  return 0;
+}
+
+int CmdKnn(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  const char* series_name = args.Get("series");
+  if (db_path == nullptr || series_name == nullptr ||
+      !SplitDbPath(db_path, &options)) {
+    return Usage();
+  }
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+  auto query = FindByName(db->get(), series_name);
+  if (!query.ok()) return Fail(query.status());
+  QuerySpec spec;
+  if (const char* t = args.Get("transform")) {
+    auto transform = ParseTransform(t, (*db)->series_length());
+    if (!transform.ok()) return Fail(transform.status());
+    spec.transform = *transform;
+  }
+  const size_t k = std::stoul(args.GetOr("k", "5"));
+  auto matches = (*db)->Knn(query->values, k, spec);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("%zu nearest neighbors of %s:\n", matches->size(), series_name);
+  for (const Match& m : *matches) {
+    std::printf("  %-16s %.6f\n", m.name.c_str(), m.distance);
+  }
+  return 0;
+}
+
+int CmdJoin(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  const char* eps = args.Get("eps");
+  if (db_path == nullptr || eps == nullptr || !SplitDbPath(db_path, &options)) {
+    return Usage();
+  }
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+
+  std::optional<FeatureTransform> transform;
+  if (const char* t = args.Get("transform")) {
+    auto parsed = ParseTransform(t, (*db)->series_length());
+    if (!parsed.ok()) return Fail(parsed.status());
+    transform = *parsed;
+  }
+  const std::string method_name = args.GetOr("method", "tree");
+  JoinMethod method;
+  if (method_name == "scan") {
+    method = JoinMethod::kScanFull;
+  } else if (method_name == "scan-fast") {
+    method = JoinMethod::kScanEarlyAbandon;
+  } else if (method_name == "index") {
+    method = JoinMethod::kIndexPlain;
+  } else if (method_name == "index-transform") {
+    method = JoinMethod::kIndexTransformed;
+  } else if (method_name == "tree") {
+    method = JoinMethod::kTreeMatch;
+  } else {
+    return Usage();
+  }
+
+  auto pairs = (*db)->SelfJoin(std::stod(eps), method, transform);
+  if (!pairs.ok()) return Fail(pairs.status());
+  std::printf("%zu pairs (method %s):\n", pairs->size(), method_name.c_str());
+  size_t shown = 0;
+  for (const JoinPair& p : *pairs) {
+    if (p.first > p.second) continue;  // print each unordered pair once
+    auto a = (*db)->Get(p.first);
+    auto b = (*db)->Get(p.second);
+    if (!a.ok() || !b.ok()) continue;
+    std::printf("  %-16s %-16s %.6f\n", a->name.c_str(), b->name.c_str(),
+                p.distance);
+    if (++shown >= 50) {
+      std::printf("  ... (%zu more)\n", pairs->size() - shown);
+      break;
+    }
+  }
+  std::printf("(%.3f ms)\n", (*db)->last_stats().elapsed_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "create") return CmdCreate(args);
+  if (args.command == "demo") return CmdDemo(args);
+  if (args.command == "info") return CmdInfo(args);
+  if (args.command == "range") return CmdRange(args);
+  if (args.command == "knn") return CmdKnn(args);
+  if (args.command == "join") return CmdJoin(args);
+  return Usage();
+}
