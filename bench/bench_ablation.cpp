@@ -30,7 +30,7 @@ void RunCoefficientSweep(const std::vector<TimeSeries>& market) {
                 "but higher dimensionality (larger index, fatter nodes).");
   bench::Table table({"k", "index dims", "tree height", "avg candidates",
                       "avg answers", "avg query ms"});
-  const int kQueries = 12;
+  const int kQueries = static_cast<int>(bench::Scaled(12, 3));
   for (const size_t k : {1u, 2u, 3u, 4u, 6u, 8u}) {
     bench::ScratchDir dir("abl_k" + std::to_string(k));
     DatabaseOptions base;

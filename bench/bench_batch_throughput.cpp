@@ -1,0 +1,125 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Batch query engine throughput: queries/second for a mixed range + kNN
+// workload executed by engine::QueryEngine at 1, 2, 4 and 8 worker
+// threads, plus the parallel partitioned self-join. This is not a paper
+// figure — it measures the concurrency layer tsq adds on top of the
+// paper's single-query pipeline (the index stack is shared read-only
+// across workers; answers are identical at every thread count).
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "engine/query_engine.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "Batch engine: queries/sec vs worker threads",
+      "Mixed range/kNN batch over random-walk data; shared read-only "
+      "index.\nExpected shape: near-linear scaling until the core count "
+      "or the\nbuffer-pool mutex saturates.");
+  std::printf("  hardware threads on this host: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const size_t kNumSeries = bench::Scaled(2000, 64);
+  const size_t kLength = 256;
+  const size_t kBatch = bench::Scaled(512, 32);
+
+  bench::ScratchDir dir("batch_throughput");
+  const auto data =
+      workload::MakeRandomWalkDataset(4711, kNumSeries, kLength);
+  auto db = bench::BuildDatabase(dir.path(), "batch", data);
+
+  // The workload: stored series as queries (distance 0 to themselves, a
+  // few neighbours in range), alternating range and kNN.
+  const double eps = 0.25 * std::sqrt(static_cast<double>(kLength));
+  std::vector<engine::BatchQuery> batch;
+  batch.reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    engine::BatchQuery q;
+    q.query = data[(i * 37) % kNumSeries].values();
+    if (i % 2 == 0) {
+      q.kind = engine::BatchQueryKind::kRange;
+      q.epsilon = eps;
+    } else {
+      q.kind = engine::BatchQueryKind::kKnn;
+      q.k = 10;
+    }
+    batch.push_back(std::move(q));
+  }
+
+  bench::Table table({"threads", "wall ms", "queries/sec", "speedup",
+                      "answers", "candidates"});
+  double base_ms = 0.0;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    engine::QueryEngineOptions options;
+    options.threads = threads;
+    engine::QueryEngine engine(db->index(), db->relation(),
+                               /*subsequence_index=*/nullptr, options);
+    engine.RunBatch(batch);  // warm the buffer pool / page cache
+
+    engine::BatchStats stats;
+    const auto results = engine.RunBatch(batch, &stats);
+    uint64_t failures = 0;
+    for (const auto& r : results) {
+      if (!r.status.ok()) ++failures;
+    }
+    TSQ_CHECK_MSG(failures == 0, "%llu batch queries failed",
+                  static_cast<unsigned long long>(failures));
+
+    if (threads == 1) base_ms = stats.wall_ms;
+    table.AddRow({std::to_string(threads), bench::Table::Num(stats.wall_ms),
+                  bench::Table::Num(1000.0 * kBatch / stats.wall_ms, 0),
+                  bench::Table::Num(base_ms / stats.wall_ms, 2),
+                  std::to_string(stats.aggregate.answers),
+                  std::to_string(stats.aggregate.candidates)});
+  }
+  table.Print();
+
+  std::printf("\n");
+  bench::Banner(
+      "Parallel partitioned self-join: wall time vs worker threads",
+      "Tree-match self-join; candidate leaf pairs split across workers "
+      "for\nfull-length verification.");
+
+  // A join-sized subset keeps the candidate pair count tractable.
+  const size_t kJoinSeries = bench::Scaled(600, 48);
+  const auto join_data =
+      workload::MakeRandomWalkDataset(4712, kJoinSeries, kLength);
+  auto join_db = bench::BuildDatabase(dir.path(), "batch_join", join_data);
+  const double join_eps = 0.8 * std::sqrt(static_cast<double>(kLength));
+
+  bench::Table join_table(
+      {"threads", "wall ms", "speedup", "pairs", "candidates"});
+  double join_base_ms = 0.0;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    QueryStats stats;
+    engine::QueryEngineOptions options;
+    options.threads = threads;
+    engine::QueryEngine engine(join_db->index(), join_db->relation(),
+                               /*subsequence_index=*/nullptr, options);
+    engine.SelfJoin(join_eps, std::nullopt, nullptr).value();  // warm-up
+    const auto pairs = engine.SelfJoin(join_eps, std::nullopt, &stats).value();
+    if (threads == 1) join_base_ms = stats.elapsed_ms;
+    join_table.AddRow({std::to_string(threads),
+                       bench::Table::Num(stats.elapsed_ms),
+                       bench::Table::Num(join_base_ms / stats.elapsed_ms, 2),
+                       std::to_string(pairs.size()),
+                       std::to_string(stats.candidates)});
+  }
+  join_table.Print();
+}
+
+}  // namespace
+}  // namespace tsq
+
+int main() {
+  tsq::Run();
+  return 0;
+}

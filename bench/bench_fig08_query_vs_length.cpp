@@ -30,8 +30,8 @@ void Run() {
                       "gap ms", "nodes (plain)", "nodes (transf)",
                       "avg answers"});
 
-  const size_t kNumSeries = 1000;
-  const int kQueries = 25;
+  const size_t kNumSeries = bench::Scaled(1000, 64);
+  const int kQueries = static_cast<int>(bench::Scaled(25, 4));
 
   for (const size_t length : {64u, 128u, 256u, 512u, 1024u}) {
     bench::ScratchDir dir("fig08_" + std::to_string(length));

@@ -26,10 +26,12 @@ void Run() {
                       "avg answers"});
 
   const size_t kLength = 128;
-  const int kQueries = 25;
+  const int kQueries = static_cast<int>(bench::Scaled(25, 4));
   const double kEps = 0.12 * 11.3137;  // 0.12 * sqrt(128), as in Figure 8
 
-  for (const size_t count : {500u, 1000u, 2000u, 4000u, 8000u, 12000u}) {
+  for (const size_t full_count :
+       {500u, 1000u, 2000u, 4000u, 8000u, 12000u}) {
+    const size_t count = bench::Scaled(full_count, 64);
     bench::ScratchDir dir("fig09_" + std::to_string(count));
     auto data = workload::MakeRandomWalkDataset(907 + count, count, kLength);
     auto db = bench::BuildDatabase(dir.path(), "fig09", data);

@@ -25,8 +25,8 @@ void Run() {
   bench::Table table({"length", "index ms", "seqscan ms", "speedup",
                       "avg answers"});
 
-  const size_t kNumSeries = 1000;
-  const int kQueries = 15;
+  const size_t kNumSeries = bench::Scaled(1000, 64);
+  const int kQueries = static_cast<int>(bench::Scaled(15, 3));
 
   for (const size_t length : {64u, 128u, 256u, 512u, 1024u}) {
     bench::ScratchDir dir("fig10_" + std::to_string(length));

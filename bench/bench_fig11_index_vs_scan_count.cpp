@@ -24,10 +24,12 @@ void Run() {
       {"sequences", "index ms", "seqscan ms", "speedup", "avg answers"});
 
   const size_t kLength = 128;
-  const int kQueries = 10;
+  const int kQueries = static_cast<int>(bench::Scaled(10, 3));
   const double kEps = 0.12 * 11.3137;  // matches Figures 8/9
 
-  for (const size_t count : {500u, 1000u, 2000u, 4000u, 8000u, 12000u}) {
+  for (const size_t full_count :
+       {500u, 1000u, 2000u, 4000u, 8000u, 12000u}) {
+    const size_t count = bench::Scaled(full_count, 64);
     bench::ScratchDir dir("fig11_" + std::to_string(count));
     auto data = workload::MakeRandomWalkDataset(1117 + count, count, kLength);
     auto db = bench::BuildDatabase(dir.path(), "fig11", data);

@@ -25,9 +25,10 @@ void Run() {
 
   bench::ScratchDir dir("fig12");
   auto market = workload::MakeStockMarket(20260612);
+  market.resize(bench::Scaled(market.size(), 128));
   auto db = bench::BuildDatabase(dir.path(), "fig12", market);
   const size_t kLength = 128;
-  const int kQueries = 8;
+  const int kQueries = static_cast<int>(bench::Scaled(8, 2));
 
   QuerySpec spec;
   spec.transform = FeatureTransform::Spectral(transforms::Identity(kLength));

@@ -24,8 +24,9 @@ void Run() {
 
   bench::ScratchDir dir("knn");
   auto market = workload::MakeStockMarket(481516);
+  market.resize(bench::Scaled(market.size(), 128));
   auto db = bench::BuildDatabase(dir.path(), "knn", market);
-  const int kQueries = 10;
+  const int kQueries = static_cast<int>(bench::Scaled(10, 2));
 
   bench::Table table({"k", "transform", "index ms", "scan ms", "speedup",
                       "avg candidates verified"});

@@ -62,11 +62,15 @@ BENCHMARK(BM_PageFileRead);
 void BM_BufferPoolHit(benchmark::State& state) {
   const std::string path = TempPath("bph");
   auto file = PageFile::Create(path).value();
-  BufferPool pool(file.get(), 16);
-  const PageId id = pool.New().value().id();
-  for (auto _ : state) {
-    auto handle = pool.Fetch(id);
-    benchmark::DoNotOptimize(handle->page());
+  {
+    // Scoped: the pool flushes dirty frames at destruction, so it must
+    // die before the file it writes to.
+    BufferPool pool(file.get(), 16);
+    const PageId id = pool.New().value().id();
+    for (auto _ : state) {
+      auto handle = pool.Fetch(id);
+      benchmark::DoNotOptimize(handle->page());
+    }
   }
   file.reset();
   std::filesystem::remove(path);
@@ -77,14 +81,17 @@ void BM_BufferPoolMissEvict(benchmark::State& state) {
   // Every fetch misses: the working set is twice the pool capacity.
   const std::string path = TempPath("bpm");
   auto file = PageFile::Create(path).value();
-  BufferPool pool(file.get(), 8);
-  std::vector<PageId> ids;
-  for (int i = 0; i < 16; ++i) ids.push_back(pool.New().value().id());
-  size_t next = 0;
-  for (auto _ : state) {
-    auto handle = pool.Fetch(ids[next]);
-    benchmark::DoNotOptimize(handle->page());
-    next = (next + 1) % ids.size();
+  {
+    // Scoped: destruction flushes into the file (see BM_BufferPoolHit).
+    BufferPool pool(file.get(), 8);
+    std::vector<PageId> ids;
+    for (int i = 0; i < 16; ++i) ids.push_back(pool.New().value().id());
+    size_t next = 0;
+    for (auto _ : state) {
+      auto handle = pool.Fetch(ids[next]);
+      benchmark::DoNotOptimize(handle->page());
+      next = (next + 1) % ids.size();
+    }
   }
   file.reset();
   std::filesystem::remove(path);

@@ -27,14 +27,16 @@ void Run() {
                       "avg answers"});
 
   const size_t kWindow = 64;
-  const int kQueries = 10;
+  const int kQueries = static_cast<int>(bench::Scaled(10, 2));
   struct Config {
     size_t count;
     size_t length;
     size_t piece;
   };
-  const Config configs[] = {
-      {50, 512, 8}, {50, 512, 32}, {200, 512, 16}, {100, 2048, 16}};
+  const Config configs[] = {{bench::Scaled(50, 8), 512, 8},
+                            {bench::Scaled(50, 8), 512, 32},
+                            {bench::Scaled(200, 16), 512, 16},
+                            {bench::Scaled(100, 8), 2048, 16}};
 
   for (const Config& config : configs) {
     bench::ScratchDir dir("subseq");

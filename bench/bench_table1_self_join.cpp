@@ -40,6 +40,7 @@ void Run() {
 
   bench::ScratchDir dir("table1");
   auto market = workload::MakeStockMarket(19970525);  // SIGMOD'97 :-)
+  market.resize(bench::Scaled(market.size(), 128));
   auto db = bench::BuildDatabase(dir.path(), "table1", market);
 
   // Calibrated so the smoothed join finds the planted similar pairs plus

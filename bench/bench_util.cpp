@@ -54,6 +54,20 @@ double MeanMillis(const std::function<void()>& fn, int reps) {
   return watch.ElapsedMillis() / reps;
 }
 
+size_t SmokeDivisor() {
+  static const size_t divisor = [] {
+    const char* env = std::getenv("TSQ_BENCH_SMOKE");
+    if (env == nullptr) return size_t{1};
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 1 ? static_cast<size_t>(parsed) : size_t{1};
+  }();
+  return divisor;
+}
+
+size_t Scaled(size_t n, size_t floor) {
+  return std::max(floor, n / SmokeDivisor());
+}
+
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
 
 void Table::AddRow(std::vector<std::string> cells) {

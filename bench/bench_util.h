@@ -44,6 +44,17 @@ std::unique_ptr<Database> BuildDatabase(const std::string& directory,
 /// Runs `fn` `reps` times; returns the mean elapsed milliseconds.
 double MeanMillis(const std::function<void()>& fn, int reps);
 
+/// Workload scale divisor from the TSQ_BENCH_SMOKE environment variable
+/// (>= 1; 1 when unset or unparsable). The ctest `bench_smoke` entries
+/// set it so every figure-reproduction binary runs its full code path on
+/// a shrunken workload instead of silently rotting.
+size_t SmokeDivisor();
+
+/// n divided by SmokeDivisor(), never below `floor`. Route every
+/// workload-sized constant (series counts, query counts, repetitions)
+/// through this.
+size_t Scaled(size_t n, size_t floor = 1);
+
 /// Aligned-column table printer.
 class Table {
  public:

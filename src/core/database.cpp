@@ -91,6 +91,7 @@ Status Database::BuildIndex() {
   if (index_ != nullptr) {
     return Status::FailedPrecondition("index already built");
   }
+  engine_.reset();  // would hold a dangling index pointer otherwise
   KIndexOptions kopts;
   kopts.layout = options_.layout;
   kopts.path = options_.directory + "/" + options_.name + ".idx";
@@ -131,8 +132,8 @@ Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
   }
   std::vector<Match> out;
   last_stats_ = QueryStats();
-  TSQ_RETURN_IF_ERROR(IndexRangeQuery(index_.get(), relation_.get(), query,
-                                      epsilon, spec, &out, &last_stats_));
+  TSQ_RETURN_IF_ERROR(IndexRangeQuery(*index_, *relation_, query, epsilon,
+                                      spec, &out, &last_stats_));
   return out;
 }
 
@@ -143,8 +144,8 @@ Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
   }
   std::vector<Match> out;
   last_stats_ = QueryStats();
-  TSQ_RETURN_IF_ERROR(IndexKnnQuery(index_.get(), relation_.get(), query, k,
-                                    spec, &out, &last_stats_));
+  TSQ_RETURN_IF_ERROR(IndexKnnQuery(*index_, *relation_, query, k, spec,
+                                    &out, &last_stats_));
   return out;
 }
 
@@ -154,10 +155,41 @@ Result<std::vector<Match>> Database::ScanRangeQuery(const RealVec& query,
                                                     bool early_abandon) {
   std::vector<Match> out;
   last_stats_ = QueryStats();
-  TSQ_RETURN_IF_ERROR(SeqScanRangeQuery(relation_.get(), extractor_, query,
+  TSQ_RETURN_IF_ERROR(SeqScanRangeQuery(*relation_, extractor_, query,
                                         epsilon, spec, early_abandon, &out,
                                         &last_stats_));
   return out;
+}
+
+engine::QueryEngine* Database::EnsureEngine(size_t threads) {
+  if (engine_ == nullptr || engine_threads_ != threads) {
+    engine::QueryEngineOptions options;
+    options.threads = threads;
+    engine_ = std::make_unique<engine::QueryEngine>(
+        index_.get(), relation_.get(), /*subsequence_index=*/nullptr,
+        options);
+    engine_threads_ = threads;
+  }
+  return engine_.get();
+}
+
+Result<std::vector<engine::BatchResult>> Database::RunBatch(
+    const std::vector<engine::BatchQuery>& queries, size_t threads,
+    engine::BatchStats* batch_stats) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("RunBatch requires BuildIndex()");
+  }
+  return EnsureEngine(threads)->RunBatch(queries, batch_stats);
+}
+
+Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
+    double epsilon, const std::optional<FeatureTransform>& transform,
+    size_t threads) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
+  }
+  last_stats_ = QueryStats();
+  return EnsureEngine(threads)->SelfJoin(epsilon, transform, &last_stats_);
 }
 
 Result<std::vector<JoinPair>> Database::SelfJoin(
@@ -167,12 +199,12 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
   last_stats_ = QueryStats();
   switch (method) {
     case JoinMethod::kScanFull:
-      TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(relation_.get(), epsilon, transform,
+      TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(*relation_, epsilon, transform,
                                           /*early_abandon=*/false, &out,
                                           &last_stats_));
       return out;
     case JoinMethod::kScanEarlyAbandon:
-      TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(relation_.get(), epsilon, transform,
+      TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(*relation_, epsilon, transform,
                                           /*early_abandon=*/true, &out,
                                           &last_stats_));
       return out;
@@ -180,7 +212,7 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       if (index_ == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
-      TSQ_RETURN_IF_ERROR(IndexSelfJoin(index_.get(), relation_.get(), epsilon,
+      TSQ_RETURN_IF_ERROR(IndexSelfJoin(*index_, *relation_, epsilon,
                                         /*transform=*/std::nullopt, &out,
                                         &last_stats_));
       return out;
@@ -188,16 +220,15 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       if (index_ == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
-      TSQ_RETURN_IF_ERROR(IndexSelfJoin(index_.get(), relation_.get(), epsilon,
+      TSQ_RETURN_IF_ERROR(IndexSelfJoin(*index_, *relation_, epsilon,
                                         transform, &out, &last_stats_));
       return out;
     case JoinMethod::kTreeMatch:
       if (index_ == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
-      TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(index_.get(), relation_.get(),
-                                            epsilon, transform, &out,
-                                            &last_stats_));
+      TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(*index_, *relation_, epsilon,
+                                            transform, &out, &last_stats_));
       return out;
   }
   return Status::InvalidArgument("unknown join method");

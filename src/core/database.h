@@ -29,6 +29,7 @@
 #include "core/k_index.h"
 #include "core/queries.h"
 #include "core/seq_scan.h"
+#include "engine/query_engine.h"
 #include "storage/relation.h"
 
 namespace tsq {
@@ -61,7 +62,11 @@ struct DatabaseOptions {
 };
 
 /// A similarity-searchable collection of equal-length time series.
-/// Not thread-safe.
+///
+/// Single-query methods are not thread-safe (they share last_stats_).
+/// RunBatch/ParallelSelfJoin execute many queries concurrently on an
+/// internal engine; while one runs, no mutating call (Insert, BuildIndex)
+/// may execute — the engine treats the index stack as frozen.
 class Database {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Database);
@@ -114,6 +119,23 @@ class Database {
       double epsilon, JoinMethod method,
       const std::optional<FeatureTransform>& transform);
 
+  /// Executes a batch of range/kNN queries concurrently on `threads`
+  /// workers (0 = hardware concurrency). Requires BuildIndex. results[i]
+  /// answers queries[i] with a per-query status; the answer vectors are
+  /// identical for any thread count. Aggregate counters (optional
+  /// `batch_stats`) replace last_stats() for batches.
+  Result<std::vector<engine::BatchResult>> RunBatch(
+      const std::vector<engine::BatchQuery>& queries, size_t threads = 0,
+      engine::BatchStats* batch_stats = nullptr);
+
+  /// Parallel partitioned self-join: JoinMethod::kTreeMatch with its
+  /// verification phase split across `threads` workers (0 = hardware
+  /// concurrency). Same answers, same order as the sequential kTreeMatch
+  /// method. Requires BuildIndex.
+  Result<std::vector<JoinPair>> ParallelSelfJoin(
+      double epsilon, const std::optional<FeatureTransform>& transform,
+      size_t threads = 0);
+
   /// Reads one stored record back.
   Result<SeriesRecord> Get(SeriesId id) { return relation_->Get(id); }
 
@@ -134,12 +156,21 @@ class Database {
   explicit Database(DatabaseOptions options)
       : options_(std::move(options)), extractor_(options_.layout) {}
 
+  /// Returns the cached batch engine, (re)building it when none exists
+  /// yet or the requested thread count changed.
+  engine::QueryEngine* EnsureEngine(size_t threads);
+
   DatabaseOptions options_;
   FeatureExtractor extractor_;
   std::unique_ptr<Relation> relation_;
   std::unique_ptr<KIndex> index_;
   size_t series_length_ = 0;
   QueryStats last_stats_;
+  // Lazily built by RunBatch/ParallelSelfJoin so repeated batches reuse
+  // one thread pool; dropped by BuildIndex (it replaces index_, which the
+  // engine holds a pointer to).
+  std::unique_ptr<engine::QueryEngine> engine_;
+  size_t engine_threads_ = 0;
 };
 
 }  // namespace tsq

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "core/search_rect.h"
 
 namespace tsq {
 
@@ -43,17 +44,22 @@ class StatsScope {
   Stopwatch watch_;
 };
 
-/// Preprocessing (Algorithm 2 step 1): extracted query features with the
-/// transformation applied per `spec.mode`.
-struct PreparedQuery {
-  ComplexVec full_spectrum;    ///< comparison target, full length
-  ComplexVec coefficients;     ///< stored slice for the search rectangle
-  double mean = 0.0;           ///< (transformed) query mean
-  double std = 0.0;            ///< (transformed) query std
-};
+Status ValidateQuery(const KIndex& index, const RealVec& query) {
+  if (query.size() != index.series_length()) {
+    return Status::InvalidArgument(
+        "query length " + std::to_string(query.size()) +
+        " != indexed series length " +
+        std::to_string(index.series_length()));
+  }
+  return Status::OK();
+}
 
-PreparedQuery PrepareQuery(const KIndex& index, const SeriesFeatures& qf,
-                           const QuerySpec& spec) {
+}  // namespace
+
+Result<PreparedQuery> PrepareQuery(const KIndex& index, const RealVec& query,
+                                   const QuerySpec& spec) {
+  TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
+  const SeriesFeatures qf = index.extractor().Extract(query);
   PreparedQuery out;
   out.mean = qf.mean;
   out.std = qf.std;
@@ -69,17 +75,20 @@ PreparedQuery PrepareQuery(const KIndex& index, const SeriesFeatures& qf,
   return out;
 }
 
-Status ValidateQuery(const KIndex& index, const RealVec& query) {
-  if (query.size() != index.series_length()) {
-    return Status::InvalidArgument(
-        "query length " + std::to_string(query.size()) +
-        " != indexed series length " +
-        std::to_string(index.series_length()));
+Status RangeSearchCandidates(const KIndex& index, const PreparedQuery& prepared,
+                             double epsilon, const QuerySpec& spec,
+                             std::vector<SeriesId>* out) {
+  TSQ_CHECK(out != nullptr);
+  const spatial::Rect search_rect = BuildSearchRect(
+      index.layout(), prepared.coefficients, epsilon, spec.window);
+  if (spec.transform.has_value()) {
+    TSQ_ASSIGN_OR_RETURN(const spatial::AffineMap map,
+                         index.space().ToAffineMap(*spec.transform));
+    return index.RangeCandidatesTransformed(map, search_rect, out);
   }
-  return Status::OK();
+  return index.RangeCandidates(search_rect, out);
 }
 
-/// Full-length verification distance: D(T(X_data), Q_target).
 double VerifyDistance(const ComplexVec& data_spectrum,
                       const std::optional<FeatureTransform>& transform,
                       const ComplexVec& query_target) {
@@ -90,75 +99,81 @@ double VerifyDistance(const ComplexVec& data_spectrum,
   return cvec::Distance(data_spectrum, query_target);
 }
 
-}  // namespace
-
-Status IndexRangeQuery(KIndex* index, Relation* relation, const RealVec& query,
-                       double epsilon, const QuerySpec& spec,
-                       std::vector<Match>* out, QueryStats* stats) {
-  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
-  out->clear();
-  TSQ_RETURN_IF_ERROR(ValidateQuery(*index, query));
-  if (epsilon < 0.0) {
-    return Status::InvalidArgument("negative query threshold");
-  }
-  StatsScope scope(index, stats);
-
-  // Step 1 — preprocessing.
-  const SeriesFeatures qf = index->extractor().Extract(query);
-  const PreparedQuery prepared = PrepareQuery(*index, qf, spec);
-  const spatial::Rect search_rect = BuildSearchRect(
-      index->layout(), prepared.coefficients, epsilon, spec.window);
-
-  // Step 2 — search, with the transformed traversal when applicable.
-  std::vector<SeriesId> candidates;
-  if (spec.transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(const spatial::AffineMap map,
-                         index->space().ToAffineMap(*spec.transform));
-    TSQ_RETURN_IF_ERROR(
-        index->RangeCandidatesTransformed(map, search_rect, &candidates));
-  } else {
-    TSQ_RETURN_IF_ERROR(index->RangeCandidates(search_rect, &candidates));
-  }
-
-  // Step 3 — postprocessing against full database records.
+Status VerifyRangeCandidates(const Relation& relation,
+                             const std::vector<SeriesId>& candidates,
+                             const PreparedQuery& prepared,
+                             const QuerySpec& spec, double epsilon,
+                             std::vector<Match>* out, QueryStats* stats) {
+  TSQ_CHECK(out != nullptr);
   for (const SeriesId id : candidates) {
-    TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation->Get(id));
+    TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation.Get(id));
+    if (stats != nullptr) ++stats->verified;
     const double d =
         VerifyDistance(rec.dft, spec.transform, prepared.full_spectrum);
     if (d <= epsilon) {
       out->push_back(Match{id, std::move(rec.name), d});
     }
   }
-  std::sort(out->begin(), out->end(), [](const Match& a, const Match& b) {
-    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
-  });
-
-  if (stats != nullptr) {
-    stats->candidates += candidates.size();
-    stats->verified += candidates.size();
-    stats->answers += out->size();
-  }
   return Status::OK();
 }
 
-Status IndexKnnQuery(KIndex* index, Relation* relation, const RealVec& query,
-                     size_t k, const QuerySpec& spec, std::vector<Match>* out,
-                     QueryStats* stats) {
-  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
-  out->clear();
-  TSQ_RETURN_IF_ERROR(ValidateQuery(*index, query));
-  if (k == 0) return Status::OK();
-  StatsScope scope(index, stats);
+void SortMatches(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& a, const Match& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance && a.id < b.id);
+            });
+}
 
-  const SeriesFeatures qf = index->extractor().Extract(query);
-  const PreparedQuery prepared = PrepareQuery(*index, qf, spec);
-  const spatial::Point query_point = index->extractor().ToPointFromCoefficients(
+Status IndexRangeQuery(const KIndex& index, const Relation& relation,
+                       const RealVec& query, double epsilon,
+                       const QuerySpec& spec, std::vector<Match>* out,
+                       QueryStats* stats) {
+  TSQ_CHECK(out != nullptr);
+  out->clear();
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("negative query threshold");
+  }
+  StatsScope scope(&index, stats);
+
+  // Step 1 — preprocessing.
+  TSQ_ASSIGN_OR_RETURN(const PreparedQuery prepared,
+                       PrepareQuery(index, query, spec));
+
+  // Step 2 — search, with the transformed traversal when applicable.
+  std::vector<SeriesId> candidates;
+  TSQ_RETURN_IF_ERROR(
+      RangeSearchCandidates(index, prepared, epsilon, spec, &candidates));
+  if (stats != nullptr) stats->candidates += candidates.size();
+
+  // Step 3 — postprocessing against full database records.
+  TSQ_RETURN_IF_ERROR(VerifyRangeCandidates(relation, candidates, prepared,
+                                            spec, epsilon, out, stats));
+  SortMatches(out);
+  if (stats != nullptr) stats->answers += out->size();
+  return Status::OK();
+}
+
+Status IndexKnnQuery(const KIndex& index, const Relation& relation,
+                     const RealVec& query, size_t k, const QuerySpec& spec,
+                     std::vector<Match>* out, QueryStats* stats) {
+  TSQ_CHECK(out != nullptr);
+  out->clear();
+  if (k == 0) {
+    TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
+    return Status::OK();
+  }
+  StatsScope scope(&index, stats);
+
+  TSQ_ASSIGN_OR_RETURN(const PreparedQuery prepared,
+                       PrepareQuery(index, query, spec));
+  const spatial::Point query_point = index.extractor().ToPointFromCoefficients(
       prepared.coefficients, prepared.mean, prepared.std);
-  const auto metric = index->space().MakeNnMetric(query_point);
+  const auto metric = index.space().MakeNnMetric(query_point);
 
   std::optional<spatial::AffineMap> map;
   if (spec.transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(map, index->space().ToAffineMap(*spec.transform));
+    TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*spec.transform));
   }
 
   // Optimal multi-step kNN: verify candidates in ascending lower-bound
@@ -179,14 +194,14 @@ Status IndexKnnQuery(KIndex* index, Relation* relation, const RealVec& query,
 
   Status inner_status;
   uint64_t candidates = 0;
-  TSQ_RETURN_IF_ERROR(index->StreamNearest(
+  TSQ_RETURN_IF_ERROR(index.StreamNearest(
       *metric, map.has_value() ? &*map : nullptr,
       [&](SeriesId id, double lower_bound) {
         if (best.size() == k && lower_bound > best.front().distance) {
           return false;  // no unexplored candidate can improve the answer
         }
         ++candidates;
-        Result<SeriesRecord> rec = relation->Get(id);
+        Result<SeriesRecord> rec = relation.Get(id);
         if (!rec.ok()) {
           inner_status = rec.status();
           return false;
@@ -217,48 +232,49 @@ Status IndexKnnQuery(KIndex* index, Relation* relation, const RealVec& query,
   return Status::OK();
 }
 
-Status IndexSelfJoin(KIndex* index, Relation* relation, double epsilon,
+Status IndexSelfJoin(const KIndex& index, const Relation& relation,
+                     double epsilon,
                      const std::optional<FeatureTransform>& transform,
                      std::vector<JoinPair>* out, QueryStats* stats) {
-  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
+  TSQ_CHECK(out != nullptr);
   out->clear();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
   }
-  StatsScope scope(index, stats);
+  StatsScope scope(&index, stats);
 
   std::optional<spatial::AffineMap> map;
   if (transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(map, index->space().ToAffineMap(*transform));
+    TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*transform));
   }
 
   // Paper Sec. 5 methods c/d: scan the relation; for every sequence build a
   // search rectangle and pose it to the (transformed) index as a range
   // query; verify candidates with full-length distances.
-  const uint64_t n = relation->size();
+  const uint64_t n = relation.size();
   for (SeriesId qid = 0; qid < n; ++qid) {
-    TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation->Get(qid));
+    TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation.Get(qid));
     if (stats != nullptr) ++stats->records_scanned;
 
     ComplexVec target = transform.has_value()
                             ? transform->spectral.Apply(qrec.dft)
                             : qrec.dft;
-    const ComplexVec coeffs = index->extractor().StoredCoefficients(target);
+    const ComplexVec coeffs = index.extractor().StoredCoefficients(target);
     const spatial::Rect rect =
-        BuildSearchRect(index->layout(), coeffs, epsilon, std::nullopt);
+        BuildSearchRect(index.layout(), coeffs, epsilon, std::nullopt);
 
     std::vector<SeriesId> candidates;
     if (map.has_value()) {
       TSQ_RETURN_IF_ERROR(
-          index->RangeCandidatesTransformed(*map, rect, &candidates));
+          index.RangeCandidatesTransformed(*map, rect, &candidates));
     } else {
-      TSQ_RETURN_IF_ERROR(index->RangeCandidates(rect, &candidates));
+      TSQ_RETURN_IF_ERROR(index.RangeCandidates(rect, &candidates));
     }
     if (stats != nullptr) stats->candidates += candidates.size();
 
     for (const SeriesId cid : candidates) {
       if (cid == qid) continue;
-      TSQ_ASSIGN_OR_RETURN(SeriesRecord crec, relation->Get(cid));
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord crec, relation.Get(cid));
       if (stats != nullptr) ++stats->verified;
       const double d = VerifyDistance(crec.dft, transform, target);
       if (d <= epsilon) {
@@ -270,19 +286,20 @@ Status IndexSelfJoin(KIndex* index, Relation* relation, double epsilon,
   return Status::OK();
 }
 
-Status TreeMatchSelfJoin(KIndex* index, Relation* relation, double epsilon,
+Status TreeMatchSelfJoin(const KIndex& index, const Relation& relation,
+                         double epsilon,
                          const std::optional<FeatureTransform>& transform,
                          std::vector<JoinPair>* out, QueryStats* stats) {
-  TSQ_CHECK(index != nullptr && relation != nullptr && out != nullptr);
+  TSQ_CHECK(out != nullptr);
   out->clear();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
   }
-  StatsScope scope(index, stats);
+  StatsScope scope(&index, stats);
 
   std::optional<spatial::AffineMap> map;
   if (transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(map, index->space().ToAffineMap(*transform));
+    TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*transform));
   }
   const spatial::AffineMap* map_ptr = map.has_value() ? &*map : nullptr;
 
@@ -290,9 +307,9 @@ Status TreeMatchSelfJoin(KIndex* index, Relation* relation, double epsilon,
   // verification resolves them, caching transformed spectra so each record
   // is fetched and transformed once.
   std::vector<std::pair<SeriesId, SeriesId>> candidates;
-  TSQ_RETURN_IF_ERROR(index->tree()->JoinWith(
-      *index->tree(), map_ptr, map_ptr,
-      index->space().MakeJoinPredicate(epsilon),
+  TSQ_RETURN_IF_ERROR(index.tree()->JoinWith(
+      *index.tree(), map_ptr, map_ptr,
+      index.space().MakeJoinPredicate(epsilon),
       [&candidates](uint64_t a, uint64_t b) {
         if (a != b) candidates.emplace_back(a, b);
         return true;
@@ -304,7 +321,7 @@ Status TreeMatchSelfJoin(KIndex* index, Relation* relation, double epsilon,
       [&](SeriesId id) -> Result<const ComplexVec*> {
     auto it = transformed_cache.find(id);
     if (it == transformed_cache.end()) {
-      TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation->Get(id));
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation.Get(id));
       if (stats != nullptr) ++stats->verified;
       ComplexVec spectrum = transform.has_value()
                                 ? transform->spectral.Apply(rec.dft)

@@ -68,6 +68,20 @@ struct QueryStats {
   uint64_t disk_reads = 0;       ///< buffer-pool misses gone to disk
   uint64_t records_scanned = 0;  ///< relation records read (scans)
   double elapsed_ms = 0.0;
+
+  /// Accumulates `other` into this. Batch execution merges the per-query
+  /// stats of every worker; elapsed_ms sums, so after a parallel batch it
+  /// reads as aggregate compute time, not wall-clock time.
+  void Merge(const QueryStats& other) {
+    candidates += other.candidates;
+    verified += other.verified;
+    answers += other.answers;
+    nodes_visited += other.nodes_visited;
+    rect_transforms += other.rect_transforms;
+    disk_reads += other.disk_reads;
+    records_scanned += other.records_scanned;
+    elapsed_ms += other.elapsed_ms;
+  }
 };
 
 /// Shared query parameters.
@@ -77,21 +91,80 @@ struct QuerySpec {
   std::optional<MeanStdWindow> window;
 };
 
+// ---------------------------------------------------------------------------
+// Algorithm 2 as reentrant steps.
+//
+// Each step is a free function over const index/relation views and keeps
+// all its state in values owned by the caller, so any number of threads
+// can run queries against one shared (frozen) KIndex + Relation. The
+// whole-query entry points below compose them, and the batch engine
+// (src/engine/) runs those reentrant compositions from its workers; the
+// steps are exported so future pipelines (e.g. a staged executor that
+// batches verification I/O) can recombine them.
+// ---------------------------------------------------------------------------
+
+/// Step 1 output — the query lifted into the frequency domain with the
+/// transformation applied per QuerySpec::mode. Self-contained values, no
+/// references into the index.
+struct PreparedQuery {
+  ComplexVec full_spectrum;  ///< comparison target, full length
+  ComplexVec coefficients;   ///< stored slice for the search rectangle
+  double mean = 0.0;         ///< (transformed) query mean
+  double std = 0.0;          ///< (transformed) query std
+};
+
+/// Step 1 — preprocessing: validates the query length and extracts its
+/// (transformed) features.
+Result<PreparedQuery> PrepareQuery(const KIndex& index, const RealVec& query,
+                                   const QuerySpec& spec);
+
+/// Step 2 — search: builds the Sec. 3.1 rectangle for `prepared` and
+/// collects candidate ids from the (transformed) index traversal.
+Status RangeSearchCandidates(const KIndex& index, const PreparedQuery& prepared,
+                             double epsilon, const QuerySpec& spec,
+                             std::vector<SeriesId>* out);
+
+/// Step 3 kernel — the full-length verification distance
+/// D(T(X_data), Q_target) (Parseval: computed in the frequency domain).
+double VerifyDistance(const ComplexVec& data_spectrum,
+                      const std::optional<FeatureTransform>& transform,
+                      const ComplexVec& query_target);
+
+/// Step 3 — postprocessing: fetches every candidate record and appends the
+/// ones within `epsilon` to `out` (unsorted; callers order the final
+/// answer set). Bumps stats->verified per fetched record when given.
+Status VerifyRangeCandidates(const Relation& relation,
+                             const std::vector<SeriesId>& candidates,
+                             const PreparedQuery& prepared,
+                             const QuerySpec& spec, double epsilon,
+                             std::vector<Match>* out, QueryStats* stats);
+
+/// Deterministic answer ordering shared by all range paths: ascending
+/// distance, ties by id.
+void SortMatches(std::vector<Match>* matches);
+
+// ---------------------------------------------------------------------------
+// Whole-query entry points (compositions of the steps above). All are
+// reentrant over a frozen index/relation pair.
+// ---------------------------------------------------------------------------
+
 /// Range query via the index (Algorithm 2).
-Status IndexRangeQuery(KIndex* index, Relation* relation, const RealVec& query,
-                       double epsilon, const QuerySpec& spec,
-                       std::vector<Match>* out, QueryStats* stats);
+Status IndexRangeQuery(const KIndex& index, const Relation& relation,
+                       const RealVec& query, double epsilon,
+                       const QuerySpec& spec, std::vector<Match>* out,
+                       QueryStats* stats);
 
 /// k-nearest-neighbor query via the index (optimal multi-step).
-Status IndexKnnQuery(KIndex* index, Relation* relation, const RealVec& query,
-                     size_t k, const QuerySpec& spec, std::vector<Match>* out,
-                     QueryStats* stats);
+Status IndexKnnQuery(const KIndex& index, const Relation& relation,
+                     const RealVec& query, size_t k, const QuerySpec& spec,
+                     std::vector<Match>* out, QueryStats* stats);
 
 /// All-pairs self-join via the index: for every stored series, a range
 /// query against the (transformed) index — the paper's methods c (no
 /// transformation) and d (with transformation). Emits ordered pairs
 /// (a, b), a != b.
-Status IndexSelfJoin(KIndex* index, Relation* relation, double epsilon,
+Status IndexSelfJoin(const KIndex& index, const Relation& relation,
+                     double epsilon,
                      const std::optional<FeatureTransform>& transform,
                      std::vector<JoinPair>* out, QueryStats* stats);
 
@@ -99,7 +172,8 @@ Status IndexSelfJoin(KIndex* index, Relation* relation, double epsilon,
 /// against its (transformed) self — the tree-matching extension of the
 /// paper's method d: one lockstep descent instead of one range query per
 /// record. Same answers as IndexSelfJoin (ordered pairs, a != b).
-Status TreeMatchSelfJoin(KIndex* index, Relation* relation, double epsilon,
+Status TreeMatchSelfJoin(const KIndex& index, const Relation& relation,
+                         double epsilon,
                          const std::optional<FeatureTransform>& transform,
                          std::vector<JoinPair>* out, QueryStats* stats);
 

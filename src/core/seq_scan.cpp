@@ -77,11 +77,12 @@ std::optional<double> EarlyAbandonPairDistance(const ComplexVec& x,
   return std::sqrt(acc);
 }
 
-Status SeqScanRangeQuery(Relation* relation, const FeatureExtractor& extractor,
+Status SeqScanRangeQuery(const Relation& relation,
+                         const FeatureExtractor& extractor,
                          const RealVec& query, double epsilon,
                          const QuerySpec& spec, bool early_abandon,
                          std::vector<Match>* out, QueryStats* stats) {
-  TSQ_CHECK(relation != nullptr && out != nullptr);
+  TSQ_CHECK(out != nullptr);
   out->clear();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative query threshold");
@@ -98,7 +99,7 @@ Status SeqScanRangeQuery(Relation* relation, const FeatureExtractor& extractor,
     }
   }
 
-  Status scan_status = relation->Scan([&](const SeriesRecord& rec) {
+  Status scan_status = relation.Scan([&](const SeriesRecord& rec) {
     if (stats != nullptr) ++stats->records_scanned;
     if (rec.dft.size() != target.size()) return true;  // length mismatch
     if (early_abandon) {
@@ -113,9 +114,7 @@ Status SeqScanRangeQuery(Relation* relation, const FeatureExtractor& extractor,
   });
   TSQ_RETURN_IF_ERROR(scan_status);
 
-  std::sort(out->begin(), out->end(), [](const Match& a, const Match& b) {
-    return a.distance < b.distance || (a.distance == b.distance && a.id < b.id);
-  });
+  SortMatches(out);
   if (stats != nullptr) {
     stats->answers += out->size();
     stats->elapsed_ms += watch.ElapsedMillis();
@@ -123,11 +122,11 @@ Status SeqScanRangeQuery(Relation* relation, const FeatureExtractor& extractor,
   return Status::OK();
 }
 
-Status SeqScanSelfJoin(Relation* relation, double epsilon,
+Status SeqScanSelfJoin(const Relation& relation, double epsilon,
                        const std::optional<FeatureTransform>& transform,
                        bool early_abandon, std::vector<JoinPair>* out,
                        QueryStats* stats) {
-  TSQ_CHECK(relation != nullptr && out != nullptr);
+  TSQ_CHECK(out != nullptr);
   out->clear();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
@@ -143,13 +142,13 @@ Status SeqScanSelfJoin(Relation* relation, double epsilon,
   // full; method b fuses transform and distance and abandons at epsilon).
   const LinearTransform* t =
       transform.has_value() ? &transform->spectral : nullptr;
-  const uint64_t n = relation->size();
+  const uint64_t n = relation.size();
 
   for (SeriesId i = 0; i < n; ++i) {
-    TSQ_ASSIGN_OR_RETURN(SeriesRecord outer, relation->Get(i));
+    TSQ_ASSIGN_OR_RETURN(SeriesRecord outer, relation.Get(i));
     if (stats != nullptr) ++stats->records_scanned;
     for (SeriesId j = i + 1; j < n; ++j) {
-      TSQ_ASSIGN_OR_RETURN(SeriesRecord inner, relation->Get(j));
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord inner, relation.Get(j));
       if (stats != nullptr) ++stats->records_scanned;
       if (early_abandon) {
         std::optional<double> d =

@@ -23,8 +23,10 @@
 namespace tsq {
 
 /// Range query by scanning the relation. `extractor` must match the layout
-/// the relation's spectra were stored under.
-Status SeqScanRangeQuery(Relation* relation, const FeatureExtractor& extractor,
+/// the relation's spectra were stored under. Reentrant over a frozen
+/// relation.
+Status SeqScanRangeQuery(const Relation& relation,
+                         const FeatureExtractor& extractor,
                          const RealVec& query, double epsilon,
                          const QuerySpec& spec, bool early_abandon,
                          std::vector<Match>* out, QueryStats* stats);
@@ -36,7 +38,7 @@ Status SeqScanRangeQuery(Relation* relation, const FeatureExtractor& extractor,
 /// The transformation, when present, applies to both sides of each
 /// comparison. Emits unordered pairs (first < second), matching the
 /// paper's counting for methods a/b.
-Status SeqScanSelfJoin(Relation* relation, double epsilon,
+Status SeqScanSelfJoin(const Relation& relation, double epsilon,
                        const std::optional<FeatureTransform>& transform,
                        bool early_abandon, std::vector<JoinPair>* out,
                        QueryStats* stats);

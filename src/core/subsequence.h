@@ -79,7 +79,9 @@ std::vector<ComplexVec> SlidingWindowSpectra(const RealVec& values,
                                              size_t coefficients);
 
 /// The ST-index: an R*-tree over trail-piece MBRs of sliding-window
-/// features. Not thread-safe.
+/// features. AddSeries requires external exclusion; RangeSearch is safe
+/// from any number of threads once building is done (const traversal over
+/// the frozen tree — the batch engine relies on this).
 class SubsequenceIndex {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(SubsequenceIndex);

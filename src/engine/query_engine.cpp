@@ -1,0 +1,241 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace tsq {
+namespace engine {
+
+QueryEngine::QueryEngine(const KIndex* index, const Relation* relation,
+                         const SubsequenceIndex* subsequence_index,
+                         const QueryEngineOptions& options)
+    : index_(index),
+      relation_(relation),
+      subsequence_index_(subsequence_index),
+      pool_(options.threads) {
+  TSQ_CHECK(relation_ != nullptr);
+}
+
+void QueryEngine::RunOne(const BatchQuery& query, BatchResult* result) const {
+  switch (query.kind) {
+    case BatchQueryKind::kRange:
+      if (index_ == nullptr) {
+        result->status =
+            Status::FailedPrecondition("range query without a KIndex");
+        return;
+      }
+      result->status =
+          IndexRangeQuery(*index_, *relation_, query.query, query.epsilon,
+                          query.spec, &result->matches, &result->stats);
+      return;
+    case BatchQueryKind::kKnn:
+      if (index_ == nullptr) {
+        result->status =
+            Status::FailedPrecondition("kNN query without a KIndex");
+        return;
+      }
+      result->status =
+          IndexKnnQuery(*index_, *relation_, query.query, query.k, query.spec,
+                        &result->matches, &result->stats);
+      return;
+    case BatchQueryKind::kSubsequence:
+      if (subsequence_index_ == nullptr) {
+        result->status = Status::FailedPrecondition(
+            "subsequence query without a SubsequenceIndex");
+        return;
+      }
+      result->status = subsequence_index_->RangeSearch(
+          query.query, query.epsilon,
+          [this](SeriesId id) -> Result<RealVec> {
+            TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation_->Get(id));
+            return std::move(rec.values);
+          },
+          &result->subsequence_matches, &result->stats);
+      return;
+  }
+  result->status = Status::InvalidArgument("unknown batch query kind");
+}
+
+std::vector<BatchResult> QueryEngine::RunBatch(
+    const std::vector<BatchQuery>& queries, BatchStats* batch_stats) {
+  std::vector<BatchResult> results(queries.size());
+  Stopwatch wall;
+
+  // Exact engine-wide traversal deltas, measured around the whole batch
+  // (per-query deltas overlap under concurrency; see header).
+  rtree::TraversalStats tree_before;
+  BufferPoolStats pool_before;
+  if (index_ != nullptr) {
+    tree_before = index_->tree()->stats();
+    pool_before = index_->pool()->stats();
+  }
+
+  // Work stealing over an atomic cursor: drivers (one per worker) pull the
+  // next unclaimed query. Each query writes only its own slot, so the
+  // output is identical for any thread count. Wait() below keeps every
+  // captured reference alive until the drivers drain.
+  std::atomic<size_t> cursor{0};
+  const size_t drivers = std::min(pool_.size(), queries.size());
+  for (size_t d = 0; d < drivers; ++d) {
+    pool_.Submit([this, &cursor, &queries, &results] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= queries.size()) return;
+        RunOne(queries[i], &results[i]);
+      }
+    });
+  }
+  pool_.Wait();
+
+  if (batch_stats != nullptr) {
+    *batch_stats = BatchStats();
+    for (const BatchResult& r : results) {
+      batch_stats->aggregate.Merge(r.stats);
+    }
+    if (index_ != nullptr) {
+      const rtree::TraversalStats& t = index_->tree()->stats();
+      const BufferPoolStats& p = index_->pool()->stats();
+      batch_stats->aggregate.nodes_visited =
+          t.nodes_visited - tree_before.nodes_visited;
+      batch_stats->aggregate.rect_transforms =
+          t.rect_transforms - tree_before.rect_transforms;
+      batch_stats->aggregate.disk_reads =
+          p.disk_reads - pool_before.disk_reads;
+    }
+    batch_stats->wall_ms = wall.ElapsedMillis();
+  }
+  return results;
+}
+
+Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
+    double epsilon, const std::optional<FeatureTransform>& transform,
+    QueryStats* stats) {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("SelfJoin without a KIndex");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("negative join threshold");
+  }
+  Stopwatch watch;
+  const rtree::TraversalStats tree_before = index_->tree()->stats();
+  const BufferPoolStats pool_before = index_->pool()->stats();
+
+  std::optional<spatial::AffineMap> map;
+  if (transform.has_value()) {
+    TSQ_ASSIGN_OR_RETURN(map, index_->space().ToAffineMap(*transform));
+  }
+  const spatial::AffineMap* map_ptr = map.has_value() ? &*map : nullptr;
+
+  // Phase 1 (sequential, index space only): one synchronized descent of
+  // the tree against its transformed self collects the candidate leaf
+  // pairs — the same traversal TreeMatchSelfJoin performs.
+  std::vector<std::pair<SeriesId, SeriesId>> candidates;
+  TSQ_RETURN_IF_ERROR(index_->tree()->JoinWith(
+      *index_->tree(), map_ptr, map_ptr,
+      index_->space().MakeJoinPredicate(epsilon),
+      [&candidates](uint64_t a, uint64_t b) {
+        if (a != b) candidates.emplace_back(a, b);
+        return true;
+      }));
+
+  // Phase 2a (parallel): fetch and transform every referenced record
+  // exactly once into a dense shared cache — the same total work as the
+  // sequential TreeMatchSelfJoin cache, just split across workers. Series
+  // ids are dense (0..relation.size()-1), so a vector indexes the cache
+  // and each slot is written by exactly one worker.
+  const uint64_t relation_size = relation_->size();
+  std::vector<uint8_t> referenced(relation_size, 0);
+  for (const auto& [a, b] : candidates) {
+    referenced[a] = 1;
+    referenced[b] = 1;
+  }
+  std::vector<SeriesId> unique_ids;
+  for (SeriesId id = 0; id < relation_size; ++id) {
+    if (referenced[id] != 0) unique_ids.push_back(id);
+  }
+
+  const size_t fetch_partitions =
+      std::max<size_t>(1, std::min(unique_ids.size(), pool_.size()));
+  const size_t fetch_size =
+      (unique_ids.size() + fetch_partitions - 1) / fetch_partitions;
+  std::vector<ComplexVec> spectra(relation_size);
+  std::vector<Status> fetch_status(fetch_partitions);
+  for (size_t p = 0; p < fetch_partitions; ++p) {
+    pool_.Submit([&, p] {
+      const size_t begin = p * fetch_size;
+      const size_t end = std::min(begin + fetch_size, unique_ids.size());
+      for (size_t i = begin; i < end; ++i) {
+        const SeriesId id = unique_ids[i];
+        Result<SeriesRecord> rec = relation_->Get(id);
+        if (!rec.ok()) {
+          fetch_status[p] = rec.status();
+          return;
+        }
+        spectra[id] = transform.has_value()
+                          ? transform->spectral.Apply(rec->dft)
+                          : std::move(rec->dft);
+      }
+    });
+  }
+  pool_.Wait();
+  for (const Status& s : fetch_status) {
+    TSQ_RETURN_IF_ERROR(s);
+  }
+
+  // Phase 2b (parallel): split the candidate pairs into contiguous
+  // partitions and verify each on a worker against the now-immutable
+  // shared cache. Partition answers land in per-partition vectors.
+  const size_t num_partitions =
+      std::max<size_t>(1, std::min(candidates.size(), pool_.size() * 8));
+  const size_t partition_size =
+      (candidates.size() + num_partitions - 1) / num_partitions;
+  std::vector<std::vector<JoinPair>> partition_out(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    pool_.Submit([&, p] {
+      const size_t begin = p * partition_size;
+      const size_t end = std::min(begin + partition_size, candidates.size());
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [a, b] = candidates[i];
+        const double d = cvec::Distance(spectra[a], spectra[b]);
+        if (d <= epsilon) partition_out[p].push_back(JoinPair{a, b, d});
+      }
+    });
+  }
+  pool_.Wait();
+
+  // Phase 3 (sequential): merge in partition order. Partitions tile the
+  // candidate sequence, so the concatenation is exactly the sequential
+  // TreeMatchSelfJoin output — deterministic for any thread count.
+  std::vector<JoinPair> out;
+  size_t total = 0;
+  for (const std::vector<JoinPair>& part : partition_out) {
+    total += part.size();
+  }
+  out.reserve(total);
+  for (std::vector<JoinPair>& part : partition_out) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+
+  if (stats != nullptr) {
+    stats->candidates += candidates.size();
+    stats->verified += unique_ids.size();
+    stats->answers += out.size();
+    const rtree::TraversalStats& t = index_->tree()->stats();
+    const BufferPoolStats& p = index_->pool()->stats();
+    stats->nodes_visited += t.nodes_visited - tree_before.nodes_visited;
+    stats->rect_transforms +=
+        t.rect_transforms - tree_before.rect_transforms;
+    stats->disk_reads += p.disk_reads - pool_before.disk_reads;
+    stats->elapsed_ms += watch.ElapsedMillis();
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace tsq

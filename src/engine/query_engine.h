@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The concurrent batch query engine: executes batches of range, kNN and
+// subsequence queries — plus a parallel partitioned self-join — against a
+// shared read-only KIndex + Relation (and optionally a SubsequenceIndex)
+// on a fixed thread pool.
+//
+// Execution model. The index stack is frozen while an engine uses it (no
+// Insert/BuildIndex concurrently); every query is a reentrant composition
+// of the Algorithm 2 steps in core/queries.h, so workers share the tree,
+// buffer pool and relation without copying them. Batches are executed
+// with work stealing over an atomic cursor; each query writes into its
+// own pre-allocated result slot, so results[i] always corresponds to
+// queries[i] and the answer vectors are bit-identical for any thread
+// count (each query's computation is sequential and self-contained).
+//
+// Stats. Per-query stats count candidates/verified/answers/elapsed_ms
+// exactly. The traversal-delta fields (nodes_visited, rect_transforms,
+// disk_reads) are measured on engine-shared counters; under concurrency a
+// per-query delta can include a neighbour query's work, so those three
+// are only meaningful in BatchStats::aggregate, which is measured around
+// the whole batch — and in turn is only exact while no *other* batch or
+// join runs against the same KIndex concurrently (overlapping callers
+// see each other's traversal work in their deltas; the local counters
+// stay exact regardless). Subsequence queries keep all their counters
+// locally (the ST-index traversal never touches the shared KIndex
+// counters), so the overwrite of the delta fields loses nothing.
+
+#ifndef TSQ_ENGINE_QUERY_ENGINE_H_
+#define TSQ_ENGINE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/k_index.h"
+#include "core/queries.h"
+#include "core/subsequence.h"
+#include "engine/thread_pool.h"
+#include "storage/relation.h"
+
+namespace tsq {
+namespace engine {
+
+/// Engine construction parameters.
+struct QueryEngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency.
+  size_t threads = 0;
+};
+
+/// What one batch entry asks for.
+enum class BatchQueryKind {
+  kRange,        ///< Algorithm 2 range query (needs the KIndex)
+  kKnn,          ///< optimal multi-step kNN (needs the KIndex)
+  kSubsequence,  ///< [FRM94] subsequence range search (needs the ST-index)
+};
+
+/// One query of a batch.
+struct BatchQuery {
+  BatchQueryKind kind = BatchQueryKind::kRange;
+  RealVec query;
+  double epsilon = 0.0;  ///< range / subsequence threshold
+  size_t k = 0;          ///< kNN answer count
+  QuerySpec spec;        ///< transform/mode/window (range and kNN)
+};
+
+/// One query's outcome. `status` is per-query: a malformed query fails
+/// alone without aborting its batch.
+struct BatchResult {
+  Status status;
+  std::vector<Match> matches;  ///< range/kNN answers
+  std::vector<SubsequenceMatch> subsequence_matches;
+  QueryStats stats;
+};
+
+/// A whole batch's outcome.
+struct BatchStats {
+  /// Sum of every per-query stats (see header comment for caveats).
+  QueryStats aggregate;
+  /// Wall-clock time of the batch, parallelism included.
+  double wall_ms = 0.0;
+};
+
+/// Concurrent executor over a frozen index/relation pair. Thread-safe:
+/// RunBatch/SelfJoin may be called from several threads at once, sharing
+/// the pool.
+class QueryEngine {
+ public:
+  /// `index` may be null when the engine only serves subsequence queries;
+  /// `subsequence_index` may be null when it only serves whole-series
+  /// queries. `relation` must not be null. All referenced components must
+  /// outlive the engine and must not be mutated while it runs.
+  QueryEngine(const KIndex* index, const Relation* relation,
+              const SubsequenceIndex* subsequence_index = nullptr,
+              const QueryEngineOptions& options = {});
+
+  TSQ_DISALLOW_COPY_AND_MOVE(QueryEngine);
+
+  /// Number of worker threads.
+  size_t threads() const { return pool_.size(); }
+
+  /// Executes every query of the batch on the pool. results[i] answers
+  /// queries[i]; identical output for any thread count. `batch_stats` is
+  /// optional.
+  std::vector<BatchResult> RunBatch(const std::vector<BatchQuery>& queries,
+                                    BatchStats* batch_stats = nullptr);
+
+  /// Parallel partitioned self-join: one synchronized R*-tree descent
+  /// (index space, cheap) collects the candidate leaf pairs; the workers
+  /// then fetch+transform every referenced record exactly once into a
+  /// shared dense cache, and the pairs are partitioned across the workers
+  /// for full-length verification against it (the expensive step). The
+  /// per-partition answers are concatenated in partition order, which
+  /// reproduces TreeMatchSelfJoin's output exactly — same pairs, same
+  /// order — for any thread count. Requires a KIndex.
+  Result<std::vector<JoinPair>> SelfJoin(
+      double epsilon, const std::optional<FeatureTransform>& transform,
+      QueryStats* stats = nullptr);
+
+ private:
+  void RunOne(const BatchQuery& query, BatchResult* result) const;
+
+  const KIndex* index_;
+  const Relation* relation_;
+  const SubsequenceIndex* subsequence_index_;
+  ThreadPool pool_;
+};
+
+}  // namespace engine
+}  // namespace tsq
+
+#endif  // TSQ_ENGINE_QUERY_ENGINE_H_

@@ -20,6 +20,7 @@
 #ifndef TSQ_RTREE_RSTAR_TREE_H_
 #define TSQ_RTREE_RSTAR_TREE_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -55,10 +56,23 @@ struct RTreeOptions {
 };
 
 /// Counters accumulated by search operations (reset with ResetStats).
+/// Relaxed atomics: const traversals from many threads may bump them
+/// concurrently and per-query StatsScopes snapshot them race-free. Copies
+/// by value like a plain aggregate.
 struct TraversalStats {
-  uint64_t nodes_visited = 0;        ///< node pages touched
-  uint64_t rect_transforms = 0;      ///< MBR transformations applied
-  uint64_t leaf_entries_tested = 0;  ///< leaf entries compared with the query
+  std::atomic<uint64_t> nodes_visited{0};        ///< node pages touched
+  std::atomic<uint64_t> rect_transforms{0};      ///< MBR transformations
+  std::atomic<uint64_t> leaf_entries_tested{0};  ///< leaf entries compared
+
+  TraversalStats() = default;
+  TraversalStats(const TraversalStats& other) { *this = other; }
+  TraversalStats& operator=(const TraversalStats& other) {
+    nodes_visited = other.nodes_visited.load(std::memory_order_relaxed);
+    rect_transforms = other.rect_transforms.load(std::memory_order_relaxed);
+    leaf_entries_tested =
+        other.leaf_entries_tested.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// One nearest-neighbor answer.
@@ -89,8 +103,17 @@ struct CheckReport {
 using SearchCallback =
     std::function<bool(uint64_t id, const spatial::Rect& rect)>;
 
-/// A persistent R*-tree over a BufferPool. Not thread-safe. All rectangles
-/// must match the tree's dimensionality.
+/// A persistent R*-tree over a BufferPool. All rectangles must match the
+/// tree's dimensionality.
+///
+/// Concurrency contract (v1): the const read operations — Search,
+/// SearchTransformed, NearestNeighbors(Stream), JoinWith, CheckInvariants
+/// — are safe from any number of threads provided no mutating call
+/// (Insert, Remove, BulkLoad, SaveMeta) runs concurrently: traversals keep
+/// all cursor state on their own stack, page access serializes in the
+/// BufferPool, and the traversal counters are relaxed atomics. Writers
+/// require external exclusion (the engine layer treats a built index as
+/// frozen).
 class RStarTree {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(RStarTree);

@@ -60,6 +60,7 @@ void BufferPool::TouchLru(size_t frame_idx) {
 }
 
 void BufferPool::Unpin(size_t frame_idx) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& f = frames_[frame_idx];
   TSQ_CHECK_MSG(f.pins > 0, "unpin of an unpinned frame");
   if (--f.pins == 0) {
@@ -68,7 +69,10 @@ void BufferPool::Unpin(size_t frame_idx) {
   }
 }
 
-void BufferPool::MarkDirty(size_t frame_idx) { frames_[frame_idx].dirty = true; }
+void BufferPool::MarkDirty(size_t frame_idx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frames_[frame_idx].dirty = true;
+}
 
 Result<size_t> BufferPool::AcquireFrame() {
   if (!free_frames_.empty()) {
@@ -95,6 +99,7 @@ Result<size_t> BufferPool::AcquireFrame() {
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
@@ -120,6 +125,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageHandle> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mutex_);
   TSQ_ASSIGN_OR_RETURN(const PageId id, file_->Allocate());
   TSQ_ASSIGN_OR_RETURN(const size_t idx, AcquireFrame());
   Frame& f = frames_[idx];
@@ -136,6 +142,7 @@ Result<PageHandle> BufferPool::New() {
 }
 
 Status BufferPool::Delete(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     Frame& f = frames_[it->second];
@@ -152,6 +159,7 @@ Status BufferPool::Delete(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (Frame& f : frames_) {
     if (f.id != kInvalidPageId && f.dirty) {
       TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
@@ -163,6 +171,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_ = BufferPoolStats();
   file_->ResetStats();
 }

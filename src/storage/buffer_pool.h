@@ -7,9 +7,11 @@
 #ifndef TSQ_STORAGE_BUFFER_POOL_H_
 #define TSQ_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -20,13 +22,26 @@
 namespace tsq {
 
 /// Cache counters. disk_reads/disk_writes mirror the underlying PageFile
-/// activity caused by this pool.
+/// activity caused by this pool. Counters are relaxed atomics so snapshots
+/// taken by concurrent readers (per-query StatsScopes) are race-free; the
+/// struct copies by value like a plain aggregate.
 struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t disk_reads = 0;
-  uint64_t disk_writes = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> disk_reads{0};
+  std::atomic<uint64_t> disk_writes{0};
+
+  BufferPoolStats() = default;
+  BufferPoolStats(const BufferPoolStats& other) { *this = other; }
+  BufferPoolStats& operator=(const BufferPoolStats& other) {
+    hits = other.hits.load(std::memory_order_relaxed);
+    misses = other.misses.load(std::memory_order_relaxed);
+    evictions = other.evictions.load(std::memory_order_relaxed);
+    disk_reads = other.disk_reads.load(std::memory_order_relaxed);
+    disk_writes = other.disk_writes.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 class BufferPool;
@@ -69,7 +84,16 @@ class PageHandle {
   size_t frame_ = 0;
 };
 
-/// Fixed-capacity LRU page cache. Not thread-safe.
+/// Fixed-capacity LRU page cache.
+///
+/// Concurrency contract (v1): every pool operation — Fetch, New, Delete,
+/// FlushAll, pin/unpin, dirty marking — serializes on one internal mutex,
+/// so any number of threads may share a pool. Byte access *through a held
+/// PageHandle* is deliberately outside the mutex: a pinned frame cannot be
+/// evicted and the frame array never reallocates, so the pointer stays
+/// valid. Concurrent threads must not write the same page's bytes; tsq's
+/// read paths (index traversal) only read. A sharded/lock-free pool is
+/// future work once the engine's profile demands it.
 class BufferPool {
  public:
   /// Creates a pool of `capacity` frames over `file` (non-owning: the file
@@ -122,6 +146,7 @@ class BufferPool {
 
   PageFile* file_;
   size_t capacity_;
+  mutable std::mutex mutex_;  // guards all frame/LRU/directory state
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> page_to_frame_;

@@ -29,8 +29,9 @@ struct PageFileStats {
 };
 
 /// A file of fixed-size pages with allocate/free/read/write operations.
-/// Not thread-safe; callers serialize access (tsq queries are
-/// single-threaded, as in the paper's experiments).
+/// Not thread-safe; callers serialize access. In the query stack the only
+/// caller is BufferPool, whose internal mutex provides that serialization
+/// (the batch engine's concurrent readers all go through one pool).
 class PageFile {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(PageFile);

@@ -2,6 +2,8 @@
 
 #include "storage/relation.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 
@@ -18,6 +20,24 @@ constexpr size_t kRecordHeaderBytes = 4 + 4 + 8;
 
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Positioned read of exactly `count` bytes; retries partial reads and
+/// EINTR. False on error or short file.
+bool PreadExact(int fd, void* buf, size_t count, uint64_t offset) {
+  uint8_t* cursor = static_cast<uint8_t*>(buf);
+  while (count > 0) {
+    const ssize_t n = ::pread(fd, cursor, count, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF before the record ended
+    cursor += n;
+    offset += static_cast<uint64_t>(n);
+    count -= static_cast<size_t>(n);
+  }
+  return true;
 }
 
 }  // namespace
@@ -69,6 +89,7 @@ Result<std::unique_ptr<Relation>> Relation::Open(const std::string& path) {
 Result<SeriesId> Relation::Append(const std::string& name,
                                   const RealVec& values,
                                   const ComplexVec& dft) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const SeriesId id = offsets_.size();
 
   serde::Buffer payload;
@@ -89,6 +110,11 @@ Result<SeriesId> Relation::Append(const std::string& name,
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IOError(ErrnoMessage("append failed in", path_));
   }
+  // Drain the stdio buffer so the record is visible to concurrent pread
+  // readers the moment the id is published.
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(ErrnoMessage("fflush failed for", path_));
+  }
   stats_.bytes_written += record.size();
   offsets_.push_back(end_offset_);
   end_offset_ += record.size();
@@ -96,12 +122,10 @@ Result<SeriesId> Relation::Append(const std::string& name,
 }
 
 Status Relation::ReadRecordAt(uint64_t offset, SeriesRecord* out,
-                              uint64_t* next_offset) {
+                              uint64_t* next_offset) const {
+  const int fd = fileno(file_);
   uint8_t header[kRecordHeaderBytes];
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError(ErrnoMessage("seek failed in", path_));
-  }
-  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+  if (!PreadExact(fd, header, sizeof(header), offset)) {
     return Status::Corruption("record header truncated at offset " +
                               std::to_string(offset));
   }
@@ -123,7 +147,8 @@ Status Relation::ReadRecordAt(uint64_t offset, SeriesRecord* out,
 
   serde::Buffer payload(payload_len);
   if (payload_len > 0 &&
-      std::fread(payload.data(), 1, payload_len, file_) != payload_len) {
+      !PreadExact(fd, payload.data(), payload_len,
+                  offset + kRecordHeaderBytes)) {
     return Status::Corruption("record payload truncated at offset " +
                               std::to_string(offset));
   }
@@ -148,25 +173,39 @@ Status Relation::ReadRecordAt(uint64_t offset, SeriesRecord* out,
   return Status::OK();
 }
 
-Result<SeriesRecord> Relation::Get(SeriesId id) {
-  if (id >= offsets_.size()) {
-    return Status::NotFound("no record with id " + std::to_string(id));
+Result<SeriesRecord> Relation::Get(SeriesId id) const {
+  uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id >= offsets_.size()) {
+      return Status::NotFound("no record with id " + std::to_string(id));
+    }
+    offset = offsets_[id];
   }
   SeriesRecord rec;
-  TSQ_RETURN_IF_ERROR(ReadRecordAt(offsets_[id], &rec, nullptr));
+  TSQ_RETURN_IF_ERROR(ReadRecordAt(offset, &rec, nullptr));
   return rec;
 }
 
-Status Relation::Scan(const std::function<bool(const SeriesRecord&)>& fn) {
-  for (uint64_t id = 0; id < offsets_.size(); ++id) {
+Status Relation::Scan(
+    const std::function<bool(const SeriesRecord&)>& fn) const {
+  // Snapshot the directory once; records are immutable after append, so
+  // the scan sees a consistent prefix even with a concurrent appender.
+  std::vector<uint64_t> offsets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    offsets = offsets_;
+  }
+  for (uint64_t id = 0; id < offsets.size(); ++id) {
     SeriesRecord rec;
-    TSQ_RETURN_IF_ERROR(ReadRecordAt(offsets_[id], &rec, nullptr));
+    TSQ_RETURN_IF_ERROR(ReadRecordAt(offsets[id], &rec, nullptr));
     if (!fn(rec)) break;
   }
   return Status::OK();
 }
 
 Status Relation::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (std::fflush(file_) != 0) {
     return Status::IOError(ErrnoMessage("fflush failed for", path_));
   }

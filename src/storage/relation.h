@@ -12,9 +12,11 @@
 #ifndef TSQ_STORAGE_RELATION_H_
 #define TSQ_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,15 +35,34 @@ struct SeriesRecord {
   ComplexVec dft;   ///< frequency domain (unitary convention)
 };
 
-/// Scan counters for the sequential-scan baselines.
+/// Scan counters for the sequential-scan baselines. Relaxed atomics so
+/// concurrent readers can snapshot them race-free; copies by value like a
+/// plain aggregate.
 struct RelationStats {
-  uint64_t records_read = 0;
-  uint64_t bytes_read = 0;
-  uint64_t bytes_written = 0;
+  std::atomic<uint64_t> records_read{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  RelationStats() = default;
+  RelationStats(const RelationStats& other) { *this = other; }
+  RelationStats& operator=(const RelationStats& other) {
+    records_read = other.records_read.load(std::memory_order_relaxed);
+    bytes_read = other.bytes_read.load(std::memory_order_relaxed);
+    bytes_written = other.bytes_written.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// Append-only heap file of SeriesRecords, addressed by dense SeriesId
-/// (0..size-1). Records are CRC-checked on read. Not thread-safe.
+/// (0..size-1). Records are CRC-checked on read.
+///
+/// Concurrency contract (v1): Get and Scan are safe from any number of
+/// threads, concurrently with each other and with a single appender —
+/// reads use positioned pread(2) on the file descriptor (no shared file
+/// position, no lock on the data path) and the record directory is only
+/// ever appended to under the internal mutex. Append itself must not be
+/// called from two threads at once. Each Append flushes the stdio buffer
+/// so the freshly written record is immediately visible to pread readers.
 class Relation {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Relation);
@@ -58,14 +79,18 @@ class Relation {
   Result<SeriesId> Append(const std::string& name, const RealVec& values,
                           const ComplexVec& dft);
 
-  /// Reads one record by id.
-  Result<SeriesRecord> Get(SeriesId id);
+  /// Reads one record by id. Safe under concurrent readers.
+  Result<SeriesRecord> Get(SeriesId id) const;
 
   /// Full scan in id order; the callback returns false to stop early.
-  Status Scan(const std::function<bool(const SeriesRecord&)>& fn);
+  /// Safe under concurrent readers.
+  Status Scan(const std::function<bool(const SeriesRecord&)>& fn) const;
 
   /// Number of records.
-  uint64_t size() const { return offsets_.size(); }
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return offsets_.size();
+  }
 
   /// Flushes buffered writes to the OS.
   Status Flush();
@@ -78,13 +103,14 @@ class Relation {
   Relation(std::FILE* file, std::string path);
 
   Status ReadRecordAt(uint64_t offset, SeriesRecord* out,
-                      uint64_t* next_offset);
+                      uint64_t* next_offset) const;
 
   std::FILE* file_;
   std::string path_;
+  mutable std::mutex mutex_;       // guards offsets_/end_offset_/file writes
   std::vector<uint64_t> offsets_;  // id -> byte offset of the record
   uint64_t end_offset_ = 0;        // append position
-  RelationStats stats_;
+  mutable RelationStats stats_;
 };
 
 }  // namespace tsq

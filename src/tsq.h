@@ -44,6 +44,9 @@
 #include "transform/cost_model.h"        // IWYU pragma: export
 #include "transform/linear_transform.h"  // IWYU pragma: export
 
+#include "engine/query_engine.h"  // IWYU pragma: export
+#include "engine/thread_pool.h"   // IWYU pragma: export
+
 #include "core/database.h"       // IWYU pragma: export
 #include "core/feature.h"        // IWYU pragma: export
 #include "core/feature_space.h"  // IWYU pragma: export

@@ -1,0 +1,331 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tests for the concurrent batch query engine: batch answers must be
+// exactly the sequential Database answers, for every thread count.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/subsequence.h"
+#include "engine/query_engine.h"
+#include "engine/thread_pool.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "transform/builtin.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+using engine::BatchQuery;
+using engine::BatchQueryKind;
+using engine::BatchResult;
+using engine::BatchStats;
+using engine::QueryEngine;
+using engine::QueryEngineOptions;
+using engine::ThreadPool;
+
+constexpr size_t kNumSeries = 160;
+constexpr size_t kLength = 128;
+constexpr uint64_t kSeed = 20260729;
+
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+void ExpectSameMatches(const std::vector<Match>& actual,
+                       const std::vector<Match>& expected,
+                       const std::string& what) {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id) << what << " at " << i;
+    EXPECT_EQ(actual[i].name, expected[i].name) << what << " at " << i;
+    // Batch and sequential paths run the same arithmetic, so the
+    // distances must agree bit-for-bit, not just approximately.
+    EXPECT_EQ(actual[i].distance, expected[i].distance) << what << " at " << i;
+  }
+}
+
+void ExpectSamePairs(const std::vector<JoinPair>& actual,
+                     const std::vector<JoinPair>& expected,
+                     const std::string& what) {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].first, expected[i].first) << what << " at " << i;
+    EXPECT_EQ(actual[i].second, expected[i].second) << what << " at " << i;
+    EXPECT_EQ(actual[i].distance, expected[i].distance) << what << " at " << i;
+  }
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = workload::MakeRandomWalkDataset(kSeed, kNumSeries, kLength);
+    DatabaseOptions options;
+    options.directory = dir_.path();
+    options.name = "engine";
+    db_ = Database::Create(options).value();
+    for (const TimeSeries& s : data_) {
+      ASSERT_TRUE(db_->Insert(s.name(), s.values()).ok());
+    }
+    ASSERT_TRUE(db_->BuildIndex().ok());
+  }
+
+  /// A mixed, seeded workload: stored series and perturbed copies, plain
+  /// and transformed specs, loose and tight thresholds.
+  std::vector<BatchQuery> MakeBatch(size_t count) {
+    Rng rng(kSeed + 1);
+    QuerySpec smoothed;
+    smoothed.transform =
+        FeatureTransform::Spectral(transforms::MovingAverage(kLength, 8));
+    std::vector<BatchQuery> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      BatchQuery q;
+      RealVec values = data_[(i * 13) % kNumSeries].values();
+      if (i % 3 == 0) {
+        for (double& v : values) v += rng.Uniform(-1.0, 1.0);
+      }
+      q.query = std::move(values);
+      if (i % 4 == 1) {
+        q.kind = BatchQueryKind::kKnn;
+        q.k = 1 + i % 7;
+      } else {
+        q.kind = BatchQueryKind::kRange;
+        q.epsilon = (i % 2 == 0) ? 2.0 : 8.0;
+      }
+      if (i % 5 == 2) q.spec = smoothed;
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  }
+
+  /// The single-threaded Database answer for one batch entry.
+  Result<std::vector<Match>> Sequential(const BatchQuery& q) {
+    if (q.kind == BatchQueryKind::kKnn) {
+      return db_->Knn(q.query, q.k, q.spec);
+    }
+    return db_->RangeQuery(q.query, q.epsilon, q.spec);
+  }
+
+  testing::TempDir dir_;
+  std::vector<TimeSeries> data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+  // The pool stays usable after a Wait.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1001);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(QueryStatsTest, MergeAccumulatesEveryField) {
+  QueryStats a;
+  a.candidates = 1;
+  a.verified = 2;
+  a.answers = 3;
+  a.nodes_visited = 4;
+  a.rect_transforms = 5;
+  a.disk_reads = 6;
+  a.records_scanned = 7;
+  a.elapsed_ms = 1.5;
+  QueryStats b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.candidates, 2u);
+  EXPECT_EQ(b.verified, 4u);
+  EXPECT_EQ(b.answers, 6u);
+  EXPECT_EQ(b.nodes_visited, 8u);
+  EXPECT_EQ(b.rect_transforms, 10u);
+  EXPECT_EQ(b.disk_reads, 12u);
+  EXPECT_EQ(b.records_scanned, 14u);
+  EXPECT_DOUBLE_EQ(b.elapsed_ms, 3.0);
+}
+
+TEST_F(EngineTest, BatchEqualsSequentialAtEveryThreadCount) {
+  const std::vector<BatchQuery> batch = MakeBatch(32);
+
+  // Ground truth from the single-query Database paths.
+  std::vector<std::vector<Match>> expected;
+  size_t nonempty = 0;
+  for (const BatchQuery& q : batch) {
+    expected.push_back(Sequential(q).value());
+    if (!expected.back().empty()) ++nonempty;
+  }
+  ASSERT_GT(nonempty, batch.size() / 2) << "workload too selective";
+
+  for (const size_t threads : kThreadCounts) {
+    BatchStats stats;
+    Result<std::vector<BatchResult>> results =
+        db_->RunBatch(batch, threads, &stats);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const BatchResult& r = (*results)[i];
+      ASSERT_TRUE(r.status.ok())
+          << "threads=" << threads << " query=" << i << ": "
+          << r.status.ToString();
+      ExpectSameMatches(r.matches, expected[i],
+                        "threads=" + std::to_string(threads) + " query=" +
+                            std::to_string(i));
+    }
+    EXPECT_EQ(stats.aggregate.answers,
+              [&expected] {
+                size_t n = 0;
+                for (const auto& e : expected) n += e.size();
+                return n;
+              }())
+        << "threads=" << threads;
+    EXPECT_GT(stats.aggregate.candidates, 0u);
+  }
+}
+
+TEST_F(EngineTest, BatchDeterministicAcrossThreadCounts) {
+  const std::vector<BatchQuery> batch = MakeBatch(48);
+  const std::vector<BatchResult> baseline = db_->RunBatch(batch, 1).value();
+  for (const size_t threads : {2u, 4u, 8u}) {
+    const std::vector<BatchResult> run = db_->RunBatch(batch, threads).value();
+    ASSERT_EQ(run.size(), baseline.size());
+    for (size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_EQ(run[i].status.code(), baseline[i].status.code());
+      ExpectSameMatches(run[i].matches, baseline[i].matches,
+                        "threads=" + std::to_string(threads) + " query=" +
+                            std::to_string(i));
+    }
+  }
+}
+
+TEST_F(EngineTest, ParallelSelfJoinEqualsTreeMatchAtEveryThreadCount) {
+  const double eps = 6.0;
+  const auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(kLength, 8));
+
+  const std::vector<JoinPair> expected =
+      db_->SelfJoin(eps, JoinMethod::kTreeMatch, transform).value();
+  ASSERT_FALSE(expected.empty()) << "join threshold too selective";
+
+  for (const size_t threads : kThreadCounts) {
+    const std::vector<JoinPair> parallel =
+        db_->ParallelSelfJoin(eps, transform, threads).value();
+    ExpectSamePairs(parallel, expected,
+                    "threads=" + std::to_string(threads));
+    EXPECT_EQ(db_->last_stats().answers, expected.size());
+  }
+
+  // And without a transformation.
+  const std::vector<JoinPair> plain_expected =
+      db_->SelfJoin(eps, JoinMethod::kTreeMatch, std::nullopt).value();
+  for (const size_t threads : kThreadCounts) {
+    const std::vector<JoinPair> parallel =
+        db_->ParallelSelfJoin(eps, std::nullopt, threads).value();
+    ExpectSamePairs(parallel, plain_expected,
+                    "plain threads=" + std::to_string(threads));
+  }
+}
+
+TEST_F(EngineTest, SubsequenceBatchEqualsDirectSearch) {
+  SubsequenceIndexOptions options;
+  options.window = 32;
+  options.path = dir_.file("engine_subseq.pages");
+  auto sub_index = SubsequenceIndex::Create(options).value();
+  for (size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_TRUE(sub_index->AddSeries(i, data_[i].values()).ok());
+  }
+
+  const SeriesFetcher fetch = [this](SeriesId id) -> Result<RealVec> {
+    TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, db_->Get(id));
+    return std::move(rec.values);
+  };
+
+  std::vector<BatchQuery> batch;
+  std::vector<std::vector<SubsequenceMatch>> expected;
+  for (size_t i = 0; i < 12; ++i) {
+    BatchQuery q;
+    q.kind = BatchQueryKind::kSubsequence;
+    const RealVec& source = data_[(i * 29) % kNumSeries].values();
+    const size_t offset = (i * 7) % (kLength - options.window);
+    q.query.assign(source.begin() + offset,
+                   source.begin() + offset + options.window);
+    q.epsilon = 1.5;
+    batch.push_back(q);
+
+    expected.emplace_back();
+    ASSERT_TRUE(sub_index
+                    ->RangeSearch(batch.back().query, batch.back().epsilon,
+                                  fetch, &expected.back(), nullptr)
+                    .ok());
+  }
+
+  for (const size_t threads : kThreadCounts) {
+    QueryEngineOptions opts;
+    opts.threads = threads;
+    QueryEngine engine(db_->index(), db_->relation(), sub_index.get(), opts);
+    const std::vector<BatchResult> results = engine.RunBatch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+      const auto& actual = results[i].subsequence_matches;
+      ASSERT_EQ(actual.size(), expected[i].size())
+          << "threads=" << threads << " query=" << i;
+      for (size_t m = 0; m < actual.size(); ++m) {
+        EXPECT_EQ(actual[m].id, expected[i][m].id);
+        EXPECT_EQ(actual[m].offset, expected[i][m].offset);
+        EXPECT_EQ(actual[m].distance, expected[i][m].distance);
+      }
+    }
+  }
+}
+
+TEST_F(EngineTest, PerQueryErrorsDoNotPoisonTheBatch) {
+  std::vector<BatchQuery> batch = MakeBatch(6);
+  batch[2].query.resize(kLength / 2);  // wrong length
+  batch[4].epsilon = -1.0;             // negative threshold
+
+  const std::vector<BatchResult> results = db_->RunBatch(batch, 4).value();
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_TRUE(results[2].status.IsInvalidArgument());
+  EXPECT_TRUE(results[4].status.IsInvalidArgument());
+  for (const size_t i : {0u, 1u, 3u, 5u}) {
+    EXPECT_TRUE(results[i].status.ok()) << "query " << i;
+    ExpectSameMatches(results[i].matches, Sequential(batch[i]).value(),
+                      "query " + std::to_string(i));
+  }
+}
+
+TEST_F(EngineTest, RunBatchRequiresIndex) {
+  testing::TempDir dir;
+  DatabaseOptions options;
+  options.directory = dir.path();
+  options.name = "noindex";
+  auto db = Database::Create(options).value();
+  ASSERT_TRUE(db->Insert("a", data_[0].values()).ok());
+  Result<std::vector<BatchResult>> r = db->RunBatch(MakeBatch(2), 2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST_F(EngineTest, EngineWithoutKIndexFailsWholeSeriesQueriesOnly) {
+  QueryEngine engine(nullptr, db_->relation());
+  std::vector<BatchQuery> batch = MakeBatch(3);
+  const std::vector<BatchResult> results = engine.RunBatch(batch);
+  for (const BatchResult& r : results) {
+    EXPECT_TRUE(r.status.IsFailedPrecondition());
+  }
+}
+
+}  // namespace
+}  // namespace tsq
