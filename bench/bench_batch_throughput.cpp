@@ -2,10 +2,11 @@
 //
 // Batch query engine throughput: queries/second for a mixed range + kNN
 // workload executed by engine::QueryEngine at 1, 2, 4 and 8 worker
-// threads, plus the parallel partitioned self-join. This is not a paper
-// figure — it measures the concurrency layer tsq adds on top of the
-// paper's single-query pipeline (the index stack is shared read-only
-// across workers; answers are identical at every thread count).
+// threads, the parallel self-join, and a buffer-pool shard-count sweep.
+// This is not a paper figure — it measures the concurrency layer tsq adds
+// on top of the paper's single-query pipeline (the index stack is shared
+// read-only across workers; answers are identical at every thread count
+// and shard count).
 
 #include <cmath>
 #include <cstdio>
@@ -81,6 +82,46 @@ void Run() {
                   std::to_string(stats.aggregate.candidates)});
   }
   table.Print();
+
+  std::printf("\n");
+  bench::Banner(
+      "Buffer-pool shard sweep: 8-thread batch wall time vs shard count",
+      "Same workload at 8 workers against databases whose pool has 1, 4 "
+      "and 16\nshards (and a small frame budget, so page access leaves "
+      "the hit path\noften enough to exercise the shard locks). 1 shard "
+      "reproduces the v1\nglobal-mutex pool.");
+
+  bench::Table shard_table(
+      {"shards", "wall ms", "queries/sec", "speedup vs 1"});
+  double one_shard_ms = 0.0;
+  for (const size_t shards : {1u, 4u, 16u}) {
+    DatabaseOptions shard_options;
+    shard_options.buffer_pool_shards = shards;
+    // A pool far smaller than the node count keeps eviction/refetch
+    // traffic flowing through the shard locks instead of pure hits.
+    shard_options.buffer_pool_frames = 64;
+    auto shard_db =
+        bench::BuildDatabase(dir.path(), "batch_s" + std::to_string(shards),
+                             data, shard_options);
+    engine::QueryEngineOptions options;
+    options.threads = 8;
+    engine::QueryEngine engine(shard_db->index(), shard_db->relation(),
+                               /*subsequence_index=*/nullptr, options);
+    engine.RunBatch(batch);  // warm-up
+
+    engine::BatchStats stats;
+    const auto results = engine.RunBatch(batch, &stats);
+    for (const auto& r : results) {
+      TSQ_CHECK_MSG(r.status.ok(), "shard-sweep query failed: %s",
+                    r.status.ToString().c_str());
+    }
+    if (shards == 1) one_shard_ms = stats.wall_ms;
+    shard_table.AddRow({std::to_string(shards),
+                        bench::Table::Num(stats.wall_ms),
+                        bench::Table::Num(1000.0 * kBatch / stats.wall_ms, 0),
+                        bench::Table::Num(one_shard_ms / stats.wall_ms, 2)});
+  }
+  shard_table.Print();
 
   std::printf("\n");
   bench::Banner(

@@ -42,6 +42,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     kopts.path = index_path;
     kopts.page_size = options.page_size;
     kopts.buffer_pool_frames = options.buffer_pool_frames;
+    kopts.buffer_pool_shards = options.buffer_pool_shards;
     kopts.rtree = options.rtree;
     TSQ_ASSIGN_OR_RETURN(db->index_,
                          KIndex::Open(kopts, db->series_length_));
@@ -91,12 +92,12 @@ Status Database::BuildIndex() {
   if (index_ != nullptr) {
     return Status::FailedPrecondition("index already built");
   }
-  engine_.reset();  // would hold a dangling index pointer otherwise
   KIndexOptions kopts;
   kopts.layout = options_.layout;
   kopts.path = options_.directory + "/" + options_.name + ".idx";
   kopts.page_size = options_.page_size;
   kopts.buffer_pool_frames = options_.buffer_pool_frames;
+  kopts.buffer_pool_shards = options_.buffer_pool_shards;
   kopts.rtree = options_.rtree;
   TSQ_ASSIGN_OR_RETURN(index_, KIndex::Create(kopts, series_length_));
 
@@ -162,15 +163,18 @@ Result<std::vector<Match>> Database::ScanRangeQuery(const RealVec& query,
 }
 
 engine::QueryEngine* Database::EnsureEngine(size_t threads) {
-  if (engine_ == nullptr || engine_threads_ != threads) {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  auto it = engines_.find(threads);
+  if (it == engines_.end()) {
     engine::QueryEngineOptions options;
     options.threads = threads;
-    engine_ = std::make_unique<engine::QueryEngine>(
-        index_.get(), relation_.get(), /*subsequence_index=*/nullptr,
-        options);
-    engine_threads_ = threads;
+    it = engines_
+             .emplace(threads, std::make_unique<engine::QueryEngine>(
+                                   index_.get(), relation_.get(),
+                                   /*subsequence_index=*/nullptr, options))
+             .first;
   }
-  return engine_.get();
+  return it->second.get();
 }
 
 Result<std::vector<engine::BatchResult>> Database::RunBatch(
@@ -188,8 +192,12 @@ Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
   if (index_ == nullptr) {
     return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
   }
-  last_stats_ = QueryStats();
-  return EnsureEngine(threads)->SelfJoin(epsilon, transform, &last_stats_);
+  QueryStats stats;
+  TSQ_ASSIGN_OR_RETURN(
+      std::vector<JoinPair> out,
+      EnsureEngine(threads)->SelfJoin(epsilon, transform, &stats));
+  last_stats_ = stats;
+  return out;
 }
 
 Result<std::vector<JoinPair>> Database::SelfJoin(

@@ -20,7 +20,9 @@
 #ifndef TSQ_CORE_DATABASE_H_
 #define TSQ_CORE_DATABASE_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +57,8 @@ struct DatabaseOptions {
   FeatureLayout layout = FeatureLayout::Paper();
   size_t page_size = kDefaultPageSize;
   size_t buffer_pool_frames = 1024;
+  /// Buffer-pool shard count; 0 = automatic (see BufferPool).
+  size_t buffer_pool_shards = 0;
   rtree::RTreeOptions rtree;
   /// Build the index with STR bulk loading (default) or with repeated
   /// insertions (the ablation baseline; see bench_ablation).
@@ -66,7 +70,12 @@ struct DatabaseOptions {
 /// Single-query methods are not thread-safe (they share last_stats_).
 /// RunBatch/ParallelSelfJoin execute many queries concurrently on an
 /// internal engine; while one runs, no mutating call (Insert, BuildIndex)
-/// may execute — the engine treats the index stack as frozen.
+/// may execute — the engine treats the index stack as frozen. RunBatch
+/// itself may be called from several threads at once (engines are cached
+/// per thread count under a lock and never destroyed while the index
+/// stands); concurrent ParallelSelfJoin calls return correct results but
+/// race on last_stats() — callers needing concurrent join stats should
+/// drive engine::QueryEngine::SelfJoin with their own QueryStats.
 class Database {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Database);
@@ -128,8 +137,9 @@ class Database {
       const std::vector<engine::BatchQuery>& queries, size_t threads = 0,
       engine::BatchStats* batch_stats = nullptr);
 
-  /// Parallel partitioned self-join: JoinMethod::kTreeMatch with its
-  /// verification phase split across `threads` workers (0 = hardware
+  /// Fully parallel self-join: JoinMethod::kTreeMatch with both the
+  /// synchronized R*-tree descent (split by root-child pairs) and the
+  /// verification phase spread across `threads` workers (0 = hardware
   /// concurrency). Same answers, same order as the sequential kTreeMatch
   /// method. Requires BuildIndex.
   Result<std::vector<JoinPair>> ParallelSelfJoin(
@@ -156,8 +166,13 @@ class Database {
   explicit Database(DatabaseOptions options)
       : options_(std::move(options)), extractor_(options_.layout) {}
 
-  /// Returns the cached batch engine, (re)building it when none exists
-  /// yet or the requested thread count changed.
+  /// Returns the cached batch engine for `threads`, building it on first
+  /// use. Thread-safe; an engine, once built, lives as long as the
+  /// Database — so a concurrent caller can never have its engine
+  /// destroyed mid-batch by another caller asking for a different thread
+  /// count. (Engines exist only after BuildIndex succeeded, and
+  /// BuildIndex refuses to run twice, so index_ can never be replaced
+  /// under a live engine.)
   engine::QueryEngine* EnsureEngine(size_t threads);
 
   DatabaseOptions options_;
@@ -166,11 +181,12 @@ class Database {
   std::unique_ptr<KIndex> index_;
   size_t series_length_ = 0;
   QueryStats last_stats_;
-  // Lazily built by RunBatch/ParallelSelfJoin so repeated batches reuse
-  // one thread pool; dropped by BuildIndex (it replaces index_, which the
-  // engine holds a pointer to).
-  std::unique_ptr<engine::QueryEngine> engine_;
-  size_t engine_threads_ = 0;
+  // Lazily built by RunBatch/ParallelSelfJoin, one engine per requested
+  // thread count so repeated batches reuse a thread pool. Engines hold
+  // pointers into index_/relation_; declared after them so they are
+  // destroyed first.
+  std::mutex engines_mutex_;
+  std::map<size_t, std::unique_ptr<engine::QueryEngine>> engines_;
 };
 
 }  // namespace tsq

@@ -13,34 +13,32 @@ namespace tsq {
 
 namespace {
 
-/// Captures tree/pool counter deltas around a query.
+/// Captures this thread's tree/pool counter deltas around a query (the v2
+/// exact-stats contract: traversals mirror their shared atomic counters
+/// into thread-local ones, and a query runs entirely on one thread, so
+/// the delta can never include a concurrent query's work).
 class StatsScope {
  public:
-  StatsScope(const KIndex* index, QueryStats* stats)
-      : index_(index), stats_(stats) {
-    if (index_ != nullptr) {
-      tree_before_ = index_->tree()->stats();
-      pool_before_ = index_->pool()->stats();
-    }
-  }
+  explicit StatsScope(QueryStats* stats)
+      : stats_(stats),
+        tree_before_(rtree::ThisThreadTraversalCounters()),
+        pool_before_(ThisThreadPoolCounters()) {}
   ~StatsScope() {
     if (stats_ == nullptr) return;
-    if (index_ != nullptr) {
-      const rtree::TraversalStats& t = index_->tree()->stats();
-      const BufferPoolStats& p = index_->pool()->stats();
-      stats_->nodes_visited += t.nodes_visited - tree_before_.nodes_visited;
-      stats_->rect_transforms +=
-          t.rect_transforms - tree_before_.rect_transforms;
-      stats_->disk_reads += p.disk_reads - pool_before_.disk_reads;
-    }
+    const rtree::ThreadTraversalCounters& t =
+        rtree::ThisThreadTraversalCounters();
+    const ThreadPoolCounters& p = ThisThreadPoolCounters();
+    stats_->nodes_visited += t.nodes_visited - tree_before_.nodes_visited;
+    stats_->rect_transforms +=
+        t.rect_transforms - tree_before_.rect_transforms;
+    stats_->disk_reads += p.disk_reads - pool_before_.disk_reads;
     stats_->elapsed_ms += watch_.ElapsedMillis();
   }
 
  private:
-  const KIndex* index_;
   QueryStats* stats_;
-  rtree::TraversalStats tree_before_;
-  BufferPoolStats pool_before_;
+  rtree::ThreadTraversalCounters tree_before_;
+  ThreadPoolCounters pool_before_;
   Stopwatch watch_;
 };
 
@@ -134,7 +132,7 @@ Status IndexRangeQuery(const KIndex& index, const Relation& relation,
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative query threshold");
   }
-  StatsScope scope(&index, stats);
+  StatsScope scope(stats);
 
   // Step 1 — preprocessing.
   TSQ_ASSIGN_OR_RETURN(const PreparedQuery prepared,
@@ -163,7 +161,7 @@ Status IndexKnnQuery(const KIndex& index, const Relation& relation,
     TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
     return Status::OK();
   }
-  StatsScope scope(&index, stats);
+  StatsScope scope(stats);
 
   TSQ_ASSIGN_OR_RETURN(const PreparedQuery prepared,
                        PrepareQuery(index, query, spec));
@@ -241,7 +239,7 @@ Status IndexSelfJoin(const KIndex& index, const Relation& relation,
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
   }
-  StatsScope scope(&index, stats);
+  StatsScope scope(stats);
 
   std::optional<spatial::AffineMap> map;
   if (transform.has_value()) {
@@ -295,7 +293,7 @@ Status TreeMatchSelfJoin(const KIndex& index, const Relation& relation,
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
   }
-  StatsScope scope(&index, stats);
+  StatsScope scope(stats);
 
   std::optional<spatial::AffineMap> map;
   if (transform.has_value()) {

@@ -5,12 +5,57 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 #include "common/stopwatch.h"
 
 namespace tsq {
 namespace engine {
+
+namespace {
+
+/// Accumulates traversal/IO work tallied from many worker threads. Each
+/// worker measures its own thread-local counter deltas (exact by the v2
+/// contract) and adds them here.
+struct TraversalTally {
+  std::atomic<uint64_t> nodes_visited{0};
+  std::atomic<uint64_t> rect_transforms{0};
+  std::atomic<uint64_t> disk_reads{0};
+};
+
+/// Runs `fn`, adds the thread-local tree/pool counter deltas it caused on
+/// this thread into `tally`, and forwards fn's return value (if any).
+template <typename Fn>
+auto RunTallied(TraversalTally* tally, Fn&& fn) {
+  const rtree::ThreadTraversalCounters tree_before =
+      rtree::ThisThreadTraversalCounters();
+  const ThreadPoolCounters pool_before = ThisThreadPoolCounters();
+  const auto record = [&] {
+    const rtree::ThreadTraversalCounters& tree_after =
+        rtree::ThisThreadTraversalCounters();
+    const ThreadPoolCounters& pool_after = ThisThreadPoolCounters();
+    tally->nodes_visited.fetch_add(
+        tree_after.nodes_visited - tree_before.nodes_visited,
+        std::memory_order_relaxed);
+    tally->rect_transforms.fetch_add(
+        tree_after.rect_transforms - tree_before.rect_transforms,
+        std::memory_order_relaxed);
+    tally->disk_reads.fetch_add(
+        pool_after.disk_reads - pool_before.disk_reads,
+        std::memory_order_relaxed);
+  };
+  if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {
+    fn();
+    record();
+  } else {
+    auto result = fn();
+    record();
+    return result;
+  }
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(const KIndex* index, const Relation* relation,
                          const SubsequenceIndex* subsequence_index,
@@ -67,46 +112,20 @@ std::vector<BatchResult> QueryEngine::RunBatch(
   std::vector<BatchResult> results(queries.size());
   Stopwatch wall;
 
-  // Exact engine-wide traversal deltas, measured around the whole batch
-  // (per-query deltas overlap under concurrency; see header).
-  rtree::TraversalStats tree_before;
-  BufferPoolStats pool_before;
-  if (index_ != nullptr) {
-    tree_before = index_->tree()->stats();
-    pool_before = index_->pool()->stats();
-  }
-
-  // Work stealing over an atomic cursor: drivers (one per worker) pull the
-  // next unclaimed query. Each query writes only its own slot, so the
-  // output is identical for any thread count. Wait() below keeps every
-  // captured reference alive until the drivers drain.
-  std::atomic<size_t> cursor{0};
-  const size_t drivers = std::min(pool_.size(), queries.size());
-  for (size_t d = 0; d < drivers; ++d) {
-    pool_.Submit([this, &cursor, &queries, &results] {
-      for (;;) {
-        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= queries.size()) return;
-        RunOne(queries[i], &results[i]);
-      }
-    });
-  }
-  pool_.Wait();
+  // Work stealing over an atomic cursor: each query writes only its own
+  // slot, so the output is identical for any thread count.
+  pool_.ParallelFor(queries.size(),
+                    [this, &queries, &results](size_t i) {
+                      RunOne(queries[i], &results[i]);
+                    });
 
   if (batch_stats != nullptr) {
     *batch_stats = BatchStats();
+    // Per-query stats are exact (thread-local counter deltas), so the
+    // aggregate is simply their sum — no whole-batch shared-counter
+    // measurement needed.
     for (const BatchResult& r : results) {
       batch_stats->aggregate.Merge(r.stats);
-    }
-    if (index_ != nullptr) {
-      const rtree::TraversalStats& t = index_->tree()->stats();
-      const BufferPoolStats& p = index_->pool()->stats();
-      batch_stats->aggregate.nodes_visited =
-          t.nodes_visited - tree_before.nodes_visited;
-      batch_stats->aggregate.rect_transforms =
-          t.rect_transforms - tree_before.rect_transforms;
-      batch_stats->aggregate.disk_reads =
-          p.disk_reads - pool_before.disk_reads;
     }
     batch_stats->wall_ms = wall.ElapsedMillis();
   }
@@ -123,35 +142,66 @@ Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
     return Status::InvalidArgument("negative join threshold");
   }
   Stopwatch watch;
-  const rtree::TraversalStats tree_before = index_->tree()->stats();
-  const BufferPoolStats pool_before = index_->pool()->stats();
+  TraversalTally tally;
 
   std::optional<spatial::AffineMap> map;
   if (transform.has_value()) {
     TSQ_ASSIGN_OR_RETURN(map, index_->space().ToAffineMap(*transform));
   }
   const spatial::AffineMap* map_ptr = map.has_value() ? &*map : nullptr;
+  const rtree::RStarTree& tree = *index_->tree();
+  const auto may_join = index_->space().MakeJoinPredicate(epsilon);
 
-  // Phase 1 (sequential, index space only): one synchronized descent of
-  // the tree against its transformed self collects the candidate leaf
-  // pairs — the same traversal TreeMatchSelfJoin performs.
-  std::vector<std::pair<SeriesId, SeriesId>> candidates;
-  TSQ_RETURN_IF_ERROR(index_->tree()->JoinWith(
-      *index_->tree(), map_ptr, map_ptr,
-      index_->space().MakeJoinPredicate(epsilon),
-      [&candidates](uint64_t a, uint64_t b) {
-        if (a != b) candidates.emplace_back(a, b);
-        return true;
+  // Phase 1 (parallel descent): the qualifying root-child pairs are
+  // independent lockstep-descent tasks (JoinSeeds mirrors the order the
+  // sequential traversal would recurse in). Each seed collects candidates
+  // into its own buffer; concatenating the buffers in seed order yields
+  // exactly the sequential JoinWith candidate sequence, so the join stays
+  // bit-identical at every thread count.
+  TSQ_ASSIGN_OR_RETURN(
+      const std::vector<rtree::RStarTree::JoinSeed> seeds,
+      RunTallied(&tally, [&] {
+        return tree.JoinSeeds(tree, map_ptr, map_ptr, may_join);
       }));
 
+  std::vector<std::vector<std::pair<SeriesId, SeriesId>>> seed_out(
+      seeds.size());
+  std::vector<Status> seed_status(seeds.size());
+  pool_.ParallelFor(seeds.size(), [&](size_t i) {
+    RunTallied(&tally, [&] {
+      seed_status[i] = tree.JoinFrom(
+          seeds[i], tree, map_ptr, map_ptr, may_join,
+          [&out = seed_out[i]](uint64_t a, uint64_t b) {
+            if (a != b) out.emplace_back(a, b);
+            return true;
+          });
+    });
+  });
+  size_t num_candidates = 0;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    TSQ_RETURN_IF_ERROR(seed_status[i]);
+    num_candidates += seed_out[i].size();
+  }
+  std::vector<std::pair<SeriesId, SeriesId>> candidates;
+  candidates.reserve(num_candidates);
+  for (std::vector<std::pair<SeriesId, SeriesId>>& part : seed_out) {
+    candidates.insert(candidates.end(), part.begin(), part.end());
+  }
+
   // Phase 2a (parallel): fetch and transform every referenced record
-  // exactly once into a dense shared cache — the same total work as the
-  // sequential TreeMatchSelfJoin cache, just split across workers. Series
-  // ids are dense (0..relation.size()-1), so a vector indexes the cache
-  // and each slot is written by exactly one worker.
+  // exactly once into a dense shared cache. Series ids are dense
+  // (0..relation.size()-1), so a vector indexes the cache and each slot is
+  // written by exactly one worker.
   const uint64_t relation_size = relation_->size();
   std::vector<uint8_t> referenced(relation_size, 0);
   for (const auto& [a, b] : candidates) {
+    if (a >= relation_size || b >= relation_size) {
+      // The sequential path would surface this as NotFound from
+      // relation.Get; the dense cache must not turn it into an
+      // out-of-bounds write.
+      return Status::Corruption(
+          "join candidate id out of range: index and relation disagree");
+    }
     referenced[a] = 1;
     referenced[b] = 1;
   }
@@ -160,30 +210,18 @@ Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
     if (referenced[id] != 0) unique_ids.push_back(id);
   }
 
-  const size_t fetch_partitions =
-      std::max<size_t>(1, std::min(unique_ids.size(), pool_.size()));
-  const size_t fetch_size =
-      (unique_ids.size() + fetch_partitions - 1) / fetch_partitions;
   std::vector<ComplexVec> spectra(relation_size);
-  std::vector<Status> fetch_status(fetch_partitions);
-  for (size_t p = 0; p < fetch_partitions; ++p) {
-    pool_.Submit([&, p] {
-      const size_t begin = p * fetch_size;
-      const size_t end = std::min(begin + fetch_size, unique_ids.size());
-      for (size_t i = begin; i < end; ++i) {
-        const SeriesId id = unique_ids[i];
-        Result<SeriesRecord> rec = relation_->Get(id);
-        if (!rec.ok()) {
-          fetch_status[p] = rec.status();
-          return;
-        }
-        spectra[id] = transform.has_value()
-                          ? transform->spectral.Apply(rec->dft)
-                          : std::move(rec->dft);
-      }
-    });
-  }
-  pool_.Wait();
+  std::vector<Status> fetch_status(unique_ids.size());
+  pool_.ParallelFor(unique_ids.size(), [&](size_t i) {
+    const SeriesId id = unique_ids[i];
+    Result<SeriesRecord> rec = relation_->Get(id);
+    if (!rec.ok()) {
+      fetch_status[i] = rec.status();
+      return;
+    }
+    spectra[id] = transform.has_value() ? transform->spectral.Apply(rec->dft)
+                                        : std::move(rec->dft);
+  });
   for (const Status& s : fetch_status) {
     TSQ_RETURN_IF_ERROR(s);
   }
@@ -196,18 +234,15 @@ Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
   const size_t partition_size =
       (candidates.size() + num_partitions - 1) / num_partitions;
   std::vector<std::vector<JoinPair>> partition_out(num_partitions);
-  for (size_t p = 0; p < num_partitions; ++p) {
-    pool_.Submit([&, p] {
-      const size_t begin = p * partition_size;
-      const size_t end = std::min(begin + partition_size, candidates.size());
-      for (size_t i = begin; i < end; ++i) {
-        const auto& [a, b] = candidates[i];
-        const double d = cvec::Distance(spectra[a], spectra[b]);
-        if (d <= epsilon) partition_out[p].push_back(JoinPair{a, b, d});
-      }
-    });
-  }
-  pool_.Wait();
+  pool_.ParallelFor(num_partitions, [&](size_t p) {
+    const size_t begin = p * partition_size;
+    const size_t end = std::min(begin + partition_size, candidates.size());
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [a, b] = candidates[i];
+      const double d = cvec::Distance(spectra[a], spectra[b]);
+      if (d <= epsilon) partition_out[p].push_back(JoinPair{a, b, d});
+    }
+  });
 
   // Phase 3 (sequential): merge in partition order. Partitions tile the
   // candidate sequence, so the concatenation is exactly the sequential
@@ -226,12 +261,10 @@ Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
     stats->candidates += candidates.size();
     stats->verified += unique_ids.size();
     stats->answers += out.size();
-    const rtree::TraversalStats& t = index_->tree()->stats();
-    const BufferPoolStats& p = index_->pool()->stats();
-    stats->nodes_visited += t.nodes_visited - tree_before.nodes_visited;
+    stats->nodes_visited += tally.nodes_visited.load(std::memory_order_relaxed);
     stats->rect_transforms +=
-        t.rect_transforms - tree_before.rect_transforms;
-    stats->disk_reads += p.disk_reads - pool_before.disk_reads;
+        tally.rect_transforms.load(std::memory_order_relaxed);
+    stats->disk_reads += tally.disk_reads.load(std::memory_order_relaxed);
     stats->elapsed_ms += watch.ElapsedMillis();
   }
   return out;

@@ -8,23 +8,24 @@
 // Execution model. The index stack is frozen while an engine uses it (no
 // Insert/BuildIndex concurrently); every query is a reentrant composition
 // of the Algorithm 2 steps in core/queries.h, so workers share the tree,
-// buffer pool and relation without copying them. Batches are executed
-// with work stealing over an atomic cursor; each query writes into its
-// own pre-allocated result slot, so results[i] always corresponds to
-// queries[i] and the answer vectors are bit-identical for any thread
-// count (each query's computation is sequential and self-contained).
+// sharded buffer pool and relation without copying them. Batches are
+// executed with work stealing over an atomic cursor
+// (ThreadPool::ParallelFor); each query writes into its own pre-allocated
+// result slot, so results[i] always corresponds to queries[i] and the
+// answer vectors are bit-identical for any thread count (each query's
+// computation is sequential and self-contained).
 //
-// Stats. Per-query stats count candidates/verified/answers/elapsed_ms
-// exactly. The traversal-delta fields (nodes_visited, rect_transforms,
-// disk_reads) are measured on engine-shared counters; under concurrency a
-// per-query delta can include a neighbour query's work, so those three
-// are only meaningful in BatchStats::aggregate, which is measured around
-// the whole batch — and in turn is only exact while no *other* batch or
-// join runs against the same KIndex concurrently (overlapping callers
-// see each other's traversal work in their deltas; the local counters
-// stay exact regardless). Subsequence queries keep all their counters
-// locally (the ST-index traversal never touches the shared KIndex
-// counters), so the overwrite of the delta fields loses nothing.
+// Stats (v2: exact). Every per-query counter — including the traversal
+// fields nodes_visited, rect_transforms and disk_reads — is exact under
+// any concurrency: a query runs entirely on one thread, and the tree and
+// buffer pool mirror their shared atomic counters into thread-local ones
+// (rtree::ThisThreadTraversalCounters, ThisThreadPoolCounters), so a
+// query's before/after delta on its own thread can never include a
+// neighbour query's work. BatchStats::aggregate is simply the sum of the
+// per-query stats; it no longer needs the whole-batch shared-counter
+// measurement the v1 contract documented as approximate. The parallel
+// self-join tallies each worker's thread-local deltas the same way, so
+// its QueryStats are exact even while other batches run on the engine.
 
 #ifndef TSQ_ENGINE_QUERY_ENGINE_H_
 #define TSQ_ENGINE_QUERY_ENGINE_H_
@@ -76,7 +77,7 @@ struct BatchResult {
 
 /// A whole batch's outcome.
 struct BatchStats {
-  /// Sum of every per-query stats (see header comment for caveats).
+  /// Sum of every per-query stats; exact (see header comment).
   QueryStats aggregate;
   /// Wall-clock time of the batch, parallelism included.
   double wall_ms = 0.0;
@@ -106,14 +107,18 @@ class QueryEngine {
   std::vector<BatchResult> RunBatch(const std::vector<BatchQuery>& queries,
                                     BatchStats* batch_stats = nullptr);
 
-  /// Parallel partitioned self-join: one synchronized R*-tree descent
-  /// (index space, cheap) collects the candidate leaf pairs; the workers
-  /// then fetch+transform every referenced record exactly once into a
-  /// shared dense cache, and the pairs are partitioned across the workers
-  /// for full-length verification against it (the expensive step). The
-  /// per-partition answers are concatenated in partition order, which
-  /// reproduces TreeMatchSelfJoin's output exactly — same pairs, same
-  /// order — for any thread count. Requires a KIndex.
+  /// Fully parallel self-join. Phase 1 splits the synchronized R*-tree
+  /// descent itself across the workers: the qualifying root-child pairs
+  /// (rtree::RStarTree::JoinSeeds) are independent descent tasks, each
+  /// worker collects candidates into a per-seed buffer, and the buffers
+  /// are concatenated in seed order — exactly the sequential JoinWith
+  /// candidate sequence. Phase 2 fetches+transforms every referenced
+  /// record exactly once into a shared dense cache and partitions the
+  /// candidate pairs across the workers for full-length verification,
+  /// merging per-partition answers in partition order. The output
+  /// reproduces TreeMatchSelfJoin exactly — same pairs, same order — for
+  /// any thread count, and `stats` is exact (per-worker thread-local
+  /// tallies). Requires a KIndex.
   Result<std::vector<JoinPair>> SelfJoin(
       double epsilon, const std::optional<FeatureTransform>& transform,
       QueryStats* stats = nullptr);

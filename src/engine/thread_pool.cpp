@@ -2,6 +2,8 @@
 
 #include "engine/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace tsq {
@@ -41,6 +43,34 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<size_t> cursor{0};
+  const size_t drivers = std::min(size(), n);
+  // Per-call completion (not pool-wide Wait): this caller returns as soon
+  // as its own drivers have drained, so concurrent ParallelFor calls on a
+  // shared pool don't convoy on each other's work. A driver exits only
+  // after the cursor passes n, so once every driver has exited, all n
+  // indices are claimed *and* finished — at which point this frame (and
+  // the locals the drivers reference) may safely die.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t exited = 0;
+  for (size_t d = 0; d < drivers; ++d) {
+    Submit([&cursor, &fn, n, &done_mutex, &done_cv, &exited, drivers] {
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (++exited == drivers) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&exited, drivers] { return exited == drivers; });
 }
 
 void ThreadPool::WorkerLoop() {

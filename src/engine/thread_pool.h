@@ -46,6 +46,16 @@ class ThreadPool {
   /// Blocks until the queue is empty and every running task has finished.
   void Wait();
 
+  /// Runs fn(i) for every i in [0, n) on the workers — one driver task per
+  /// worker, stealing indices from a shared atomic cursor — and blocks
+  /// until all n calls have finished. `fn` is invoked concurrently and
+  /// must be reentrant; each index is claimed by exactly one driver.
+  /// Completion is tracked per call (not via pool-wide Wait), so
+  /// concurrent ParallelFor callers sharing the pool each return as soon
+  /// as their own work drains. Like Wait, must be called from a
+  /// non-worker thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
  private:
   void WorkerLoop();
 

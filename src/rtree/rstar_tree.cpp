@@ -17,11 +17,19 @@ constexpr uint64_t kMetaMagic = 0x3154524151535400ull;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Exact per-thread mirror of the shared TraversalStats (see the header's
+// v2 contract). Bumped in lockstep with stats_ at every counting site.
+thread_local ThreadTraversalCounters tls_traversal;
+
 double CenterDistSquared(const spatial::Rect& a, const spatial::Rect& b) {
   return spatial::PointDistSquared(a.Center(), b.Center());
 }
 
 }  // namespace
+
+const ThreadTraversalCounters& ThisThreadTraversalCounters() {
+  return tls_traversal;
+}
 
 RStarTree::RStarTree(BufferPool* pool, size_t dims,
                      const RTreeOptions& options)
@@ -122,6 +130,7 @@ Result<Node> RStarTree::LoadNode(PageId id) const {
   TSQ_RETURN_IF_ERROR(DeserializeNode(*handle.page(), dims_, &node));
   node.id = id;
   ++stats_.nodes_visited;
+  ++tls_traversal.nodes_visited;
   return node;
 }
 
@@ -592,9 +601,11 @@ Status RStarTree::SearchRecurse(PageId node_id, const spatial::AffineMap* map,
     if (map != nullptr) {
       rect = map->Apply(rect);
       ++stats_.rect_transforms;
+      ++tls_traversal.rect_transforms;
     }
     if (node.IsLeaf()) {
       ++stats_.leaf_entries_tested;
+      ++tls_traversal.leaf_entries_tested;
       if (rect.Intersects(query)) {
         if (!emit(e.id, rect)) {
           *keep_going = false;
@@ -640,6 +651,7 @@ Status RStarTree::JoinRecurse(PageId a_id, const RStarTree& other,
                             const spatial::Rect& rect) {
     if (map == nullptr) return rect;
     ++stats_.rect_transforms;
+    ++tls_traversal.rect_transforms;
     return map->Apply(rect);
   };
 
@@ -649,6 +661,7 @@ Status RStarTree::JoinRecurse(PageId a_id, const RStarTree& other,
       for (const Entry& eb : nb.entries) {
         if (!*keep_going) return Status::OK();
         ++stats_.leaf_entries_tested;
+        ++tls_traversal.leaf_entries_tested;
         if (may_join(ta, transformed(map_b, eb.rect))) {
           if (!emit(ea.id, eb.id)) {
             *keep_going = false;
@@ -698,6 +711,56 @@ Status RStarTree::JoinRecurse(PageId a_id, const RStarTree& other,
   return Status::OK();
 }
 
+Result<std::vector<RStarTree::JoinSeed>> RStarTree::JoinSeeds(
+    const RStarTree& other, const spatial::AffineMap* map,
+    const spatial::AffineMap* other_map,
+    const JoinPredicate& may_join) const {
+  if (dims() != other.dims()) {
+    return Status::InvalidArgument("join between trees of different dims");
+  }
+  std::vector<JoinSeed> seeds;
+  if (size_ == 0 || other.size() == 0) return seeds;
+
+  TSQ_ASSIGN_OR_RETURN(Node na, LoadNode(root_));
+  TSQ_ASSIGN_OR_RETURN(Node nb, other.LoadNode(other.root_));
+  if (na.IsLeaf() || nb.IsLeaf() || na.level != nb.level) {
+    // Nothing to split: run the whole descent as one task.
+    seeds.push_back(JoinSeed{root_, other.root_});
+    return seeds;
+  }
+
+  // Mirror the sequential JoinRecurse same-level branch exactly: the
+  // qualifying (ea, eb) child pairs, in (ea, eb) iteration order, are the
+  // recursion roots the sequential descent would visit — so JoinFrom over
+  // these seeds in order reproduces the JoinWith candidate sequence.
+  auto transformed = [this](const spatial::AffineMap* m,
+                            const spatial::Rect& rect) {
+    if (m == nullptr) return rect;
+    ++stats_.rect_transforms;
+    ++tls_traversal.rect_transforms;
+    return m->Apply(rect);
+  };
+  for (const Entry& ea : na.entries) {
+    const spatial::Rect ta = transformed(map, ea.rect);
+    for (const Entry& eb : nb.entries) {
+      if (may_join(ta, transformed(other_map, eb.rect))) {
+        seeds.push_back(JoinSeed{ea.id, eb.id});
+      }
+    }
+  }
+  return seeds;
+}
+
+Status RStarTree::JoinFrom(const JoinSeed& seed, const RStarTree& other,
+                           const spatial::AffineMap* map,
+                           const spatial::AffineMap* other_map,
+                           const JoinPredicate& may_join,
+                           const JoinCallback& emit) const {
+  bool keep_going = true;
+  return JoinRecurse(seed.a, other, seed.b, map, other_map, may_join, emit,
+                     &keep_going);
+}
+
 // ---------------------------------------------------------------------------
 // Nearest neighbors
 // ---------------------------------------------------------------------------
@@ -733,10 +796,12 @@ Status RStarTree::NearestNeighborsStream(
       if (map != nullptr) {
         rect = map->Apply(rect);
         ++stats_.rect_transforms;
+        ++tls_traversal.rect_transforms;
       }
       const double d = metric.MinDistSquared(rect);
       if (node.IsLeaf()) {
         ++stats_.leaf_entries_tested;
+        ++tls_traversal.leaf_entries_tested;
         heap.push(Item{d, true, e.id});
       } else {
         heap.push(Item{d, false, e.id});

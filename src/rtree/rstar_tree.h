@@ -75,6 +75,24 @@ struct TraversalStats {
   }
 };
 
+/// Per-thread traversal counters (plain integers — each thread owns its
+/// own instance). Every traversal bumps these alongside the tree's shared
+/// atomic TraversalStats, so a query running on one thread measures
+/// exactly its own work by snapshotting ThisThreadTraversalCounters()
+/// before and after — concurrent traversals on other threads never leak
+/// into the delta (the v2 exact-stats contract; the v1 shared-counter
+/// deltas were approximate under concurrency). Counters are cumulative
+/// across all trees a thread touches; only deltas are meaningful.
+struct ThreadTraversalCounters {
+  uint64_t nodes_visited = 0;
+  uint64_t rect_transforms = 0;
+  uint64_t leaf_entries_tested = 0;
+};
+
+/// This thread's cumulative traversal counters (monotonic; snapshot to
+/// diff).
+const ThreadTraversalCounters& ThisThreadTraversalCounters();
+
 /// One nearest-neighbor answer.
 struct NnResult {
   uint64_t id = 0;
@@ -106,14 +124,16 @@ using SearchCallback =
 /// A persistent R*-tree over a BufferPool. All rectangles must match the
 /// tree's dimensionality.
 ///
-/// Concurrency contract (v1): the const read operations — Search,
-/// SearchTransformed, NearestNeighbors(Stream), JoinWith, CheckInvariants
-/// — are safe from any number of threads provided no mutating call
-/// (Insert, Remove, BulkLoad, SaveMeta) runs concurrently: traversals keep
-/// all cursor state on their own stack, page access serializes in the
-/// BufferPool, and the traversal counters are relaxed atomics. Writers
-/// require external exclusion (the engine layer treats a built index as
-/// frozen).
+/// Concurrency contract (v2): the const read operations — Search,
+/// SearchTransformed, NearestNeighbors(Stream), JoinWith,
+/// JoinSeeds/JoinFrom, CheckInvariants — are safe from any number of
+/// threads provided no mutating call (Insert, Remove, BulkLoad, SaveMeta)
+/// runs concurrently: traversals keep all cursor state on their own
+/// stack, page access goes through the sharded BufferPool (pages of
+/// different shards in parallel, same-shard access serialized per shard),
+/// and the traversal counters are relaxed atomics mirrored into exact
+/// thread-local counters (ThisThreadTraversalCounters). Writers require
+/// external exclusion (the engine layer treats a built index as frozen).
 class RStarTree {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(RStarTree);
@@ -192,6 +212,41 @@ class RStarTree {
   /// the tree-matching alternative to the paper's index-nested-loop join
   /// (methods c/d) — one traversal instead of one query per record.
   Status JoinWith(const RStarTree& other, const spatial::AffineMap* map,
+                  const spatial::AffineMap* other_map,
+                  const JoinPredicate& may_join,
+                  const JoinCallback& emit) const;
+
+  /// One unit of parallel join work: roots of two subtrees (one per tree)
+  /// to descend in lockstep.
+  struct JoinSeed {
+    PageId a = kInvalidPageId;
+    PageId b = kInvalidPageId;
+  };
+
+  /// Splits the JoinWith traversal into independent subtree-pair tasks by
+  /// expanding the qualifying root-child pairs one level down (the same
+  /// pairs, in the same order, the sequential descent would recurse into).
+  /// Running JoinFrom on every seed in order emits exactly the JoinWith
+  /// candidate sequence; the seeds are independent, so an engine may run
+  /// them on as many threads as it likes and concatenate per-seed output
+  /// buffers in seed order. When a root is a leaf (or the roots' levels
+  /// differ) there is nothing to split and the single seed {root, root}
+  /// is returned; in that degenerate case the root pages are loaded both
+  /// here and again by JoinFrom, so node-visit counters exceed the
+  /// sequential JoinWith by the two extra loads (the candidate output is
+  /// still identical). In the split case the counters match exactly.
+  /// Empty trees yield no seeds.
+  Result<std::vector<JoinSeed>> JoinSeeds(const RStarTree& other,
+                                          const spatial::AffineMap* map,
+                                          const spatial::AffineMap* other_map,
+                                          const JoinPredicate& may_join) const;
+
+  /// Runs the synchronized descent from one seed (see JoinSeeds). Safe to
+  /// call concurrently from many threads with distinct seeds: traversal
+  /// state lives on the stack, page access goes through the (sharded)
+  /// BufferPool, and counters are atomic + thread-local.
+  Status JoinFrom(const JoinSeed& seed, const RStarTree& other,
+                  const spatial::AffineMap* map,
                   const spatial::AffineMap* other_map,
                   const JoinPredicate& may_join,
                   const JoinCallback& emit) const;

@@ -2,13 +2,51 @@
 
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace tsq {
+
+namespace {
+
+thread_local ThreadPoolCounters tls_pool_counters;
+
+ThreadPoolCounters& MutableThreadPoolCounters() { return tls_pool_counters; }
+
+/// One shard per ~8 frames keeps tiny pools (unit tests, micro benches)
+/// on the exact single-LRU semantics of the unsharded pool while large
+/// pools fan out; 16 shards saturate the mutex throughput long before the
+/// thread counts tsq targets.
+constexpr size_t kFramesPerAutoShard = 8;
+constexpr size_t kMaxAutoShards = 16;
+
+/// A shard can be transiently out of frames when more threads hold pins
+/// into it than it owns frames (pins are short — a LoadNode deserialize —
+/// so the state clears in microseconds). Fetch/New yield and retry this
+/// many times before reporting exhaustion, so only a *persistent*
+/// all-pinned shard (a caller holding pins forever) surfaces as an error.
+constexpr int kAcquireRetries = 1024;
+
+size_t ResolveShardCount(size_t capacity, size_t shards) {
+  if (shards == 0) {
+    shards = std::min(kMaxAutoShards,
+                      std::max<size_t>(1, capacity / kFramesPerAutoShard));
+  }
+  return std::clamp<size_t>(shards, 1, capacity);
+}
+
+}  // namespace
+
+const ThreadPoolCounters& ThisThreadPoolCounters() {
+  return tls_pool_counters;
+}
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
     id_ = other.id_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     other.pool_ = nullptr;
   }
@@ -17,33 +55,40 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 Page* PageHandle::page() {
   TSQ_CHECK_MSG(valid(), "access through an invalid PageHandle");
-  return &pool_->frames_[frame_].page;
+  return &pool_->shards_[shard_]->frames[frame_].page;
 }
 
 const Page* PageHandle::page() const {
   TSQ_CHECK_MSG(valid(), "access through an invalid PageHandle");
-  return &pool_->frames_[frame_].page;
+  return &pool_->shards_[shard_]->frames[frame_].page;
 }
 
 void PageHandle::MarkDirty() {
   TSQ_CHECK_MSG(valid(), "MarkDirty on an invalid PageHandle");
-  pool_->MarkDirty(frame_);
+  pool_->MarkDirty(shard_, frame_);
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(shard_, frame_);
     pool_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(PageFile* file, size_t capacity)
+BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
     : file_(file), capacity_(capacity) {
   TSQ_CHECK(file != nullptr);
   TSQ_CHECK_MSG(capacity >= 1, "buffer pool needs at least one frame");
-  frames_.resize(capacity);
-  free_frames_.reserve(capacity);
-  for (size_t i = capacity; i > 0; --i) free_frames_.push_back(i - 1);
+  const size_t n = ResolveShardCount(capacity, shards);
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const size_t frames = capacity / n + (s < capacity % n ? 1 : 0);
+    shard->frames.resize(frames);
+    shard->free_frames.reserve(frames);
+    for (size_t i = frames; i > 0; --i) shard->free_frames.push_back(i - 1);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -51,128 +96,199 @@ BufferPool::~BufferPool() {
   FlushAll().ok();
 }
 
-void BufferPool::TouchLru(size_t frame_idx) {
-  Frame& f = frames_[frame_idx];
+void BufferPool::TouchLru(Shard* shard, size_t frame_idx) {
+  Frame& f = shard->frames[frame_idx];
   if (f.in_lru) {
-    lru_.erase(f.lru_pos);
+    shard->lru.erase(f.lru_pos);
     f.in_lru = false;
   }
 }
 
-void BufferPool::Unpin(size_t frame_idx) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Frame& f = frames_[frame_idx];
+void BufferPool::Unpin(size_t shard_idx, size_t frame_idx) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Frame& f = shard.frames[frame_idx];
   TSQ_CHECK_MSG(f.pins > 0, "unpin of an unpinned frame");
   if (--f.pins == 0) {
-    f.lru_pos = lru_.insert(lru_.end(), frame_idx);
+    f.lru_pos = shard.lru.insert(shard.lru.end(), frame_idx);
     f.in_lru = true;
   }
 }
 
-void BufferPool::MarkDirty(size_t frame_idx) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  frames_[frame_idx].dirty = true;
+void BufferPool::MarkDirty(size_t shard_idx, size_t frame_idx) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.frames[frame_idx].dirty = true;
 }
 
-Result<size_t> BufferPool::AcquireFrame() {
-  if (!free_frames_.empty()) {
-    const size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::AcquireFrame(Shard* shard) {
+  if (!shard->free_frames.empty()) {
+    const size_t idx = shard->free_frames.back();
+    shard->free_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (shard->lru.empty()) {
     return Status::FailedPrecondition(
-        "buffer pool exhausted: all frames pinned");
+        "buffer pool shard exhausted: all frames pinned");
   }
-  const size_t idx = lru_.front();
-  lru_.pop_front();
-  Frame& f = frames_[idx];
+  const size_t idx = shard->lru.front();
+  shard->lru.pop_front();
+  Frame& f = shard->frames[idx];
   f.in_lru = false;
   if (f.dirty) {
     TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
-    ++stats_.disk_writes;
+    ++shard->stats.disk_writes;
+    ++MutableThreadPoolCounters().disk_writes;
     f.dirty = false;
   }
-  page_to_frame_.erase(f.id);
-  ++stats_.evictions;
+  shard->page_to_frame.erase(f.id);
+  ++shard->stats.evictions;
   return idx;
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    ++stats_.hits;
-    const size_t idx = it->second;
-    Frame& f = frames_[idx];
-    TouchLru(idx);
-    ++f.pins;
-    return PageHandle(this, id, idx);
+  const size_t shard_idx = ShardIndex(id);
+  Shard& shard = *shards_[shard_idx];
+  bool counted_miss = false;
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.page_to_frame.find(id);
+      if (it != shard.page_to_frame.end()) {
+        // A concurrent fetch may have cached the page between retries;
+        // the first failed attempt already counted this call as a miss.
+        if (!counted_miss) {
+          ++shard.stats.hits;
+          ++MutableThreadPoolCounters().hits;
+        }
+        const size_t idx = it->second;
+        Frame& f = shard.frames[idx];
+        TouchLru(&shard, idx);
+        ++f.pins;
+        return PageHandle(this, id, shard_idx, idx);
+      }
+      if (!counted_miss) {
+        ++shard.stats.misses;
+        ++MutableThreadPoolCounters().misses;
+        counted_miss = true;
+      }
+      Result<size_t> idx_or = AcquireFrame(&shard);
+      if (idx_or.ok()) {
+        const size_t idx = idx_or.value();
+        Frame& f = shard.frames[idx];
+        if (Status rs = file_->Read(id, &f.page); !rs.ok()) {
+          shard.free_frames.push_back(idx);  // return it; nothing cached
+          return rs;
+        }
+        ++shard.stats.disk_reads;
+        ++MutableThreadPoolCounters().disk_reads;
+        f.id = id;
+        f.pins = 1;
+        f.dirty = false;
+        shard.page_to_frame[id] = idx;
+        return PageHandle(this, id, shard_idx, idx);
+      }
+      if (!idx_or.status().IsFailedPrecondition() ||
+          attempt >= kAcquireRetries) {
+        return idx_or.status();  // I/O errors don't retry, only exhaustion
+      }
+    }
+    std::this_thread::yield();  // transient: wait for a pin to release
   }
-  ++stats_.misses;
-  TSQ_ASSIGN_OR_RETURN(const size_t idx, AcquireFrame());
-  Frame& f = frames_[idx];
-  if (Status rs = file_->Read(id, &f.page); !rs.ok()) {
-    free_frames_.push_back(idx);  // return the frame; nothing was cached
-    return rs;
-  }
-  ++stats_.disk_reads;
-  f.id = id;
-  f.pins = 1;
-  f.dirty = false;
-  page_to_frame_[id] = idx;
-  return PageHandle(this, id, idx);
 }
 
 Result<PageHandle> BufferPool::New() {
-  std::lock_guard<std::mutex> lock(mutex_);
   TSQ_ASSIGN_OR_RETURN(const PageId id, file_->Allocate());
-  TSQ_ASSIGN_OR_RETURN(const size_t idx, AcquireFrame());
-  Frame& f = frames_[idx];
-  if (f.page.size() != file_->page_size()) {
-    f.page = Page(file_->page_size());
-  } else {
-    f.page.Clear();
+  const size_t shard_idx = ShardIndex(id);
+  Shard& shard = *shards_[shard_idx];
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      Result<size_t> idx_or = AcquireFrame(&shard);
+      if (idx_or.ok()) {
+        const size_t idx = idx_or.value();
+        Frame& f = shard.frames[idx];
+        if (f.page.size() != file_->page_size()) {
+          f.page = Page(file_->page_size());
+        } else {
+          f.page.Clear();
+        }
+        f.id = id;
+        f.pins = 1;
+        f.dirty = true;
+        shard.page_to_frame[id] = idx;
+        return PageHandle(this, id, shard_idx, idx);
+      }
+      if (!idx_or.status().IsFailedPrecondition() ||
+          attempt >= kAcquireRetries) {
+        // Give the page back to the file's free list — otherwise a caller
+        // retrying against an exhausted shard would grow the file with
+        // orphaned pages.
+        file_->Free(id).ok();
+        return idx_or.status();
+      }
+    }
+    std::this_thread::yield();  // transient: wait for a pin to release
   }
-  f.id = id;
-  f.pins = 1;
-  f.dirty = true;
-  page_to_frame_[id] = idx;
-  return PageHandle(this, id, idx);
 }
 
 Status BufferPool::Delete(PageId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    Frame& f = frames_[it->second];
+  Shard& shard = *shards_[ShardIndex(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.page_to_frame.find(id);
+  if (it != shard.page_to_frame.end()) {
+    Frame& f = shard.frames[it->second];
     if (f.pins > 0) {
       return Status::FailedPrecondition("Delete of a pinned page " +
                                         std::to_string(id));
     }
-    TouchLru(it->second);
+    TouchLru(&shard, it->second);
     f.dirty = false;
-    free_frames_.push_back(it->second);
-    page_to_frame_.erase(it);
+    shard.free_frames.push_back(it->second);
+    shard.page_to_frame.erase(it);
   }
   return file_->Free(id);
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (Frame& f : frames_) {
-    if (f.id != kInvalidPageId && f.dirty) {
-      TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
-      ++stats_.disk_writes;
-      f.dirty = false;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (Frame& f : shard.frames) {
+      if (f.id != kInvalidPageId && f.dirty) {
+        TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
+        ++shard.stats.disk_writes;
+        ++MutableThreadPoolCounters().disk_writes;
+        f.dirty = false;
+      }
     }
   }
   return file_->Sync();
 }
 
+BufferPoolStats BufferPool::stats() const {
+  uint64_t hits = 0, misses = 0, evictions = 0, reads = 0, writes = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    hits += shard->stats.hits.load(std::memory_order_relaxed);
+    misses += shard->stats.misses.load(std::memory_order_relaxed);
+    evictions += shard->stats.evictions.load(std::memory_order_relaxed);
+    reads += shard->stats.disk_reads.load(std::memory_order_relaxed);
+    writes += shard->stats.disk_writes.load(std::memory_order_relaxed);
+  }
+  BufferPoolStats out;
+  out.hits = hits;
+  out.misses = misses;
+  out.evictions = evictions;
+  out.disk_reads = reads;
+  out.disk_writes = writes;
+  return out;
+}
+
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = BufferPoolStats();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stats = BufferPoolStats();
+  }
   file_->ResetStats();
 }
 

@@ -1,8 +1,9 @@
 // Copyright (c) 2026 The tsq Authors.
 //
-// LRU buffer pool over a PageFile. The R-tree performs all page access
-// through the pool; its hit/miss/eviction counters are how tsq measures the
-// "number of disk accesses" the paper reports for index traversals.
+// Sharded LRU buffer pool over a PageFile. The R-tree performs all page
+// access through the pool; its hit/miss/eviction counters are how tsq
+// measures the "number of disk accesses" the paper reports for index
+// traversals.
 
 #ifndef TSQ_STORAGE_BUFFER_POOL_H_
 #define TSQ_STORAGE_BUFFER_POOL_H_
@@ -23,8 +24,9 @@ namespace tsq {
 
 /// Cache counters. disk_reads/disk_writes mirror the underlying PageFile
 /// activity caused by this pool. Counters are relaxed atomics so snapshots
-/// taken by concurrent readers (per-query StatsScopes) are race-free; the
-/// struct copies by value like a plain aggregate.
+/// taken by concurrent readers (per-query measurement) are race-free; the
+/// struct copies by value like a plain aggregate. BufferPool keeps one of
+/// these per shard and merges them on read.
 struct BufferPoolStats {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
@@ -43,6 +45,23 @@ struct BufferPoolStats {
     return *this;
   }
 };
+
+/// Per-thread buffer-pool counters (plain integers, no synchronization —
+/// each thread owns its own instance). Every pool operation bumps these
+/// alongside the owning shard's shared counters, so a query can measure
+/// exactly its own I/O by snapshotting ThisThreadPoolCounters() before and
+/// after on the thread it runs on — concurrent queries on other threads
+/// never leak into the delta. Counters are cumulative across all pools a
+/// thread touches; only deltas are meaningful.
+struct ThreadPoolCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+};
+
+/// This thread's cumulative pool counters (monotonic; snapshot to diff).
+const ThreadPoolCounters& ThisThreadPoolCounters();
 
 class BufferPool;
 
@@ -76,29 +95,53 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id, size_t frame)
-      : pool_(pool), id_(id), frame_(frame) {}
+  PageHandle(BufferPool* pool, PageId id, size_t shard, size_t frame)
+      : pool_(pool), id_(id), shard_(shard), frame_(frame) {}
 
   BufferPool* pool_ = nullptr;
   PageId id_ = kInvalidPageId;
+  size_t shard_ = 0;
   size_t frame_ = 0;
 };
 
-/// Fixed-capacity LRU page cache.
+/// Fixed-capacity sharded LRU page cache.
 ///
-/// Concurrency contract (v1): every pool operation — Fetch, New, Delete,
-/// FlushAll, pin/unpin, dirty marking — serializes on one internal mutex,
-/// so any number of threads may share a pool. Byte access *through a held
-/// PageHandle* is deliberately outside the mutex: a pinned frame cannot be
-/// evicted and the frame array never reallocates, so the pointer stays
-/// valid. Concurrent threads must not write the same page's bytes; tsq's
-/// read paths (index traversal) only read. A sharded/lock-free pool is
-/// future work once the engine's profile demands it.
+/// Concurrency contract (v2): the pool is split into `shards()`
+/// independent shards; page ids map to shards by `id % shards()`. Each
+/// shard has its own mutex, frame array, free list, LRU list and stat
+/// counters, so operations on pages of different shards proceed fully in
+/// parallel — the v1 global mutex is gone. Within one shard, Fetch, New,
+/// Delete, pin/unpin and dirty marking serialize on the shard mutex;
+/// FlushAll and stats() visit shards one at a time. Byte access *through a
+/// held PageHandle* is deliberately outside any mutex: a pinned frame
+/// cannot be evicted and the per-shard frame arrays never reallocate, so
+/// the pointer stays valid. Concurrent threads must not write the same
+/// page's bytes; tsq's read paths (index traversal) only read. The
+/// underlying PageFile is thread-safe (positioned I/O), so shards evict
+/// and read back concurrently without coordination.
+///
+/// Capacity is partitioned across shards (each shard gets
+/// capacity/shards frames, remainder spread round-robin). Eviction
+/// pressure is therefore per-shard: a shard whose frames are all pinned
+/// reports exhaustion even if a neighboring shard has free frames, and —
+/// the flip side — pinned pages can never be evicted by another shard's
+/// pressure. Fetch/New yield-retry a bounded number of times before
+/// reporting exhaustion, so a shard that is only *transiently* full of
+/// pins (more concurrent pinning threads than frames) stalls briefly
+/// instead of failing the query. Note that N partitioned LRUs only approximate one global
+/// LRU: when the working set exceeds capacity, hit/eviction counts can
+/// differ slightly from the v1 single-list pool. Workloads that need
+/// v1-comparable disk-access counts (paper-figure reproductions) can pin
+/// shards = 1; the auto default already keeps pools under 8 frames
+/// unsharded.
 class BufferPool {
  public:
   /// Creates a pool of `capacity` frames over `file` (non-owning: the file
-  /// must outlive the pool).
-  BufferPool(PageFile* file, size_t capacity);
+  /// must outlive the pool). `shards` = 0 picks an automatic count that
+  /// keeps small pools unsharded (one shard per ~8 frames, at most 16);
+  /// explicit counts are clamped to [1, capacity] so every shard owns at
+  /// least one frame.
+  BufferPool(PageFile* file, size_t capacity, size_t shards = 0);
   ~BufferPool();
 
   TSQ_DISALLOW_COPY_AND_MOVE(BufferPool);
@@ -113,14 +156,23 @@ class BufferPool {
   /// in the file. The page must not be pinned.
   Status Delete(PageId id);
 
-  /// Writes back every dirty frame (keeps them cached).
+  /// Writes back every dirty frame (keeps them cached). Deterministic
+  /// order: shard 0's frames in frame order, then shard 1's, and so on;
+  /// one Sync of the file at the end.
   Status FlushAll();
 
-  /// Number of frames the pool may hold.
+  /// Number of frames the pool may hold (summed over all shards).
   size_t capacity() const { return capacity_; }
 
-  /// Counters; Reset clears both pool and file counters.
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Number of independent shards.
+  size_t shards() const { return shards_.size(); }
+
+  /// The shard a page id maps to (exposed for white-box tests).
+  size_t ShardIndex(PageId id) const { return id % shards_.size(); }
+
+  /// Counters, merged across shards on every call; Reset clears both pool
+  /// and file counters.
+  BufferPoolStats stats() const;
   void ResetStats();
 
   /// The underlying file.
@@ -134,24 +186,28 @@ class BufferPool {
     Page page;
     int pins = 0;
     bool dirty = false;
-    // Position in lru_ when unpinned; lru_.end() while pinned.
+    // Position in the shard's lru when unpinned; end() while pinned.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
-  void Unpin(size_t frame_idx);
-  void MarkDirty(size_t frame_idx);
-  void TouchLru(size_t frame_idx);
-  Result<size_t> AcquireFrame();  // free frame, evicting if needed
+  struct Shard {
+    mutable std::mutex mutex;  // guards all frame/LRU/directory state
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> page_to_frame;
+    std::list<size_t> lru;  // front = least recently used, unpinned only
+    BufferPoolStats stats;
+  };
+
+  void Unpin(size_t shard_idx, size_t frame_idx);
+  void MarkDirty(size_t shard_idx, size_t frame_idx);
+  static void TouchLru(Shard* shard, size_t frame_idx);
+  Result<size_t> AcquireFrame(Shard* shard);  // free frame, evicting if needed
 
   PageFile* file_;
   size_t capacity_;
-  mutable std::mutex mutex_;  // guards all frame/LRU/directory state
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  std::list<size_t> lru_;  // front = least recently used, unpinned only
-  BufferPoolStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace tsq

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Positioned POSIX I/O helpers shared by the storage layer (PageFile,
+// Relation). Both read paths rely on pread/pwrite having no shared file
+// position, which is what makes them safe from any number of threads.
+
+#ifndef TSQ_STORAGE_IO_UTIL_H_
+#define TSQ_STORAGE_IO_UTIL_H_
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+namespace tsq {
+
+/// Positioned read of exactly `count` bytes; retries partial reads and
+/// EINTR. False on error or EOF before `count` bytes arrived.
+inline bool PreadExact(int fd, void* buf, size_t count, uint64_t offset) {
+  uint8_t* cursor = static_cast<uint8_t*>(buf);
+  while (count > 0) {
+    const ssize_t n = ::pread(fd, cursor, count, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF before the range ended
+    cursor += n;
+    offset += static_cast<uint64_t>(n);
+    count -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Positioned write of exactly `count` bytes; retries partial writes and
+/// EINTR. False on error (including a zero-byte write for a non-empty
+/// range, which would otherwise loop forever).
+inline bool PwriteExact(int fd, const void* buf, size_t count,
+                        uint64_t offset) {
+  const uint8_t* cursor = static_cast<const uint8_t*>(buf);
+  while (count > 0) {
+    const ssize_t n = ::pwrite(fd, cursor, count, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    cursor += n;
+    offset += static_cast<uint64_t>(n);
+    count -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace tsq
+
+#endif  // TSQ_STORAGE_IO_UTIL_H_

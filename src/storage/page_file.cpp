@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/io_util.h"
+
 namespace tsq {
 
 namespace {
@@ -24,7 +26,10 @@ std::string ErrnoMessage(const std::string& what, const std::string& path) {
 }  // namespace
 
 PageFile::PageFile(std::FILE* file, std::string path, size_t page_size)
-    : file_(file), path_(std::move(path)), page_size_(page_size) {}
+    : file_(file),
+      fd_(fileno(file)),
+      path_(std::move(path)),
+      page_size_(page_size) {}
 
 PageFile::~PageFile() {
   if (file_ != nullptr) {
@@ -78,7 +83,7 @@ Result<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path) {
   }
   auto pf = std::unique_ptr<PageFile>(
       new PageFile(f, path, static_cast<size_t>(page_size)));
-  pf->num_pages_ = get_u64(16);
+  pf->num_pages_.store(get_u64(16), std::memory_order_release);
   pf->free_list_head_ = get_u64(24);
   return pf;
 }
@@ -93,16 +98,13 @@ Status PageFile::WriteHeader() {
   };
   put_u64(0, kMagic);
   put_u64(8, page_size_);
-  put_u64(16, num_pages_);
+  put_u64(16, num_pages_.load(std::memory_order_acquire));
   put_u64(24, free_list_head_);
   return WriteRaw(0, header, kHeaderBytes);
 }
 
 Status PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError(ErrnoMessage("seek failed in", path_));
-  }
-  if (std::fread(buf, 1, n, file_) != n) {
+  if (!PreadExact(fd_, buf, n, offset)) {
     return Status::IOError("short read at offset " + std::to_string(offset) +
                            " in " + path_);
   }
@@ -110,10 +112,7 @@ Status PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
 }
 
 Status PageFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError(ErrnoMessage("seek failed in", path_));
-  }
-  if (std::fwrite(buf, 1, n, file_) != n) {
+  if (!PwriteExact(fd_, buf, n, offset)) {
     return Status::IOError("short write at offset " + std::to_string(offset) +
                            " in " + path_);
   }
@@ -121,6 +120,7 @@ Status PageFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
 }
 
 Result<PageId> PageFile::Allocate() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (free_list_head_ != kInvalidPageId) {
     const PageId id = free_list_head_;
     Page page(page_size_);
@@ -128,16 +128,20 @@ Result<PageId> PageFile::Allocate() {
     free_list_head_ = page.ReadU64(0);
     return id;
   }
-  const PageId id = num_pages_ + 1;  // ids start after the header page
-  ++num_pages_;
-  // Extend the file eagerly so Read on a fresh page is well-defined.
+  const PageId id = num_pages_.load(std::memory_order_relaxed) + 1;
+  // ids start after the header page. Extend the file eagerly so Read on a
+  // fresh page is well-defined; publish the new count only after the
+  // extension succeeds so concurrent readers never see a too-large bound.
   Page zero(page_size_);
-  TSQ_RETURN_IF_ERROR(Write(id, zero));
+  ++stats_.page_writes;
+  TSQ_RETURN_IF_ERROR(WriteRaw(id * page_size_, zero.data(), page_size_));
+  num_pages_.store(id, std::memory_order_release);
   return id;
 }
 
 Status PageFile::Free(PageId id) {
-  if (id == kInvalidPageId || id > num_pages_) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == kInvalidPageId || id > num_pages()) {
     return Status::InvalidArgument("Free: bad page id " + std::to_string(id));
   }
   Page page(page_size_);
@@ -149,7 +153,7 @@ Status PageFile::Free(PageId id) {
 
 Status PageFile::Read(PageId id, Page* out) {
   TSQ_CHECK(out != nullptr);
-  if (id == kInvalidPageId || id > num_pages_) {
+  if (id == kInvalidPageId || id > num_pages()) {
     return Status::InvalidArgument("Read: bad page id " + std::to_string(id));
   }
   if (out->size() != page_size_) *out = Page(page_size_);
@@ -158,7 +162,7 @@ Status PageFile::Read(PageId id, Page* out) {
 }
 
 Status PageFile::Write(PageId id, const Page& page) {
-  if (id == kInvalidPageId || id > num_pages_) {
+  if (id == kInvalidPageId || id > num_pages()) {
     return Status::InvalidArgument("Write: bad page id " + std::to_string(id));
   }
   if (page.size() != page_size_) {
@@ -169,7 +173,10 @@ Status PageFile::Write(PageId id, const Page& page) {
 }
 
 Status PageFile::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
   TSQ_RETURN_IF_ERROR(WriteHeader());
+  // All data I/O is positioned on the fd; flush any stdio-buffered state
+  // (none in steady operation) for symmetry with the pre-v2 contract.
   if (std::fflush(file_) != 0) {
     return Status::IOError(ErrnoMessage("fflush failed for", path_));
   }

@@ -13,8 +13,10 @@
 #ifndef TSQ_STORAGE_PAGE_FILE_H_
 #define TSQ_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -22,16 +24,30 @@
 
 namespace tsq {
 
-/// I/O counters for a PageFile.
+/// I/O counters for a PageFile. Relaxed atomics so concurrent readers can
+/// snapshot them race-free; copies by value like a plain aggregate.
 struct PageFileStats {
-  uint64_t page_reads = 0;   ///< pages fetched from the file
-  uint64_t page_writes = 0;  ///< pages written to the file
+  std::atomic<uint64_t> page_reads{0};   ///< pages fetched from the file
+  std::atomic<uint64_t> page_writes{0};  ///< pages written to the file
+
+  PageFileStats() = default;
+  PageFileStats(const PageFileStats& other) { *this = other; }
+  PageFileStats& operator=(const PageFileStats& other) {
+    page_reads = other.page_reads.load(std::memory_order_relaxed);
+    page_writes = other.page_writes.load(std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// A file of fixed-size pages with allocate/free/read/write operations.
-/// Not thread-safe; callers serialize access. In the query stack the only
-/// caller is BufferPool, whose internal mutex provides that serialization
-/// (the batch engine's concurrent readers all go through one pool).
+///
+/// Concurrency contract (v2): Read and Write of *allocated* pages are safe
+/// from any number of threads — they use positioned pread/pwrite on the
+/// file descriptor, so there is no shared file position and no lock on the
+/// data path. Allocate, Free and Sync mutate the header state (page count,
+/// free list) and serialize on an internal mutex. Concurrent Read/Write of
+/// the *same* page require caller coordination (in the query stack the
+/// BufferPool's shard locks provide it: a page lives in exactly one shard).
 class PageFile {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(PageFile);
@@ -57,14 +73,16 @@ class PageFile {
   /// Writes `page` (must match the page size) to page `id`.
   Status Write(PageId id, const Page& page);
 
-  /// Persists the header and flushes stdio buffers to the OS.
+  /// Persists the header to the OS.
   Status Sync();
 
   /// Page size in bytes.
   size_t page_size() const { return page_size_; }
 
   /// Total pages ever allocated (including freed ones), excluding header.
-  uint64_t num_pages() const { return num_pages_; }
+  uint64_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
 
   /// I/O counters.
   const PageFileStats& stats() const { return stats_; }
@@ -73,14 +91,16 @@ class PageFile {
  private:
   PageFile(std::FILE* file, std::string path, size_t page_size);
 
-  Status WriteHeader();
+  Status WriteHeader();  // caller holds mutex_ (or is single-threaded)
   Status ReadRaw(uint64_t offset, void* buf, size_t n);
   Status WriteRaw(uint64_t offset, const void* buf, size_t n);
 
   std::FILE* file_;
+  int fd_;  // fileno(file_); all data I/O is positioned on this
   std::string path_;
   size_t page_size_;
-  uint64_t num_pages_ = 0;        // data pages allocated so far
+  std::mutex mutex_;  // guards free_list_head_ and header writes
+  std::atomic<uint64_t> num_pages_{0};  // data pages allocated so far
   PageId free_list_head_ = kInvalidPageId;
   PageFileStats stats_;
 };

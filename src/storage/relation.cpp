@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/io_util.h"
+
 namespace tsq {
 
 namespace {
@@ -20,24 +22,6 @@ constexpr size_t kRecordHeaderBytes = 4 + 4 + 8;
 
 std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
-}
-
-/// Positioned read of exactly `count` bytes; retries partial reads and
-/// EINTR. False on error or short file.
-bool PreadExact(int fd, void* buf, size_t count, uint64_t offset) {
-  uint8_t* cursor = static_cast<uint8_t*>(buf);
-  while (count > 0) {
-    const ssize_t n = ::pread(fd, cursor, count, static_cast<off_t>(offset));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // EOF before the record ended
-    cursor += n;
-    offset += static_cast<uint64_t>(n);
-    count -= static_cast<size_t>(n);
-  }
-  return true;
 }
 
 }  // namespace

@@ -1,0 +1,357 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Concurrency stress suite for the v2 concurrency contract: many threads
+// hammering mixed batch workloads (and parallel self-joins) against one
+// Database — through one shared engine and through per-thread engines —
+// while a writer appends to a separate relation. Asserts that every
+// concurrent result is bit-identical to the sequential path and that the
+// exact per-query stat counters lose nothing (their sum equals the shared
+// engine counters' delta). Sized to stay fast under ThreadSanitizer; the
+// CI TSan job runs this binary to pin the memory model down.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "engine/query_engine.h"
+#include "gtest/gtest.h"
+#include "storage/relation.h"
+#include "test_util.h"
+#include "transform/builtin.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+using engine::BatchQuery;
+using engine::BatchQueryKind;
+using engine::BatchResult;
+using engine::QueryEngine;
+using engine::QueryEngineOptions;
+
+constexpr size_t kNumSeries = 120;
+constexpr size_t kLength = 64;
+constexpr uint64_t kSeed = 20260801;
+constexpr size_t kHammerThreads = 4;
+constexpr int kRepsPerThread = 3;
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = workload::MakeRandomWalkDataset(kSeed, kNumSeries, kLength);
+    DatabaseOptions options;
+    options.directory = dir_.path();
+    options.name = "stress";
+    // Small sharded pool: eviction traffic crosses shard boundaries all
+    // the time, which is exactly the churn the stress wants to race.
+    options.buffer_pool_frames = 64;
+    options.buffer_pool_shards = 4;
+    db_ = Database::Create(options).value();
+    for (const TimeSeries& s : data_) {
+      ASSERT_TRUE(db_->Insert(s.name(), s.values()).ok());
+    }
+    ASSERT_TRUE(db_->BuildIndex().ok());
+  }
+
+  /// A mixed, seeded workload (stored + perturbed queries, plain and
+  /// transformed specs, range and kNN).
+  std::vector<BatchQuery> MakeBatch(size_t count) const {
+    Rng rng(kSeed + 7);
+    QuerySpec smoothed;
+    smoothed.transform =
+        FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+    std::vector<BatchQuery> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      BatchQuery q;
+      RealVec values = data_[(i * 17) % kNumSeries].values();
+      if (i % 3 == 1) {
+        for (double& v : values) v += rng.Uniform(-0.5, 0.5);
+      }
+      q.query = std::move(values);
+      if (i % 4 == 2) {
+        q.kind = BatchQueryKind::kKnn;
+        q.k = 1 + i % 5;
+      } else {
+        q.kind = BatchQueryKind::kRange;
+        q.epsilon = (i % 2 == 0) ? 2.0 : 6.0;
+      }
+      if (i % 5 == 3) q.spec = smoothed;
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  }
+
+  static void ExpectSameMatches(const std::vector<Match>& actual,
+                                const std::vector<Match>& expected,
+                                const std::string& what) {
+    ASSERT_EQ(actual.size(), expected.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id) << what << " at " << i;
+      EXPECT_EQ(actual[i].distance, expected[i].distance)
+          << what << " at " << i;
+    }
+  }
+
+  testing::TempDir dir_;
+  std::vector<TimeSeries> data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ConcurrencyStressTest, HammeredBatchesMatchSequentialExactly) {
+  const std::vector<BatchQuery> batch = MakeBatch(24);
+
+  // Sequential ground truth through the single-query Database paths.
+  std::vector<std::vector<Match>> expected;
+  for (const BatchQuery& q : batch) {
+    expected.push_back(q.kind == BatchQueryKind::kKnn
+                           ? db_->Knn(q.query, q.k, q.spec).value()
+                           : db_->RangeQuery(q.query, q.epsilon, q.spec)
+                                 .value());
+  }
+
+  // One shared engine, hammered from kHammerThreads caller threads at
+  // once (RunBatch is documented thread-safe on a shared engine).
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  QueryEngine engine(db_->index(), db_->relation(),
+                     /*subsequence_index=*/nullptr, opts);
+  std::vector<std::vector<std::vector<BatchResult>>> runs(kHammerThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kHammerThreads);
+    for (size_t t = 0; t < kHammerThreads; ++t) {
+      threads.emplace_back([&engine, &batch, &runs, t] {
+        for (int rep = 0; rep < kRepsPerThread; ++rep) {
+          runs[t].push_back(engine.RunBatch(batch));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (size_t t = 0; t < kHammerThreads; ++t) {
+    ASSERT_EQ(runs[t].size(), static_cast<size_t>(kRepsPerThread));
+    for (int rep = 0; rep < kRepsPerThread; ++rep) {
+      const std::vector<BatchResult>& results = runs[t][rep];
+      ASSERT_EQ(results.size(), batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(results[i].status.ok())
+            << "thread " << t << " rep " << rep << " query " << i << ": "
+            << results[i].status.ToString();
+        ExpectSameMatches(results[i].matches, expected[i],
+                          "thread " + std::to_string(t) + " rep " +
+                              std::to_string(rep) + " query " +
+                              std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(ConcurrencyStressTest, ConcurrentDatabaseRunBatchAtMixedThreadCounts) {
+  // Regression: Database::RunBatch from several threads at once, each
+  // asking for a *different* worker count — the per-thread-count engine
+  // cache must never destroy an engine another caller is inside (the old
+  // single-slot cache rebuilt on every thread-count change).
+  const std::vector<BatchQuery> batch = MakeBatch(12);
+  std::vector<std::vector<Match>> expected;
+  for (const BatchQuery& q : batch) {
+    expected.push_back(q.kind == BatchQueryKind::kKnn
+                           ? db_->Knn(q.query, q.k, q.spec).value()
+                           : db_->RangeQuery(q.query, q.epsilon, q.spec)
+                                 .value());
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kHammerThreads);
+  std::atomic<bool> failed{false};
+  for (size_t t = 0; t < kHammerThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const size_t workers = 1 + t % 4;  // 1,2,3,4 — all distinct engines
+      for (int rep = 0; rep < kRepsPerThread; ++rep) {
+        Result<std::vector<BatchResult>> results =
+            db_->RunBatch(batch, workers);
+        if (!results.ok() || results->size() != batch.size()) {
+          failed.store(true);
+          return;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (!(*results)[i].status.ok() ||
+              (*results)[i].matches.size() != expected[i].size()) {
+            failed.store(true);
+            return;
+          }
+          for (size_t m = 0; m < expected[i].size(); ++m) {
+            if ((*results)[i].matches[m].id != expected[i][m].id ||
+                (*results)[i].matches[m].distance !=
+                    expected[i][m].distance) {
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load())
+      << "a concurrent Database::RunBatch diverged or failed";
+}
+
+TEST_F(ConcurrencyStressTest, NoStatCounterLossUnderConcurrency) {
+  // The exact-stats contract, raced: with every traversal mirrored into
+  // thread-local counters, the per-query deltas must add up to the shared
+  // engine counters' delta with nothing lost or double-counted — even
+  // while kHammerThreads batches interleave on one engine.
+  const std::vector<BatchQuery> batch = MakeBatch(16);
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  QueryEngine engine(db_->index(), db_->relation(),
+                     /*subsequence_index=*/nullptr, opts);
+  db_->index()->ResetStats();
+
+  std::atomic<uint64_t> nodes{0}, transforms{0}, reads{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kHammerThreads);
+  for (size_t t = 0; t < kHammerThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < kRepsPerThread; ++rep) {
+        const std::vector<BatchResult> results = engine.RunBatch(batch);
+        for (const BatchResult& r : results) {
+          ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+          nodes.fetch_add(r.stats.nodes_visited);
+          transforms.fetch_add(r.stats.rect_transforms);
+          reads.fetch_add(r.stats.disk_reads);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_GT(nodes.load(), 0u);
+  EXPECT_EQ(nodes.load(), db_->index()->tree()->stats().nodes_visited);
+  EXPECT_EQ(transforms.load(),
+            db_->index()->tree()->stats().rect_transforms);
+  EXPECT_EQ(reads.load(), db_->index()->pool()->stats().disk_reads);
+}
+
+TEST_F(ConcurrencyStressTest, BatchesAndSelfJoinsRaceAWriterSafely) {
+  // Readers hammer the frozen index stack (batches + parallel self-joins)
+  // while a writer appends to a *separate* relation and a tail reader
+  // follows it — the full v2 story in one race: sharded pool, parallel
+  // descent, thread-safe PageFile, pread-based relation reads.
+  const std::vector<BatchQuery> batch = MakeBatch(12);
+  const double join_eps = 5.0;
+  const auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+
+  const std::vector<JoinPair> join_baseline =
+      db_->ParallelSelfJoin(join_eps, transform, 1).value();
+  const std::vector<BatchResult> batch_baseline =
+      db_->RunBatch(batch, 1).value();
+
+  QueryEngineOptions opts;
+  opts.threads = 4;
+  QueryEngine engine(db_->index(), db_->relation(),
+                     /*subsequence_index=*/nullptr, opts);
+
+  constexpr size_t kWriterRecords = 150;
+  auto side_relation =
+      Relation::Create(dir_.file("writer_side.rel")).value();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+
+  // Two batch hammers.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < kRepsPerThread; ++rep) {
+        const std::vector<BatchResult> results = engine.RunBatch(batch);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].status.ok() ||
+              results[i].matches.size() !=
+                  batch_baseline[i].matches.size()) {
+            failed.store(true);
+            return;
+          }
+          for (size_t m = 0; m < results[i].matches.size(); ++m) {
+            if (results[i].matches[m].id !=
+                    batch_baseline[i].matches[m].id ||
+                results[i].matches[m].distance !=
+                    batch_baseline[i].matches[m].distance) {
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // One self-join hammer (shares the engine's pool with the batches).
+  threads.emplace_back([&] {
+    for (int rep = 0; rep < kRepsPerThread; ++rep) {
+      Result<std::vector<JoinPair>> pairs =
+          engine.SelfJoin(join_eps, transform, nullptr);
+      if (!pairs.ok() || pairs->size() != join_baseline.size()) {
+        failed.store(true);
+        return;
+      }
+      for (size_t i = 0; i < pairs->size(); ++i) {
+        if ((*pairs)[i].first != join_baseline[i].first ||
+            (*pairs)[i].second != join_baseline[i].second ||
+            (*pairs)[i].distance != join_baseline[i].distance) {
+          failed.store(true);
+          return;
+        }
+      }
+    }
+  });
+
+  // The writer: appends to its own relation (single appender, per the
+  // Relation contract).
+  threads.emplace_back([&] {
+    for (size_t i = 0; i < kWriterRecords; ++i) {
+      const RealVec values = {static_cast<double>(i), 1.0, 2.0};
+      const ComplexVec dft = {Complex(static_cast<double>(i), 0.0)};
+      Result<SeriesId> id =
+          side_relation->Append("w" + std::to_string(i), values, dft);
+      if (!id.ok() || *id != i) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+
+  // The tail reader: chases the writer with lock-free pread Gets.
+  threads.emplace_back([&] {
+    uint64_t seen = 0;
+    while (seen < kWriterRecords && !failed.load()) {
+      const uint64_t size = side_relation->size();
+      for (; seen < size; ++seen) {
+        Result<SeriesRecord> rec = side_relation->Get(seen);
+        if (!rec.ok() || rec->values.empty() ||
+            rec->values[0] != static_cast<double>(seen)) {
+          failed.store(true);
+          return;
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(failed.load()) << "a concurrent result diverged from the "
+                                 "sequential baseline (see thread bodies)";
+
+  EXPECT_EQ(side_relation->size(), kWriterRecords);
+  Result<SeriesRecord> last = side_relation->Get(kWriterRecords - 1);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->name, "w" + std::to_string(kWriterRecords - 1));
+}
+
+}  // namespace
+}  // namespace tsq

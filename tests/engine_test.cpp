@@ -237,6 +237,75 @@ TEST_F(EngineTest, ParallelSelfJoinEqualsTreeMatchAtEveryThreadCount) {
   }
 }
 
+TEST_F(EngineTest, ParallelSelfJoinDeterministicAcrossWorkersAndRuns) {
+  // The parallelized descent must reproduce one canonical answer — same
+  // pairs, same order — at every worker count and on every run (per-seed
+  // buffers merged in seed order leave no scheduling dependence).
+  const double eps = 6.0;
+  const auto transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(kLength, 8));
+
+  const std::vector<JoinPair> baseline =
+      db_->ParallelSelfJoin(eps, transform, 1).value();
+  ASSERT_FALSE(baseline.empty()) << "join threshold too selective";
+
+  for (const size_t threads : kThreadCounts) {
+    for (int run = 0; run < 3; ++run) {
+      const std::vector<JoinPair> pairs =
+          db_->ParallelSelfJoin(eps, transform, threads).value();
+      ExpectSamePairs(pairs, baseline,
+                      "threads=" + std::to_string(threads) + " run=" +
+                          std::to_string(run));
+    }
+  }
+
+  // Cross-validate the answer set against the paper's method-d join
+  // (index-nested-loop), which emits the same ordered pairs in a
+  // different sequence: canonical sort must make them identical.
+  std::vector<JoinPair> canonical = baseline;
+  std::vector<JoinPair> method_d =
+      db_->SelfJoin(eps, JoinMethod::kIndexTransformed, transform).value();
+  const auto canonical_order = [](const JoinPair& a, const JoinPair& b) {
+    return a.first < b.first ||
+           (a.first == b.first && a.second < b.second);
+  };
+  std::sort(canonical.begin(), canonical.end(), canonical_order);
+  std::sort(method_d.begin(), method_d.end(), canonical_order);
+  ExpectSamePairs(canonical, method_d, "canonical vs method d");
+}
+
+TEST_F(EngineTest, BatchTraversalStatsAreExactPerQuery) {
+  // v2 exact-stats contract: with thread-local counters, the sum of the
+  // per-query traversal deltas must equal the shared engine counters'
+  // delta exactly — at any thread count — and the aggregate is that sum.
+  const std::vector<BatchQuery> batch = MakeBatch(24);
+  for (const size_t threads : kThreadCounts) {
+    db_->index()->ResetStats();
+    BatchStats stats;
+    const std::vector<BatchResult> results =
+        db_->RunBatch(batch, threads, &stats).value();
+
+    uint64_t nodes = 0, transforms = 0, reads = 0;
+    for (const BatchResult& r : results) {
+      ASSERT_TRUE(r.status.ok());
+      nodes += r.stats.nodes_visited;
+      transforms += r.stats.rect_transforms;
+      reads += r.stats.disk_reads;
+    }
+    EXPECT_GT(nodes, 0u) << "threads=" << threads;
+    EXPECT_EQ(nodes, db_->index()->tree()->stats().nodes_visited)
+        << "threads=" << threads;
+    EXPECT_EQ(transforms, db_->index()->tree()->stats().rect_transforms)
+        << "threads=" << threads;
+    EXPECT_EQ(reads, db_->index()->pool()->stats().disk_reads)
+        << "threads=" << threads;
+    EXPECT_EQ(stats.aggregate.nodes_visited, nodes) << "threads=" << threads;
+    EXPECT_EQ(stats.aggregate.rect_transforms, transforms)
+        << "threads=" << threads;
+    EXPECT_EQ(stats.aggregate.disk_reads, reads) << "threads=" << threads;
+  }
+}
+
 TEST_F(EngineTest, SubsequenceBatchEqualsDirectSearch) {
   SubsequenceIndexOptions options;
   options.window = 32;

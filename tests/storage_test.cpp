@@ -331,6 +331,122 @@ TEST_F(BufferPoolTest, DeleteRemovesFromCacheAndFreesPage) {
   EXPECT_EQ(pool.New().value().id(), id);
 }
 
+TEST_F(BufferPoolTest, AutoShardCountKeepsSmallPoolsUnsharded) {
+  // Tiny pools (the tests above) must keep the exact single-LRU semantics
+  // of the unsharded pool; big pools fan out, capped at 16 shards.
+  EXPECT_EQ(BufferPool(file_.get(), 2).shards(), 1u);
+  EXPECT_EQ(BufferPool(file_.get(), 7).shards(), 1u);
+  EXPECT_EQ(BufferPool(file_.get(), 32).shards(), 4u);
+  EXPECT_EQ(BufferPool(file_.get(), 1024).shards(), 16u);
+  // Explicit counts are clamped so every shard owns at least one frame.
+  EXPECT_EQ(BufferPool(file_.get(), 4, 64).shards(), 4u);
+  EXPECT_EQ(BufferPool(file_.get(), 8, 4).shards(), 4u);
+}
+
+TEST_F(BufferPoolTest, ShardMappingIsByPageIdModulo) {
+  BufferPool pool(file_.get(), 8, 4);
+  ASSERT_EQ(pool.shards(), 4u);
+  for (PageId id = 1; id <= 12; ++id) {
+    EXPECT_EQ(pool.ShardIndex(id), id % 4) << "page " << id;
+  }
+}
+
+TEST_F(BufferPoolTest, ShardEvictionPressureIsPerShard) {
+  // Two shards, one frame each. A pinned page exhausts its own shard while
+  // the neighboring shard keeps serving.
+  BufferPool pool(file_.get(), 2, 2);
+  ASSERT_EQ(pool.shards(), 2u);
+  // Materialize pages 1..4 on disk (ids alternate shards: odd -> 1, even
+  // -> 0); release everything so both frames are evictable.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.New().ok());
+
+  auto pinned = pool.Fetch(1);  // shard 1
+  ASSERT_TRUE(pinned.ok());
+  // Shard 1 is exhausted: page 3 lives there and its only frame is pinned.
+  EXPECT_TRUE(pool.Fetch(3).status().IsFailedPrecondition());
+  // Shard 0 is unaffected.
+  EXPECT_TRUE(pool.Fetch(2).ok());
+}
+
+TEST_F(BufferPoolTest, PinnedPageSurvivesNeighboringShardPressure) {
+  // Regression: a pinned page must never be evicted (or have its frame
+  // reused) because a *different* shard is thrashing.
+  BufferPool pool(file_.get(), 2, 2);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(pool.New().ok());
+
+  auto pinned = pool.Fetch(1);  // shard 1's only frame
+  ASSERT_TRUE(pinned.ok());
+  pinned->page()->WriteU64(24, 0xFEEDFACEull);
+  pinned->MarkDirty();
+
+  // Hammer shard 0 (ids 2, 4, 6) far beyond its single frame.
+  for (int round = 0; round < 8; ++round) {
+    for (PageId id = 2; id <= 6; id += 2) {
+      auto h = pool.Fetch(id);
+      ASSERT_TRUE(h.ok()) << "round " << round << " page " << id;
+    }
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+
+  // The pinned frame is untouched and still cached.
+  EXPECT_EQ(pinned->page()->ReadU64(24), 0xFEEDFACEull);
+  pinned->Release();
+  const uint64_t hits_before = pool.stats().hits;
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.stats().hits, hits_before + 1) << "page 1 fell out of cache";
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesEveryShardDirtyFrameOnce) {
+  BufferPool pool(file_.get(), 8, 4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    h->page()->WriteU64(0, 1000 + h->id());
+    h->MarkDirty();
+    ids.push_back(h->id());
+  }
+  const uint64_t writes_before = pool.stats().disk_writes;
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Every dirty frame in every shard was written back exactly once...
+  EXPECT_EQ(pool.stats().disk_writes, writes_before + ids.size());
+  for (const PageId id : ids) {
+    Page raw;
+    ASSERT_TRUE(file_->Read(id, &raw).ok());
+    EXPECT_EQ(raw.ReadU64(0), 1000 + id) << "page " << id;
+  }
+  // ...and a second flush finds nothing dirty in any shard.
+  const uint64_t writes_after = pool.stats().disk_writes;
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.stats().disk_writes, writes_after);
+}
+
+TEST_F(BufferPoolTest, StatsMergeAcrossShards) {
+  // Four shards of two frames each; 16 pages, so each shard has seen four
+  // pages and holds the last two. Hits and misses then land in every
+  // shard, and stats() must report the exact sums.
+  BufferPool pool(file_.get(), 8, 4);
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(pool.New().ok());
+  pool.ResetStats();
+
+  // Resident: ids 9..16 (the two most recent per shard) -> 8 hits.
+  for (PageId id = 9; id <= 16; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
+  // Evicted: ids 1..8 -> 8 misses, 8 disk reads, 8 evictions (2 per shard).
+  for (PageId id = 1; id <= 8; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
+
+  const BufferPoolStats merged = pool.stats();
+  EXPECT_EQ(merged.hits, 8u);
+  EXPECT_EQ(merged.misses, 8u);
+  EXPECT_EQ(merged.disk_reads, 8u);
+  EXPECT_EQ(merged.evictions, 8u);
+
+  pool.ResetStats();
+  const BufferPoolStats cleared = pool.stats();
+  EXPECT_EQ(cleared.hits, 0u);
+  EXPECT_EQ(cleared.misses, 0u);
+  EXPECT_EQ(cleared.evictions, 0u);
+}
+
 TEST_F(BufferPoolTest, MoveSemanticsOfHandles) {
   BufferPool pool(file_.get(), 2);
   auto a = pool.New();
