@@ -111,5 +111,144 @@ void Banner(const std::string& experiment, const std::string& description) {
   std::printf("================================================================\n\n");
 }
 
+Json Json::Str(std::string v) {
+  Json j(Kind::kString);
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::Num(double v) {
+  Json j(Kind::kNumber);
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Int(uint64_t v) {
+  Json j(Kind::kInt);
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Bool(bool v) {
+  Json j(Kind::kBool);
+  j.bool_ = v;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  TSQ_CHECK_MSG(kind_ == Kind::kObject, "operator[] on a non-object Json");
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Json());
+  return members_.back().second;
+}
+
+void Json::Append(Json v) {
+  TSQ_CHECK_MSG(kind_ == Kind::kArray, "Append on a non-array Json");
+  elements_.push_back(std::move(v));
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent) const {
+  const std::string pad(2 * indent, ' ');
+  const std::string pad_in(2 * (indent + 1), ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Kind::kNumber: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.6g", number_);
+      *out += buf;
+      break;
+    }
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        *out += pad_in;
+        AppendEscaped(out, members_[i].first);
+        *out += ": ";
+        members_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < members_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        *out += pad_in;
+        elements_[i].DumpTo(out, indent + 1);
+        if (i + 1 < elements_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "]";
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out += "\n";
+  return out;
+}
+
+bool Json::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = Dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace bench
 }  // namespace tsq

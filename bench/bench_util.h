@@ -8,6 +8,7 @@
 #ifndef TSQ_BENCH_BENCH_UTIL_H_
 #define TSQ_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,6 +74,51 @@ class Table {
 
 /// Prints the standard benchmark banner (experiment id + paper reference).
 void Banner(const std::string& experiment, const std::string& description);
+
+/// A minimal JSON value for the machine-readable BENCH_*.json artifacts
+/// the benches drop next to their console tables (CI uploads them so the
+/// perf trajectory is tracked across PRs). Supports exactly what those
+/// files need: objects (insertion-ordered), arrays, strings, doubles,
+/// unsigned integers and booleans. Build with the factory functions and
+/// operator[]/Append, then Dump() or WriteFile().
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string v);
+  static Json Num(double v);
+  static Json Int(uint64_t v);
+  static Json Bool(bool v);
+
+  /// Object member access; inserts a null member on first use (insertion
+  /// order is preserved in the output). The value must be an object.
+  Json& operator[](const std::string& key);
+
+  /// Appends an element. The value must be an array.
+  void Append(Json v);
+
+  /// Serializes with 2-space indentation.
+  std::string Dump() const;
+
+  /// Writes Dump() to `path` (truncating); returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  enum class Kind { kNull, kObject, kArray, kString, kNumber, kInt, kBool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_;
+  double number_ = 0.0;
+  uint64_t int_ = 0;
+  bool bool_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+  std::vector<Json> elements_;                         // kArray
+};
 
 }  // namespace bench
 }  // namespace tsq

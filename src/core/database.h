@@ -70,12 +70,16 @@ struct DatabaseOptions {
 /// Single-query methods are not thread-safe (they share last_stats_).
 /// RunBatch/ParallelSelfJoin execute many queries concurrently on an
 /// internal engine; while one runs, no mutating call (Insert, BuildIndex)
-/// may execute — the engine treats the index stack as frozen. RunBatch
-/// itself may be called from several threads at once (engines are cached
-/// per thread count under a lock and never destroyed while the index
-/// stands); concurrent ParallelSelfJoin calls return correct results but
-/// race on last_stats() — callers needing concurrent join stats should
-/// drive engine::QueryEngine::SelfJoin with their own QueryStats.
+/// may execute — the engine treats the index stack as frozen. Concurrent
+/// queries share the index's v3 buffer pool: cached-page access is
+/// lock-free (optimistic pins) and a cache miss performs its disk read
+/// without blocking other fetches of its shard, so read throughput scales
+/// with cores rather than with pool-mutex luck. RunBatch itself may be
+/// called from several threads at once (engines are cached per thread
+/// count under a lock and never destroyed while the index stands);
+/// concurrent ParallelSelfJoin calls return correct results but race on
+/// last_stats() — callers needing concurrent join stats should drive
+/// engine::QueryEngine::SelfJoin with their own QueryStats.
 class Database {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Database);

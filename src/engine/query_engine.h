@@ -8,24 +8,30 @@
 // Execution model. The index stack is frozen while an engine uses it (no
 // Insert/BuildIndex concurrently); every query is a reentrant composition
 // of the Algorithm 2 steps in core/queries.h, so workers share the tree,
-// sharded buffer pool and relation without copying them. Batches are
-// executed with work stealing over an atomic cursor
-// (ThreadPool::ParallelFor); each query writes into its own pre-allocated
-// result slot, so results[i] always corresponds to queries[i] and the
-// answer vectors are bit-identical for any thread count (each query's
-// computation is sequential and self-contained).
+// buffer pool and relation without copying them. Under the v3 pool,
+// workers touching cached index pages never synchronize at all — a hit is
+// an optimistic lock-free pin — and a worker's cache miss reads from disk
+// without blocking same-shard hits by the others, so the only cross-
+// worker contention left in the read path is frame claim/eviction on
+// concurrent misses. Batches are executed with work stealing over an
+// atomic cursor (ThreadPool::ParallelFor); each query writes into its own
+// pre-allocated result slot, so results[i] always corresponds to
+// queries[i] and the answer vectors are bit-identical for any thread
+// count (each query's computation is sequential and self-contained).
 //
-// Stats (v2: exact). Every per-query counter — including the traversal
-// fields nodes_visited, rect_transforms and disk_reads — is exact under
-// any concurrency: a query runs entirely on one thread, and the tree and
-// buffer pool mirror their shared atomic counters into thread-local ones
-// (rtree::ThisThreadTraversalCounters, ThisThreadPoolCounters), so a
-// query's before/after delta on its own thread can never include a
-// neighbour query's work. BatchStats::aggregate is simply the sum of the
-// per-query stats; it no longer needs the whole-batch shared-counter
-// measurement the v1 contract documented as approximate. The parallel
-// self-join tallies each worker's thread-local deltas the same way, so
-// its QueryStats are exact even while other batches run on the engine.
+// Stats (v3: exact, lock-free included). Every per-query counter —
+// including the traversal fields nodes_visited, rect_transforms and
+// disk_reads — is exact under any concurrency: a query runs entirely on
+// one thread, and the tree and buffer pool mirror their shared atomic
+// counters into thread-local ones (rtree::ThisThreadTraversalCounters,
+// ThisThreadPoolCounters), so a query's before/after delta on its own
+// thread can never include a neighbour query's work. The v3 pool
+// classifies each fetch as hit or miss exactly once no matter how many
+// optimistic retries or load-waits it goes through, so the deltas stay
+// exact on the lock-free path too. BatchStats::aggregate is simply the
+// sum of the per-query stats. The parallel self-join tallies each
+// worker's thread-local deltas the same way, so its QueryStats are exact
+// even while other batches run on the engine.
 
 #ifndef TSQ_ENGINE_QUERY_ENGINE_H_
 #define TSQ_ENGINE_QUERY_ENGINE_H_

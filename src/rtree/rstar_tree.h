@@ -124,16 +124,22 @@ using SearchCallback =
 /// A persistent R*-tree over a BufferPool. All rectangles must match the
 /// tree's dimensionality.
 ///
-/// Concurrency contract (v2): the const read operations — Search,
+/// Concurrency contract (v3): the const read operations — Search,
 /// SearchTransformed, NearestNeighbors(Stream), JoinWith,
 /// JoinSeeds/JoinFrom, CheckInvariants — are safe from any number of
 /// threads provided no mutating call (Insert, Remove, BulkLoad, SaveMeta)
 /// runs concurrently: traversals keep all cursor state on their own
-/// stack, page access goes through the sharded BufferPool (pages of
-/// different shards in parallel, same-shard access serialized per shard),
-/// and the traversal counters are relaxed atomics mirrored into exact
-/// thread-local counters (ThisThreadTraversalCounters). Writers require
-/// external exclusion (the engine layer treats a built index as frozen).
+/// stack, and page access goes through the v3 BufferPool, where a fetch
+/// of a cached node page is entirely lock-free (optimistic version-
+/// validated pin; see buffer_pool.h) and a miss reads from disk without
+/// holding its shard's mutex — concurrent traversals only ever contend on
+/// the miss/eviction admin path, never on cached-node access. LoadNode
+/// holds its pin only for the deserialize, so traversal depth never
+/// accumulates pins. The traversal counters are relaxed atomics mirrored
+/// into exact thread-local counters (ThisThreadTraversalCounters), and the
+/// pool classifies each fetch exactly once, so per-query disk-access
+/// deltas stay exact through optimistic retries. Writers require external
+/// exclusion (the engine layer treats a built index as frozen).
 class RStarTree {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(RStarTree);

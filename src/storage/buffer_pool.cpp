@@ -3,6 +3,8 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <thread>
 
 namespace tsq {
@@ -14,18 +16,47 @@ thread_local ThreadPoolCounters tls_pool_counters;
 ThreadPoolCounters& MutableThreadPoolCounters() { return tls_pool_counters; }
 
 /// One shard per ~8 frames keeps tiny pools (unit tests, micro benches)
-/// on the exact single-LRU semantics of the unsharded pool while large
-/// pools fan out; 16 shards saturate the mutex throughput long before the
-/// thread counts tsq targets.
+/// on the exact single-clock semantics of the unsharded pool while large
+/// pools fan out; 16 shards saturate the admin-path mutex long before the
+/// thread counts tsq targets (hits never touch it at all).
 constexpr size_t kFramesPerAutoShard = 8;
 constexpr size_t kMaxAutoShards = 16;
 
 /// A shard can be transiently out of frames when more threads hold pins
 /// into it than it owns frames (pins are short — a LoadNode deserialize —
-/// so the state clears in microseconds). Fetch/New yield and retry this
-/// many times before reporting exhaustion, so only a *persistent*
-/// all-pinned shard (a caller holding pins forever) surfaces as an error.
-constexpr int kAcquireRetries = 1024;
+/// so the state clears in microseconds). Fetch/New retry over a bounded
+/// window (yields, then 100us sleeps: roughly 0.4s in total) before
+/// reporting exhaustion, so only a *persistent* all-pinned shard (a caller
+/// holding pins forever) surfaces as an error.
+constexpr int kAcquireRetries = 4096;
+constexpr int kYieldsBeforeSleep = 64;
+
+/// Bound on optimistic hit-path rounds before falling back to the mutex;
+/// a round only fails when a concurrent pin/unpin/eviction races the CAS.
+constexpr int kOptimisticSpins = 64;
+
+/// Sentinel for an erased directory slot (never a valid page id: ids are
+/// bounded by the file's page count).
+constexpr PageId kDirTombstone = ~PageId{0};
+
+bool IsOdd(uint64_t state) { return (state & BufferFrame::kVersionInc) != 0; }
+
+void ExhaustionBackoff(int attempt) {
+  if (attempt < kYieldsBeforeSleep) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+/// Slot hash for the in-shard directory. Deliberately *not* the splitmix64
+/// fold ShardIndex uses: all ids of one shard share their value of
+/// mix(id) % shards, so reusing that hash would cluster a shard's pages
+/// onto a fraction of its slots. Fibonacci hashing on the raw id keeps
+/// probe chains short instead.
+size_t DirHash(PageId id, size_t mask) {
+  return static_cast<size_t>((id * uint64_t{0x9E3779B97F4A7C15}) >> 17) & mask;
+}
 
 size_t ResolveShardCount(size_t capacity, size_t shards) {
   if (shards == 0) {
@@ -33,6 +64,24 @@ size_t ResolveShardCount(size_t capacity, size_t shards) {
                       std::max<size_t>(1, capacity / kFramesPerAutoShard));
   }
   return std::clamp<size_t>(shards, 1, capacity);
+}
+
+/// Waits for another thread's in-flight load (or transition) of `id` on
+/// `frame` to settle: returns once the version is even again or the frame
+/// has been repurposed for a different page. Futex-style: bounded spin,
+/// then yield, then short sleeps — the loader publishes with a release
+/// store the moment its pread returns.
+void WaitForFrameTransition(const BufferFrame& frame, PageId id) {
+  for (int i = 0;; ++i) {
+    const uint64_t s = frame.state.load(std::memory_order_acquire);
+    if (!IsOdd(s)) return;
+    if (frame.id.load(std::memory_order_acquire) != id) return;
+    if (i < kYieldsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
 }
 
 }  // namespace
@@ -44,34 +93,35 @@ const ThreadPoolCounters& ThisThreadPoolCounters() {
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
     Release();
-    pool_ = other.pool_;
-    id_ = other.id_;
-    shard_ = other.shard_;
     frame_ = other.frame_;
-    other.pool_ = nullptr;
+    id_ = other.id_;
+    other.frame_ = nullptr;
   }
   return *this;
 }
 
 Page* PageHandle::page() {
   TSQ_CHECK_MSG(valid(), "access through an invalid PageHandle");
-  return &pool_->shards_[shard_]->frames[frame_].page;
+  return &frame_->page;
 }
 
 const Page* PageHandle::page() const {
   TSQ_CHECK_MSG(valid(), "access through an invalid PageHandle");
-  return &pool_->shards_[shard_]->frames[frame_].page;
+  return &frame_->page;
 }
 
 void PageHandle::MarkDirty() {
   TSQ_CHECK_MSG(valid(), "MarkDirty on an invalid PageHandle");
-  pool_->MarkDirty(shard_, frame_);
+  frame_->dirty.store(true, std::memory_order_release);
 }
 
 void PageHandle::Release() {
-  if (pool_ != nullptr) {
-    pool_->Unpin(shard_, frame_);
-    pool_ = nullptr;
+  if (frame_ != nullptr) {
+    // While pins > 0 the version is frozen, so a plain decrement cannot
+    // race a transition; release ordering publishes any byte writes this
+    // pin performed to the eventual evictor/flusher.
+    frame_->state.fetch_sub(1, std::memory_order_release);
+    frame_ = nullptr;
   }
 }
 
@@ -84,9 +134,15 @@ BufferPool::BufferPool(PageFile* file, size_t capacity, size_t shards)
   for (size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
     const size_t frames = capacity / n + (s < capacity % n ? 1 : 0);
-    shard->frames.resize(frames);
+    shard->frames = std::make_unique<BufferFrame[]>(frames);
+    shard->num_frames = frames;
     shard->free_frames.reserve(frames);
+    // Descending, so frame 0 is handed out first (FIFO fill order).
     for (size_t i = frames; i > 0; --i) shard->free_frames.push_back(i - 1);
+    const size_t dir_size = std::bit_ceil(std::max<size_t>(8, 4 * frames));
+    shard->dir = std::make_unique<DirSlot[]>(dir_size);
+    shard->dir_mask = dir_size - 1;
+    shard->dir_empty = dir_size;
     shards_.push_back(std::move(shard));
   }
 }
@@ -96,156 +152,297 @@ BufferPool::~BufferPool() {
   FlushAll().ok();
 }
 
-void BufferPool::TouchLru(Shard* shard, size_t frame_idx) {
-  Frame& f = shard->frames[frame_idx];
-  if (f.in_lru) {
-    shard->lru.erase(f.lru_pos);
-    f.in_lru = false;
+size_t BufferPool::DirLookup(const Shard& shard, PageId id) {
+  const size_t mask = shard.dir_mask;
+  size_t slot = DirHash(id, mask);
+  for (size_t probe = 0; probe <= mask; ++probe, slot = (slot + 1) & mask) {
+    const PageId sid = shard.dir[slot].id.load(std::memory_order_acquire);
+    if (sid == id) {
+      return shard.dir[slot].frame.load(std::memory_order_relaxed);
+    }
+    if (sid == kInvalidPageId) return kNoFrame;  // empty slot ends the chain
+    // Tombstone or another id: keep probing.
+  }
+  return kNoFrame;
+}
+
+void BufferPool::DirInsert(Shard* shard, PageId id, size_t frame_idx) {
+  // Erasures leave tombstones, and tombstones consume the empty slots that
+  // terminate probe chains; rebuild from the frames before the table
+  // degrades to full scans. The rebuild repopulates from frame ids, and
+  // callers set the frame's id before inserting its mapping — so the entry
+  // being inserted may already be present afterwards.
+  if (shard->dir_empty * 4 < shard->dir_mask + 1) {
+    DirRebuild(shard);
+    if (DirLookup(*shard, id) == frame_idx) return;
+  }
+  const size_t mask = shard->dir_mask;
+  size_t slot = DirHash(id, mask);
+  for (;; slot = (slot + 1) & mask) {
+    const PageId sid = shard->dir[slot].id.load(std::memory_order_relaxed);
+    if (sid == kInvalidPageId || sid == kDirTombstone) {
+      if (sid == kInvalidPageId) --shard->dir_empty;
+      shard->dir[slot].frame.store(static_cast<uint32_t>(frame_idx),
+                                   std::memory_order_relaxed);
+      // Publishing the id last makes the slot visible to lock-free readers
+      // only once the frame index is in place.
+      shard->dir[slot].id.store(id, std::memory_order_release);
+      return;
+    }
   }
 }
 
-void BufferPool::Unpin(size_t shard_idx, size_t frame_idx) {
-  Shard& shard = *shards_[shard_idx];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  Frame& f = shard.frames[frame_idx];
-  TSQ_CHECK_MSG(f.pins > 0, "unpin of an unpinned frame");
-  if (--f.pins == 0) {
-    f.lru_pos = shard.lru.insert(shard.lru.end(), frame_idx);
-    f.in_lru = true;
+void BufferPool::DirErase(Shard* shard, PageId id) {
+  const size_t mask = shard->dir_mask;
+  size_t slot = DirHash(id, mask);
+  for (size_t probe = 0; probe <= mask; ++probe, slot = (slot + 1) & mask) {
+    const PageId sid = shard->dir[slot].id.load(std::memory_order_relaxed);
+    if (sid == id) {
+      shard->dir[slot].id.store(kDirTombstone, std::memory_order_release);
+      return;
+    }
+    if (sid == kInvalidPageId) return;  // not present
   }
 }
 
-void BufferPool::MarkDirty(size_t shard_idx, size_t frame_idx) {
-  Shard& shard = *shards_[shard_idx];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.frames[frame_idx].dirty = true;
+void BufferPool::DirRebuild(Shard* shard) {
+  const size_t size = shard->dir_mask + 1;
+  for (size_t i = 0; i < size; ++i) {
+    shard->dir[i].id.store(kInvalidPageId, std::memory_order_release);
+  }
+  shard->dir_empty = size;
+  // Every cached page — including ones mid-load, whose directory entry
+  // waiters key off — is recorded on its frame; claimed-for-eviction
+  // frames were erased and had their id replaced in the same critical
+  // section, so frame ids are exactly the live mappings here.
+  for (size_t i = 0; i < shard->num_frames; ++i) {
+    const PageId id = shard->frames[i].id.load(std::memory_order_relaxed);
+    if (id != kInvalidPageId) DirInsert(shard, id, i);
+  }
 }
 
 Result<size_t> BufferPool::AcquireFrame(Shard* shard) {
   if (!shard->free_frames.empty()) {
     const size_t idx = shard->free_frames.back();
     shard->free_frames.pop_back();
+    BufferFrame& f = shard->frames[idx];
+    uint64_t s = f.state.load(std::memory_order_relaxed);
+    // A free frame has no directory entry, so no optimistic pinner can
+    // reach it; the claim cannot be contended.
+    const bool claimed = f.state.compare_exchange_strong(
+        s, s + BufferFrame::kVersionInc, std::memory_order_acq_rel);
+    TSQ_CHECK_MSG(claimed && !IsOdd(s) && (s & BufferFrame::kPinMask) == 0,
+                  "free frame was pinned or in transition");
     return idx;
   }
-  if (shard->lru.empty()) {
-    return Status::FailedPrecondition(
-        "buffer pool shard exhausted: all frames pinned");
+  // Clock sweep. 3*n steps: one lap may only clear referenced bits and a
+  // racing hit can re-protect a frame, so give the hand slack before
+  // declaring the shard exhausted (the caller retries transients anyway).
+  const size_t n = shard->num_frames;
+  for (size_t step = 0; step < 3 * n; ++step) {
+    const size_t idx = shard->clock_hand;
+    shard->clock_hand = (shard->clock_hand + 1) % n;
+    BufferFrame& f = shard->frames[idx];
+    uint64_t s = f.state.load(std::memory_order_acquire);
+    if (IsOdd(s) || (s & BufferFrame::kPinMask) != 0) continue;
+    if (f.id.load(std::memory_order_relaxed) == kInvalidPageId) continue;
+    if (f.referenced.exchange(false, std::memory_order_relaxed)) {
+      continue;  // second chance
+    }
+    if (!f.state.compare_exchange_strong(s, s + BufferFrame::kVersionInc,
+                                         std::memory_order_acq_rel)) {
+      continue;  // lost to a concurrent pin
+    }
+    // Claimed: version is odd, optimistic pinners bounce off. Unmap the
+    // old page before the write-back so the directory never points a new
+    // mapping-taker at a frame being repurposed. Note fetchers of the old
+    // page racing this do still wait out the write-back: one that read
+    // the slot before the erase spins on the frame until the new id lands
+    // (the id changes only after this function returns), and one arriving
+    // after the erase queues on the shard mutex, held across the Write.
+    const PageId old_id = f.id.load(std::memory_order_relaxed);
+    DirErase(shard, old_id);
+    if (f.dirty.load(std::memory_order_acquire)) {
+      if (Status ws = file_->Write(old_id, f.page); !ws.ok()) {
+        // Undo the claim: remap and return the frame to service.
+        DirInsert(shard, old_id, idx);
+        f.state.store(s, std::memory_order_release);
+        return ws;
+      }
+      shard->stats.disk_writes.fetch_add(1, std::memory_order_relaxed);
+      ++MutableThreadPoolCounters().disk_writes;
+      f.dirty.store(false, std::memory_order_relaxed);
+    }
+    shard->stats.evictions.fetch_add(1, std::memory_order_relaxed);
+    return idx;
   }
-  const size_t idx = shard->lru.front();
-  shard->lru.pop_front();
-  Frame& f = shard->frames[idx];
-  f.in_lru = false;
-  if (f.dirty) {
-    TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
-    ++shard->stats.disk_writes;
-    ++MutableThreadPoolCounters().disk_writes;
-    f.dirty = false;
-  }
-  shard->page_to_frame.erase(f.id);
-  ++shard->stats.evictions;
-  return idx;
+  return Status::FailedPrecondition(
+      "buffer pool shard exhausted: all frames pinned");
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  const size_t shard_idx = ShardIndex(id);
-  Shard& shard = *shards_[shard_idx];
-  bool counted_miss = false;
-  for (int attempt = 0;; ++attempt) {
-    {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      auto it = shard.page_to_frame.find(id);
-      if (it != shard.page_to_frame.end()) {
-        // A concurrent fetch may have cached the page between retries;
-        // the first failed attempt already counted this call as a miss.
-        if (!counted_miss) {
-          ++shard.stats.hits;
+  Shard& shard = *shards_[ShardIndex(id)];
+  // A Fetch classifies itself exactly once — as a hit (we pinned a frame
+  // someone had cached or finished loading) or a miss (we went to claim a
+  // frame ourselves) — no matter how many optimistic retries or
+  // exhaustion backoffs follow, so per-thread deltas stay exact.
+  bool counted = false;
+  int exhausted_attempts = 0;
+  for (;;) {
+    // ---- optimistic lock-free hit path ----
+    const BufferFrame* wait_frame = nullptr;
+    for (int spin = 0; spin < kOptimisticSpins; ++spin) {
+      const size_t idx = DirLookup(shard, id);
+      if (idx == kNoFrame) break;
+      BufferFrame& f = shard.frames[idx];
+      uint64_t s = f.state.load(std::memory_order_acquire);
+      if (IsOdd(s)) {
+        // In transition. If it is *our* page being loaded, wait on the
+        // frame (not the mutex); anything else resolves via the slow path.
+        if (f.id.load(std::memory_order_acquire) == id) wait_frame = &f;
+        break;
+      }
+      if (f.id.load(std::memory_order_acquire) != id) break;  // stale slot
+      if ((s & BufferFrame::kPinMask) == BufferFrame::kPinMask) break;
+      // The CAS succeeding proves the version — and therefore the frame's
+      // identity — did not change since the reads above.
+      if (f.state.compare_exchange_weak(s, s + 1,
+                                        std::memory_order_acq_rel)) {
+        f.referenced.store(true, std::memory_order_relaxed);
+        if (!counted) {
+          shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
           ++MutableThreadPoolCounters().hits;
         }
-        const size_t idx = it->second;
-        Frame& f = shard.frames[idx];
-        TouchLru(&shard, idx);
-        ++f.pins;
-        return PageHandle(this, id, shard_idx, idx);
+        return PageHandle(&f, id);
       }
-      if (!counted_miss) {
-        ++shard.stats.misses;
-        ++MutableThreadPoolCounters().misses;
-        counted_miss = true;
-      }
-      Result<size_t> idx_or = AcquireFrame(&shard);
-      if (idx_or.ok()) {
-        const size_t idx = idx_or.value();
-        Frame& f = shard.frames[idx];
-        if (Status rs = file_->Read(id, &f.page); !rs.ok()) {
-          shard.free_frames.push_back(idx);  // return it; nothing cached
-          return rs;
-        }
-        ++shard.stats.disk_reads;
-        ++MutableThreadPoolCounters().disk_reads;
-        f.id = id;
-        f.pins = 1;
-        f.dirty = false;
-        shard.page_to_frame[id] = idx;
-        return PageHandle(this, id, shard_idx, idx);
-      }
+      // Lost a pin/unpin/eviction race; re-resolve.
+    }
+    if (wait_frame != nullptr) {
+      // The page appears to be materializing courtesy of another thread's
+      // disk read. Classification is deferred to the outcome: if the load
+      // completes, the optimistic pin above counts this fetch as a hit —
+      // v2 accounting, where the waiter queued on the shard mutex and
+      // found the page cached. If the odd frame was actually mid-eviction
+      // of this page (or the load fails), the retry falls through to the
+      // slow path and counts the miss it really is.
+      WaitForFrameTransition(*wait_frame, id);
+      continue;
+    }
+
+    // ---- slow path: miss (or a stale/contended directory view) ----
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (DirLookup(shard, id) != kNoFrame) {
+      // Raced with another fetcher who cached (or is loading) the page;
+      // resolve it on the lock-free path.
+      lock.unlock();
+      continue;
+    }
+    if (!counted) {
+      shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+      ++MutableThreadPoolCounters().misses;
+      counted = true;
+    }
+    Result<size_t> idx_or = AcquireFrame(&shard);
+    if (!idx_or.ok()) {
+      lock.unlock();
       if (!idx_or.status().IsFailedPrecondition() ||
-          attempt >= kAcquireRetries) {
+          exhausted_attempts >= kAcquireRetries) {
         return idx_or.status();  // I/O errors don't retry, only exhaustion
       }
+      ExhaustionBackoff(exhausted_attempts++);
+      continue;
     }
-    std::this_thread::yield();  // transient: wait for a pin to release
+    const size_t idx = idx_or.value();
+    BufferFrame& f = shard.frames[idx];
+    // Publish the in-progress load: odd version (from the claim), id set,
+    // directory entry visible — then give the lock back. Same-shard
+    // traffic flows during the read; fetchers of this page wait on `f`.
+    f.id.store(id, std::memory_order_release);
+    DirInsert(&shard, id, idx);
+    lock.unlock();
+
+    Status read_status = file_->Read(id, &f.page);
+    if (!read_status.ok()) {
+      std::lock_guard<std::mutex> relock(shard.mutex);
+      DirErase(&shard, id);
+      f.id.store(kInvalidPageId, std::memory_order_release);
+      const uint64_t s = f.state.load(std::memory_order_relaxed);
+      f.state.store(s + BufferFrame::kVersionInc, std::memory_order_release);
+      shard.free_frames.push_back(idx);
+      return read_status;
+    }
+    shard.stats.disk_reads.fetch_add(1, std::memory_order_relaxed);
+    ++MutableThreadPoolCounters().disk_reads;
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.referenced.store(false, std::memory_order_relaxed);
+    // Release-publish with our pin already counted; waiters' acquire loads
+    // of `state` see the page bytes the pread wrote.
+    const uint64_t s = f.state.load(std::memory_order_relaxed);
+    f.state.store((s + BufferFrame::kVersionInc) | 1,
+                  std::memory_order_release);
+    return PageHandle(&f, id);
   }
 }
 
 Result<PageHandle> BufferPool::New() {
   TSQ_ASSIGN_OR_RETURN(const PageId id, file_->Allocate());
-  const size_t shard_idx = ShardIndex(id);
-  Shard& shard = *shards_[shard_idx];
-  for (int attempt = 0;; ++attempt) {
-    {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      Result<size_t> idx_or = AcquireFrame(&shard);
-      if (idx_or.ok()) {
-        const size_t idx = idx_or.value();
-        Frame& f = shard.frames[idx];
-        if (f.page.size() != file_->page_size()) {
-          f.page = Page(file_->page_size());
-        } else {
-          f.page.Clear();
-        }
-        f.id = id;
-        f.pins = 1;
-        f.dirty = true;
-        shard.page_to_frame[id] = idx;
-        return PageHandle(this, id, shard_idx, idx);
+  Shard& shard = *shards_[ShardIndex(id)];
+  int exhausted_attempts = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    Result<size_t> idx_or = AcquireFrame(&shard);
+    if (!idx_or.ok()) {
+      lock.unlock();
+      if (idx_or.status().IsFailedPrecondition() &&
+          exhausted_attempts < kAcquireRetries) {
+        ExhaustionBackoff(exhausted_attempts++);
+        continue;
       }
-      if (!idx_or.status().IsFailedPrecondition() ||
-          attempt >= kAcquireRetries) {
-        // Give the page back to the file's free list — otherwise a caller
-        // retrying against an exhausted shard would grow the file with
-        // orphaned pages.
-        file_->Free(id).ok();
-        return idx_or.status();
-      }
+      // Give the page back to the file's free list — otherwise a caller
+      // retrying against an exhausted shard would grow the file with
+      // orphaned pages.
+      file_->Free(id).ok();
+      return idx_or.status();
     }
-    std::this_thread::yield();  // transient: wait for a pin to release
+    const size_t idx = idx_or.value();
+    BufferFrame& f = shard.frames[idx];
+    if (f.page.size() != file_->page_size()) {
+      f.page = Page(file_->page_size());
+    } else {
+      f.page.Clear();
+    }
+    f.id.store(id, std::memory_order_release);
+    f.dirty.store(true, std::memory_order_relaxed);
+    f.referenced.store(false, std::memory_order_relaxed);
+    DirInsert(&shard, id, idx);
+    const uint64_t s = f.state.load(std::memory_order_relaxed);
+    f.state.store((s + BufferFrame::kVersionInc) | 1,
+                  std::memory_order_release);
+    return PageHandle(&f, id);
   }
 }
 
 Status BufferPool::Delete(PageId id) {
   Shard& shard = *shards_[ShardIndex(id)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.page_to_frame.find(id);
-  if (it != shard.page_to_frame.end()) {
-    Frame& f = shard.frames[it->second];
-    if (f.pins > 0) {
-      return Status::FailedPrecondition("Delete of a pinned page " +
-                                        std::to_string(id));
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const size_t idx = DirLookup(shard, id);
+    if (idx != kNoFrame) {
+      BufferFrame& f = shard.frames[idx];
+      uint64_t s = f.state.load(std::memory_order_acquire);
+      if (IsOdd(s) || (s & BufferFrame::kPinMask) != 0 ||
+          !f.state.compare_exchange_strong(s, s + BufferFrame::kVersionInc,
+                                           std::memory_order_acq_rel)) {
+        return Status::FailedPrecondition("Delete of a pinned page " +
+                                          std::to_string(id));
+      }
+      DirErase(&shard, id);
+      f.id.store(kInvalidPageId, std::memory_order_release);
+      f.dirty.store(false, std::memory_order_relaxed);
+      shard.free_frames.push_back(idx);
+      f.state.store(s + 2 * BufferFrame::kVersionInc,
+                    std::memory_order_release);
     }
-    TouchLru(&shard, it->second);
-    f.dirty = false;
-    shard.free_frames.push_back(it->second);
-    shard.page_to_frame.erase(it);
   }
   return file_->Free(id);
 }
@@ -254,13 +451,23 @@ Status BufferPool::FlushAll() {
   for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (Frame& f : shard.frames) {
-      if (f.id != kInvalidPageId && f.dirty) {
-        TSQ_RETURN_IF_ERROR(file_->Write(f.id, f.page));
-        ++shard.stats.disk_writes;
-        ++MutableThreadPoolCounters().disk_writes;
-        f.dirty = false;
+    for (size_t i = 0; i < shard.num_frames; ++i) {
+      BufferFrame& f = shard.frames[i];
+      // Odd frames are in-flight loads (clean by definition — eviction
+      // write-back happens under this mutex, which we hold).
+      if (IsOdd(f.state.load(std::memory_order_acquire))) continue;
+      const PageId id = f.id.load(std::memory_order_acquire);
+      if (id == kInvalidPageId) continue;
+      // Clear-before-write: MarkDirty is lock-free, so a mark landing
+      // during the Write must survive for the next flush/eviction — a
+      // clear *after* the write would erase it and lose the update.
+      if (!f.dirty.exchange(false, std::memory_order_acq_rel)) continue;
+      if (Status ws = file_->Write(id, f.page); !ws.ok()) {
+        f.dirty.store(true, std::memory_order_release);  // still unsynced
+        return ws;
       }
+      shard.stats.disk_writes.fetch_add(1, std::memory_order_relaxed);
+      ++MutableThreadPoolCounters().disk_writes;
     }
   }
   return file_->Sync();

@@ -1,19 +1,17 @@
 // Copyright (c) 2026 The tsq Authors.
 //
-// Sharded LRU buffer pool over a PageFile. The R-tree performs all page
-// access through the pool; its hit/miss/eviction counters are how tsq
-// measures the "number of disk accesses" the paper reports for index
-// traversals.
+// Sharded page cache over a PageFile with a lock-free hit path. The R-tree
+// performs all page access through the pool; its hit/miss/eviction counters
+// are how tsq measures the "number of disk accesses" the paper reports for
+// index traversals.
 
 #ifndef TSQ_STORAGE_BUFFER_POOL_H_
 #define TSQ_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -52,7 +50,9 @@ struct BufferPoolStats {
 /// exactly its own I/O by snapshotting ThisThreadPoolCounters() before and
 /// after on the thread it runs on — concurrent queries on other threads
 /// never leak into the delta. Counters are cumulative across all pools a
-/// thread touches; only deltas are meaningful.
+/// thread touches; only deltas are meaningful. Exactness survives the v3
+/// optimistic hit path: a Fetch classifies itself as hit or miss exactly
+/// once no matter how many optimistic retries it takes.
 struct ThreadPoolCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -63,7 +63,30 @@ struct ThreadPoolCounters {
 /// This thread's cumulative pool counters (monotonic; snapshot to diff).
 const ThreadPoolCounters& ThisThreadPoolCounters();
 
-class BufferPool;
+/// One cache frame (internal to BufferPool; exposed at namespace scope only
+/// so PageHandle can operate on it without reaching through the pool).
+///
+/// `state` packs [version:48 | pins:16] into one atomic word. The version
+/// is seqlock-style: an *odd* version (bit 16 set) means the frame is in
+/// transition — being loaded from disk, evicted, or recycled — and its
+/// identity/bytes must not be trusted; an even version means the frame
+/// stably holds page `id`. Pinning is a CAS on the whole word conditioned
+/// on an even version, so a successful pin proves the frame was not
+/// repurposed between lookup and pin. Unpinning is a plain fetch_sub: while
+/// pins > 0 the version cannot change (eviction claims require pins == 0),
+/// so the decrement can never race a transition. `id` changes only while
+/// the version is odd. `referenced` is the clock/second-chance bit, set on
+/// every hit and cleared by the sweep.
+struct BufferFrame {
+  static constexpr uint64_t kPinMask = (uint64_t{1} << 16) - 1;
+  static constexpr uint64_t kVersionInc = uint64_t{1} << 16;
+
+  std::atomic<uint64_t> state{0};  // even version, zero pins
+  std::atomic<PageId> id{kInvalidPageId};
+  std::atomic<bool> dirty{false};
+  std::atomic<bool> referenced{false};
+  Page page;
+};
 
 /// RAII pin on a cached page. While a PageHandle is alive the frame cannot
 /// be evicted. Move-only; unpins at destruction.
@@ -78,7 +101,7 @@ class PageHandle {
   TSQ_DISALLOW_COPY(PageHandle);
 
   /// True iff this handle pins a page.
-  bool valid() const { return pool_ != nullptr; }
+  bool valid() const { return frame_ != nullptr; }
 
   /// The pinned page id.
   PageId id() const { return id_; }
@@ -95,45 +118,59 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id, size_t shard, size_t frame)
-      : pool_(pool), id_(id), shard_(shard), frame_(frame) {}
+  PageHandle(BufferFrame* frame, PageId id) : frame_(frame), id_(id) {}
 
-  BufferPool* pool_ = nullptr;
+  BufferFrame* frame_ = nullptr;
   PageId id_ = kInvalidPageId;
-  size_t shard_ = 0;
-  size_t frame_ = 0;
 };
 
-/// Fixed-capacity sharded LRU page cache.
+/// Fixed-capacity sharded page cache with clock (second-chance) eviction.
 ///
-/// Concurrency contract (v2): the pool is split into `shards()`
-/// independent shards; page ids map to shards by `id % shards()`. Each
-/// shard has its own mutex, frame array, free list, LRU list and stat
-/// counters, so operations on pages of different shards proceed fully in
-/// parallel — the v1 global mutex is gone. Within one shard, Fetch, New,
-/// Delete, pin/unpin and dirty marking serialize on the shard mutex;
-/// FlushAll and stats() visit shards one at a time. Byte access *through a
-/// held PageHandle* is deliberately outside any mutex: a pinned frame
-/// cannot be evicted and the per-shard frame arrays never reallocate, so
-/// the pointer stays valid. Concurrent threads must not write the same
-/// page's bytes; tsq's read paths (index traversal) only read. The
-/// underlying PageFile is thread-safe (positioned I/O), so shards evict
-/// and read back concurrently without coordination.
+/// Concurrency contract (v3): the pool is split into `shards()` independent
+/// shards; page ids map to shards through a splitmix64 mixing hash (see
+/// ShardIndex), so the sequential ids a tree build produces spread across
+/// shards instead of striping siblings into lock-step sequences.
 ///
-/// Capacity is partitioned across shards (each shard gets
-/// capacity/shards frames, remainder spread round-robin). Eviction
-/// pressure is therefore per-shard: a shard whose frames are all pinned
-/// reports exhaustion even if a neighboring shard has free frames, and —
-/// the flip side — pinned pages can never be evicted by another shard's
-/// pressure. Fetch/New yield-retry a bounded number of times before
+/// * **Hits are lock-free.** Fetch of a cached page takes no mutex: it
+///   reads the shard's page directory (an open-addressed table of atomic
+///   slots), validates the frame's seqlock version, and pins with a single
+///   CAS (see BufferFrame). There is no LRU list to update — recency is a
+///   per-frame `referenced` bit swept lazily by the clock hand at eviction
+///   time — so the hot path mutates nothing but the pin word.
+/// * **Misses do I/O without the shard lock.** A miss takes the shard
+///   mutex only to claim a frame (free list or clock sweep) and publish it
+///   in "loading" state (odd version, id set, directory entry inserted),
+///   then *drops the mutex* around the PageFile read and publishes the
+///   loaded frame with a release store. Hits — and other misses — on the
+///   same shard proceed while the read is in flight. Concurrent fetchers
+///   of the in-flight page wait on the frame itself (bounded spin, then
+///   yield/sleep), not on the mutex, and count as hits: the miss and the
+///   disk read belong to the thread that performed them, exactly as when
+///   a v2 waiter queued on the mutex behind the loading thread.
+/// * The shard mutex still serializes the admin paths: frame claim and
+///   eviction (including dirty write-back), New, Delete, FlushAll, stats
+///   reset, and directory mutation. Byte access *through a held
+///   PageHandle* is outside any mutex: a pinned frame cannot be evicted
+///   and frames never move, so the pointer stays valid. Concurrent threads
+///   must not write the same page's bytes; tsq's read paths (index
+///   traversal) only read. The underlying PageFile is thread-safe
+///   (positioned I/O), so shards read and write back concurrently.
+///
+/// Capacity is partitioned across shards (each shard gets capacity/shards
+/// frames, remainder spread round-robin). Eviction pressure is therefore
+/// per-shard: a shard whose frames are all pinned reports exhaustion even
+/// if a neighboring shard has free frames, and — the flip side — pinned
+/// pages can never be evicted by another shard's pressure. Fetch/New
+/// yield-then-sleep-retry over a bounded window (~hundreds of ms) before
 /// reporting exhaustion, so a shard that is only *transiently* full of
-/// pins (more concurrent pinning threads than frames) stalls briefly
-/// instead of failing the query. Note that N partitioned LRUs only approximate one global
-/// LRU: when the working set exceeds capacity, hit/eviction counts can
-/// differ slightly from the v1 single-list pool. Workloads that need
-/// v1-comparable disk-access counts (paper-figure reproductions) can pin
-/// shards = 1; the auto default already keeps pools under 8 frames
-/// unsharded.
+/// pins stalls briefly instead of failing the query; a permanently pinned
+/// shard surfaces FailedPrecondition. Note that clock over N shards only
+/// approximates one global LRU: when the working set exceeds capacity,
+/// hit/eviction counts can differ from the v1 single-list pool. Workloads
+/// that need v1-comparable disk-access counts (paper-figure reproductions)
+/// can pin shards = 1; the auto default already keeps pools under 8 frames
+/// unsharded, and for a never-re-referenced scan pattern the clock sweep
+/// degenerates to the same FIFO/LRU victim order.
 class BufferPool {
  public:
   /// Creates a pool of `capacity` frames over `file` (non-owning: the file
@@ -146,14 +183,15 @@ class BufferPool {
 
   TSQ_DISALLOW_COPY_AND_MOVE(BufferPool);
 
-  /// Pins page `id`, reading it from disk on a miss.
+  /// Pins page `id`, reading it from disk on a miss. Lock-free when the
+  /// page is cached (see class comment).
   Result<PageHandle> Fetch(PageId id);
 
   /// Allocates a fresh page and pins it (zeroed, marked dirty).
   Result<PageHandle> New();
 
-  /// Removes page `id` from the cache (writing back if dirty) and frees it
-  /// in the file. The page must not be pinned.
+  /// Removes page `id` from the cache and frees it in the file. The page
+  /// must not be pinned (or mid-load).
   Status Delete(PageId id);
 
   /// Writes back every dirty frame (keeps them cached). Deterministic
@@ -167,8 +205,17 @@ class BufferPool {
   /// Number of independent shards.
   size_t shards() const { return shards_.size(); }
 
-  /// The shard a page id maps to (exposed for white-box tests).
-  size_t ShardIndex(PageId id) const { return id % shards_.size(); }
+  /// The shard a page id maps to: a splitmix64 fold of the id, reduced mod
+  /// the shard count (exposed for white-box tests). Sequential ids — the
+  /// common case, since tree builds allocate pages in order — land on
+  /// effectively random shards instead of round-robining in lock-step.
+  size_t ShardIndex(PageId id) const {
+    uint64_t x = id + uint64_t{0x9E3779B97F4A7C15};
+    x = (x ^ (x >> 30)) * uint64_t{0xBF58476D1CE4E5B9};
+    x = (x ^ (x >> 27)) * uint64_t{0x94D049BB133111EB};
+    x ^= x >> 31;
+    return x % shards_.size();
+  }
 
   /// Counters, merged across shards on every call; Reset clears both pool
   /// and file counters.
@@ -179,31 +226,46 @@ class BufferPool {
   PageFile* file() { return file_; }
 
  private:
-  friend class PageHandle;
-
-  struct Frame {
-    PageId id = kInvalidPageId;
-    Page page;
-    int pins = 0;
-    bool dirty = false;
-    // Position in the shard's lru when unpinned; end() while pinned.
-    std::list<size_t>::iterator lru_pos;
-    bool in_lru = false;
+  /// One open-addressed directory slot: page id -> frame index. id is
+  /// kInvalidPageId (0) when never used ("empty", stops probes) and
+  /// kDirTombstone when erased (probes continue through it). Slots are
+  /// written only under the shard mutex and read lock-free; a reader
+  /// always re-validates against the frame itself, so stale slots cost a
+  /// retry, never a wrong pin.
+  struct DirSlot {
+    std::atomic<PageId> id{kInvalidPageId};
+    std::atomic<uint32_t> frame{0};
   };
 
   struct Shard {
-    mutable std::mutex mutex;  // guards all frame/LRU/directory state
-    std::vector<Frame> frames;
+    // Serializes misses/eviction/New/Delete/Flush and directory writes.
+    // Never taken on the hit path.
+    mutable std::mutex mutex;
+    std::unique_ptr<BufferFrame[]> frames;
+    size_t num_frames = 0;
+    std::unique_ptr<DirSlot[]> dir;
+    size_t dir_mask = 0;   // dir size - 1 (power of two)
+    size_t dir_empty = 0;  // never-used slots left; rebuild when low
     std::vector<size_t> free_frames;
-    std::unordered_map<PageId, size_t> page_to_frame;
-    std::list<size_t> lru;  // front = least recently used, unpinned only
+    size_t clock_hand = 0;
     BufferPoolStats stats;
   };
 
-  void Unpin(size_t shard_idx, size_t frame_idx);
-  void MarkDirty(size_t shard_idx, size_t frame_idx);
-  static void TouchLru(Shard* shard, size_t frame_idx);
-  Result<size_t> AcquireFrame(Shard* shard);  // free frame, evicting if needed
+  static constexpr size_t kNoFrame = static_cast<size_t>(-1);
+
+  /// Lock-free probe of the shard directory; returns a frame index or
+  /// kNoFrame. The result is a hint until validated against the frame.
+  static size_t DirLookup(const Shard& shard, PageId id);
+  /// Directory writes; caller holds the shard mutex.
+  static void DirInsert(Shard* shard, PageId id, size_t frame_idx);
+  static void DirErase(Shard* shard, PageId id);
+  static void DirRebuild(Shard* shard);
+
+  /// Claims a frame (free list, else clock sweep with eviction + dirty
+  /// write-back) and returns it with an odd (in-transition) version.
+  /// Caller holds the shard mutex. FailedPrecondition when every frame is
+  /// pinned or mid-transition (transient under concurrency).
+  Result<size_t> AcquireFrame(Shard* shard);
 
   PageFile* file_;
   size_t capacity_;

@@ -157,6 +157,7 @@ Status PageFile::Read(PageId id, Page* out) {
     return Status::InvalidArgument("Read: bad page id " + std::to_string(id));
   }
   if (out->size() != page_size_) *out = Page(page_size_);
+  if (read_hook_) read_hook_(id);
   ++stats_.page_reads;
   return ReadRaw(id * page_size_, out->data(), page_size_);
 }
@@ -168,6 +169,7 @@ Status PageFile::Write(PageId id, const Page& page) {
   if (page.size() != page_size_) {
     return Status::InvalidArgument("Write: page size mismatch");
   }
+  if (write_hook_) write_hook_(id);
   ++stats_.page_writes;
   return WriteRaw(id * page_size_, page.data(), page_size_);
 }

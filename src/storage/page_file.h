@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -88,6 +89,20 @@ class PageFile {
   const PageFileStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PageFileStats(); }
 
+  /// Test-only fault injection: when set, invoked at the top of every
+  /// Read(id) (after id validation, before the pread), on the reading
+  /// thread. Lets tests make specific page reads slow or block them on a
+  /// latch to prove I/O-in-progress behavior. Not synchronized: install
+  /// before concurrent readers start and clear only after joining them.
+  void SetReadHookForTesting(std::function<void(PageId)> hook) {
+    read_hook_ = std::move(hook);
+  }
+
+  /// Same, for Write(id) — e.g. to park an eviction write-back mid-flight.
+  void SetWriteHookForTesting(std::function<void(PageId)> hook) {
+    write_hook_ = std::move(hook);
+  }
+
  private:
   PageFile(std::FILE* file, std::string path, size_t page_size);
 
@@ -103,6 +118,8 @@ class PageFile {
   std::atomic<uint64_t> num_pages_{0};  // data pages allocated so far
   PageId free_list_head_ = kInvalidPageId;
   PageFileStats stats_;
+  std::function<void(PageId)> read_hook_;   // test-only, see setter
+  std::function<void(PageId)> write_hook_;  // test-only, see setter
 };
 
 }  // namespace tsq

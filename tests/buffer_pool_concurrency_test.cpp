@@ -1,0 +1,388 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Targeted tests for the v3 buffer-pool concurrency contract: lock-free
+// optimistic hits, I/O-in-progress frames (a miss drops the shard lock
+// around the pread), waiters sharing one in-flight load, optimistic-retry
+// storms, and the bounded yield-retry pin-exhaustion path. Uses
+// PageFile::SetReadHookForTesting to make specific page reads block on a
+// latch, so the "a slow miss no longer stalls same-shard hits" claim is
+// proven by handshakes, not timing. Runs under the CI TSan job.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "test_util.h"
+
+namespace tsq {
+namespace {
+
+using testing::TempDir;
+
+/// A latch the read hook blocks on: the test learns when the reader is
+/// inside the pread path and decides when to let it through.
+class ReadGate {
+ public:
+  /// Blocks the calling reader until Open() (no-op once opened).
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  /// Blocks the test until a reader is parked inside Wait().
+  void AwaitReader() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool open_ = false;
+};
+
+class BufferPoolConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto pf = PageFile::Create(dir_.file("pages"));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    file_ = std::move(*pf);
+  }
+
+  /// Materializes `count` pages through `pool` (each page's first word is
+  /// its own id, so readers can verify what they pinned) and returns the
+  /// ids. Handles are released before returning.
+  std::vector<PageId> MakePages(BufferPool* pool, size_t count) {
+    std::vector<PageId> ids;
+    for (size_t i = 0; i < count; ++i) {
+      auto h = pool->New();
+      EXPECT_TRUE(h.ok());
+      h->page()->WriteU64(0, h->id());
+      h->MarkDirty();
+      ids.push_back(h->id());
+    }
+    return ids;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<PageFile> file_;
+};
+
+TEST_F(BufferPoolConcurrencyTest, SameShardHitDoesNotStallBehindSlowMiss) {
+  // One shard, two frames. Pages p[0], p[1] get evicted by p[2], p[3], so
+  // the frames hold p[2]/p[3] and p[0]/p[1] live only on disk.
+  BufferPool pool(file_.get(), 2, 1);
+  ASSERT_EQ(pool.shards(), 1u);
+  const std::vector<PageId> p = MakePages(&pool, 4);
+
+  ReadGate gate;
+  const PageId slow_page = p[0];
+  file_->SetReadHookForTesting([&gate, slow_page](PageId id) {
+    if (id == slow_page) gate.Wait();
+  });
+
+  // The miss: claims a frame, publishes it loading, drops the shard lock,
+  // and parks inside the (gated) pread.
+  std::thread misser([&pool, &p] {
+    auto h = pool.Fetch(p[0]);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    EXPECT_EQ(h->page()->ReadU64(0), p[0]);
+  });
+  gate.AwaitReader();
+
+  // While that read is in flight, a hit on a *different* page of the same
+  // shard must complete: v2 held the shard mutex across the pread and
+  // this fetch would deadlock here. Run it on its own thread and require
+  // completion long before any sane I/O timeout.
+  auto hit = std::async(std::launch::async, [&pool, &p] {
+    auto h = pool.Fetch(p[3]);
+    return h.ok() && h->page()->ReadU64(0) == p[3];
+  });
+  ASSERT_EQ(hit.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "a same-shard hit stalled behind an in-flight miss";
+  EXPECT_TRUE(hit.get());
+
+  // A *miss* on yet another page of the shard must also proceed: the
+  // second frame is free for it while the slow load owns the first.
+  auto other_miss = std::async(std::launch::async, [&pool, &p] {
+    auto h = pool.Fetch(p[1]);
+    return h.ok() && h->page()->ReadU64(0) == p[1];
+  });
+  ASSERT_EQ(other_miss.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "a same-shard miss stalled behind an in-flight miss";
+  EXPECT_TRUE(other_miss.get());
+
+  gate.Open();
+  misser.join();
+  file_->SetReadHookForTesting(nullptr);
+}
+
+TEST_F(BufferPoolConcurrencyTest, ConcurrentFetchersShareOneInFlightLoad) {
+  // p[0] is on disk only (evicted by p[1..4] in a 4-frame pool).
+  BufferPool pool(file_.get(), 4, 1);
+  const std::vector<PageId> p = MakePages(&pool, 5);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.ResetStats();
+
+  ReadGate gate;
+  std::atomic<int> reads_of_target{0};
+  file_->SetReadHookForTesting([&](PageId id) {
+    if (id == p[0]) {
+      reads_of_target.fetch_add(1);
+      gate.Wait();
+    }
+  });
+
+  std::thread loader([&pool, &p] {
+    auto h = pool.Fetch(p[0]);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+  });
+  // Once the loader is inside the pread its loading frame and directory
+  // entry are published, so fetchers started now must wait on the frame —
+  // not start a second disk read — and resolve as hits.
+  gate.AwaitReader();
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  std::atomic<int> good{0};
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&pool, &p, &good] {
+      auto h = pool.Fetch(p[0]);
+      if (h.ok() && h->page()->ReadU64(0) == p[0]) good.fetch_add(1);
+    });
+  }
+  // Give the waiters a moment to reach the frame-wait, then release the
+  // load. (The assertion below does not depend on this sleep; it only
+  // makes the wait path the common case rather than a lucky interleave.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.Open();
+  loader.join();
+  for (std::thread& t : waiters) t.join();
+  file_->SetReadHookForTesting(nullptr);
+
+  EXPECT_EQ(good.load(), kWaiters);
+  EXPECT_EQ(reads_of_target.load(), 1) << "waiters duplicated the disk read";
+  const BufferPoolStats stats = pool.stats();
+  // Exactly one fetch paid the miss + disk read; every other fetch of the
+  // page — started strictly after the load was published — is a hit.
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.disk_reads, 1u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kWaiters));
+}
+
+TEST_F(BufferPoolConcurrencyTest, OptimisticRetryStormKeepsCountersExact) {
+  // Many threads hammering a small fully-cached hot set: every fetch is an
+  // optimistic pin racing every other thread's pin/unpin CASes, which is
+  // exactly the retry storm the seqlock versioning must survive. The
+  // per-thread counters must account for every single fetch (the v3
+  // classify-once rule), and the shared merged counters must equal their
+  // sum.
+  BufferPool pool(file_.get(), 8, 1);
+  const std::vector<PageId> p = MakePages(&pool, 8);  // all resident
+  pool.ResetStats();
+
+  constexpr int kThreads = 8;
+  constexpr int kFetchesPerThread = 4000;
+  std::atomic<uint64_t> tls_hits_sum{0}, tls_misses_sum{0};
+  std::atomic<int> wrong_bytes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const ThreadPoolCounters before = ThisThreadPoolCounters();
+      for (int i = 0; i < kFetchesPerThread; ++i) {
+        const PageId id = p[(i * 7 + t) % p.size()];
+        auto h = pool.Fetch(id);
+        if (!h.ok() || h->page()->ReadU64(0) != id) wrong_bytes.fetch_add(1);
+      }
+      const ThreadPoolCounters& after = ThisThreadPoolCounters();
+      const uint64_t hits = after.hits - before.hits;
+      const uint64_t misses = after.misses - before.misses;
+      // Classify-once: hits + misses == fetches, optimistic retries and
+      // all.
+      EXPECT_EQ(hits + misses, static_cast<uint64_t>(kFetchesPerThread));
+      tls_hits_sum.fetch_add(hits);
+      tls_misses_sum.fetch_add(misses);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong_bytes.load(), 0);
+  const BufferPoolStats stats = pool.stats();
+  // The working set fits, so after the warm-up News nothing is ever
+  // evicted: every fetch is a hit and no disk read happens.
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads) * kFetchesPerThread);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.disk_reads, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(tls_hits_sum.load(), stats.hits.load());
+  EXPECT_EQ(tls_misses_sum.load(), stats.misses.load());
+}
+
+TEST_F(BufferPoolConcurrencyTest, RetryStormSurvivesEvictionChurn) {
+  // Same storm, but the working set is double the pool: optimistic pins
+  // race evictions and in-flight loads, not just other pins. Correctness
+  // here is "every fetch pins the right bytes and nothing is lost from
+  // the counters" — hit/miss totals depend on the interleaving.
+  BufferPool pool(file_.get(), 4, 2);
+  const std::vector<PageId> p = MakePages(&pool, 8);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.ResetStats();
+
+  constexpr int kThreads = 4;
+  constexpr int kFetchesPerThread = 1500;
+  std::atomic<uint64_t> tls_hits_sum{0}, tls_misses_sum{0},
+      tls_reads_sum{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const ThreadPoolCounters before = ThisThreadPoolCounters();
+      for (int i = 0; i < kFetchesPerThread; ++i) {
+        const PageId id = p[(i * 5 + t * 3) % p.size()];
+        auto h = pool.Fetch(id);
+        if (!h.ok() || h->page()->ReadU64(0) != id) wrong.fetch_add(1);
+      }
+      const ThreadPoolCounters& after = ThisThreadPoolCounters();
+      EXPECT_EQ((after.hits - before.hits) + (after.misses - before.misses),
+                static_cast<uint64_t>(kFetchesPerThread));
+      tls_hits_sum.fetch_add(after.hits - before.hits);
+      tls_misses_sum.fetch_add(after.misses - before.misses);
+      tls_reads_sum.fetch_add(after.disk_reads - before.disk_reads);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(tls_hits_sum.load(), stats.hits.load());
+  EXPECT_EQ(tls_misses_sum.load(), stats.misses.load());
+  EXPECT_EQ(tls_reads_sum.load(), stats.disk_reads.load());
+  EXPECT_GT(stats.evictions.load(), 0u);
+}
+
+TEST_F(BufferPoolConcurrencyTest, TransientPinExhaustionResolvesOnRelease) {
+  // One shard, two frames, both pinned. A third fetch enters the bounded
+  // yield-retry loop; releasing one pin while it spins must let it
+  // through (no error surfaces for a *transient* exhaustion).
+  BufferPool pool(file_.get(), 2, 1);
+  const std::vector<PageId> p = MakePages(&pool, 3);  // p[0] evicted
+
+  auto pin1 = pool.Fetch(p[1]);
+  auto pin2 = pool.Fetch(p[2]);
+  ASSERT_TRUE(pin1.ok() && pin2.ok());
+
+  auto blocked = std::async(std::launch::async, [&pool, &p] {
+    auto h = pool.Fetch(p[0]);
+    return h.ok() && h->page()->ReadU64(0) == p[0];
+  });
+  // Let the fetch reach the retry loop, then release a pin well inside
+  // the ~0.4 s retry window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pin1->Release();
+  ASSERT_EQ(blocked.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_TRUE(blocked.get()) << "transient exhaustion surfaced an error";
+}
+
+TEST_F(BufferPoolConcurrencyTest, PermanentPinExhaustionSurfacesStatus) {
+  BufferPool pool(file_.get(), 2, 1);
+  const std::vector<PageId> p = MakePages(&pool, 3);
+
+  auto pin1 = pool.Fetch(p[1]);
+  auto pin2 = pool.Fetch(p[2]);
+  ASSERT_TRUE(pin1.ok() && pin2.ok());
+
+  // Nothing ever unpins: the bounded retry must expire and report
+  // FailedPrecondition — for Fetch of an uncached page...
+  EXPECT_TRUE(pool.Fetch(p[0]).status().IsFailedPrecondition());
+
+  // ...and for New, which additionally must return the page it allocated
+  // to the file's free list (the next successful allocation reuses the
+  // id instead of growing the file).
+  const uint64_t pages_before = file_->num_pages();
+  EXPECT_TRUE(pool.New().status().IsFailedPrecondition());
+  EXPECT_EQ(file_->num_pages(), pages_before + 1);  // allocated, then freed
+  pin1->Release();
+  auto recycled = pool.New();
+  ASSERT_TRUE(recycled.ok());
+  EXPECT_EQ(recycled->id(), pages_before + 1) << "freed page not recycled";
+  EXPECT_EQ(file_->num_pages(), pages_before + 1) << "file grew anyway";
+}
+
+TEST_F(BufferPoolConcurrencyTest, HitsProceedWhileEvictionWritesBack) {
+  // Eviction write-back of a dirty victim happens *under the shard
+  // mutex*, but hits never take that mutex: park the evictor inside its
+  // file_->Write — the lock is held from the frame claim through the
+  // write — and a concurrent fetch of a cached page must still complete.
+  // Three frames: after the fourth New only p[0] is evicted, so p[1..3]
+  // stay resident while p[0] lives on disk.
+  BufferPool pool(file_.get(), 3, 1);
+  const std::vector<PageId> p = MakePages(&pool, 4);
+  ASSERT_TRUE(pool.FlushAll().ok());  // everything clean
+
+  // Dirty every resident page so whichever victim the clock picks has
+  // write-back work (the fetches also set every referenced bit, which
+  // the sweep's first lap clears).
+  for (int i = 1; i <= 3; ++i) {
+    auto h = pool.Fetch(p[i]);
+    ASSERT_TRUE(h.ok());
+    h->page()->WriteU64(0, p[i]);
+    h->MarkDirty();
+  }
+
+  ReadGate gate;
+  file_->SetWriteHookForTesting([&gate](PageId) { gate.Wait(); });
+  std::thread misser([&pool, &p] {
+    auto h = pool.Fetch(p[0]);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    EXPECT_EQ(h->page()->ReadU64(0), p[0]);
+  });
+  // The evictor is now parked mid-write-back, shard mutex held.
+  gate.AwaitReader();
+
+  // Hits are pin-CAS only: they must complete while the mutex is held.
+  // Try all three resident pages — one of them is the victim mid-flight
+  // (its fetch may legitimately block behind the eviction), but at least
+  // the two survivors must be lock-free hits.
+  std::atomic<int> completed{0};
+  std::vector<std::thread> hitters;
+  for (int i = 1; i <= 3; ++i) {
+    hitters.emplace_back([&pool, &p, &completed, i] {
+      auto h = pool.Fetch(p[i]);
+      if (h.ok() && h->page()->ReadU64(0) == p[i]) completed.fetch_add(1);
+    });
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (completed.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(completed.load(), 2)
+      << "cached-page hits stalled behind an in-flight eviction write-back";
+
+  gate.Open();
+  misser.join();
+  for (std::thread& t : hitters) t.join();
+  file_->SetWriteHookForTesting(nullptr);
+  EXPECT_EQ(completed.load(), 3);
+}
+
+}  // namespace
+}  // namespace tsq

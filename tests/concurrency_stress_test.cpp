@@ -1,13 +1,17 @@
 // Copyright (c) 2026 The tsq Authors.
 //
-// Concurrency stress suite for the v2 concurrency contract: many threads
+// Concurrency stress suite for the v3 concurrency contract: many threads
 // hammering mixed batch workloads (and parallel self-joins) against one
 // Database — through one shared engine and through per-thread engines —
-// while a writer appends to a separate relation. Asserts that every
-// concurrent result is bit-identical to the sequential path and that the
-// exact per-query stat counters lose nothing (their sum equals the shared
-// engine counters' delta). Sized to stay fast under ThreadSanitizer; the
-// CI TSan job runs this binary to pin the memory model down.
+// while a writer appends to a separate relation. Under v3 the hammered
+// index fetches ride the lock-free optimistic hit path and misses read
+// with the shard lock dropped, so these races double as a seqlock memory-
+// model workout. Asserts that every concurrent result is bit-identical to
+// the sequential path and that the exact per-query stat counters lose
+// nothing (their sum equals the shared engine counters' delta). Sized to
+// stay fast under ThreadSanitizer; the CI TSan job runs this binary (and
+// buffer_pool_concurrency_test, the pool-targeted suite) to pin the
+// memory model down.
 
 #include <atomic>
 #include <memory>

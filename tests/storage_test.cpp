@@ -5,8 +5,10 @@
 // misses, eviction, pinning, write-back) and the sequence relation
 // (append/get/scan, reopen, corruption detection).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "storage/buffer_pool.h"
@@ -343,45 +345,80 @@ TEST_F(BufferPoolTest, AutoShardCountKeepsSmallPoolsUnsharded) {
   EXPECT_EQ(BufferPool(file_.get(), 8, 4).shards(), 4u);
 }
 
-TEST_F(BufferPoolTest, ShardMappingIsByPageIdModulo) {
+TEST_F(BufferPoolTest, ShardMappingMixesSequentialIds) {
+  // v3 maps page ids to shards through a splitmix64 fold, so the
+  // sequential ids a tree build allocates do NOT stripe round-robin into
+  // lock-step shard sequences the way `id % shards` did.
   BufferPool pool(file_.get(), 8, 4);
   ASSERT_EQ(pool.shards(), 4u);
-  for (PageId id = 1; id <= 12; ++id) {
-    EXPECT_EQ(pool.ShardIndex(id), id % 4) << "page " << id;
+  bool deviates_from_modulo = false;
+  std::vector<size_t> per_shard(pool.shards(), 0);
+  for (PageId id = 1; id <= 4096; ++id) {
+    const size_t shard = pool.ShardIndex(id);
+    ASSERT_LT(shard, pool.shards());
+    // Deterministic: the same id always lands on the same shard.
+    EXPECT_EQ(pool.ShardIndex(id), shard);
+    if (shard != id % pool.shards()) deviates_from_modulo = true;
+    ++per_shard[shard];
   }
+  EXPECT_TRUE(deviates_from_modulo);
+  // The mix spreads ids roughly evenly (each shard within 2x of fair).
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    EXPECT_GT(per_shard[s], 4096u / 8) << "shard " << s << " starved";
+    EXPECT_LT(per_shard[s], 4096u / 2) << "shard " << s << " overloaded";
+  }
+}
+
+/// Materializes pages through `pool` until `shard` has seen at least
+/// `count` of them, returning those ids (pages are unpinned afterwards).
+std::vector<PageId> NewPagesInShard(BufferPool* pool, size_t shard,
+                                    size_t count) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < 256 && ids.size() < count; ++i) {
+    auto h = pool->New();
+    EXPECT_TRUE(h.ok());
+    if (h.ok() && pool->ShardIndex(h->id()) == shard) ids.push_back(h->id());
+  }
+  EXPECT_EQ(ids.size(), count) << "hash starved shard " << shard;
+  return ids;
 }
 
 TEST_F(BufferPoolTest, ShardEvictionPressureIsPerShard) {
   // Two shards, one frame each. A pinned page exhausts its own shard while
-  // the neighboring shard keeps serving.
+  // the neighboring shard keeps serving. Page ids are chosen through
+  // ShardIndex — placement is a mixing hash, not id % shards.
   BufferPool pool(file_.get(), 2, 2);
   ASSERT_EQ(pool.shards(), 2u);
-  // Materialize pages 1..4 on disk (ids alternate shards: odd -> 1, even
-  // -> 0); release everything so both frames are evictable.
-  for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.New().ok());
+  const std::vector<PageId> shard0 = NewPagesInShard(&pool, 0, 2);
+  const std::vector<PageId> shard1 = NewPagesInShard(&pool, 1, 1);
+  ASSERT_EQ(shard0.size(), 2u);
+  ASSERT_EQ(shard1.size(), 1u);
 
-  auto pinned = pool.Fetch(1);  // shard 1
+  auto pinned = pool.Fetch(shard0[0]);
   ASSERT_TRUE(pinned.ok());
-  // Shard 1 is exhausted: page 3 lives there and its only frame is pinned.
-  EXPECT_TRUE(pool.Fetch(3).status().IsFailedPrecondition());
-  // Shard 0 is unaffected.
-  EXPECT_TRUE(pool.Fetch(2).ok());
+  // Shard 0 is exhausted: its only frame is pinned.
+  EXPECT_TRUE(pool.Fetch(shard0[1]).status().IsFailedPrecondition());
+  // Shard 1 is unaffected.
+  EXPECT_TRUE(pool.Fetch(shard1[0]).ok());
 }
 
 TEST_F(BufferPoolTest, PinnedPageSurvivesNeighboringShardPressure) {
   // Regression: a pinned page must never be evicted (or have its frame
   // reused) because a *different* shard is thrashing.
   BufferPool pool(file_.get(), 2, 2);
-  for (int i = 0; i < 6; ++i) ASSERT_TRUE(pool.New().ok());
+  const std::vector<PageId> victim = NewPagesInShard(&pool, 0, 1);
+  const std::vector<PageId> hammer = NewPagesInShard(&pool, 1, 3);
+  ASSERT_EQ(victim.size(), 1u);
+  ASSERT_EQ(hammer.size(), 3u);
 
-  auto pinned = pool.Fetch(1);  // shard 1's only frame
+  auto pinned = pool.Fetch(victim[0]);  // shard 0's only frame
   ASSERT_TRUE(pinned.ok());
   pinned->page()->WriteU64(24, 0xFEEDFACEull);
   pinned->MarkDirty();
 
-  // Hammer shard 0 (ids 2, 4, 6) far beyond its single frame.
+  // Hammer shard 1 far beyond its single frame.
   for (int round = 0; round < 8; ++round) {
-    for (PageId id = 2; id <= 6; id += 2) {
+    for (const PageId id : hammer) {
       auto h = pool.Fetch(id);
       ASSERT_TRUE(h.ok()) << "round " << round << " page " << id;
     }
@@ -392,53 +429,78 @@ TEST_F(BufferPoolTest, PinnedPageSurvivesNeighboringShardPressure) {
   EXPECT_EQ(pinned->page()->ReadU64(24), 0xFEEDFACEull);
   pinned->Release();
   const uint64_t hits_before = pool.stats().hits;
-  ASSERT_TRUE(pool.Fetch(1).ok());
-  EXPECT_EQ(pool.stats().hits, hits_before + 1) << "page 1 fell out of cache";
+  ASSERT_TRUE(pool.Fetch(victim[0]).ok());
+  EXPECT_EQ(pool.stats().hits, hits_before + 1)
+      << "pinned page fell out of cache";
 }
 
 TEST_F(BufferPoolTest, FlushAllWritesEveryShardDirtyFrameOnce) {
   BufferPool pool(file_.get(), 8, 4);
   std::vector<PageId> ids;
+  std::vector<size_t> shard_pages(pool.shards(), 0);
   for (int i = 0; i < 8; ++i) {
     auto h = pool.New();
     ASSERT_TRUE(h.ok());
     h->page()->WriteU64(0, 1000 + h->id());
     h->MarkDirty();
     ids.push_back(h->id());
+    ++shard_pages[pool.ShardIndex(h->id())];
+  }
+  // The hash may overflow a two-frame shard; overflowed pages were already
+  // written back at eviction, so the flush writes the resident dirty set.
+  uint64_t resident_dirty = 0;
+  for (const size_t count : shard_pages) {
+    resident_dirty += std::min<size_t>(count, 2);
   }
   const uint64_t writes_before = pool.stats().disk_writes;
   ASSERT_TRUE(pool.FlushAll().ok());
-  // Every dirty frame in every shard was written back exactly once...
-  EXPECT_EQ(pool.stats().disk_writes, writes_before + ids.size());
+  // Every resident dirty frame in every shard was written exactly once...
+  EXPECT_EQ(pool.stats().disk_writes, writes_before + resident_dirty);
+  // ...and every page — flushed or evicted earlier — is on disk.
   for (const PageId id : ids) {
     Page raw;
     ASSERT_TRUE(file_->Read(id, &raw).ok());
     EXPECT_EQ(raw.ReadU64(0), 1000 + id) << "page " << id;
   }
-  // ...and a second flush finds nothing dirty in any shard.
+  // A second flush finds nothing dirty in any shard.
   const uint64_t writes_after = pool.stats().disk_writes;
   ASSERT_TRUE(pool.FlushAll().ok());
   EXPECT_EQ(pool.stats().disk_writes, writes_after);
 }
 
 TEST_F(BufferPoolTest, StatsMergeAcrossShards) {
-  // Four shards of two frames each; 16 pages, so each shard has seen four
-  // pages and holds the last two. Hits and misses then land in every
-  // shard, and stats() must report the exact sums.
+  // Four shards of two frames each, 16 sequentially allocated pages. The
+  // mixing hash decides placement, so derive the expected resident set
+  // per shard: with never-re-referenced pages the clock sweep evicts in
+  // arrival order, leaving each shard's last two pages cached. Hits and
+  // misses then land across the shards, and stats() must report the
+  // exact merged sums.
   BufferPool pool(file_.get(), 8, 4);
-  for (int i = 0; i < 16; ++i) ASSERT_TRUE(pool.New().ok());
+  std::vector<std::vector<PageId>> by_shard(pool.shards());
+  for (int i = 0; i < 16; ++i) {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    by_shard[pool.ShardIndex(h->id())].push_back(h->id());
+  }
   pool.ResetStats();
 
-  // Resident: ids 9..16 (the two most recent per shard) -> 8 hits.
-  for (PageId id = 9; id <= 16; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
-  // Evicted: ids 1..8 -> 8 misses, 8 disk reads, 8 evictions (2 per shard).
-  for (PageId id = 1; id <= 8; ++id) ASSERT_TRUE(pool.Fetch(id).ok());
+  std::vector<PageId> resident, evicted;
+  for (const std::vector<PageId>& pages : by_shard) {
+    const size_t keep = std::min<size_t>(pages.size(), 2);
+    resident.insert(resident.end(), pages.end() - keep, pages.end());
+    evicted.insert(evicted.end(), pages.begin(), pages.end() - keep);
+  }
+  ASSERT_EQ(resident.size() + evicted.size(), 16u);
+
+  for (const PageId id : resident) ASSERT_TRUE(pool.Fetch(id).ok());
+  for (const PageId id : evicted) ASSERT_TRUE(pool.Fetch(id).ok());
 
   const BufferPoolStats merged = pool.stats();
-  EXPECT_EQ(merged.hits, 8u);
-  EXPECT_EQ(merged.misses, 8u);
-  EXPECT_EQ(merged.disk_reads, 8u);
-  EXPECT_EQ(merged.evictions, 8u);
+  EXPECT_EQ(merged.hits, resident.size());
+  EXPECT_EQ(merged.misses, evicted.size());
+  EXPECT_EQ(merged.disk_reads, evicted.size());
+  // Refetching the evicted pages displaces exactly as many frames.
+  EXPECT_EQ(merged.evictions, evicted.size());
 
   pool.ResetStats();
   const BufferPoolStats cleared = pool.stats();
