@@ -1,0 +1,136 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Ingest throughput for the v2 write contract: records/second through
+// Database::InsertBatch across 1, 2, 4 and 8 ingest threads and 1, 4 and
+// 16 relation segments, against the sequential Insert-by-Insert baseline
+// (the seed's write path: one mutex, one heap file). Not a paper figure —
+// it measures the segmented parallel ingest pipeline tsq adds on top; the
+// resulting relation files are byte-identical in every configuration with
+// the same segment count (asserted by tests/ingest_test.cpp), so the
+// sweep varies only wall time.
+//
+// Besides the console table, the binary drops BENCH_ingest.json in the
+// working directory — wall ms and records/sec per (segments, threads)
+// cell plus the Insert baseline — so CI can archive the ingest perf
+// trajectory across PRs.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "Parallel ingest: records/sec vs ingest threads x segments",
+      "InsertBatch fans DFT feature extraction over the pool and appends\n"
+      "one task per relation segment; expected shape: throughput grows\n"
+      "with segment count once threads can overlap (flat on a single\n"
+      "hardware thread).");
+  std::printf("  hardware threads on this host: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const size_t kNumSeries = bench::Scaled(4000, 128);
+  const size_t kLength = 128;
+
+  const auto data =
+      workload::MakeRandomWalkDataset(20260729, kNumSeries, kLength);
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  names.reserve(data.size());
+  values.reserve(data.size());
+  for (const TimeSeries& s : data) {
+    names.push_back(s.name());
+    values.push_back(s.values());
+  }
+
+  bench::Json doc = bench::Json::Object();
+  doc["bench"] = bench::Json::Str("ingest");
+  bench::Json host = bench::Json::Object();
+  host["hardware_threads"] =
+      bench::Json::Int(std::thread::hardware_concurrency());
+  host["smoke_divisor"] = bench::Json::Int(bench::SmokeDivisor());
+  doc["host"] = std::move(host);
+  bench::Json workload_json = bench::Json::Object();
+  workload_json["series"] = bench::Json::Int(kNumSeries);
+  workload_json["length"] = bench::Json::Int(kLength);
+  doc["workload"] = std::move(workload_json);
+
+  bench::ScratchDir dir("ingest");
+
+  // Baseline: the seed's write path — Insert one record at a time.
+  double baseline_ms = 0.0;
+  {
+    DatabaseOptions options;
+    options.directory = dir.path();
+    options.name = "seq";
+    options.relation_segments = 1;
+    auto db = Database::Create(options).value();
+    Stopwatch watch;
+    for (size_t i = 0; i < names.size(); ++i) {
+      db->Insert(names[i], values[i]).value();
+    }
+    baseline_ms = watch.ElapsedMillis();
+    TSQ_CHECK_MSG(db->size() == kNumSeries, "baseline lost records");
+  }
+  std::printf("  Insert-by-Insert baseline (1 segment): %.1f ms, %.0f rec/s\n\n",
+              baseline_ms, 1000.0 * kNumSeries / baseline_ms);
+  bench::Json baseline = bench::Json::Object();
+  baseline["wall_ms"] = bench::Json::Num(baseline_ms);
+  baseline["records_per_sec"] =
+      bench::Json::Num(1000.0 * kNumSeries / baseline_ms);
+  doc["insert_baseline"] = std::move(baseline);
+
+  bench::Table table({"segments", "threads", "wall ms", "records/sec",
+                      "speedup vs baseline"});
+  bench::Json sweep = bench::Json::Array();
+  for (const size_t segments : {1u, 4u, 16u}) {
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      DatabaseOptions options;
+      options.directory = dir.path();
+      options.name = "s" + std::to_string(segments) + "_t" +
+                     std::to_string(threads);
+      options.relation_segments = segments;
+      auto db = Database::Create(options).value();
+      Stopwatch watch;
+      db->InsertBatch(names, values, threads).value();
+      const double wall_ms = watch.ElapsedMillis();
+      TSQ_CHECK_MSG(db->size() == kNumSeries, "batch ingest lost records");
+
+      table.AddRow({std::to_string(segments), std::to_string(threads),
+                    bench::Table::Num(wall_ms),
+                    bench::Table::Num(1000.0 * kNumSeries / wall_ms, 0),
+                    bench::Table::Num(baseline_ms / wall_ms, 2)});
+      bench::Json row = bench::Json::Object();
+      row["segments"] = bench::Json::Int(segments);
+      row["threads"] = bench::Json::Int(threads);
+      row["wall_ms"] = bench::Json::Num(wall_ms);
+      row["records_per_sec"] =
+          bench::Json::Num(1000.0 * kNumSeries / wall_ms);
+      sweep.Append(std::move(row));
+    }
+  }
+  table.Print();
+  doc["sweep"] = std::move(sweep);
+
+  const char* out_path = "BENCH_ingest.json";
+  if (doc.WriteFile(out_path)) {
+    std::printf("\n  wrote %s\n", out_path);
+  } else {
+    std::printf("\n  WARNING: could not write %s\n", out_path);
+  }
+}
+
+}  // namespace
+}  // namespace tsq
+
+int main() {
+  tsq::Run();
+  return 0;
+}

@@ -2,7 +2,9 @@
 
 #include "core/database.h"
 
+#include <condition_variable>
 #include <cstdio>
+#include <numeric>
 
 namespace tsq {
 
@@ -14,7 +16,8 @@ Result<std::unique_ptr<Database>> Database::Create(
   auto db = std::unique_ptr<Database>(new Database(options));
   TSQ_ASSIGN_OR_RETURN(
       db->relation_,
-      Relation::Create(options.directory + "/" + options.name + ".rel"));
+      Relation::Create(options.directory + "/" + options.name + ".rel",
+                       options.relation_segments));
   return db;
 }
 
@@ -31,7 +34,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     return Status::FailedPrecondition("cannot reopen an empty database");
   }
   TSQ_ASSIGN_OR_RETURN(SeriesRecord first, db->relation_->Get(0));
-  db->series_length_ = first.values.size();
+  db->series_length_.store(first.values.size(), std::memory_order_relaxed);
 
   const std::string index_path =
       options.directory + "/" + options.name + ".idx";
@@ -45,7 +48,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     kopts.buffer_pool_shards = options.buffer_pool_shards;
     kopts.rtree = options.rtree;
     TSQ_ASSIGN_OR_RETURN(db->index_,
-                         KIndex::Open(kopts, db->series_length_));
+                         KIndex::Open(kopts, db->series_length()));
     if (db->index_->size() != db->relation_->size()) {
       return Status::Corruption(
           "index holds " + std::to_string(db->index_->size()) +
@@ -59,9 +62,39 @@ Result<std::unique_ptr<Database>> Database::Open(
 Status Database::Flush() {
   TSQ_RETURN_IF_ERROR(relation_->Flush());
   if (index_ != nullptr) {
+    std::unique_lock<std::shared_mutex> lock(index_mutex_);
     TSQ_RETURN_IF_ERROR(index_->Flush());
   }
   return Status::OK();
+}
+
+Status Database::CheckSeriesLength(size_t length) {
+  size_t expected = 0;
+  if (series_length_.compare_exchange_strong(expected, length,
+                                             std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  if (expected != length) {
+    return Status::InvalidArgument(
+        "series length " + std::to_string(length) +
+        " != database series length " + std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+Status Database::CheckIndexHealthy() const {
+  if (!index_poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(index_fault_mutex_);
+  return index_fault_;
+}
+
+Status Database::PoisonIndex(Status status) {
+  std::lock_guard<std::mutex> lock(index_fault_mutex_);
+  if (!index_poisoned_.load(std::memory_order_relaxed)) {
+    index_fault_ = status;
+    index_poisoned_.store(true, std::memory_order_release);
+  }
+  return status;
 }
 
 Result<SeriesId> Database::Insert(const std::string& name,
@@ -69,24 +102,120 @@ Result<SeriesId> Database::Insert(const std::string& name,
   if (values.empty()) {
     return Status::InvalidArgument("cannot insert an empty series");
   }
-  if (series_length_ == 0) {
-    series_length_ = values.size();
-  } else if (values.size() != series_length_) {
-    return Status::InvalidArgument(
-        "series length " + std::to_string(values.size()) +
-        " != database series length " + std::to_string(series_length_));
+  if (index_ != nullptr) {
+    TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   }
+  TSQ_RETURN_IF_ERROR(CheckSeriesLength(values.size()));
   const SeriesFeatures features = extractor_.Extract(values);
   TSQ_ASSIGN_OR_RETURN(const SeriesId id,
                        relation_->Append(name, values, features.spectrum));
   if (index_ != nullptr) {
-    TSQ_RETURN_IF_ERROR(index_->Add(id, features));
+    std::unique_lock<std::shared_mutex> lock(index_mutex_);
+    if (Status status = index_->Add(id, features); !status.ok()) {
+      return PoisonIndex(std::move(status));
+    }
   }
   return id;
 }
 
+Result<std::vector<SeriesId>> Database::InsertBatch(
+    const std::vector<std::string>& names, const std::vector<RealVec>& values,
+    size_t threads) {
+  if (names.size() != values.size()) {
+    return Status::InvalidArgument(
+        "InsertBatch got " + std::to_string(names.size()) + " names for " +
+        std::to_string(values.size()) + " series");
+  }
+  if (values.empty()) return std::vector<SeriesId>{};
+  // Validate the whole batch before assigning any id: a rejected batch
+  // must leave the relation untouched (an id, once reserved, cannot be
+  // taken back).
+  for (const RealVec& v : values) {
+    if (v.empty()) {
+      return Status::InvalidArgument("cannot insert an empty series");
+    }
+    if (v.size() != values[0].size()) {
+      return Status::InvalidArgument(
+          "InsertBatch series lengths disagree: " +
+          std::to_string(v.size()) + " vs " +
+          std::to_string(values[0].size()));
+    }
+  }
+  if (index_ != nullptr) {
+    TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  }
+  TSQ_RETURN_IF_ERROR(CheckSeriesLength(values[0].size()));
+
+  const size_t count = values.size();
+  engine::ThreadPool* pool = EnsureIngestPool(threads);
+
+  // Phase 1: feature extraction (normal form + DFT), work-stolen
+  // record-by-record — the CPU-bound half of ingest.
+  std::vector<SeriesFeatures> features(count);
+  pool->ParallelFor(count, [&](size_t i) {
+    features[i] = extractor_.Extract(values[i]);
+  });
+
+  // Phase 2: per-segment appends. One task per relation segment, each
+  // appending its ids in ascending order, so every segment file gets the
+  // same bytes at every thread count. Reservation and task submission
+  // happen under ingest_order_mutex_ (see database.h) to keep the pool's
+  // FIFO order aligned with id order across concurrent batches.
+  const size_t num_segments = relation_->num_segments();
+  std::vector<Status> segment_status(num_segments);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t pending = num_segments;
+  SeriesId base = 0;
+  {
+    std::lock_guard<std::mutex> order(ingest_order_mutex_);
+    TSQ_ASSIGN_OR_RETURN(base, relation_->ReserveIds(count));
+    for (size_t s = 0; s < num_segments; ++s) {
+      pool->Submit([&, base, s] {
+        const uint64_t first_in_segment =
+            base + (s + num_segments - base % num_segments) % num_segments;
+        Status status;
+        for (uint64_t id = first_in_segment;
+             id < base + count && status.ok(); id += num_segments) {
+          const size_t i = static_cast<size_t>(id - base);
+          status = relation_->AppendWithId(id, names[i], values[i],
+                                           features[i].spectrum);
+        }
+        segment_status[s] = std::move(status);
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (--pending == 0) done_cv.notify_all();
+      });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&pending] { return pending == 0; });
+  }
+  for (const Status& status : segment_status) {
+    TSQ_RETURN_IF_ERROR(status);
+  }
+
+  // Phase 3: fold the batch into the index (when built) in id order,
+  // under the writer side of the index lock — the only point where this
+  // call can make a concurrent batch query wait.
+  if (index_ != nullptr) {
+    std::unique_lock<std::shared_mutex> lock(index_mutex_);
+    for (size_t i = 0; i < count; ++i) {
+      if (Status status = index_->Add(base + i, features[i]); !status.ok()) {
+        return PoisonIndex(std::move(status));
+      }
+    }
+  }
+
+  std::vector<SeriesId> ids(count);
+  std::iota(ids.begin(), ids.end(), base);
+  return ids;
+}
+
 Status Database::BuildIndex() {
-  if (relation_->size() == 0) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  const uint64_t total = relation_->size();
+  if (total == 0) {
     return Status::FailedPrecondition("BuildIndex on an empty database");
   }
   if (index_ != nullptr) {
@@ -99,23 +228,29 @@ Status Database::BuildIndex() {
   kopts.buffer_pool_frames = options_.buffer_pool_frames;
   kopts.buffer_pool_shards = options_.buffer_pool_shards;
   kopts.rtree = options_.rtree;
-  TSQ_ASSIGN_OR_RETURN(index_, KIndex::Create(kopts, series_length_));
+  TSQ_ASSIGN_OR_RETURN(index_, KIndex::Create(kopts, series_length()));
 
-  // One scan of the relation collects every series' features; mean/std
-  // are recomputed from the stored samples, the spectrum is reused as
-  // stored. STR bulk loading packs the tree in one pass (repeated
-  // insertion remains available as the ablation baseline).
-  std::vector<std::pair<SeriesId, SeriesFeatures>> items;
-  items.reserve(relation_->size());
-  TSQ_RETURN_IF_ERROR(relation_->Scan([&items](const SeriesRecord& rec) {
-    SeriesFeatures f;
-    NormalForm nf = ToNormalForm(rec.values);
-    f.mean = nf.mean;
-    f.std = nf.std;
-    f.spectrum = rec.dft;
-    items.emplace_back(rec.id, std::move(f));
-    return true;
-  }));
+  // One parallel scan per relation segment collects every series'
+  // features — ids are dense, so items[id] is each scanner's private
+  // slot and the merged vector is in id order with no sorting. Features
+  // come from the same FromStored helper Insert's Extract shares, so
+  // bulk and incremental indexing are identical. STR bulk loading packs
+  // the tree in one pass (repeated insertion remains available as the
+  // ablation baseline).
+  std::vector<std::pair<SeriesId, SeriesFeatures>> items(total);
+  const size_t num_segments = relation_->num_segments();
+  std::vector<Status> segment_status(num_segments);
+  EnsureIngestPool(0)->ParallelFor(num_segments, [&](size_t s) {
+    segment_status[s] =
+        relation_->ScanSegment(s, total, [&](const SeriesRecord& rec) {
+          items[rec.id] = {rec.id,
+                           extractor_.FromStored(rec.values, rec.dft)};
+          return true;
+        });
+  });
+  for (const Status& status : segment_status) {
+    TSQ_RETURN_IF_ERROR(status);
+  }
   if (options_.bulk_load) {
     return index_->BulkLoad(items);
   }
@@ -131,6 +266,8 @@ Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
   if (index_ == nullptr) {
     return Status::FailedPrecondition("RangeQuery requires BuildIndex()");
   }
+  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   std::vector<Match> out;
   last_stats_ = QueryStats();
   TSQ_RETURN_IF_ERROR(IndexRangeQuery(*index_, *relation_, query, epsilon,
@@ -143,6 +280,8 @@ Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
   if (index_ == nullptr) {
     return Status::FailedPrecondition("Knn requires BuildIndex()");
   }
+  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   std::vector<Match> out;
   last_stats_ = QueryStats();
   TSQ_RETURN_IF_ERROR(IndexKnnQuery(*index_, *relation_, query, k, spec,
@@ -177,12 +316,25 @@ engine::QueryEngine* Database::EnsureEngine(size_t threads) {
   return it->second.get();
 }
 
+engine::ThreadPool* Database::EnsureIngestPool(size_t threads) {
+  std::lock_guard<std::mutex> lock(pools_mutex_);
+  auto it = ingest_pools_.find(threads);
+  if (it == ingest_pools_.end()) {
+    it = ingest_pools_
+             .emplace(threads, std::make_unique<engine::ThreadPool>(threads))
+             .first;
+  }
+  return it->second.get();
+}
+
 Result<std::vector<engine::BatchResult>> Database::RunBatch(
     const std::vector<engine::BatchQuery>& queries, size_t threads,
     engine::BatchStats* batch_stats) {
   if (index_ == nullptr) {
     return Status::FailedPrecondition("RunBatch requires BuildIndex()");
   }
+  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   return EnsureEngine(threads)->RunBatch(queries, batch_stats);
 }
 
@@ -192,6 +344,8 @@ Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
   if (index_ == nullptr) {
     return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
   }
+  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   QueryStats stats;
   TSQ_ASSIGN_OR_RETURN(
       std::vector<JoinPair> out,
@@ -216,28 +370,37 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
                                           /*early_abandon=*/true, &out,
                                           &last_stats_));
       return out;
-    case JoinMethod::kIndexPlain:
+    case JoinMethod::kIndexPlain: {
       if (index_ == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
+      TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
       TSQ_RETURN_IF_ERROR(IndexSelfJoin(*index_, *relation_, epsilon,
                                         /*transform=*/std::nullopt, &out,
                                         &last_stats_));
       return out;
-    case JoinMethod::kIndexTransformed:
+    }
+    case JoinMethod::kIndexTransformed: {
       if (index_ == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
+      TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
       TSQ_RETURN_IF_ERROR(IndexSelfJoin(*index_, *relation_, epsilon,
                                         transform, &out, &last_stats_));
       return out;
-    case JoinMethod::kTreeMatch:
+    }
+    case JoinMethod::kTreeMatch: {
       if (index_ == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
+      TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
       TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(*index_, *relation_, epsilon,
                                             transform, &out, &last_stats_));
       return out;
+    }
   }
   return Status::InvalidArgument("unknown join method");
 }

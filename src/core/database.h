@@ -1,16 +1,16 @@
 // Copyright (c) 2026 The tsq Authors.
 //
 // The tsq public facade: a small time-series database with similarity
-// queries under safe transformations. Wraps the sequence Relation (heap
-// file), the KIndex (R*-tree over DFT features) and the query processors
-// behind one object.
+// queries under safe transformations. Wraps the sequence Relation
+// (segmented heap store), the KIndex (R*-tree over DFT features) and the
+// query processors behind one object.
 //
 // Typical use:
 //
 //   DatabaseOptions options;
 //   options.directory = "/tmp/stocks";
 //   auto db = Database::Create(options).value();
-//   for (const auto& s : series) db->Insert(s.name(), s.values()).value();
+//   db->InsertBatch(names, values).value();  // parallel ingest
 //   db->BuildIndex();
 //   QuerySpec spec;
 //   spec.transform =
@@ -20,10 +20,12 @@
 #ifndef TSQ_CORE_DATABASE_H_
 #define TSQ_CORE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "core/queries.h"
 #include "core/seq_scan.h"
 #include "engine/query_engine.h"
+#include "engine/thread_pool.h"
 #include "storage/relation.h"
 
 namespace tsq {
@@ -51,7 +54,7 @@ enum class JoinMethod {
 struct DatabaseOptions {
   /// Directory for the backing files (must exist).
   std::string directory = ".";
-  /// Base name: files are <directory>/<name>.rel and <name>.idx.
+  /// Base name: files are <directory>/<name>.rel.0..N-1 and <name>.idx.
   std::string name = "tsq";
   /// Feature space of the index; the paper's 6-D polar layout by default.
   FeatureLayout layout = FeatureLayout::Paper();
@@ -59,6 +62,9 @@ struct DatabaseOptions {
   size_t buffer_pool_frames = 1024;
   /// Buffer-pool shard count; 0 = automatic (see BufferPool).
   size_t buffer_pool_shards = 0;
+  /// Relation segment files — the parallel ingest lanes (see Relation).
+  /// Open rediscovers the count from disk; this applies to Create only.
+  size_t relation_segments = 4;
   rtree::RTreeOptions rtree;
   /// Build the index with STR bulk loading (default) or with repeated
   /// insertions (the ablation baseline; see bench_ablation).
@@ -67,19 +73,33 @@ struct DatabaseOptions {
 
 /// A similarity-searchable collection of equal-length time series.
 ///
-/// Single-query methods are not thread-safe (they share last_stats_).
-/// RunBatch/ParallelSelfJoin execute many queries concurrently on an
-/// internal engine; while one runs, no mutating call (Insert, BuildIndex)
-/// may execute — the engine treats the index stack as frozen. Concurrent
-/// queries share the index's v3 buffer pool: cached-page access is
-/// lock-free (optimistic pins) and a cache miss performs its disk read
-/// without blocking other fetches of its shard, so read throughput scales
-/// with cores rather than with pool-mutex luck. RunBatch itself may be
-/// called from several threads at once (engines are cached per thread
-/// count under a lock and never destroyed while the index stands);
-/// concurrent ParallelSelfJoin calls return correct results but race on
-/// last_stats() — callers needing concurrent join stats should drive
-/// engine::QueryEngine::SelfJoin with their own QueryStats.
+/// Concurrency contract (v2 write half + v3 read half).
+///
+/// Writes: Insert and InsertBatch may be called from any number of
+/// threads at once, and concurrently with RunBatch/ParallelSelfJoin.
+/// Record ingest is wait-free for readers — appends go to per-segment
+/// files behind a lock-free id directory (see Relation), so queries and
+/// scans never block on ingest I/O. InsertBatch assigns dense ids in
+/// argument order no matter the thread count; the resulting relation
+/// files are byte-identical at any concurrency. When the index is built,
+/// each insert call also folds its series into the R*-tree under a brief
+/// exclusive lock; batch queries take the same lock shared, so index
+/// incorporation — not ingest — is the only point where readers and
+/// writers serialize, and it lasts for the tree insertions only.
+/// BuildIndex requires exclusivity with every other call and refuses to
+/// run twice; it collects features with one parallel scan per relation
+/// segment feeding the STR bulk load.
+///
+/// Reads: single-query methods are not thread-safe with each other (they
+/// share last_stats_). RunBatch/ParallelSelfJoin execute many queries
+/// concurrently on an internal engine; concurrent queries share the
+/// index's v3 buffer pool (lock-free cached fetches, misses that do not
+/// block their shard). RunBatch may be called from several threads at
+/// once (engines are cached per thread count and never destroyed while
+/// the index stands); concurrent ParallelSelfJoin calls return correct
+/// results but race on last_stats() — callers needing concurrent join
+/// stats should drive engine::QueryEngine::SelfJoin with their own
+/// QueryStats.
 class Database {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Database);
@@ -90,18 +110,35 @@ class Database {
       const DatabaseOptions& options);
 
   /// Reopens an existing database: the relation directory is rebuilt from
-  /// the heap file and, when an index file exists and `options` matches
-  /// its layout, the index is reopened too. Requires at least one stored
-  /// series (an empty database has no recoverable state).
+  /// the segment files (recovered in parallel; a torn tail record is
+  /// dropped, see Relation::Open) and, when an index file exists and
+  /// `options` matches its layout, the index is reopened too. Requires at
+  /// least one stored series (an empty database has no recoverable
+  /// state).
   static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
 
   /// Appends a series. The first insert fixes the series length; later
   /// inserts must match it. When the index is built, the series is indexed
-  /// immediately.
+  /// immediately. Safe from any number of threads, and concurrently with
+  /// RunBatch/ParallelSelfJoin.
   Result<SeriesId> Insert(const std::string& name, const RealVec& values);
 
+  /// Appends many series at once: names[i] with values[i] gets id
+  /// base + i, in argument order, deterministically at every thread
+  /// count. Feature extraction (normal form + DFT) is spread over the
+  /// ingest thread pool record-by-record and the appends fan out one
+  /// task per relation segment (`threads` workers; 0 = hardware
+  /// concurrency). The whole batch is validated before any id is
+  /// assigned, so a rejected batch leaves the database untouched. Safe
+  /// from any number of threads, and concurrently with
+  /// RunBatch/ParallelSelfJoin; must not be called from inside an engine
+  /// worker. Returns the assigned ids (base .. base+n-1).
+  Result<std::vector<SeriesId>> InsertBatch(
+      const std::vector<std::string>& names,
+      const std::vector<RealVec>& values, size_t threads = 0);
+
   /// Builds the k-index over everything inserted so far. Requires at least
-  /// one series.
+  /// one series and exclusivity (no concurrent inserts or queries).
   Status BuildIndex();
 
   /// True once BuildIndex has succeeded.
@@ -109,7 +146,9 @@ class Database {
 
   /// Number of stored series / their common length (0 before first insert).
   uint64_t size() const { return relation_->size(); }
-  size_t series_length() const { return series_length_; }
+  size_t series_length() const {
+    return series_length_.load(std::memory_order_relaxed);
+  }
 
   /// Range query through the index (Algorithm 2). Requires BuildIndex.
   Result<std::vector<Match>> RangeQuery(const RealVec& query, double epsilon,
@@ -136,7 +175,8 @@ class Database {
   /// workers (0 = hardware concurrency). Requires BuildIndex. results[i]
   /// answers queries[i] with a per-query status; the answer vectors are
   /// identical for any thread count. Aggregate counters (optional
-  /// `batch_stats`) replace last_stats() for batches.
+  /// `batch_stats`) replace last_stats() for batches. May run
+  /// concurrently with Insert/InsertBatch (see the class contract).
   Result<std::vector<engine::BatchResult>> RunBatch(
       const std::vector<engine::BatchQuery>& queries, size_t threads = 0,
       engine::BatchStats* batch_stats = nullptr);
@@ -179,18 +219,49 @@ class Database {
   /// under a live engine.)
   engine::QueryEngine* EnsureEngine(size_t threads);
 
+  /// Returns the cached ingest pool for `threads`, building it on first
+  /// use. Thread-safe; pools live as long as the Database.
+  engine::ThreadPool* EnsureIngestPool(size_t threads);
+
+  /// Claims or checks the common series length. Thread-safe.
+  Status CheckSeriesLength(size_t length);
+
+  /// A failed index fold-in is sticky, mirroring the relation's append
+  /// poison: once an Insert/InsertBatch could not add a series to the
+  /// built index, the index no longer covers the relation and every
+  /// later index query or index-maintaining insert returns the recorded
+  /// error instead of silently answering from a partial index. (Reopen
+  /// reports the divergence as Corruption.)
+  Status CheckIndexHealthy() const;
+  Status PoisonIndex(Status status);
+
   DatabaseOptions options_;
   FeatureExtractor extractor_;
   std::unique_ptr<Relation> relation_;
   std::unique_ptr<KIndex> index_;
-  size_t series_length_ = 0;
+  std::atomic<size_t> series_length_{0};
   QueryStats last_stats_;
-  // Lazily built by RunBatch/ParallelSelfJoin, one engine per requested
-  // thread count so repeated batches reuse a thread pool. Engines hold
-  // pointers into index_/relation_; declared after them so they are
-  // destroyed first.
+  // Readers (RunBatch/ParallelSelfJoin and the single-query paths) hold
+  // this shared; the index-incorporation phase of Insert/InsertBatch and
+  // BuildIndex hold it exclusive. Relation appends run outside it — the
+  // only reader/writer serialization point is the R*-tree fold-in.
+  mutable std::shared_mutex index_mutex_;
+  // Serializes "reserve ids + enqueue per-segment append tasks" so the
+  // FIFO pool order matches reservation order: a queued append task then
+  // only ever waits on segment turns owned by already-queued or running
+  // tasks (or by non-worker Append callers), which is what makes
+  // concurrent InsertBatch calls on a shared pool deadlock-free.
+  std::mutex ingest_order_mutex_;
+  // Lazily built engines/pools, one per requested thread count so
+  // repeated calls reuse threads. They hold pointers into
+  // index_/relation_; declared after them so they are destroyed first.
   std::mutex engines_mutex_;
   std::map<size_t, std::unique_ptr<engine::QueryEngine>> engines_;
+  std::mutex pools_mutex_;
+  std::map<size_t, std::unique_ptr<engine::ThreadPool>> ingest_pools_;
+  std::atomic<bool> index_poisoned_{false};
+  mutable std::mutex index_fault_mutex_;  // guards index_fault_
+  Status index_fault_;
 };
 
 }  // namespace tsq

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <complex>
+#include <utility>
 
 #include "dft/dft.h"
 #include "dft/haar.h"
@@ -70,17 +71,37 @@ Status FeatureLayout::Validate(size_t series_length) const {
   return Status::OK();
 }
 
+namespace {
+
+/// The single definition of a series' linear feature dimensions: both the
+/// insert path (Extract) and the index-rebuild path (FromStored) fill
+/// mean/std through this helper, so the two can never drift apart.
+NormalForm FillMoments(const RealVec& values, SeriesFeatures* out) {
+  NormalForm nf = ToNormalForm(values);
+  out->mean = nf.mean;
+  out->std = nf.std;
+  return nf;
+}
+
+}  // namespace
+
 SeriesFeatures FeatureExtractor::Extract(const RealVec& values) const {
   SeriesFeatures out;
-  NormalForm nf = ToNormalForm(values);
-  out.mean = nf.mean;
-  out.std = nf.std;
+  NormalForm nf = FillMoments(values, &out);
   const RealVec& input = layout_.normalize ? nf.normalized : values;
   if (layout_.basis == FeatureBasis::kHaar) {
     out.spectrum = cvec::FromReal(haar::Forward(input));
   } else {
     out.spectrum = dft::Forward(input);
   }
+  return out;
+}
+
+SeriesFeatures FeatureExtractor::FromStored(const RealVec& values,
+                                            ComplexVec spectrum) const {
+  SeriesFeatures out;
+  FillMoments(values, &out);
+  out.spectrum = std::move(spectrum);
   return out;
 }
 

@@ -103,6 +103,16 @@ class FeatureExtractor {
   /// Runs the full pipeline on raw samples.
   SeriesFeatures Extract(const RealVec& values) const;
 
+  /// Features for a record read back from the relation: mean/std are
+  /// recomputed from the stored samples by exactly the code Extract runs
+  /// (one shared moments helper), and the stored spectrum — written by
+  /// Extract at insert time — is adopted unchanged. So for any series,
+  /// FromStored(values, Extract(values).spectrum) == Extract(values)
+  /// field for field, which is what keeps the incremental index path
+  /// (Insert) and the bulk path (BuildIndex's relation scan) provably
+  /// identical.
+  SeriesFeatures FromStored(const RealVec& values, ComplexVec spectrum) const;
+
   /// Index point for extracted features (truncates the spectrum to the
   /// layout's coefficient range).
   spatial::Point ToPoint(const SeriesFeatures& features) const;

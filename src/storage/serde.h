@@ -1,9 +1,24 @@
 // Copyright (c) 2026 The tsq Authors.
 //
 // Binary record encoding for the storage layer: explicit little-endian
-// fixed-width codecs (stable across platforms) plus CRC32C-style integrity
+// fixed-width codecs (stable across platforms) plus CRC32 integrity
 // checking. Decoders never trust on-disk bytes — every read is
 // bounds-checked and returns Status::Corruption on malformed input.
+//
+// Write contract (v2). These codecs are what makes the segmented
+// relation's crash story work: every record a segment file holds is
+// framed as
+//     u32 magic | u32 payload_crc | u64 payload_len | payload
+// and appended with a single buffered write that is flushed before the
+// record's id is published. Because the frame is length-prefixed and
+// checksummed, recovery can walk a segment from the front and classify
+// the first damaged record precisely — a truncated header/payload or a
+// checksum mismatch on the segment's final record is a torn append (the
+// crash-mid-write signature; the tail is dropped and truncated away),
+// while the same damage mid-file is reported as Corruption. Encoders are
+// pure functions of their input, so two appends of the same logical
+// record produce identical bytes on any thread — the foundation of the
+// relation's byte-identical-at-any-concurrency guarantee.
 
 #ifndef TSQ_STORAGE_SERDE_H_
 #define TSQ_STORAGE_SERDE_H_

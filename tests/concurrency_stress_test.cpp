@@ -1,13 +1,17 @@
 // Copyright (c) 2026 The tsq Authors.
 //
-// Concurrency stress suite for the v3 concurrency contract: many threads
-// hammering mixed batch workloads (and parallel self-joins) against one
-// Database — through one shared engine and through per-thread engines —
-// while a writer appends to a separate relation. Under v3 the hammered
-// index fetches ride the lock-free optimistic hit path and misses read
-// with the shard lock dropped, so these races double as a seqlock memory-
-// model workout. Asserts that every concurrent result is bit-identical to
-// the sequential path and that the exact per-query stat counters lose
+// Concurrency stress suite for the v3 read contract and the v2 write
+// contract: many threads hammering mixed batch workloads (and parallel
+// self-joins) against one Database — through one shared engine and
+// through per-thread engines — while writers append to a separate
+// relation AND ingest into the queried database itself (InsertBatch
+// racing RunBatch, the v2 write contract's headline race). Under v3 the
+// hammered index fetches ride the lock-free optimistic hit path and
+// misses read with the shard lock dropped, so these races double as a
+// seqlock memory-model workout; under v2 the ingest side exercises the
+// per-segment append turnstile and the lock-free record directory.
+// Asserts that every concurrent result is bit-identical to the
+// sequential path and that the exact per-query stat counters lose
 // nothing (their sum equals the shared engine counters' delta). Sized to
 // stay fast under ThreadSanitizer; the CI TSan job runs this binary (and
 // buffer_pool_concurrency_test, the pool-targeted suite) to pin the
@@ -355,6 +359,131 @@ TEST_F(ConcurrencyStressTest, BatchesAndSelfJoinsRaceAWriterSafely) {
   Result<SeriesRecord> last = side_relation->Get(kWriterRecords - 1);
   ASSERT_TRUE(last.ok());
   EXPECT_EQ(last->name, "w" + std::to_string(kWriterRecords - 1));
+}
+
+TEST_F(ConcurrencyStressTest, InsertBatchRacesRunBatchSafely) {
+  // The v2 write contract's headline race: concurrent InsertBatch calls
+  // (and single Inserts) ingesting into the queried database while
+  // RunBatch callers hammer it. The ingested series are flat: a flat
+  // series' normal form is the zero vector, whose distance to any
+  // unit-variance query normal form is exactly sqrt(kLength) = 8 — above
+  // every epsilon used here under the shift/scale-invariant similarity —
+  // and its mean sits ~1e6 outside every search rectangle. So each
+  // query's answer set is unchanged no matter how much of the ingest has
+  // landed: the range results must stay bit-identical to the pre-ingest
+  // baseline throughout, and afterwards the relation, directory and
+  // index must agree. (Range-only workload: a kNN's k-th neighbor has no
+  // such separation margin.)
+  QuerySpec smoothed;
+  smoothed.transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+  std::vector<BatchQuery> batch;
+  for (size_t i = 0; i < 12; ++i) {
+    BatchQuery q;
+    q.kind = BatchQueryKind::kRange;
+    q.query = data_[(i * 17) % kNumSeries].values();
+    q.epsilon = (i % 2 == 0) ? 2.0 : 4.0;
+    if (i % 5 == 3) q.spec = smoothed;
+    batch.push_back(std::move(q));
+  }
+  const std::vector<BatchResult> baseline = db_->RunBatch(batch, 2).value();
+
+  constexpr size_t kWriterThreads = 2;
+  constexpr size_t kBatchesPerWriter = 2;
+  constexpr size_t kBatchRecords = 25;
+  constexpr size_t kSingleInserts = 20;
+
+  // Flat far-mean ingest workload, pre-generated per writer batch.
+  auto make_far = [](uint64_t seed, size_t count) {
+    std::vector<std::string> names;
+    std::vector<RealVec> values;
+    for (size_t i = 0; i < count; ++i) {
+      names.push_back("far_" + std::to_string(seed) + "_" +
+                      std::to_string(i));
+      values.emplace_back(kLength,
+                          1e6 + static_cast<double>(seed * 64 + i));
+    }
+    return std::make_pair(std::move(names), std::move(values));
+  };
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+
+  // Readers: RunBatch must keep answering exactly the baseline.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < kRepsPerThread; ++rep) {
+        Result<std::vector<BatchResult>> results = db_->RunBatch(batch, 2);
+        if (!results.ok() || results->size() != batch.size()) {
+          failed.store(true);
+          return;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (!(*results)[i].status.ok() ||
+              (*results)[i].matches.size() != baseline[i].matches.size()) {
+            failed.store(true);
+            return;
+          }
+          for (size_t m = 0; m < baseline[i].matches.size(); ++m) {
+            if ((*results)[i].matches[m].id != baseline[i].matches[m].id ||
+                (*results)[i].matches[m].distance !=
+                    baseline[i].matches[m].distance) {
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // Batch writers: concurrent InsertBatch calls sharing one ingest pool.
+  for (size_t w = 0; w < kWriterThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t b = 0; b < kBatchesPerWriter; ++b) {
+        auto [names, values] =
+            make_far(9000 + w * 100 + b, kBatchRecords);
+        Result<std::vector<SeriesId>> ids =
+            db_->InsertBatch(names, values, /*threads=*/2);
+        if (!ids.ok() || ids->size() != kBatchRecords) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+
+  // One single-Insert writer interleaving with the batches.
+  threads.emplace_back([&] {
+    auto [names, values] = make_far(9999, kSingleInserts);
+    for (size_t i = 0; i < kSingleInserts; ++i) {
+      if (!db_->Insert(names[i], values[i]).ok()) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load()) << "a racing call diverged or failed";
+
+  const uint64_t expected_size = kNumSeries +
+                                 kWriterThreads * kBatchesPerWriter *
+                                     kBatchRecords +
+                                 kSingleInserts;
+  EXPECT_EQ(db_->size(), expected_size);
+  EXPECT_EQ(db_->index()->size(), expected_size);
+  // Every ingested record is readable and the dense-id directory intact.
+  for (uint64_t id = 0; id < expected_size; ++id) {
+    ASSERT_TRUE(db_->relation()->Get(id).ok()) << "id " << id;
+  }
+  // Queries after the dust settles still answer the baseline.
+  const std::vector<BatchResult> after = db_->RunBatch(batch, 2).value();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(after[i].status.ok());
+    ExpectSameMatches(after[i].matches, baseline[i].matches,
+                      "post-ingest query " + std::to_string(i));
+  }
 }
 
 }  // namespace

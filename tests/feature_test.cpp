@@ -141,6 +141,38 @@ TEST(FeatureExtractorTest, StoredCoefficientsSliceIsCorrect) {
   EXPECT_EQ(stored[1], Complex(2, 2));
 }
 
+TEST(FeatureExtractorTest, FromStoredReproducesExtractExactly) {
+  // The shared helper behind Insert (Extract) and BuildIndex (FromStored
+  // over the scanned relation): replaying a stored record's samples and
+  // spectrum must reproduce the insert-time features bit for bit — mean
+  // and std included, which both paths compute through one function.
+  Rng rng(20260729);
+  for (const FeatureLayout& layout :
+       {FeatureLayout::Paper(), FeatureLayout::Agrawal(3),
+        FeatureLayout::Haar(2)}) {
+    FeatureExtractor extractor(layout);
+    for (int rep = 0; rep < 8; ++rep) {
+      const RealVec values = RandomRealVec(&rng, 16);
+      const SeriesFeatures inserted = extractor.Extract(values);
+      const SeriesFeatures rebuilt =
+          extractor.FromStored(values, inserted.spectrum);
+      EXPECT_EQ(rebuilt.mean, inserted.mean);
+      EXPECT_EQ(rebuilt.std, inserted.std);
+      ASSERT_EQ(rebuilt.spectrum.size(), inserted.spectrum.size());
+      for (size_t i = 0; i < inserted.spectrum.size(); ++i) {
+        EXPECT_EQ(rebuilt.spectrum[i], inserted.spectrum[i]);
+      }
+    }
+  }
+  // A flat series exercises the zero-variance convention.
+  FeatureExtractor paper(FeatureLayout::Paper());
+  const RealVec flat(16, 3.0);
+  const SeriesFeatures a = paper.Extract(flat);
+  const SeriesFeatures b = paper.FromStored(flat, a.spectrum);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.std, b.std);
+}
+
 // ---------------------------------------------------------------------------
 // Search rectangles (Sec. 3.1)
 // ---------------------------------------------------------------------------

@@ -5,7 +5,8 @@
 // without writing C++.
 //
 // Usage:
-//   tsq_cli create  --db DIR/NAME --csv FILE
+//   tsq_cli create  --db DIR/NAME --csv FILE [--segments N] [--threads T]
+//   tsq_cli import  --db DIR/NAME --csv FILE [--threads T]
 //   tsq_cli info    --db DIR/NAME
 //   tsq_cli range   --db DIR/NAME --series NAME --eps X
 //                   [--transform mavg:20 | ewma:0.3:20 | reverse | identity]
@@ -52,7 +53,9 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  tsq_cli create --db DIR/NAME --csv FILE\n"
+      "  tsq_cli create --db DIR/NAME --csv FILE [--segments N] "
+      "[--threads T]\n"
+      "  tsq_cli import --db DIR/NAME --csv FILE [--threads T]\n"
       "  tsq_cli info   --db DIR/NAME\n"
       "  tsq_cli range  --db DIR/NAME --series NAME --eps X [--transform T] "
       "[--mode both|data]\n"
@@ -143,6 +146,18 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Splits loaded series into the parallel name/value vectors InsertBatch
+/// takes.
+void ToBatch(const std::vector<TimeSeries>& series,
+             std::vector<std::string>* names, std::vector<RealVec>* values) {
+  names->reserve(series.size());
+  values->reserve(series.size());
+  for (const TimeSeries& s : series) {
+    names->push_back(s.name());
+    values->push_back(s.values());
+  }
+}
+
 int CmdCreate(const Args& args) {
   DatabaseOptions options;
   const char* db_path = args.Get("db");
@@ -150,14 +165,18 @@ int CmdCreate(const Args& args) {
   if (db_path == nullptr || csv == nullptr || !SplitDbPath(db_path, &options)) {
     return Usage();
   }
+  options.relation_segments = std::stoul(args.GetOr("segments", "4"));
+  const size_t threads = std::stoul(args.GetOr("threads", "0"));
   std::filesystem::create_directories(options.directory);
   auto series = workload::LoadCsv(csv);
   if (!series.ok()) return Fail(series.status());
   auto db = Database::Create(options);
   if (!db.ok()) return Fail(db.status());
-  for (const TimeSeries& s : *series) {
-    auto id = (*db)->Insert(s.name(), s.values());
-    if (!id.ok()) return Fail(id.status());
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  ToBatch(*series, &names, &values);
+  if (auto ids = (*db)->InsertBatch(names, values, threads); !ids.ok()) {
+    return Fail(ids.status());
   }
   if (Status s = (*db)->BuildIndex(); !s.ok()) return Fail(s);
   if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
@@ -165,6 +184,38 @@ int CmdCreate(const Args& args) {
               options.directory.c_str(), options.name.c_str(),
               static_cast<unsigned long long>((*db)->size()),
               (*db)->series_length());
+  return 0;
+}
+
+int CmdImport(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  const char* csv = args.Get("csv");
+  if (db_path == nullptr || csv == nullptr || !SplitDbPath(db_path, &options)) {
+    return Usage();
+  }
+  const size_t threads = std::stoul(args.GetOr("threads", "0"));
+  auto series = workload::LoadCsv(csv);
+  if (!series.ok()) return Fail(series.status());
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  ToBatch(*series, &names, &values);
+  auto ids = (*db)->InsertBatch(names, values, threads);
+  if (!ids.ok()) return Fail(ids.status());
+  if (ids->empty()) {
+    std::printf("nothing to import from empty CSV\n");
+    return 0;
+  }
+  if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
+  std::printf("imported %zu series into %s/%s (ids %llu..%llu, %s): "
+              "now %llu series\n",
+              ids->size(), options.directory.c_str(), options.name.c_str(),
+              static_cast<unsigned long long>(ids->front()),
+              static_cast<unsigned long long>(ids->back()),
+              (*db)->index_built() ? "indexed" : "no index yet",
+              static_cast<unsigned long long>((*db)->size()));
   return 0;
 }
 
@@ -337,6 +388,7 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
   if (args.command == "create") return CmdCreate(args);
+  if (args.command == "import") return CmdImport(args);
   if (args.command == "demo") return CmdDemo(args);
   if (args.command == "info") return CmdInfo(args);
   if (args.command == "range") return CmdRange(args);
