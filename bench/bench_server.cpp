@@ -1,0 +1,157 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// tsqd loopback throughput: queries/second through the full network
+// stack — client encode, TCP loopback, server frame decode, admission,
+// execution pool, reply encode — for a clients x workers sweep, plus the
+// in-process RunBatch baseline so the wire overhead is visible. Not a
+// paper figure; it measures the server subsystem the same way
+// bench_batch_throughput measures the engine.
+//
+// Drops BENCH_server.json next to the console table (CI's bench-perf job
+// archives BENCH_*.json per run, so server perf is tracked PR over PR).
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+void Run() {
+  bench::Banner(
+      "tsqd: remote queries/sec vs clients x workers",
+      "Mixed range/kNN batches over TCP loopback against one tsqd.\n"
+      "Expected shape: the wire adds per-request latency; concurrent\n"
+      "clients recover throughput until the execution pool saturates.");
+  std::printf("  hardware threads on this host: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const size_t kNumSeries = bench::Scaled(1000, 64);
+  const size_t kLength = 128;
+  const size_t kQueriesPerClient = bench::Scaled(128, 8);
+
+  bench::ScratchDir scratch("bench_server");
+  auto data =
+      workload::MakeRandomWalkDataset(20260729, kNumSeries, kLength);
+  auto db = bench::BuildDatabase(scratch.path(), "served", data);
+
+  auto make_batch = [&](uint64_t salt) {
+    std::vector<engine::BatchQuery> batch;
+    batch.reserve(kQueriesPerClient);
+    for (size_t i = 0; i < kQueriesPerClient; ++i) {
+      engine::BatchQuery q;
+      q.query = data[(i * 13 + salt * 31) % kNumSeries].values();
+      if (i % 4 == 2) {
+        q.kind = engine::BatchQueryKind::kKnn;
+        q.k = 1 + i % 5;
+      } else {
+        q.kind = engine::BatchQueryKind::kRange;
+        q.epsilon = (i % 2 == 0) ? 1.0 : 4.0;
+      }
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  };
+
+  bench::Json doc = bench::Json::Object();
+  doc["bench"] = bench::Json::Str("server");
+  bench::Json host = bench::Json::Object();
+  host["hardware_threads"] =
+      bench::Json::Int(std::thread::hardware_concurrency());
+  host["smoke_divisor"] = bench::Json::Int(bench::SmokeDivisor());
+  doc["host"] = std::move(host);
+  bench::Json workload_json = bench::Json::Object();
+  workload_json["series"] = bench::Json::Int(kNumSeries);
+  workload_json["length"] = bench::Json::Int(kLength);
+  workload_json["queries_per_client"] = bench::Json::Int(kQueriesPerClient);
+  doc["workload"] = std::move(workload_json);
+  bench::Json rows = bench::Json::Array();
+
+  // In-process baseline: the same total query count, no network.
+  {
+    const auto batch = make_batch(0);
+    const double ms = bench::MeanMillis(
+        [&] { db->RunBatch(batch, 0); }, /*reps=*/3);
+    const double qps =
+        ms > 0.0 ? 1000.0 * static_cast<double>(batch.size()) / ms : 0.0;
+    std::printf("  in-process baseline: %.2f ms / batch, %.0f q/s\n\n", ms,
+                qps);
+    bench::Json row = bench::Json::Object();
+    row["mode"] = bench::Json::Str("in_process");
+    row["clients"] = bench::Json::Int(0);
+    row["workers"] = bench::Json::Int(0);
+    row["wall_ms"] = bench::Json::Num(ms);
+    row["queries_per_sec"] = bench::Json::Num(qps);
+    rows.Append(std::move(row));
+  }
+
+  bench::Table table({"clients", "workers", "wall ms", "queries/s",
+                      "busy", "frames"});
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    server::ServerOptions options;
+    options.workers = workers;
+    options.engine_threads = 1;  // parallelism comes from the worker sweep
+    auto started = server::Server::Start(db.get(), options);
+    TSQ_CHECK_MSG(started.ok(), "server start failed: %s",
+                  started.status().ToString().c_str());
+    auto server = std::move(*started);
+
+    for (const size_t clients : {size_t{1}, size_t{2}, size_t{4}}) {
+      const double ms = bench::MeanMillis(
+          [&] {
+            std::vector<std::thread> threads;
+            for (size_t c = 0; c < clients; ++c) {
+              threads.emplace_back([&, c] {
+                auto client =
+                    server::Client::Connect("127.0.0.1", server->port());
+                TSQ_CHECK_MSG(client.ok(), "connect failed: %s",
+                              client.status().ToString().c_str());
+                auto results = (*client)->RunBatch(make_batch(c));
+                TSQ_CHECK_MSG(results.ok(), "remote batch failed: %s",
+                              results.status().ToString().c_str());
+              });
+            }
+            for (std::thread& t : threads) t.join();
+          },
+          /*reps=*/3);
+      const double total_queries =
+          static_cast<double>(clients * kQueriesPerClient);
+      const double qps = ms > 0.0 ? 1000.0 * total_queries / ms : 0.0;
+      const server::ServerCounters counters = server->counters();
+      table.AddRow({std::to_string(clients), std::to_string(workers),
+                    bench::Table::Num(ms, 2), bench::Table::Num(qps, 0),
+                    std::to_string(counters.busy_rejected),
+                    std::to_string(counters.frames_received)});
+      bench::Json row = bench::Json::Object();
+      row["mode"] = bench::Json::Str("loopback");
+      row["clients"] = bench::Json::Int(clients);
+      row["workers"] = bench::Json::Int(workers);
+      row["wall_ms"] = bench::Json::Num(ms);
+      row["queries_per_sec"] = bench::Json::Num(qps);
+      row["busy_rejected"] = bench::Json::Int(counters.busy_rejected);
+      rows.Append(std::move(row));
+    }
+    server->Stop();
+  }
+  table.Print();
+
+  doc["rows"] = std::move(rows);
+  if (!doc.WriteFile("BENCH_server.json")) {
+    std::fprintf(stderr, "warning: could not write BENCH_server.json\n");
+  } else {
+    std::printf("\nwrote BENCH_server.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace tsq
+
+int main() {
+  tsq::Run();
+  return 0;
+}

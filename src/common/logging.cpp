@@ -2,16 +2,57 @@
 
 #include "common/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+
 namespace tsq {
 
-LogLevel Logger::level_ = LogLevel::kWarn;
+namespace {
 
-void Logger::SetLevel(LogLevel level) { level_ = level; }
+std::atomic<int>& LevelStore() {
+  // First use reads TSQ_LOG_LEVEL once; SetLevel overrides at runtime.
+  static std::atomic<int> level{
+      static_cast<int>(Logger::ParseLevel(std::getenv("TSQ_LOG_LEVEL"))
+                           .value_or(LogLevel::kWarn))};
+  return level;
+}
 
-LogLevel Logger::GetLevel() { return level_; }
+}  // namespace
+
+std::optional<LogLevel> Logger::ParseLevel(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return std::nullopt;
+  std::string lower;
+  for (const char* p = spec; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void Logger::ReloadFromEnv() {
+  if (auto level = ParseLevel(std::getenv("TSQ_LOG_LEVEL"))) SetLevel(*level);
+}
+
+void Logger::SetLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(LevelStore().load(std::memory_order_relaxed));
+}
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) <
+      LevelStore().load(std::memory_order_relaxed)) {
+    return;
+  }
   const char* tag = "?";
   switch (level) {
     case LogLevel::kDebug:

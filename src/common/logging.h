@@ -2,12 +2,17 @@
 //
 // Minimal leveled logger. Database libraries must not write to stdout
 // behind the caller's back, so the default sink is stderr and the default
-// level is kWarn; harnesses opt into verbosity.
+// level is kWarn; harnesses opt into verbosity. The level is also
+// configurable from the environment — TSQ_LOG_LEVEL=debug|info|warn|
+// error|off (or 0..4) is read on first use — so long-running processes
+// like tsqd can be quieted or made chatty without a rebuild.
 
 #ifndef TSQ_COMMON_LOGGING_H_
 #define TSQ_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -22,22 +27,31 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
-/// Process-wide logger configuration and emission.
+/// Process-wide logger configuration and emission. The level lives in an
+/// atomic, so SetLevel may be called at any time — including while other
+/// threads log concurrently.
 class Logger {
  public:
-  /// Sets the minimum severity that is emitted. Thread-compatible: call at
-  /// startup before concurrent use.
+  /// Sets the minimum severity that is emitted. Thread-safe.
   static void SetLevel(LogLevel level);
 
-  /// Current minimum severity.
+  /// Current minimum severity. The initial value comes from the
+  /// TSQ_LOG_LEVEL environment variable when set and parsable, else kWarn.
   static LogLevel GetLevel();
+
+  /// Parses "debug"/"info"/"warn"/"warning"/"error"/"off"/"none" (case
+  /// insensitive) or a numeric level "0".."4"; nullopt on anything else
+  /// (including null/empty).
+  static std::optional<LogLevel> ParseLevel(const char* spec);
+
+  /// Re-reads TSQ_LOG_LEVEL and applies it when set and parsable (no-op
+  /// otherwise). For processes that adjust the environment after startup
+  /// and for tests.
+  static void ReloadFromEnv();
 
   /// Emits one formatted line "[LEVEL] message" to stderr when `level` is at
   /// or above the configured minimum.
   static void Log(LogLevel level, const std::string& message);
-
- private:
-  static LogLevel level_;
 };
 
 namespace internal {

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kCorruption = 7,        ///< On-disk bytes failed validation.
   kUnimplemented = 8,     ///< Feature intentionally not supported.
   kInternal = 9,          ///< Invariant broken; indicates a tsq bug.
+  kUnavailable = 10,      ///< Transient overload / shutdown; retry later.
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
@@ -76,6 +77,9 @@ class Status final {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -100,6 +104,7 @@ class Status final {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>" for logs and test failure output.
   std::string ToString() const;

@@ -68,6 +68,40 @@ Status Database::Flush() {
   return Status::OK();
 }
 
+DatabaseStats Database::StatsSnapshot() const {
+  DatabaseStats out;
+  out.series = relation_->size();
+  out.series_length = series_length_.load(std::memory_order_relaxed);
+  const RelationStats& rel = relation_->stats();
+  out.relation_records_read =
+      rel.records_read.load(std::memory_order_relaxed);
+  out.relation_bytes_read = rel.bytes_read.load(std::memory_order_relaxed);
+  out.relation_bytes_written =
+      rel.bytes_written.load(std::memory_order_relaxed);
+  // index_ is written once by BuildIndex under the exclusive lock; the
+  // shared lock here orders this read after any in-flight build.
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  if (index_ == nullptr) return out;
+  out.index_built = true;
+  const BufferPoolStats pool = index_->pool()->stats();
+  out.pool_hits = pool.hits.load(std::memory_order_relaxed);
+  out.pool_misses = pool.misses.load(std::memory_order_relaxed);
+  out.pool_evictions = pool.evictions.load(std::memory_order_relaxed);
+  out.pool_disk_reads = pool.disk_reads.load(std::memory_order_relaxed);
+  out.pool_disk_writes = pool.disk_writes.load(std::memory_order_relaxed);
+  const rtree::TraversalStats& traversal = index_->tree()->stats();
+  out.nodes_visited =
+      traversal.nodes_visited.load(std::memory_order_relaxed);
+  out.rect_transforms =
+      traversal.rect_transforms.load(std::memory_order_relaxed);
+  out.leaf_entries_tested =
+      traversal.leaf_entries_tested.load(std::memory_order_relaxed);
+  out.tree_entries = index_->tree()->size();
+  out.tree_height = index_->tree()->height();
+  out.tree_dims = index_->tree()->dims();
+  return out;
+}
+
 Status Database::CheckSeriesLength(size_t length) {
   size_t expected = 0;
   if (series_length_.compare_exchange_strong(expected, length,
@@ -341,17 +375,22 @@ Result<std::vector<engine::BatchResult>> Database::RunBatch(
 Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
     double epsilon, const std::optional<FeatureTransform>& transform,
     size_t threads) {
+  QueryStats stats;
+  TSQ_ASSIGN_OR_RETURN(std::vector<JoinPair> out,
+                       ParallelSelfJoin(epsilon, transform, threads, &stats));
+  last_stats_ = stats;
+  return out;
+}
+
+Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
+    double epsilon, const std::optional<FeatureTransform>& transform,
+    size_t threads, QueryStats* stats) {
   if (index_ == nullptr) {
     return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
   }
   TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  QueryStats stats;
-  TSQ_ASSIGN_OR_RETURN(
-      std::vector<JoinPair> out,
-      EnsureEngine(threads)->SelfJoin(epsilon, transform, &stats));
-  last_stats_ = stats;
-  return out;
+  return EnsureEngine(threads)->SelfJoin(epsilon, transform, stats);
 }
 
 Result<std::vector<JoinPair>> Database::SelfJoin(

@@ -71,6 +71,38 @@ struct DatabaseOptions {
   bool bulk_load = true;
 };
 
+/// One coherent snapshot of every component's counters: relation scan/IO,
+/// buffer-pool cache behaviour, R*-tree traversal work and tree geometry,
+/// flattened into a plain struct. Before this existed, observers had to
+/// poke relation()->stats(), index()->pool()->stats() and
+/// index()->tree()->stats() separately; StatsSnapshot() is the one-call
+/// aggregation the tsqd STATS verb serializes. Counters are cumulative
+/// since process start (or the last ResetStats on the component).
+struct DatabaseStats {
+  uint64_t series = 0;         ///< stored series (dense prefix)
+  uint64_t series_length = 0;  ///< common length (0 before first insert)
+  bool index_built = false;
+  // Relation counters (RelationStats).
+  uint64_t relation_records_read = 0;
+  uint64_t relation_bytes_read = 0;
+  uint64_t relation_bytes_written = 0;
+  // Index buffer-pool counters (BufferPoolStats); zero without an index.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_disk_reads = 0;
+  uint64_t pool_disk_writes = 0;
+  // R*-tree traversal counters (rtree::TraversalStats); zero without an
+  // index.
+  uint64_t nodes_visited = 0;
+  uint64_t rect_transforms = 0;
+  uint64_t leaf_entries_tested = 0;
+  // Tree geometry; zero without an index.
+  uint64_t tree_entries = 0;
+  uint64_t tree_height = 0;
+  uint64_t tree_dims = 0;
+};
+
 /// A similarity-searchable collection of equal-length time series.
 ///
 /// Concurrency contract (v2 write half + v3 read half).
@@ -190,6 +222,15 @@ class Database {
       double epsilon, const std::optional<FeatureTransform>& transform,
       size_t threads = 0);
 
+  /// ParallelSelfJoin reporting stats into caller-owned storage instead
+  /// of last_stats_ (`stats` may be null). Unlike the overload above,
+  /// fully race-free under concurrent callers — the form the tsqd
+  /// execution pool uses, where several connections may run self-joins
+  /// at once.
+  Result<std::vector<JoinPair>> ParallelSelfJoin(
+      double epsilon, const std::optional<FeatureTransform>& transform,
+      size_t threads, QueryStats* stats);
+
   /// Reads one stored record back.
   Result<SeriesRecord> Get(SeriesId id) { return relation_->Get(id); }
 
@@ -199,6 +240,13 @@ class Database {
 
   /// Statistics of the most recent query (reset per query).
   const QueryStats& last_stats() const { return last_stats_; }
+
+  /// Aggregates the relation, buffer-pool and traversal counters (plus
+  /// tree geometry) into one DatabaseStats. Safe from any thread,
+  /// concurrently with queries and inserts; each counter is an atomic
+  /// snapshot (the set is not mutually consistent under concurrent load,
+  /// which monitoring does not need).
+  DatabaseStats StatsSnapshot() const;
 
   /// Underlying components, exposed for benchmarks and white-box tests.
   Relation* relation() { return relation_.get(); }

@@ -1,0 +1,239 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/net_util.h"
+
+namespace tsq {
+namespace server {
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Status Client::SendAll(const serde::Buffer& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Result<Reply> Client::RoundTrip(Request request) {
+  if (!fault_.ok()) return fault_;
+  request.id = next_id_++;
+  serde::Buffer frame;
+  EncodeRequest(request, &frame);
+  if (Status status = SendAll(frame); !status.ok()) {
+    fault_ = status;
+    return status;
+  }
+
+  Reply reply;
+  bool have_reply = false;
+  uint8_t buf[64 * 1024];
+  while (!have_reply) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      fault_ = Status::IOError("server closed the connection");
+      return fault_;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fault_ = ErrnoStatus("recv");
+      return fault_;
+    }
+    Status status = reader_.Feed(
+        buf, static_cast<size_t>(n),
+        [&reply, &have_reply](const uint8_t* payload, size_t size) {
+          if (have_reply) {
+            return Status::Corruption("unexpected extra reply frame");
+          }
+          TSQ_RETURN_IF_ERROR(DecodeReply(payload, size, &reply));
+          have_reply = true;
+          return Status::OK();
+        });
+    if (!status.ok()) {
+      fault_ = status;
+      return status;
+    }
+  }
+  if (reply.id != request.id) {
+    // A blocking client has exactly one request outstanding; any other id
+    // means the stream is off the rails.
+    fault_ = Status::Corruption(
+        "reply id " + std::to_string(reply.id) + " does not match request " +
+        std::to_string(request.id));
+    return fault_;
+  }
+  if (reply.code == ReplyCode::kBusy) {
+    return Status::Unavailable("server admission queue full; retry later");
+  }
+  if (reply.code == ReplyCode::kError) return reply.error;
+  return reply;
+}
+
+Status Client::Ping() {
+  Request request;
+  request.verb = Verb::kPing;
+  return RoundTrip(std::move(request)).status();
+}
+
+Result<DatabaseStats> Client::Stats() {
+  Request request;
+  request.verb = Verb::kStats;
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  return reply.stats;
+}
+
+Result<std::vector<engine::BatchResult>> Client::RunBatch(
+    const std::vector<engine::BatchQuery>& queries) {
+  Request request;
+  request.verb = Verb::kBatch;
+  request.queries = queries;
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  if (reply.results.size() != queries.size()) {
+    fault_ = Status::Corruption(
+        "batch reply carries " + std::to_string(reply.results.size()) +
+        " results for " + std::to_string(queries.size()) + " queries");
+    return fault_;
+  }
+  return std::move(reply.results);
+}
+
+namespace {
+
+/// Unwraps the single result of a kQuery reply the way an in-process
+/// caller unwraps results[0] of a one-query RunBatch.
+Result<engine::BatchResult> SingleResult(Reply reply) {
+  if (reply.results.size() != 1) {
+    return Status::Corruption("query reply carries " +
+                              std::to_string(reply.results.size()) +
+                              " results");
+  }
+  engine::BatchResult result = std::move(reply.results[0]);
+  TSQ_RETURN_IF_ERROR(result.status);
+  return result;
+}
+
+}  // namespace
+
+Result<std::vector<Match>> Client::Range(const RealVec& query, double epsilon,
+                                         const QuerySpec& spec) {
+  Request request;
+  request.verb = Verb::kQuery;
+  engine::BatchQuery q;
+  q.kind = engine::BatchQueryKind::kRange;
+  q.query = query;
+  q.epsilon = epsilon;
+  q.spec = spec;
+  request.queries.push_back(std::move(q));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
+                       SingleResult(std::move(reply)));
+  return std::move(result.matches);
+}
+
+Result<std::vector<Match>> Client::Knn(const RealVec& query, size_t k,
+                                       const QuerySpec& spec) {
+  Request request;
+  request.verb = Verb::kQuery;
+  engine::BatchQuery q;
+  q.kind = engine::BatchQueryKind::kKnn;
+  q.query = query;
+  q.k = k;
+  q.spec = spec;
+  request.queries.push_back(std::move(q));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
+                       SingleResult(std::move(reply)));
+  return std::move(result.matches);
+}
+
+Result<std::vector<SubsequenceMatch>> Client::Subsequence(const RealVec& query,
+                                                          double epsilon) {
+  Request request;
+  request.verb = Verb::kQuery;
+  engine::BatchQuery q;
+  q.kind = engine::BatchQueryKind::kSubsequence;
+  q.query = query;
+  q.epsilon = epsilon;
+  request.queries.push_back(std::move(q));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
+                       SingleResult(std::move(reply)));
+  return std::move(result.subsequence_matches);
+}
+
+Result<std::vector<SeriesId>> Client::InsertBatch(
+    const std::vector<std::string>& names,
+    const std::vector<RealVec>& values) {
+  Request request;
+  request.verb = Verb::kInsert;
+  request.insert_names = names;
+  request.insert_values = values;
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  // Bound the allocation by what was actually sent: a corrupt reply must
+  // not make the client size a vector from an arbitrary wire value.
+  if (reply.insert_count != names.size()) {
+    fault_ = Status::Corruption(
+        "insert reply claims " + std::to_string(reply.insert_count) +
+        " ids for " + std::to_string(names.size()) + " series");
+    return fault_;
+  }
+  std::vector<SeriesId> ids(names.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = reply.insert_base + i;
+  }
+  return ids;
+}
+
+Result<std::vector<JoinPair>> Client::SelfJoin(
+    double epsilon, const std::optional<FeatureTransform>& transform) {
+  Request request;
+  request.verb = Verb::kSelfJoin;
+  request.epsilon = epsilon;
+  request.transform = transform;
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  return std::move(reply.pairs);
+}
+
+}  // namespace server
+}  // namespace tsq

@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Blocking C++ client for tsqd: one TCP connection, one outstanding
+// request at a time, method-per-verb mirrors of the Database API. The
+// remote methods return exactly what the corresponding in-process call
+// returns — Range() relays the per-query status and matches a local
+// Database::RunBatch would produce for the same query — so a caller can
+// swap a Database* for a Client* without changing its error handling.
+//
+// BUSY replies (the server's admission queue was full) surface as
+// Status::Unavailable; the request did no engine work and is safe to
+// retry. A Corruption status from any call means the reply stream broke
+// framing — the connection is poisoned and must be reconnected.
+//
+// Thread-compatibility: a Client is NOT thread-safe; give each thread its
+// own connection (connections are cheap, and tsqd multiplexes them onto
+// its execution pool server-side).
+
+#ifndef TSQ_SERVER_CLIENT_H_
+#define TSQ_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace tsq {
+namespace server {
+
+/// A blocking tsqd connection.
+class Client {
+ public:
+  TSQ_DISALLOW_COPY_AND_MOVE(Client);
+  ~Client();
+
+  /// Connects to a tsqd instance (IPv4 dotted quad).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  /// Liveness probe. Served inline by the server's event thread — never
+  /// BUSY, even when the execution pool is saturated.
+  Status Ping();
+
+  /// Remote Database::StatsSnapshot().
+  Result<DatabaseStats> Stats();
+
+  /// Remote single queries; match Database::RunBatch of a one-query
+  /// batch (per-query status unwrapped).
+  Result<std::vector<Match>> Range(const RealVec& query, double epsilon,
+                                   const QuerySpec& spec = {});
+  Result<std::vector<Match>> Knn(const RealVec& query, size_t k,
+                                 const QuerySpec& spec = {});
+  Result<std::vector<SubsequenceMatch>> Subsequence(const RealVec& query,
+                                                    double epsilon);
+
+  /// Remote Database::RunBatch: results[i] answers queries[i], statuses
+  /// per query.
+  Result<std::vector<engine::BatchResult>> RunBatch(
+      const std::vector<engine::BatchQuery>& queries);
+
+  /// Remote Database::InsertBatch; returns the assigned dense ids.
+  Result<std::vector<SeriesId>> InsertBatch(
+      const std::vector<std::string>& names,
+      const std::vector<RealVec>& values);
+
+  /// Remote Database::ParallelSelfJoin.
+  Result<std::vector<JoinPair>> SelfJoin(
+      double epsilon, const std::optional<FeatureTransform>& transform);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends `request` (id assigned here) and blocks for its reply.
+  /// Translates kBusy to Unavailable and kError to the carried status.
+  Result<Reply> RoundTrip(Request request);
+
+  Status SendAll(const serde::Buffer& bytes);
+
+  int fd_;
+  uint64_t next_id_ = 1;
+  FrameReader reader_;
+  Status fault_;  // sticky stream failure
+};
+
+}  // namespace server
+}  // namespace tsq
+
+#endif  // TSQ_SERVER_CLIENT_H_

@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Tiny shared helpers for the socket code of tsqd and its client.
+
+#ifndef TSQ_SERVER_NET_UTIL_H_
+#define TSQ_SERVER_NET_UTIL_H_
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+
+namespace tsq {
+namespace server {
+
+/// Wraps the current errno as Status::IOError("what: strerror").
+inline Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace server
+}  // namespace tsq
+
+#endif  // TSQ_SERVER_NET_UTIL_H_

@@ -1,0 +1,447 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+#include "server/net_util.h"
+
+namespace tsq {
+namespace server {
+
+namespace {
+
+uint64_t NowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Per-connection state. The event thread owns the socket and the read
+/// side (FrameReader); the write buffer is shared with pool workers under
+/// write_mutex — workers append whole reply frames, the event thread
+/// flushes. `pending` counts admitted requests whose reply frame has not
+/// been appended yet; it is decremented only after QueueReply, so the
+/// event thread observing pending == 0 is guaranteed to also observe
+/// every reply in the buffer (release/acquire pairing).
+struct Server::Connection {
+  explicit Connection(int fd_in, size_t max_frame)
+      : fd(fd_in), reader(max_frame) {}
+  // Backstop for abnormal event-loop exits: the retire pass closes fds on
+  // the normal paths (and sets fd to -1), but a connection that outlives
+  // the loop must not leak its socket.
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  int fd;
+  FrameReader reader;
+  bool read_closed = false;  // event thread only
+  bool broken = false;       // write side failed; event thread only
+
+  std::mutex write_mutex;
+  serde::Buffer write_buf;
+  size_t write_pos = 0;
+
+  std::atomic<size_t> pending{0};
+};
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Result<std::unique_ptr<Server>> Server::Start(Database* db,
+                                              const ServerOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("Server::Start needs a database");
+  }
+  auto server = std::unique_ptr<Server>(new Server(db, options));
+
+  server->listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (server->listen_fd_ < 0) return ErrnoStatus("socket");
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" + options.host +
+                                   "'");
+  }
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return ErrnoStatus("bind " + options.host + ":" + std::to_string(options.port));
+  }
+  if (::listen(server->listen_fd_, 128) != 0) return ErrnoStatus("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  server->port_ = ntohs(bound.sin_port);
+
+  if (::pipe2(server->wake_fds_, O_CLOEXEC | O_NONBLOCK) != 0) {
+    return ErrnoStatus("pipe2");
+  }
+
+  server->pool_ = std::make_unique<engine::ThreadPool>(options.workers);
+  server->event_thread_ = std::thread(&Server::EventLoop, server.get());
+  TSQ_LOG(kInfo) << "tsqd listening on " << options.host << ":"
+                 << server->port_ << " (" << server->pool_->size()
+                 << " workers, max_inflight " << options.max_inflight << ")";
+  return server;
+}
+
+void Server::Stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    Wake();
+    if (event_thread_.joinable()) event_thread_.join();
+    // The event loop exits only after every connection is closed; any
+    // still-running tasks hold their own Connection references, and the
+    // pool destructor waits them out before the wake pipe closes.
+    pool_.reset();
+    // The event loop closes the listener on drain; this covers a Start
+    // that failed before the loop ever ran.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    TSQ_LOG(kInfo) << "tsqd stopped";
+  });
+}
+
+void Server::Wake() {
+  if (wake_fds_[1] < 0) return;
+  const uint8_t byte = 0;
+  // A full pipe already guarantees a pending wake; all errors ignorable.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters out;
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.frames_received = frames_received_.load(std::memory_order_relaxed);
+  out.requests_executed = requests_executed_.load(std::memory_order_relaxed);
+  out.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Server::SetExecutionHookForTesting(std::function<void()> hook) {
+  execution_hook_ = std::move(hook);
+}
+
+void Server::QueueReply(const std::shared_ptr<Connection>& conn,
+                        const Reply& reply) {
+  serde::Buffer frame;
+  EncodeReply(reply, &frame);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  conn->write_buf.insert(conn->write_buf.end(), frame.begin(), frame.end());
+}
+
+void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                            const std::shared_ptr<Request>& request) {
+  if (execution_hook_) execution_hook_();
+  requests_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  Reply reply;
+  reply.verb = request->verb;
+  reply.id = request->id;
+  auto fail = [&reply](const Status& status) {
+    reply.code = ReplyCode::kError;
+    reply.error = status;
+  };
+  switch (request->verb) {
+    case Verb::kPing:
+      break;  // answered inline by the event thread; kept for safety
+    case Verb::kStats:
+      reply.stats = db_->StatsSnapshot();
+      break;
+    case Verb::kQuery:
+    case Verb::kBatch: {
+      auto results = db_->RunBatch(request->queries, options_.engine_threads);
+      if (!results.ok()) {
+        fail(results.status());
+      } else {
+        reply.results = std::move(*results);
+      }
+      break;
+    }
+    case Verb::kInsert: {
+      auto ids = db_->InsertBatch(request->insert_names,
+                                  request->insert_values,
+                                  options_.engine_threads);
+      if (!ids.ok()) {
+        fail(ids.status());
+      } else {
+        reply.insert_base = ids->empty() ? 0 : ids->front();
+        reply.insert_count = ids->size();
+      }
+      break;
+    }
+    case Verb::kSelfJoin: {
+      QueryStats stats;
+      auto pairs = db_->ParallelSelfJoin(request->epsilon, request->transform,
+                                         options_.engine_threads, &stats);
+      if (!pairs.ok()) {
+        fail(pairs.status());
+      } else {
+        reply.pairs = std::move(*pairs);
+      }
+      break;
+    }
+  }
+  QueueReply(conn, reply);
+  // Decrement only after the reply frame is buffered: the event thread
+  // treats pending == 0 as "every admitted reply is flushable".
+  conn->pending.fetch_sub(1, std::memory_order_release);
+  inflight_.fetch_sub(1, std::memory_order_release);
+  Wake();
+}
+
+Status Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                           const uint8_t* payload, size_t size) {
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  auto request = std::make_shared<Request>();
+  if (Status status = DecodeRequest(payload, size, request.get());
+      !status.ok()) {
+    // CRC was valid, so framing is intact: report the decode failure to
+    // the peer (verb/id are best-effort partial decodes) and carry on.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    Reply reply;
+    reply.code = ReplyCode::kError;
+    reply.verb = request->verb;
+    reply.id = request->id;
+    reply.error = std::move(status);
+    QueueReply(conn, reply);
+    return Status::OK();
+  }
+  if (request->verb == Verb::kPing) {
+    // Liveness probes bypass admission: answered inline, never BUSY.
+    Reply reply;
+    reply.verb = Verb::kPing;
+    reply.id = request->id;
+    QueueReply(conn, reply);
+    return Status::OK();
+  }
+  size_t inflight = inflight_.load(std::memory_order_relaxed);
+  bool admitted = false;
+  while (inflight < options_.max_inflight) {
+    if (inflight_.compare_exchange_weak(inflight, inflight + 1,
+                                        std::memory_order_acq_rel)) {
+      admitted = true;
+      break;
+    }
+  }
+  if (!admitted) {
+    busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+    Reply reply;
+    reply.code = ReplyCode::kBusy;
+    reply.verb = request->verb;
+    reply.id = request->id;
+    QueueReply(conn, reply);
+    return Status::OK();
+  }
+  conn->pending.fetch_add(1, std::memory_order_relaxed);
+  pool_->Submit([this, conn, request] { ExecuteRequest(conn, request); });
+  return Status::OK();
+}
+
+void Server::EventLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  bool listener_open = true;
+  bool draining = false;
+  uint64_t drain_deadline_ms = 0;
+
+  auto flush_writes = [](Connection* conn) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    while (conn->write_pos < conn->write_buf.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
+                 conn->write_buf.size() - conn->write_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->write_pos += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn->broken = true;
+      break;
+    }
+    if (conn->write_pos > 0) {
+      conn->write_buf.erase(
+          conn->write_buf.begin(),
+          conn->write_buf.begin() + static_cast<ptrdiff_t>(conn->write_pos));
+      conn->write_pos = 0;
+    }
+  };
+  auto write_pending = [](Connection* conn) {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    return conn->write_buf.size() - conn->write_pos;
+  };
+
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && !draining) {
+      draining = true;
+      drain_deadline_ms = NowMillis() + options_.drain_timeout_ms;
+      if (listener_open) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        listener_open = false;
+      }
+      for (const auto& conn : connections_) {
+        if (!conn->read_closed) {
+          ::shutdown(conn->fd, SHUT_RD);
+          conn->read_closed = true;
+        }
+      }
+    }
+
+    // Retire connections that are fully done: nothing more to read,
+    // every admitted request replied, every reply byte flushed (or the
+    // peer broke / the drain deadline passed).
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      Connection* conn = it->get();
+      const bool drained =
+          conn->pending.load(std::memory_order_acquire) == 0 &&
+          write_pending(conn) == 0;
+      const bool expired = draining && NowMillis() >= drain_deadline_ms;
+      if (conn->broken || ((conn->read_closed || draining) && drained) ||
+          expired) {
+        ::close(conn->fd);
+        conn->fd = -1;
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (draining && connections_.empty()) return;
+
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    if (listener_open) pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : connections_) {
+      short events = 0;
+      if (!conn->read_closed) events |= POLLIN;
+      if (write_pending(conn.get()) > 0) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      polled.push_back(conn);
+    }
+    // Finite timeout: a cheap idle tick that also bounds the drain wait.
+    const int timeout_ms = draining ? 20 : 500;
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      // Unrecoverable poller failure (EINVAL/ENOMEM): close every socket
+      // so peers see FIN instead of hanging; in-flight tasks still hold
+      // their Connection references and finish harmlessly.
+      TSQ_LOG(kError) << "tsqd poll failed: " << std::strerror(errno);
+      for (const auto& conn : connections_) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+      connections_.clear();
+      if (listener_open) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      return;
+    }
+    if (ready <= 0) continue;
+
+    size_t idx = 0;
+    if (pfds[idx].revents & POLLIN) {
+      uint8_t drain[256];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    ++idx;
+
+    if (listener_open) {
+      if (pfds[idx].revents & POLLIN) {
+        for (;;) {
+          const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          connections_.push_back(
+              std::make_shared<Connection>(fd, options_.max_frame_bytes));
+          connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ++idx;
+    }
+
+    for (size_t c = 0; c < polled.size(); ++c, ++idx) {
+      const std::shared_ptr<Connection>& conn = polled[c];
+      const short revents = pfds[idx].revents;
+      if (revents & POLLERR) {
+        conn->broken = true;
+        continue;
+      }
+      if ((revents & (POLLIN | POLLHUP)) && !conn->read_closed) {
+        uint8_t buf[64 * 1024];
+        for (;;) {
+          const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            Status status = conn->reader.Feed(
+                buf, static_cast<size_t>(n),
+                [this, &conn](const uint8_t* payload, size_t size) {
+                  return HandleFrame(conn, payload, size);
+                });
+            if (!status.ok()) {
+              // Framing is gone (bad magic/CRC/oversize): stop reading,
+              // deliver what was admitted, then the retire pass closes.
+              protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+              TSQ_LOG(kDebug) << "tsqd dropping connection: "
+                              << status.ToString();
+              ::shutdown(conn->fd, SHUT_RD);
+              conn->read_closed = true;
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            conn->read_closed = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          conn->read_closed = true;
+          break;
+        }
+      }
+      if (revents & POLLOUT) flush_writes(conn.get());
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace tsq

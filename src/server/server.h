@@ -1,0 +1,171 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// tsqd — the concurrent network server subsystem: exposes one Database
+// over TCP using the wire protocol of src/server/protocol.h, turning the
+// in-process engine (PRs 1-4: concurrent RunBatch, parallel self-join,
+// parallel ingest) into a service that remote clients share.
+//
+// Architecture. One event thread owns every socket: it accepts on the
+// listener, runs the per-connection FrameReader state machine over
+// non-blocking reads, and flushes reply bytes back out. Completed
+// requests are handed to a fixed execution ThreadPool whose workers call
+// the Database's thread-safe entry points (RunBatch, InsertBatch,
+// ParallelSelfJoin, StatsSnapshot) — so the event thread never blocks on
+// engine work and a slow query never stalls another connection's reads.
+// Workers append each finished reply as one whole frame to the owning
+// connection's write buffer (under that connection's mutex) and wake the
+// event thread through a self-pipe; frames never interleave, and a
+// pipelining client matches replies by request id since requests may
+// complete out of order.
+//
+// Backpressure. Admission is bounded: at most `max_inflight` requests may
+// be queued-or-executing at once. A request arriving beyond that is
+// answered immediately with a BUSY reply (protocol::ReplyCode::kBusy) by
+// the event thread — no engine work, no unbounded buffering — which the
+// client surfaces as Status::Unavailable. Pings are answered inline by
+// the event thread and never rejected, so liveness probes work under
+// full load.
+//
+// Errors. A connection that breaks framing (bad magic/CRC/oversized
+// frame) is beyond recovery: reading stops at once, already-admitted
+// requests still deliver their replies, then the socket closes. A
+// CRC-valid payload that fails semantic decode gets an ERROR reply and
+// the connection continues.
+//
+// Shutdown. Stop() (also run by the destructor) stops accepting and
+// reading, waits for every admitted request to finish executing, flushes
+// each connection's remaining reply bytes (bounded by
+// drain_timeout_ms for peers that stopped reading), then closes all
+// sockets and joins the threads — in-flight queries are drained, never
+// dropped.
+
+#ifndef TSQ_SERVER_SERVER_H_
+#define TSQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "engine/thread_pool.h"
+#include "server/protocol.h"
+
+namespace tsq {
+namespace server {
+
+/// Server construction parameters.
+struct ServerOptions {
+  /// Listen address (IPv4 dotted quad).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 asks the kernel for an ephemeral port — read the
+  /// actual one back with Server::port().
+  uint16_t port = 0;
+  /// Execution pool workers; 0 = hardware concurrency. Each worker runs
+  /// one request at a time against the Database.
+  size_t workers = 0;
+  /// Thread count passed to Database::RunBatch / ParallelSelfJoin /
+  /// InsertBatch per request; 0 = hardware concurrency. The Database
+  /// caches one engine per distinct value, so all tsqd requests share one
+  /// engine (and its buffer-pool concurrency) by construction.
+  size_t engine_threads = 0;
+  /// Admission bound: requests queued-or-executing at once; beyond this a
+  /// request is rejected with BUSY instead of buffered.
+  size_t max_inflight = 128;
+  /// Largest frame payload a client may send.
+  size_t max_frame_bytes = 64u << 20;
+  /// How long Stop() keeps flushing reply bytes to a peer that has
+  /// stopped reading before dropping the connection.
+  uint64_t drain_timeout_ms = 5000;
+};
+
+/// Monitoring counters (relaxed atomics, snapshot by value).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;    ///< CRC-valid frames decoded
+  uint64_t requests_executed = 0;  ///< admitted and run on the pool
+  uint64_t busy_rejected = 0;      ///< BUSY replies sent
+  uint64_t protocol_errors = 0;    ///< framing faults + semantic decode fails
+};
+
+/// A running tsqd instance bound to one Database. All public methods are
+/// thread-safe. The Database must outlive the server; tsqd adds no calls
+/// the Database contract does not already allow concurrently (see
+/// core/database.h).
+class Server {
+ public:
+  TSQ_DISALLOW_COPY_AND_MOVE(Server);
+  ~Server();
+
+  /// Binds, listens and starts the event + worker threads. The database
+  /// may be queried in-process concurrently; index-building must follow
+  /// the Database contract (no concurrent BuildIndex).
+  static Result<std::unique_ptr<Server>> Start(Database* db,
+                                               const ServerOptions& options);
+
+  /// The bound port (resolves port 0 to the kernel-assigned one).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown; idempotent, safe from any thread. Blocks until
+  /// admitted requests drained and sockets closed.
+  void Stop();
+
+  /// Counter snapshot.
+  ServerCounters counters() const;
+
+  /// Test hook: runs at the start of every admitted request on the
+  /// execution worker, before any Database call. Lets tests hold workers
+  /// at a gate to deterministically fill the admission queue (BUSY path)
+  /// or to race Stop() against in-flight queries. Call before serving
+  /// traffic.
+  void SetExecutionHookForTesting(std::function<void()> hook);
+
+ private:
+  struct Connection;
+
+  explicit Server(Database* db, ServerOptions options);
+
+  void EventLoop();
+  void Wake();
+  /// Handles one CRC-verified payload from `conn` (event thread).
+  Status HandleFrame(const std::shared_ptr<Connection>& conn,
+                     const uint8_t* payload, size_t size);
+  /// Executes an admitted request on a pool worker and queues its reply.
+  void ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                      const std::shared_ptr<Request>& request);
+  /// Appends one encoded reply frame to the connection's write buffer.
+  void QueueReply(const std::shared_ptr<Connection>& conn,
+                  const Reply& reply);
+
+  Database* const db_;
+  const ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: workers -> event thread
+  uint16_t port_ = 0;
+  std::unique_ptr<engine::ThreadPool> pool_;
+  std::thread event_thread_;
+  std::atomic<bool> stopping_{false};
+  std::once_flag stop_once_;
+  std::atomic<size_t> inflight_{0};
+  std::function<void()> execution_hook_;  // set before Start returns traffic
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> requests_executed_{0};
+  std::atomic<uint64_t> busy_rejected_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+
+  // Live connections; owned by the event thread (workers hold shared_ptr
+  // references through in-flight tasks, never the vector).
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace server
+}  // namespace tsq
+
+#endif  // TSQ_SERVER_SERVER_H_

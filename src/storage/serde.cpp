@@ -100,7 +100,14 @@ Status Reader::GetString(std::string* out) {
 Status Reader::GetRealVec(RealVec* out) {
   uint64_t n = 0;
   TSQ_RETURN_IF_ERROR(GetU64(&n));
-  TSQ_RETURN_IF_ERROR(Need(n * 8));
+  // Divide instead of multiplying: an attacker-controlled n (the server
+  // feeds this decoder raw network bytes) could overflow n * 8 into a
+  // small value and sail past the bounds check into a huge resize.
+  if (n > remaining() / 8) {
+    return Status::Corruption("vector length " + std::to_string(n) +
+                              " exceeds remaining " +
+                              std::to_string(remaining()) + " bytes");
+  }
   out->resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     TSQ_RETURN_IF_ERROR(GetDouble(&(*out)[i]));
@@ -111,7 +118,11 @@ Status Reader::GetRealVec(RealVec* out) {
 Status Reader::GetComplexVec(ComplexVec* out) {
   uint64_t n = 0;
   TSQ_RETURN_IF_ERROR(GetU64(&n));
-  TSQ_RETURN_IF_ERROR(Need(n * 16));
+  if (n > remaining() / 16) {
+    return Status::Corruption("complex vector length " + std::to_string(n) +
+                              " exceeds remaining " +
+                              std::to_string(remaining()) + " bytes");
+  }
   out->resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     double re = 0.0;

@@ -2,8 +2,13 @@
 //
 // Binary record encoding for the storage layer: explicit little-endian
 // fixed-width codecs (stable across platforms) plus CRC32 integrity
-// checking. Decoders never trust on-disk bytes — every read is
-// bounds-checked and returns Status::Corruption on malformed input.
+// checking. Decoders never trust their input bytes — since the tsqd wire
+// protocol (src/server/protocol.h) reuses these codecs, input is not just
+// "our own files" but raw network bytes from untrusted clients. Every
+// read is bounds-checked against the remaining span (with overflow-proof
+// length comparisons, so a hostile 2^61 element count cannot wrap the
+// check) and returns Status::Corruption on malformed input; a zero-length
+// vector or string decodes to an empty value, not an error.
 //
 // Write contract (v2). These codecs are what makes the segmented
 // relation's crash story work: every record a segment file holds is

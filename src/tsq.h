@@ -56,6 +56,10 @@
 #include "core/seq_scan.h"       // IWYU pragma: export
 #include "core/subsequence.h"    // IWYU pragma: export
 
+#include "server/client.h"    // IWYU pragma: export
+#include "server/protocol.h"  // IWYU pragma: export
+#include "server/server.h"    // IWYU pragma: export
+
 #include "workload/paper_data.h"   // IWYU pragma: export
 #include "workload/random_walk.h"  // IWYU pragma: export
 #include "workload/stock_sim.h"    // IWYU pragma: export

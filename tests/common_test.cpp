@@ -4,6 +4,8 @@
 // deterministic PRNG, and the stopwatch.
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -58,6 +60,13 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
                "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, UnavailableFactoryAndPredicate) {
+  Status s = Status::Unavailable("server busy");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.ToString(), "Unavailable: server busy");
 }
 
 // ---------------------------------------------------------------------------
@@ -235,6 +244,40 @@ TEST(LoggingTest, LevelFiltering) {
   // needed — the call path is what we exercise).
   TSQ_LOG(kDebug) << "suppressed " << 42;
   TSQ_LOG(kError) << "emitted";
+  Logger::SetLevel(before);
+}
+
+TEST(LoggingTest, ParseLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(Logger::ParseLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::ParseLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(Logger::ParseLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::ParseLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(Logger::ParseLevel("error"), LogLevel::kError);
+  EXPECT_EQ(Logger::ParseLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(Logger::ParseLevel("none"), LogLevel::kOff);
+  EXPECT_EQ(Logger::ParseLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(Logger::ParseLevel("4"), LogLevel::kOff);
+  EXPECT_EQ(Logger::ParseLevel(nullptr), std::nullopt);
+  EXPECT_EQ(Logger::ParseLevel(""), std::nullopt);
+  EXPECT_EQ(Logger::ParseLevel("loud"), std::nullopt);
+  EXPECT_EQ(Logger::ParseLevel("7"), std::nullopt);
+}
+
+TEST(LoggingTest, ReloadFromEnvAppliesTsqLogLevel) {
+  const LogLevel before = Logger::GetLevel();
+  ::setenv("TSQ_LOG_LEVEL", "debug", /*overwrite=*/1);
+  Logger::ReloadFromEnv();
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kDebug);
+  // Unparsable values leave the level untouched instead of resetting it.
+  ::setenv("TSQ_LOG_LEVEL", "shout", 1);
+  Logger::ReloadFromEnv();
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kDebug);
+  ::setenv("TSQ_LOG_LEVEL", "off", 1);
+  Logger::ReloadFromEnv();
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kOff);
+  ::unsetenv("TSQ_LOG_LEVEL");
+  Logger::ReloadFromEnv();
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kOff);
   Logger::SetLevel(before);
 }
 

@@ -1,0 +1,891 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The tsqd subsystem suite: wire-protocol round-trips for every verb,
+// malformed-frame rejection (the server feeds the decoders untrusted
+// bytes), end-to-end loopback equality — every remote verb must answer
+// bit-identically to the in-process Database call it proxies — plus the
+// concurrent multi-client stress, the BUSY backpressure path and the
+// drain-on-shutdown guarantee. The stress runs under the CI TSan job:
+// the event thread, the execution pool and N client threads exercise the
+// connection write-buffer handoff and the admission counter together.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "engine/query_engine.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "test_util.h"
+#include "transform/builtin.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace server {
+namespace {
+
+using engine::BatchQuery;
+using engine::BatchQueryKind;
+using engine::BatchResult;
+
+constexpr size_t kNumSeries = 80;
+constexpr size_t kLength = 64;
+constexpr uint64_t kSeed = 20260729;
+
+// ---------------------------------------------------------------------------
+// Protocol round-trips (no sockets).
+// ---------------------------------------------------------------------------
+
+QuerySpec MakeRichSpec() {
+  QuerySpec spec;
+  spec.transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+  spec.mode = TransformMode::kDataOnly;
+  spec.window = MeanStdWindow{-1.5, 2.5, 0.25, 4.0};
+  return spec;
+}
+
+void ExpectSpecEq(const QuerySpec& actual, const QuerySpec& expected) {
+  ASSERT_EQ(actual.transform.has_value(), expected.transform.has_value());
+  if (expected.transform.has_value()) {
+    EXPECT_EQ(actual.transform->spectral.a(), expected.transform->spectral.a());
+    EXPECT_EQ(actual.transform->spectral.b(), expected.transform->spectral.b());
+    EXPECT_EQ(actual.transform->spectral.cost(),
+              expected.transform->spectral.cost());
+    EXPECT_EQ(actual.transform->spectral.name(),
+              expected.transform->spectral.name());
+    EXPECT_EQ(actual.transform->mean_scale, expected.transform->mean_scale);
+    EXPECT_EQ(actual.transform->mean_offset, expected.transform->mean_offset);
+    EXPECT_EQ(actual.transform->std_scale, expected.transform->std_scale);
+  }
+  EXPECT_EQ(actual.mode, expected.mode);
+  ASSERT_EQ(actual.window.has_value(), expected.window.has_value());
+  if (expected.window.has_value()) {
+    EXPECT_EQ(actual.window->mean_lo, expected.window->mean_lo);
+    EXPECT_EQ(actual.window->mean_hi, expected.window->mean_hi);
+    EXPECT_EQ(actual.window->std_lo, expected.window->std_lo);
+    EXPECT_EQ(actual.window->std_hi, expected.window->std_hi);
+  }
+}
+
+/// Feeds `frame` to a FrameReader in awkward 7-byte chunks and returns
+/// the decoded payloads.
+std::vector<serde::Buffer> ReassembleFrames(const serde::Buffer& frame) {
+  FrameReader reader;
+  std::vector<serde::Buffer> payloads;
+  for (size_t off = 0; off < frame.size(); off += 7) {
+    const size_t n = std::min<size_t>(7, frame.size() - off);
+    Status status =
+        reader.Feed(frame.data() + off, n,
+                    [&payloads](const uint8_t* payload, size_t size) {
+                      payloads.emplace_back(payload, payload + size);
+                      return Status::OK();
+                    });
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+  return payloads;
+}
+
+Request RoundTripRequest(const Request& request) {
+  serde::Buffer frame;
+  EncodeRequest(request, &frame);
+  std::vector<serde::Buffer> payloads = ReassembleFrames(frame);
+  EXPECT_EQ(payloads.size(), 1u);
+  Request out;
+  Status status = DecodeRequest(payloads[0].data(), payloads[0].size(), &out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+Reply RoundTripReply(const Reply& reply) {
+  serde::Buffer frame;
+  EncodeReply(reply, &frame);
+  std::vector<serde::Buffer> payloads = ReassembleFrames(frame);
+  EXPECT_EQ(payloads.size(), 1u);
+  Reply out;
+  Status status = DecodeReply(payloads[0].data(), payloads[0].size(), &out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+TEST(ProtocolTest, PingAndStatsRequestsRoundTrip) {
+  for (Verb verb : {Verb::kPing, Verb::kStats}) {
+    Request request;
+    request.verb = verb;
+    request.id = 42;
+    Request out = RoundTripRequest(request);
+    EXPECT_EQ(out.verb, verb);
+    EXPECT_EQ(out.id, 42u);
+  }
+}
+
+TEST(ProtocolTest, QueryAndBatchRequestsRoundTrip) {
+  Rng rng(kSeed);
+  Request request;
+  request.verb = Verb::kBatch;
+  request.id = 7;
+  BatchQuery range;
+  range.kind = BatchQueryKind::kRange;
+  range.query = testing::RandomRealVec(&rng, kLength);
+  range.epsilon = 2.25;
+  range.spec = MakeRichSpec();
+  BatchQuery knn;
+  knn.kind = BatchQueryKind::kKnn;
+  knn.query = testing::RandomRealVec(&rng, kLength);
+  knn.k = 9;
+  BatchQuery sub;
+  sub.kind = BatchQueryKind::kSubsequence;
+  sub.query = testing::RandomRealVec(&rng, 16);
+  sub.epsilon = 0.5;
+  request.queries = {range, knn, sub};
+
+  Request out = RoundTripRequest(request);
+  EXPECT_EQ(out.verb, Verb::kBatch);
+  EXPECT_EQ(out.id, 7u);
+  ASSERT_EQ(out.queries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.queries[i].kind, request.queries[i].kind);
+    EXPECT_EQ(out.queries[i].query, request.queries[i].query);
+    EXPECT_EQ(out.queries[i].epsilon, request.queries[i].epsilon);
+    EXPECT_EQ(out.queries[i].k, request.queries[i].k);
+    ExpectSpecEq(out.queries[i].spec, request.queries[i].spec);
+  }
+
+  request.verb = Verb::kQuery;
+  request.queries = {range};
+  Request single = RoundTripRequest(request);
+  ASSERT_EQ(single.queries.size(), 1u);
+  EXPECT_EQ(single.queries[0].query, range.query);
+}
+
+TEST(ProtocolTest, InsertRequestRoundTrips) {
+  Rng rng(kSeed + 1);
+  Request request;
+  request.verb = Verb::kInsert;
+  request.id = 11;
+  request.insert_names = {"alpha", "", "gamma"};
+  request.insert_values = {testing::RandomRealVec(&rng, 8),
+                           testing::RandomRealVec(&rng, 8), RealVec{}};
+  Request out = RoundTripRequest(request);
+  EXPECT_EQ(out.insert_names, request.insert_names);
+  EXPECT_EQ(out.insert_values, request.insert_values);
+}
+
+TEST(ProtocolTest, SelfJoinRequestRoundTrips) {
+  Request request;
+  request.verb = Verb::kSelfJoin;
+  request.id = 13;
+  request.epsilon = 3.5;
+  request.transform =
+      FeatureTransform::Spectral(transforms::Reverse(kLength));
+  Request out = RoundTripRequest(request);
+  EXPECT_EQ(out.epsilon, 3.5);
+  ASSERT_TRUE(out.transform.has_value());
+  EXPECT_EQ(out.transform->spectral.a(), request.transform->spectral.a());
+  EXPECT_EQ(out.transform->spectral.name(), "reverse");
+}
+
+TEST(ProtocolTest, RepliesRoundTripEveryShape) {
+  // OK query reply with matches, subsequence matches and stats.
+  Reply query_reply;
+  query_reply.verb = Verb::kQuery;
+  query_reply.id = 3;
+  BatchResult result;
+  result.matches = {{5, "SIMa", 1.25}, {9, "SIMb", 2.5}};
+  result.subsequence_matches = {{2, 17, 0.75}};
+  result.stats.candidates = 4;
+  result.stats.verified = 2;
+  result.stats.elapsed_ms = 1.5;
+  query_reply.results.push_back(result);
+  Reply out = RoundTripReply(query_reply);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0].matches.size(), 2u);
+  EXPECT_EQ(out.results[0].matches[1].name, "SIMb");
+  EXPECT_EQ(out.results[0].matches[1].distance, 2.5);
+  EXPECT_EQ(out.results[0].subsequence_matches[0].offset, 17u);
+  EXPECT_EQ(out.results[0].stats.candidates, 4u);
+  EXPECT_EQ(out.results[0].stats.elapsed_ms, 1.5);
+
+  // Batch reply with a per-query error.
+  Reply batch_reply;
+  batch_reply.verb = Verb::kBatch;
+  batch_reply.id = 4;
+  BatchResult failed;
+  failed.status = Status::InvalidArgument("query length 3 != index 64");
+  batch_reply.results = {result, failed};
+  out = RoundTripReply(batch_reply);
+  ASSERT_EQ(out.results.size(), 2u);
+  EXPECT_TRUE(out.results[1].status.IsInvalidArgument());
+  EXPECT_EQ(out.results[1].status.message(), "query length 3 != index 64");
+
+  // Insert reply.
+  Reply insert_reply;
+  insert_reply.verb = Verb::kInsert;
+  insert_reply.id = 5;
+  insert_reply.insert_base = 80;
+  insert_reply.insert_count = 3;
+  out = RoundTripReply(insert_reply);
+  EXPECT_EQ(out.insert_base, 80u);
+  EXPECT_EQ(out.insert_count, 3u);
+
+  // Self-join reply.
+  Reply join_reply;
+  join_reply.verb = Verb::kSelfJoin;
+  join_reply.id = 6;
+  join_reply.pairs = {{1, 2, 0.5}, {2, 1, 0.5}};
+  out = RoundTripReply(join_reply);
+  ASSERT_EQ(out.pairs.size(), 2u);
+  EXPECT_EQ(out.pairs[0].first, 1u);
+  EXPECT_EQ(out.pairs[1].second, 1u);
+  EXPECT_EQ(out.pairs[0].distance, 0.5);
+
+  // Stats reply.
+  Reply stats_reply;
+  stats_reply.verb = Verb::kStats;
+  stats_reply.id = 7;
+  stats_reply.stats.series = 80;
+  stats_reply.stats.index_built = true;
+  stats_reply.stats.pool_hits = 123;
+  stats_reply.stats.tree_height = 2;
+  out = RoundTripReply(stats_reply);
+  EXPECT_EQ(out.stats.series, 80u);
+  EXPECT_TRUE(out.stats.index_built);
+  EXPECT_EQ(out.stats.pool_hits, 123u);
+  EXPECT_EQ(out.stats.tree_height, 2u);
+
+  // Error reply.
+  Reply error_reply;
+  error_reply.code = ReplyCode::kError;
+  error_reply.verb = Verb::kQuery;
+  error_reply.id = 8;
+  error_reply.error = Status::FailedPrecondition("RunBatch requires index");
+  out = RoundTripReply(error_reply);
+  EXPECT_EQ(out.code, ReplyCode::kError);
+  EXPECT_TRUE(out.error.IsFailedPrecondition());
+
+  // Busy reply.
+  Reply busy_reply;
+  busy_reply.code = ReplyCode::kBusy;
+  busy_reply.verb = Verb::kBatch;
+  busy_reply.id = 9;
+  out = RoundTripReply(busy_reply);
+  EXPECT_EQ(out.code, ReplyCode::kBusy);
+  EXPECT_EQ(out.id, 9u);
+}
+
+TEST(ProtocolTest, PipelinedFramesDecodeInOneFeed) {
+  Request a;
+  a.verb = Verb::kPing;
+  a.id = 1;
+  Request b;
+  b.verb = Verb::kStats;
+  b.id = 2;
+  serde::Buffer stream;
+  EncodeRequest(a, &stream);
+  EncodeRequest(b, &stream);
+  FrameReader reader;
+  std::vector<uint64_t> ids;
+  Status status = reader.Feed(
+      stream.data(), stream.size(),
+      [&ids](const uint8_t* payload, size_t size) {
+        Request request;
+        TSQ_RETURN_IF_ERROR(DecodeRequest(payload, size, &request));
+        ids.push_back(request.id);
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(ProtocolTest, FrameReaderRejectsBadMagicAndStaysPoisoned) {
+  FrameReader reader;
+  serde::Buffer junk(32, 0xAB);
+  auto sink = [](const uint8_t*, size_t) { return Status::OK(); };
+  EXPECT_TRUE(reader.Feed(junk.data(), junk.size(), sink).IsCorruption());
+  // Even a now-valid frame is refused: framing trust is gone.
+  serde::Buffer frame;
+  Request request;
+  request.verb = Verb::kPing;
+  EncodeRequest(request, &frame);
+  EXPECT_TRUE(reader.Feed(frame.data(), frame.size(), sink).IsCorruption());
+}
+
+TEST(ProtocolTest, FrameReaderRejectsCrcMismatch) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.id = 3;
+  serde::Buffer frame;
+  EncodeRequest(request, &frame);
+  frame.back() ^= 0xFF;  // flip one payload byte under the CRC
+  FrameReader reader;
+  auto sink = [](const uint8_t*, size_t) { return Status::OK(); };
+  EXPECT_TRUE(reader.Feed(frame.data(), frame.size(), sink).IsCorruption());
+}
+
+TEST(ProtocolTest, FrameReaderRejectsOversizedDeclaredPayload) {
+  serde::Buffer frame;
+  serde::PutU32(&frame, kFrameMagic);
+  serde::PutU32(&frame, 0);
+  serde::PutU64(&frame, uint64_t{1} << 40);  // 1 TiB claim, no bytes behind it
+  FrameReader reader(/*max_payload=*/1 << 20);
+  auto sink = [](const uint8_t*, size_t) { return Status::OK(); };
+  Status status = reader.Feed(frame.data(), frame.size(), sink);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(ProtocolTest, TruncatedFrameWaitsForMoreBytes) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.id = 5;
+  serde::Buffer frame;
+  EncodeRequest(request, &frame);
+  FrameReader reader;
+  size_t decoded = 0;
+  auto sink = [&decoded](const uint8_t*, size_t) {
+    ++decoded;
+    return Status::OK();
+  };
+  ASSERT_TRUE(reader.Feed(frame.data(), frame.size() - 1, sink).ok());
+  EXPECT_EQ(decoded, 0u);
+  EXPECT_GT(reader.buffered(), 0u);
+  ASSERT_TRUE(reader.Feed(frame.data() + frame.size() - 1, 1, sink).ok());
+  EXPECT_EQ(decoded, 1u);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ProtocolTest, DecodeRejectsTrailingGarbageAndBadEnums) {
+  // Trailing garbage after a valid ping body.
+  serde::Buffer payload;
+  serde::PutU32(&payload, static_cast<uint32_t>(Verb::kPing));
+  serde::PutU64(&payload, 1);
+  serde::PutU32(&payload, 0xDEAD);
+  Request request;
+  EXPECT_TRUE(
+      DecodeRequest(payload.data(), payload.size(), &request).IsCorruption());
+
+  // Unknown verb.
+  payload.clear();
+  serde::PutU32(&payload, 99);
+  serde::PutU64(&payload, 1);
+  EXPECT_TRUE(
+      DecodeRequest(payload.data(), payload.size(), &request).IsCorruption());
+
+  // Transform whose a/b vectors disagree must decode to Corruption, not
+  // trip LinearTransform's invariant abort.
+  payload.clear();
+  serde::PutU32(&payload, static_cast<uint32_t>(Verb::kSelfJoin));
+  serde::PutU64(&payload, 2);
+  serde::PutDouble(&payload, 1.0);
+  serde::PutU32(&payload, 1);                      // has transform
+  serde::PutComplexVec(&payload, ComplexVec(4));   // a: 4 elements
+  serde::PutComplexVec(&payload, ComplexVec(3));   // b: 3 elements
+  serde::PutDouble(&payload, 0.0);
+  serde::PutString(&payload, "bad");
+  serde::PutDouble(&payload, 1.0);
+  serde::PutDouble(&payload, 0.0);
+  serde::PutDouble(&payload, 1.0);
+  Status status = DecodeRequest(payload.data(), payload.size(), &request);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+
+  // A hostile vector length that would overflow a naive bounds check.
+  payload.clear();
+  serde::PutU32(&payload, static_cast<uint32_t>(Verb::kInsert));
+  serde::PutU64(&payload, 3);
+  serde::PutU64(&payload, 1);          // one record
+  serde::PutString(&payload, "evil");
+  serde::PutU64(&payload, uint64_t{1} << 61);  // claimed vector length
+  status = DecodeRequest(payload.data(), payload.size(), &request);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end loopback.
+// ---------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = workload::MakeRandomWalkDataset(kSeed, kNumSeries, kLength);
+    DatabaseOptions options;
+    options.directory = dir_.path();
+    options.name = "served";
+    options.buffer_pool_frames = 64;
+    options.buffer_pool_shards = 4;
+    db_ = Database::Create(options).value();
+    std::vector<std::string> names;
+    std::vector<RealVec> values;
+    for (const TimeSeries& s : data_) {
+      names.push_back(s.name());
+      values.push_back(s.values());
+    }
+    ASSERT_TRUE(db_->InsertBatch(names, values, 2).ok());
+    ASSERT_TRUE(db_->BuildIndex().ok());
+  }
+
+  std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+    options.engine_threads = 2;
+    auto server = Server::Start(db_.get(), options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(server).value();
+  }
+
+  std::unique_ptr<Client> Connect(const Server& server) {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  /// The mixed seeded workload of the stress suites: stored + perturbed
+  /// queries, plain and transformed specs, range and kNN.
+  std::vector<BatchQuery> MakeBatch(size_t count, uint64_t salt) const {
+    Rng rng(kSeed + salt);
+    QuerySpec smoothed;
+    smoothed.transform =
+        FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+    std::vector<BatchQuery> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      BatchQuery q;
+      RealVec values = data_[(i * 17 + salt) % kNumSeries].values();
+      if (i % 3 == 1) {
+        for (double& v : values) v += rng.Uniform(-0.5, 0.5);
+      }
+      q.query = std::move(values);
+      if (i % 4 == 2) {
+        q.kind = BatchQueryKind::kKnn;
+        q.k = 1 + i % 5;
+      } else {
+        q.kind = BatchQueryKind::kRange;
+        q.epsilon = (i % 2 == 0) ? 2.0 : 6.0;
+      }
+      if (i % 5 == 3) q.spec = smoothed;
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  }
+
+  static void ExpectResultsEq(const std::vector<BatchResult>& actual,
+                              const std::vector<BatchResult>& expected,
+                              const std::string& what) {
+    ASSERT_EQ(actual.size(), expected.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].status.code(), expected[i].status.code())
+          << what << " query " << i;
+      EXPECT_EQ(actual[i].status.message(), expected[i].status.message())
+          << what << " query " << i;
+      ASSERT_EQ(actual[i].matches.size(), expected[i].matches.size())
+          << what << " query " << i;
+      for (size_t m = 0; m < expected[i].matches.size(); ++m) {
+        EXPECT_EQ(actual[i].matches[m].id, expected[i].matches[m].id)
+            << what << " query " << i << " match " << m;
+        EXPECT_EQ(actual[i].matches[m].name, expected[i].matches[m].name)
+            << what << " query " << i << " match " << m;
+        EXPECT_EQ(actual[i].matches[m].distance,
+                  expected[i].matches[m].distance)
+            << what << " query " << i << " match " << m;
+      }
+    }
+  }
+
+  testing::TempDir dir_;
+  std::vector<TimeSeries> data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ServerTest, PingAndStats) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = StartServer(options);
+  auto client = Connect(*server);
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->series, kNumSeries);
+  EXPECT_EQ(stats->series_length, kLength);
+  EXPECT_TRUE(stats->index_built);
+  EXPECT_GT(stats->tree_entries, 0u);
+
+  const DatabaseStats local = db_->StatsSnapshot();
+  EXPECT_EQ(stats->series, local.series);
+  EXPECT_EQ(stats->tree_entries, local.tree_entries);
+  EXPECT_EQ(stats->tree_height, local.tree_height);
+  EXPECT_EQ(stats->tree_dims, local.tree_dims);
+}
+
+TEST_F(ServerTest, RemoteQueriesMatchInProcess) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = StartServer(options);
+  auto client = Connect(*server);
+
+  QuerySpec smoothed;
+  smoothed.transform =
+      FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+  for (size_t i = 0; i < 6; ++i) {
+    const RealVec& query = data_[i * 11 % kNumSeries].values();
+    const QuerySpec& spec = (i % 2 == 0) ? QuerySpec{} : smoothed;
+
+    auto remote_range = client->Range(query, 4.0, spec);
+    auto local_range = db_->RangeQuery(query, 4.0, spec);
+    ASSERT_TRUE(remote_range.ok() && local_range.ok());
+    ASSERT_EQ(remote_range->size(), local_range->size());
+    for (size_t m = 0; m < local_range->size(); ++m) {
+      EXPECT_EQ((*remote_range)[m].id, (*local_range)[m].id);
+      EXPECT_EQ((*remote_range)[m].name, (*local_range)[m].name);
+      EXPECT_EQ((*remote_range)[m].distance, (*local_range)[m].distance);
+    }
+
+    auto remote_knn = client->Knn(query, 3, spec);
+    auto local_knn = db_->Knn(query, 3, spec);
+    ASSERT_TRUE(remote_knn.ok() && local_knn.ok());
+    ASSERT_EQ(remote_knn->size(), local_knn->size());
+    for (size_t m = 0; m < local_knn->size(); ++m) {
+      EXPECT_EQ((*remote_knn)[m].id, (*local_knn)[m].id);
+      EXPECT_EQ((*remote_knn)[m].distance, (*local_knn)[m].distance);
+    }
+  }
+}
+
+TEST_F(ServerTest, RemoteBatchMatchesInProcess) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = StartServer(options);
+  auto client = Connect(*server);
+
+  const std::vector<BatchQuery> batch = MakeBatch(24, 0);
+  auto remote = client->RunBatch(batch);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto local = db_->RunBatch(batch, 1);
+  ASSERT_TRUE(local.ok());
+  ExpectResultsEq(*remote, *local, "batch");
+}
+
+TEST_F(ServerTest, RemoteErrorsMatchInProcess) {
+  auto server = StartServer();
+  auto client = Connect(*server);
+
+  // Wrong query length: the per-query status must relay verbatim.
+  const RealVec short_query(3, 1.0);
+  auto remote = client->Range(short_query, 1.0);
+  auto local = db_->RunBatch(
+      {BatchQuery{BatchQueryKind::kRange, short_query, 1.0, 0, {}}}, 1);
+  ASSERT_TRUE(local.ok());
+  ASSERT_FALSE(remote.ok());
+  EXPECT_EQ(remote.status().code(), (*local)[0].status.code());
+  EXPECT_EQ(remote.status().message(), (*local)[0].status.message());
+
+  // Subsequence queries: the Database serves none (no ST-index), and the
+  // remote answer must be the same refusal the in-process batch gives.
+  auto remote_sub = client->Subsequence(RealVec(8, 0.0), 1.0);
+  auto local_sub = db_->RunBatch(
+      {BatchQuery{BatchQueryKind::kSubsequence, RealVec(8, 0.0), 1.0, 0, {}}},
+      1);
+  ASSERT_TRUE(local_sub.ok());
+  ASSERT_FALSE(remote_sub.ok());
+  EXPECT_EQ(remote_sub.status().code(), (*local_sub)[0].status.code());
+  EXPECT_EQ(remote_sub.status().message(), (*local_sub)[0].status.message());
+}
+
+TEST_F(ServerTest, RemoteSelfJoinMatchesInProcess) {
+  ServerOptions options;
+  options.workers = 2;
+  auto server = StartServer(options);
+  auto client = Connect(*server);
+
+  for (const std::optional<FeatureTransform>& transform :
+       {std::optional<FeatureTransform>{},
+        std::optional<FeatureTransform>{FeatureTransform::Spectral(
+            transforms::MovingAverage(kLength, 4))}}) {
+    auto remote = client->SelfJoin(4.0, transform);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto local = db_->ParallelSelfJoin(4.0, transform, 1);
+    ASSERT_TRUE(local.ok());
+    ASSERT_EQ(remote->size(), local->size());
+    for (size_t i = 0; i < local->size(); ++i) {
+      EXPECT_EQ((*remote)[i].first, (*local)[i].first);
+      EXPECT_EQ((*remote)[i].second, (*local)[i].second);
+      EXPECT_EQ((*remote)[i].distance, (*local)[i].distance);
+    }
+  }
+}
+
+TEST_F(ServerTest, RemoteInsertMatchesInProcessAndIsQueryable) {
+  auto server = StartServer();
+  auto client = Connect(*server);
+
+  Rng rng(kSeed + 99);
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  for (size_t i = 0; i < 6; ++i) {
+    names.push_back("remote_" + std::to_string(i));
+    values.push_back(testing::RandomRealVec(&rng, kLength));
+  }
+  auto ids = client->InsertBatch(names, values);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids->size(), names.size());
+  EXPECT_EQ((*ids)[0], kNumSeries);  // dense ids continue the sequence
+  EXPECT_EQ(db_->size(), kNumSeries + names.size());
+
+  // The inserted series are immediately indexed and query-visible.
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto rec = db_->Get((*ids)[i]);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->name, names[i]);
+    EXPECT_EQ(rec->values, values[i]);
+    auto matches = client->Range(values[i], 1e-9);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ((*matches)[0].id, (*ids)[i]);
+  }
+
+  // A batch rejected remotely leaves the database untouched, exactly as
+  // the in-process call does.
+  auto bad = client->InsertBatch({"too_short"}, {RealVec(3, 1.0)});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(db_->size(), kNumSeries + names.size());
+}
+
+TEST_F(ServerTest, MalformedPayloadGetsErrorReplyAndConnectionSurvives) {
+  auto server = StartServer();
+
+  // Raw socket: send a CRC-valid frame whose payload decodes to garbage.
+  auto client = Connect(*server);
+  serde::Buffer payload;
+  serde::PutU32(&payload, static_cast<uint32_t>(Verb::kPing));
+  serde::PutU64(&payload, 21);
+  serde::PutU32(&payload, 7);  // trailing garbage: semantic decode fails
+  serde::Buffer frame;
+  serde::PutU32(&frame, kFrameMagic);
+  serde::PutU32(&frame, serde::Crc32(payload));
+  serde::PutU64(&frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  // Smuggle the bad frame through a second raw connection.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  // The reply must be an ERROR frame, not a dropped connection.
+  FrameReader reader;
+  Reply reply;
+  bool have_reply = false;
+  uint8_t buf[4096];
+  while (!have_reply) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server dropped a recoverable connection";
+    ASSERT_TRUE(reader
+                    .Feed(buf, static_cast<size_t>(n),
+                          [&](const uint8_t* p, size_t size) {
+                            TSQ_RETURN_IF_ERROR(DecodeReply(p, size, &reply));
+                            have_reply = true;
+                            return Status::OK();
+                          })
+                    .ok());
+  }
+  EXPECT_EQ(reply.code, ReplyCode::kError);
+  EXPECT_EQ(reply.id, 21u);
+  EXPECT_TRUE(reply.error.IsCorruption());
+  ::close(fd);
+
+  // The first (well-behaved) connection is unaffected.
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_GE(server->counters().protocol_errors, 1u);
+}
+
+TEST_F(ServerTest, BrokenFramingClosesConnection) {
+  auto server = StartServer();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const serde::Buffer junk(64, 0x5A);  // wrong magic: framing unrecoverable
+  ASSERT_EQ(::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(junk.size()));
+  uint8_t buf[64];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);  // blocks until close
+  EXPECT_EQ(n, 0) << "expected EOF after framing violation";
+  ::close(fd);
+  EXPECT_GE(server->counters().protocol_errors, 1u);
+}
+
+TEST_F(ServerTest, ConcurrentClientsMatchGroundTruthAtEveryWorkerCount) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kQueriesPerClient = 18;
+
+  // Ground truth once, in-process, single-threaded.
+  std::vector<std::vector<BatchResult>> expected;
+  for (size_t c = 0; c < kClients; ++c) {
+    auto local = db_->RunBatch(MakeBatch(kQueriesPerClient, c), 1);
+    ASSERT_TRUE(local.ok());
+    expected.push_back(std::move(*local));
+  }
+
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    ServerOptions options;
+    options.workers = workers;
+    auto server = StartServer(options);
+
+    std::vector<std::thread> threads;
+    std::vector<Status> client_status(kClients);
+    std::vector<std::vector<BatchResult>> got(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = Client::Connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          client_status[c] = client.status();
+          return;
+        }
+        // Mix batched and single-query traffic per client.
+        auto batch = (*client)->RunBatch(MakeBatch(kQueriesPerClient, c));
+        if (!batch.ok()) {
+          client_status[c] = batch.status();
+          return;
+        }
+        got[c] = std::move(*batch);
+        client_status[c] = (*client)->Ping();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t c = 0; c < kClients; ++c) {
+      ASSERT_TRUE(client_status[c].ok())
+          << "client " << c << " with " << workers
+          << " workers: " << client_status[c].ToString();
+      ExpectResultsEq(got[c], expected[c],
+                      "client " + std::to_string(c) + " workers " +
+                          std::to_string(workers));
+    }
+    const ServerCounters counters = server->counters();
+    EXPECT_EQ(counters.connections_accepted, kClients);
+    EXPECT_EQ(counters.busy_rejected, 0u);
+    EXPECT_EQ(counters.requests_executed, kClients);  // one batch each
+  }
+}
+
+TEST_F(ServerTest, AdmissionQueueFullRepliesBusy) {
+  // One worker, admission bound 1, and a gate that parks the worker in
+  // the first request: the second request must bounce with BUSY before
+  // any engine work, and pings must still answer inline.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool release = false;
+
+  ServerOptions options;
+  options.workers = 1;
+  options.max_inflight = 1;
+  auto server = StartServer(options);
+  server->SetExecutionHookForTesting([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  });
+
+  auto blocked = Connect(*server);
+  auto bounced = Connect(*server);
+
+  std::thread slow([&] {
+    auto matches = blocked->Range(data_[0].values(), 2.0);
+    EXPECT_TRUE(matches.ok()) << matches.status().ToString();
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered; });
+  }
+
+  // The admitted request is parked on the only worker with inflight == 1.
+  auto rejected = bounced->Range(data_[1].values(), 2.0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable())
+      << rejected.status().ToString();
+  EXPECT_TRUE(bounced->Ping().ok()) << "pings must bypass admission";
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  slow.join();
+
+  // With the worker free again the retry succeeds.
+  auto retried = bounced->Range(data_[1].values(), 2.0);
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(server->counters().busy_rejected, 1u);
+}
+
+TEST_F(ServerTest, StopDrainsInFlightQueries) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool release = false;
+
+  ServerOptions options;
+  options.workers = 1;
+  auto server = StartServer(options);
+  server->SetExecutionHookForTesting([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  });
+
+  auto client = Connect(*server);
+  Result<std::vector<Match>> matches = Status::Internal("not yet run");
+  std::thread querier([&] { matches = client->Range(data_[0].values(), 4.0); });
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered; });
+  }
+
+  // Stop must block until the admitted query drains — release the gate
+  // from a side thread after Stop is underway.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+    gate_cv.notify_all();
+  });
+  server->Stop();
+  releaser.join();
+  querier.join();
+
+  // The in-flight query's reply arrived despite the shutdown.
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  auto expected = db_->RangeQuery(data_[0].values(), 4.0);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(matches->size(), expected->size());
+
+  // And the server really is gone.
+  auto reconnect = Client::Connect("127.0.0.1", server->port());
+  if (reconnect.ok()) {
+    EXPECT_FALSE((*reconnect)->Ping().ok());
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace tsq

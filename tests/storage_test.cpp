@@ -105,6 +105,66 @@ TEST(SerdeTest, OversizedLengthPrefixYieldsCorruption) {
   EXPECT_TRUE(reader.GetString(&s).IsCorruption());
 }
 
+TEST(SerdeTest, HostileVectorLengthCannotOverflowBoundsCheck) {
+  // A claimed element count of 2^61 makes n * 8 wrap to 0 in u64; the
+  // decoder must compare with a division instead and fail cleanly — the
+  // tsqd server feeds these decoders raw network bytes.
+  serde::Buffer buf;
+  serde::PutU64(&buf, uint64_t{1} << 61);
+  {
+    serde::Reader reader(buf);
+    RealVec rv;
+    EXPECT_TRUE(reader.GetRealVec(&rv).IsCorruption());
+  }
+  // 2^60 * 16 wraps the same way for complex vectors.
+  buf.clear();
+  serde::PutU64(&buf, uint64_t{1} << 60);
+  {
+    serde::Reader reader(buf);
+    ComplexVec cv;
+    EXPECT_TRUE(reader.GetComplexVec(&cv).IsCorruption());
+  }
+}
+
+TEST(SerdeTest, OversizedButNonWrappingVectorLengthIsCorruption) {
+  serde::Buffer buf;
+  serde::PutU64(&buf, 1000);  // claims 8000 payload bytes
+  serde::PutDouble(&buf, 1.0);
+  serde::Reader reader(buf);
+  RealVec rv;
+  EXPECT_TRUE(reader.GetRealVec(&rv).IsCorruption());
+}
+
+TEST(SerdeTest, ZeroLengthVectorsAndStringsDecodeEmpty) {
+  serde::Buffer buf;
+  serde::PutRealVec(&buf, {});
+  serde::PutComplexVec(&buf, {});
+  serde::PutString(&buf, "");
+  serde::Reader reader(buf);
+  RealVec rv{1.0};
+  ComplexVec cv{Complex(1.0, 1.0)};
+  std::string s = "stale";
+  ASSERT_TRUE(reader.GetRealVec(&rv).ok());
+  ASSERT_TRUE(reader.GetComplexVec(&cv).ok());
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  EXPECT_TRUE(rv.empty());
+  EXPECT_TRUE(cv.empty());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(SerdeTest, EmptyInputFailsEveryGetter) {
+  serde::Reader reader(nullptr, 0);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double d = 0.0;
+  RealVec rv;
+  EXPECT_TRUE(reader.GetU32(&u32).IsCorruption());
+  EXPECT_TRUE(reader.GetU64(&u64).IsCorruption());
+  EXPECT_TRUE(reader.GetDouble(&d).IsCorruption());
+  EXPECT_TRUE(reader.GetRealVec(&rv).IsCorruption());
+}
+
 TEST(SerdeTest, Crc32KnownVectorAndSensitivity) {
   // The classic zlib check value.
   const std::string data = "123456789";

@@ -16,9 +16,25 @@
 //                   [--method scan|scan-fast|index|index-transform|tree]
 //   tsq_cli demo    --db DIR/NAME [--count N] [--days D]   (simulated market)
 //
+// tsqd server + remote client commands (src/server/):
+//   tsq_cli serve         --db DIR/NAME [--host H] [--port P] [--workers N]
+//                         [--engine-threads T] [--max-inflight M]
+//   tsq_cli remote-ping   [--host H] [--port P]
+//   tsq_cli remote-stats  [--host H] [--port P]
+//   tsq_cli remote-import [--host H] [--port P] --csv FILE
+//   tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME
+//                         --eps X [--transform T] [--mode both|data]
+//   tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME
+//                         --k K [--transform T]
+//   tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]
+//
 // --db takes "directory/name"; files NAME.rel / NAME.idx are stored in the
-// directory. --series names a stored series to use as the query point.
+// directory. --series names a stored series to use as the query point; the
+// remote query commands read it from a local --csv file instead (the wire
+// protocol ships query values, not names). Default remote endpoint:
+// 127.0.0.1:4741. `serve` honors TSQ_LOG_LEVEL (debug|info|warn|error|off).
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,6 +42,7 @@
 #include <optional>
 #include <string>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "tsq.h"
@@ -62,11 +79,23 @@ int Usage() {
       "  tsq_cli knn    --db DIR/NAME --series NAME --k K [--transform T]\n"
       "  tsq_cli join   --db DIR/NAME --eps X [--transform T] [--method M]\n"
       "  tsq_cli demo   --db DIR/NAME [--count N] [--days D]\n"
+      "  tsq_cli serve  --db DIR/NAME [--host H] [--port P] [--workers N] "
+      "[--engine-threads T] [--max-inflight M]\n"
+      "  tsq_cli remote-ping|remote-stats [--host H] [--port P]\n"
+      "  tsq_cli remote-import [--host H] [--port P] --csv FILE\n"
+      "  tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME "
+      "--eps X [--transform T] [--mode both|data]\n"
+      "  tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME "
+      "--k K [--transform T]\n"
+      "  tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]\n"
       "transforms: identity | mavg:W | ewma:ALPHA:W | reverse | scale:F | "
       "shift:D\n"
-      "join methods: scan | scan-fast | index | index-transform | tree\n");
+      "join methods: scan | scan-fast | index | index-transform | tree\n"
+      "default remote endpoint: 127.0.0.1:4741\n");
   return 2;
 }
+
+constexpr uint16_t kDefaultPort = 4741;
 
 bool ParseArgs(int argc, char** argv, Args* out) {
   if (argc < 2) return false;
@@ -382,6 +411,219 @@ int CmdJoin(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// tsqd server + remote client commands
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int CmdServe(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  if (db_path == nullptr || !SplitDbPath(db_path, &options)) return Usage();
+  Logger::ReloadFromEnv();
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+
+  server::ServerOptions server_options;
+  server_options.host = args.GetOr("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(
+      std::stoul(args.GetOr("port", std::to_string(kDefaultPort))));
+  server_options.workers = std::stoul(args.GetOr("workers", "0"));
+  server_options.engine_threads =
+      std::stoul(args.GetOr("engine-threads", "0"));
+  server_options.max_inflight = std::stoul(args.GetOr("max-inflight", "128"));
+  auto server = server::Server::Start(db->get(), server_options);
+  if (!server.ok()) return Fail(server.status());
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("tsqd serving %s/%s (%llu series) on %s:%u — Ctrl-C stops\n",
+              options.directory.c_str(), options.name.c_str(),
+              static_cast<unsigned long long>((*db)->size()),
+              server_options.host.c_str(), (*server)->port());
+  std::fflush(stdout);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining and stopping tsqd\n");
+  (*server)->Stop();
+  if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
+  return 0;
+}
+
+Result<std::unique_ptr<server::Client>> ConnectRemote(const Args& args) {
+  return server::Client::Connect(
+      args.GetOr("host", "127.0.0.1"),
+      static_cast<uint16_t>(
+          std::stoul(args.GetOr("port", std::to_string(kDefaultPort)))));
+}
+
+int CmdRemotePing(const Args& args) {
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  if (Status s = (*client)->Ping(); !s.ok()) return Fail(s);
+  std::printf("pong\n");
+  return 0;
+}
+
+int CmdRemoteStats(const Args& args) {
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  auto stats = (*client)->Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("series        %llu x length %llu\n",
+              static_cast<unsigned long long>(stats->series),
+              static_cast<unsigned long long>(stats->series_length));
+  std::printf("index         %s\n", stats->index_built ? "built" : "none");
+  if (stats->index_built) {
+    std::printf("  tree        %llu entries, height %llu, dims %llu\n",
+                static_cast<unsigned long long>(stats->tree_entries),
+                static_cast<unsigned long long>(stats->tree_height),
+                static_cast<unsigned long long>(stats->tree_dims));
+    std::printf("  pool        %llu hits, %llu misses, %llu evictions, "
+                "%llu disk reads, %llu disk writes\n",
+                static_cast<unsigned long long>(stats->pool_hits),
+                static_cast<unsigned long long>(stats->pool_misses),
+                static_cast<unsigned long long>(stats->pool_evictions),
+                static_cast<unsigned long long>(stats->pool_disk_reads),
+                static_cast<unsigned long long>(stats->pool_disk_writes));
+    std::printf("  traversal   %llu nodes, %llu rect transforms, "
+                "%llu leaf entries tested\n",
+                static_cast<unsigned long long>(stats->nodes_visited),
+                static_cast<unsigned long long>(stats->rect_transforms),
+                static_cast<unsigned long long>(stats->leaf_entries_tested));
+  }
+  std::printf("relation      %llu records read, %llu bytes read, "
+              "%llu bytes written\n",
+              static_cast<unsigned long long>(stats->relation_records_read),
+              static_cast<unsigned long long>(stats->relation_bytes_read),
+              static_cast<unsigned long long>(stats->relation_bytes_written));
+  return 0;
+}
+
+int CmdRemoteImport(const Args& args) {
+  const char* csv = args.Get("csv");
+  if (csv == nullptr) return Usage();
+  auto series = workload::LoadCsv(csv);
+  if (!series.ok()) return Fail(series.status());
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  ToBatch(*series, &names, &values);
+  auto ids = (*client)->InsertBatch(names, values);
+  if (!ids.ok()) return Fail(ids.status());
+  if (ids->empty()) {
+    std::printf("nothing to import from empty CSV\n");
+    return 0;
+  }
+  std::printf("imported %zu series remotely (ids %llu..%llu)\n", ids->size(),
+              static_cast<unsigned long long>(ids->front()),
+              static_cast<unsigned long long>(ids->back()));
+  return 0;
+}
+
+/// Loads --csv and picks the --series row as the remote query point.
+Result<RealVec> LoadQuerySeries(const Args& args) {
+  const char* csv = args.Get("csv");
+  const char* series_name = args.Get("series");
+  if (csv == nullptr || series_name == nullptr) {
+    return Status::InvalidArgument("remote queries need --csv and --series");
+  }
+  TSQ_ASSIGN_OR_RETURN(std::vector<TimeSeries> series,
+                       workload::LoadCsv(csv));
+  for (const TimeSeries& s : series) {
+    if (s.name() == series_name) return s.values();
+  }
+  return Status::NotFound("no series named '" + std::string(series_name) +
+                          "' in " + csv);
+}
+
+/// Builds the QuerySpec for a remote query; the series length needed by
+/// --transform comes from the server's stats.
+Result<QuerySpec> MakeRemoteSpec(const Args& args, server::Client* client) {
+  QuerySpec spec;
+  if (const char* t = args.Get("transform")) {
+    TSQ_ASSIGN_OR_RETURN(DatabaseStats stats, client->Stats());
+    TSQ_ASSIGN_OR_RETURN(spec.transform,
+                         ParseTransform(t, stats.series_length));
+  }
+  if (args.GetOr("mode", "both") == "data") {
+    spec.mode = TransformMode::kDataOnly;
+  }
+  return spec;
+}
+
+int CmdRemoteRange(const Args& args) {
+  const char* eps = args.Get("eps");
+  if (eps == nullptr) return Usage();
+  auto query = LoadQuerySeries(args);
+  if (!query.ok()) return Fail(query.status());
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  auto spec = MakeRemoteSpec(args, client->get());
+  if (!spec.ok()) return Fail(spec.status());
+  auto matches = (*client)->Range(*query, std::stod(eps), *spec);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("%zu matches:\n", matches->size());
+  for (const Match& m : *matches) {
+    std::printf("  %-16s %.6f\n", m.name.c_str(), m.distance);
+  }
+  return 0;
+}
+
+int CmdRemoteKnn(const Args& args) {
+  auto query = LoadQuerySeries(args);
+  if (!query.ok()) return Fail(query.status());
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  auto spec = MakeRemoteSpec(args, client->get());
+  if (!spec.ok()) return Fail(spec.status());
+  const size_t k = std::stoul(args.GetOr("k", "5"));
+  auto matches = (*client)->Knn(*query, k, *spec);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("%zu nearest neighbors:\n", matches->size());
+  for (const Match& m : *matches) {
+    std::printf("  %-16s %.6f\n", m.name.c_str(), m.distance);
+  }
+  return 0;
+}
+
+int CmdRemoteJoin(const Args& args) {
+  const char* eps = args.Get("eps");
+  if (eps == nullptr) return Usage();
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  std::optional<FeatureTransform> transform;
+  if (const char* t = args.Get("transform")) {
+    auto stats = (*client)->Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    auto parsed = ParseTransform(t, stats->series_length);
+    if (!parsed.ok()) return Fail(parsed.status());
+    transform = *parsed;
+  }
+  auto pairs = (*client)->SelfJoin(std::stod(eps), transform);
+  if (!pairs.ok()) return Fail(pairs.status());
+  size_t unordered = 0;
+  for (const JoinPair& p : *pairs) {
+    if (p.first < p.second) ++unordered;
+  }
+  std::printf("%zu ordered pairs (%zu unordered); first few ids:\n",
+              pairs->size(), unordered);
+  size_t shown = 0;
+  for (const JoinPair& p : *pairs) {
+    if (p.first > p.second) continue;
+    std::printf("  %llu <-> %llu  %.6f\n",
+                static_cast<unsigned long long>(p.first),
+                static_cast<unsigned long long>(p.second), p.distance);
+    if (++shown >= 20) break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,5 +636,12 @@ int main(int argc, char** argv) {
   if (args.command == "range") return CmdRange(args);
   if (args.command == "knn") return CmdKnn(args);
   if (args.command == "join") return CmdJoin(args);
+  if (args.command == "serve") return CmdServe(args);
+  if (args.command == "remote-ping") return CmdRemotePing(args);
+  if (args.command == "remote-stats") return CmdRemoteStats(args);
+  if (args.command == "remote-import") return CmdRemoteImport(args);
+  if (args.command == "remote-range") return CmdRemoteRange(args);
+  if (args.command == "remote-knn") return CmdRemoteKnn(args);
+  if (args.command == "remote-join") return CmdRemoteJoin(args);
   return Usage();
 }
