@@ -2,11 +2,61 @@
 
 #include "core/database.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <numeric>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace tsq {
+
+Database::~Database() { StopMergeThread(); }
+
+void Database::StartMergeThread() {
+  if (options_.merge_interval_ms == 0) return;
+  merge_thread_ = std::thread([this] { MergeThreadMain(); });
+}
+
+void Database::StopMergeThread() {
+  if (!merge_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(merge_cv_mutex_);
+    stop_merge_ = true;
+  }
+  merge_cv_.notify_all();
+  merge_thread_.join();
+}
+
+void Database::MergeThreadMain() {
+  const auto interval = std::chrono::milliseconds(options_.merge_interval_ms);
+  std::unique_lock<std::mutex> lock(merge_cv_mutex_);
+  while (!stop_merge_) {
+    merge_cv_.wait_for(lock, interval, [this] { return stop_merge_; });
+    if (stop_merge_) return;
+    lock.unlock();
+    auto snap = CurrentSnapshot();
+    if (snap != nullptr && CheckIndexHealthy().ok()) {
+      const uint64_t unmerged =
+          snap->delta->base() + snap->delta->visible() - snap->main->size();
+      if (unmerged >= options_.merge_min_delta) {
+        if (Result<uint64_t> merged = Reindex(); !merged.ok()) {
+          // The previous epoch stays published and correct; retry next
+          // tick.
+          TSQ_LOG(kWarn) << "background merge failed: "
+                         << merged.status().ToString();
+        }
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Database::SetMergeHookForTesting(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  merge_hook_ = std::move(hook);
+}
 
 Result<std::unique_ptr<Database>> Database::Create(
     const DatabaseOptions& options) {
@@ -18,6 +68,9 @@ Result<std::unique_ptr<Database>> Database::Create(
       db->relation_,
       Relation::Create(options.directory + "/" + options.name + ".rel",
                        options.relation_segments));
+  // Clear any leftover merge scratch from a previous incarnation.
+  std::remove((db->IndexPath() + ".tmp").c_str());
+  db->StartMergeThread();
   return db;
 }
 
@@ -36,8 +89,10 @@ Result<std::unique_ptr<Database>> Database::Open(
   TSQ_ASSIGN_OR_RETURN(SeriesRecord first, db->relation_->Get(0));
   db->series_length_.store(first.values.size(), std::memory_order_relaxed);
 
-  const std::string index_path =
-      options.directory + "/" + options.name + ".idx";
+  const std::string index_path = db->IndexPath();
+  // A crash between building <name>.idx.tmp and the atomic rename leaves
+  // scratch behind; the canonical index file is still the previous one.
+  std::remove((index_path + ".tmp").c_str());
   if (std::FILE* f = std::fopen(index_path.c_str(), "rb")) {
     std::fclose(f);
     KIndexOptions kopts;
@@ -47,23 +102,49 @@ Result<std::unique_ptr<Database>> Database::Open(
     kopts.buffer_pool_frames = options.buffer_pool_frames;
     kopts.buffer_pool_shards = options.buffer_pool_shards;
     kopts.rtree = options.rtree;
-    TSQ_ASSIGN_OR_RETURN(db->index_,
-                         KIndex::Open(kopts, db->series_length()));
-    if (db->index_->size() != db->relation_->size()) {
+    std::unique_ptr<KIndex> opened;
+    TSQ_ASSIGN_OR_RETURN(opened, KIndex::Open(kopts, db->series_length()));
+    const uint64_t indexed = opened->size();
+    const uint64_t total = db->relation_->size();
+    if (indexed > total) {
       return Status::Corruption(
-          "index holds " + std::to_string(db->index_->size()) +
-          " entries but the relation has " +
-          std::to_string(db->relation_->size()));
+          "index holds " + std::to_string(indexed) +
+          " entries but the relation has only " + std::to_string(total));
+    }
+    // The index may cover a prefix of the relation — the flushed state
+    // of a crash between an insert (or merge cutoff) and the next merge.
+    // Rebuild the missing tail [indexed, total) into the delta; feature
+    // points are a pure function of relation records, so the reopened
+    // view answers exactly like the pre-crash one.
+    auto snap = std::make_shared<IndexSnapshot>();
+    snap->epoch = 1;
+    snap->main = std::shared_ptr<KIndex>(std::move(opened));
+    snap->delta =
+        std::make_shared<DeltaIndex>(indexed, db->options_.layout.dims());
+    snap->delta_begin = 0;
+    for (SeriesId id = indexed; id < total; ++id) {
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, db->relation_->Get(id));
+      const SeriesFeatures features =
+          db->extractor_.FromStored(rec.values, rec.dft);
+      TSQ_RETURN_IF_ERROR(
+          snap->delta->Put(id, db->extractor_.ToPoint(features)));
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(db->snapshot_ptr_mutex_);
+      db->snapshot_ = std::move(snap);
     }
   }
+  db->StartMergeThread();
   return db;
 }
 
 Status Database::Flush() {
   TSQ_RETURN_IF_ERROR(relation_->Flush());
-  if (index_ != nullptr) {
-    std::unique_lock<std::shared_mutex> lock(index_mutex_);
-    TSQ_RETURN_IF_ERROR(index_->Flush());
+  // merge_mutex_ keeps the flush from racing a merge's rename of the
+  // index file; the main tree itself is immutable once published.
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  if (auto snap = CurrentSnapshot(); snap != nullptr) {
+    TSQ_RETURN_IF_ERROR(snap->main->Flush());
   }
   return Status::OK();
 }
@@ -78,27 +159,32 @@ DatabaseStats Database::StatsSnapshot() const {
   out.relation_bytes_read = rel.bytes_read.load(std::memory_order_relaxed);
   out.relation_bytes_written =
       rel.bytes_written.load(std::memory_order_relaxed);
-  // index_ is written once by BuildIndex under the exclusive lock; the
-  // shared lock here orders this read after any in-flight build.
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  if (index_ == nullptr) return out;
+  // One acquire load pins a coherent snapshot; counters within it are
+  // individually atomic (monitoring does not need mutual consistency).
+  auto snap = CurrentSnapshot();
+  if (snap == nullptr) return out;
+  const KIndex* index = snap->main.get();
   out.index_built = true;
-  const BufferPoolStats pool = index_->pool()->stats();
+  out.index_epoch = snap->epoch;
+  out.delta_entries =
+      snap->delta->base() + snap->delta->visible() - index->size();
+  out.merges_completed = merges_completed_.load(std::memory_order_relaxed);
+  const BufferPoolStats pool = index->pool()->stats();
   out.pool_hits = pool.hits.load(std::memory_order_relaxed);
   out.pool_misses = pool.misses.load(std::memory_order_relaxed);
   out.pool_evictions = pool.evictions.load(std::memory_order_relaxed);
   out.pool_disk_reads = pool.disk_reads.load(std::memory_order_relaxed);
   out.pool_disk_writes = pool.disk_writes.load(std::memory_order_relaxed);
-  const rtree::TraversalStats& traversal = index_->tree()->stats();
+  const rtree::TraversalStats& traversal = index->tree()->stats();
   out.nodes_visited =
       traversal.nodes_visited.load(std::memory_order_relaxed);
   out.rect_transforms =
       traversal.rect_transforms.load(std::memory_order_relaxed);
   out.leaf_entries_tested =
       traversal.leaf_entries_tested.load(std::memory_order_relaxed);
-  out.tree_entries = index_->tree()->size();
-  out.tree_height = index_->tree()->height();
-  out.tree_dims = index_->tree()->dims();
+  out.tree_entries = index->tree()->size();
+  out.tree_height = index->tree()->height();
+  out.tree_dims = index->tree()->dims();
   return out;
 }
 
@@ -136,20 +222,42 @@ Result<SeriesId> Database::Insert(const std::string& name,
   if (values.empty()) {
     return Status::InvalidArgument("cannot insert an empty series");
   }
-  if (index_ != nullptr) {
+  if (index_built()) {
     TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   }
   TSQ_RETURN_IF_ERROR(CheckSeriesLength(values.size()));
   const SeriesFeatures features = extractor_.Extract(values);
   TSQ_ASSIGN_OR_RETURN(const SeriesId id,
                        relation_->Append(name, values, features.spectrum));
-  if (index_ != nullptr) {
-    std::unique_lock<std::shared_mutex> lock(index_mutex_);
-    if (Status status = index_->Add(id, features); !status.ok()) {
+  if (index_built()) {
+    if (Status status = DeltaPut(id, features); !status.ok()) {
       return PoisonIndex(std::move(status));
     }
   }
   return id;
+}
+
+Status Database::DeltaPut(SeriesId id, const SeriesFeatures& features) {
+  const spatial::Point point = extractor_.ToPoint(features);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(delta_put_mutex_);
+      // Reload under the lock: a merge may have compacted the delta
+      // since this call started, and Put must target the live one.
+      auto snap = CurrentSnapshot();
+      Status status = snap->delta->Put(id, point);
+      if (status.ok() || status.code() != StatusCode::kOutOfRange) {
+        return status;
+      }
+    }
+    if (attempt == 0) {
+      // Delta at capacity: fold it into a fresh main tree, then retry on
+      // the compacted delta. (Reindex takes merge_mutex_ then
+      // delta_put_mutex_, so the put lock must be released first.)
+      TSQ_RETURN_IF_ERROR(Reindex().status());
+    }
+  }
+  return Status::OutOfRange("delta index full after merge");
 }
 
 Result<std::vector<SeriesId>> Database::InsertBatch(
@@ -175,7 +283,7 @@ Result<std::vector<SeriesId>> Database::InsertBatch(
           std::to_string(values[0].size()));
     }
   }
-  if (index_ != nullptr) {
+  if (index_built()) {
     TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   }
   TSQ_RETURN_IF_ERROR(CheckSeriesLength(values[0].size()));
@@ -229,13 +337,14 @@ Result<std::vector<SeriesId>> Database::InsertBatch(
     TSQ_RETURN_IF_ERROR(status);
   }
 
-  // Phase 3: fold the batch into the index (when built) in id order,
-  // under the writer side of the index lock — the only point where this
-  // call can make a concurrent batch query wait.
-  if (index_ != nullptr) {
-    std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  // Phase 3: publish the batch's feature points into the delta index
+  // (when built) in id order. Each put is a slot write under the delta
+  // writer mutex — a writer-writer lock; no query waits on it. The
+  // series become visible the moment the delta watermark covers them,
+  // i.e. before this call returns.
+  if (index_built()) {
     for (size_t i = 0; i < count; ++i) {
-      if (Status status = index_->Add(base + i, features[i]); !status.ok()) {
+      if (Status status = DeltaPut(base + i, features[i]); !status.ok()) {
         return PoisonIndex(std::move(status));
       }
     }
@@ -246,37 +355,31 @@ Result<std::vector<SeriesId>> Database::InsertBatch(
   return ids;
 }
 
-Status Database::BuildIndex() {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
-  const uint64_t total = relation_->size();
-  if (total == 0) {
-    return Status::FailedPrecondition("BuildIndex on an empty database");
-  }
-  if (index_ != nullptr) {
-    return Status::FailedPrecondition("index already built");
-  }
+Result<std::shared_ptr<KIndex>> Database::BuildIndexFile(
+    const std::string& path, uint64_t limit, bool bulk_load) {
   KIndexOptions kopts;
   kopts.layout = options_.layout;
-  kopts.path = options_.directory + "/" + options_.name + ".idx";
+  kopts.path = path;
   kopts.page_size = options_.page_size;
   kopts.buffer_pool_frames = options_.buffer_pool_frames;
   kopts.buffer_pool_shards = options_.buffer_pool_shards;
   kopts.rtree = options_.rtree;
-  TSQ_ASSIGN_OR_RETURN(index_, KIndex::Create(kopts, series_length()));
+  std::unique_ptr<KIndex> index;
+  TSQ_ASSIGN_OR_RETURN(index, KIndex::Create(kopts, series_length()));
 
   // One parallel scan per relation segment collects every series'
   // features — ids are dense, so items[id] is each scanner's private
   // slot and the merged vector is in id order with no sorting. Features
   // come from the same FromStored helper Insert's Extract shares, so
-  // bulk and incremental indexing are identical. STR bulk loading packs
-  // the tree in one pass (repeated insertion remains available as the
-  // ablation baseline).
-  std::vector<std::pair<SeriesId, SeriesFeatures>> items(total);
+  // bulk, incremental and merge indexing are identical. STR bulk loading
+  // packs the tree in one pass (repeated insertion remains available as
+  // the ablation baseline).
+  std::vector<std::pair<SeriesId, SeriesFeatures>> items(limit);
   const size_t num_segments = relation_->num_segments();
   std::vector<Status> segment_status(num_segments);
   EnsureIngestPool(0)->ParallelFor(num_segments, [&](size_t s) {
     segment_status[s] =
-        relation_->ScanSegment(s, total, [&](const SeriesRecord& rec) {
+        relation_->ScanSegment(s, limit, [&](const SeriesRecord& rec) {
           items[rec.id] = {rec.id,
                            extractor_.FromStored(rec.values, rec.dft)};
           return true;
@@ -285,41 +388,123 @@ Status Database::BuildIndex() {
   for (const Status& status : segment_status) {
     TSQ_RETURN_IF_ERROR(status);
   }
-  if (options_.bulk_load) {
-    return index_->BulkLoad(items);
+  if (bulk_load) {
+    TSQ_RETURN_IF_ERROR(index->BulkLoad(items));
+  } else {
+    for (const auto& [id, features] : items) {
+      TSQ_RETURN_IF_ERROR(index->Add(id, features));
+    }
   }
-  for (const auto& [id, features] : items) {
-    TSQ_RETURN_IF_ERROR(index_->Add(id, features));
+  return std::shared_ptr<KIndex>(std::move(index));
+}
+
+Status Database::BuildIndex() {
+  std::lock_guard<std::mutex> merge_lock(merge_mutex_);
+  const uint64_t total = relation_->size();
+  if (total == 0) {
+    return Status::FailedPrecondition("BuildIndex on an empty database");
+  }
+  if (index_built()) {
+    return Status::FailedPrecondition("index already built");
+  }
+  std::shared_ptr<KIndex> index;
+  TSQ_ASSIGN_OR_RETURN(index,
+                       BuildIndexFile(IndexPath(), total, options_.bulk_load));
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->epoch = 1;
+  snap->main = std::move(index);
+  snap->delta = std::make_shared<DeltaIndex>(total, options_.layout.dims());
+  snap->delta_begin = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_ptr_mutex_);
+    snapshot_ = std::move(snap);
   }
   return Status::OK();
+}
+
+Result<uint64_t> Database::Reindex() {
+  std::lock_guard<std::mutex> merge_lock(merge_mutex_);
+  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  auto snap = CurrentSnapshot();
+  if (snap == nullptr) {
+    return Status::FailedPrecondition("Reindex requires BuildIndex()");
+  }
+  // The merge cutoff: every id the new tree will cover. The delta keeps
+  // absorbing puts meanwhile; whatever lands at or above the cutoff
+  // survives the swap through compaction below.
+  const uint64_t cutoff = snap->delta->base() + snap->delta->visible();
+  if (cutoff == snap->main->size()) {
+    return snap->epoch;  // nothing to fold
+  }
+
+  // Rebuild into scratch, flush, then atomically rename over the
+  // canonical index file. The published tree keeps serving from its open
+  // descriptor throughout; a crash anywhere here leaves either the old
+  // file (plus ignorable scratch) or the complete new one.
+  const std::string tmp_path = IndexPath() + ".tmp";
+  std::remove(tmp_path.c_str());
+  std::shared_ptr<KIndex> merged;
+  TSQ_ASSIGN_OR_RETURN(merged,
+                       BuildIndexFile(tmp_path, cutoff, /*bulk_load=*/true));
+  TSQ_RETURN_IF_ERROR(merged->Flush());
+  if (std::rename(tmp_path.c_str(), IndexPath().c_str()) != 0) {
+    return Status::IOError("failed to rename " + tmp_path + " over " +
+                           IndexPath());
+  }
+  if (merge_hook_) merge_hook_();
+
+  uint64_t epoch = 0;
+  {
+    // Swap under the delta writer mutex: compaction and publication are
+    // atomic w.r.t. DeltaPut, so no put can land in the old delta after
+    // compaction copied it.
+    std::lock_guard<std::mutex> put_lock(delta_put_mutex_);
+    auto current = CurrentSnapshot();
+    auto next = std::make_shared<IndexSnapshot>();
+    next->epoch = current->epoch + 1;
+    next->main = std::move(merged);
+    next->delta = std::shared_ptr<DeltaIndex>(
+        DeltaIndex::Compact(*current->delta, cutoff));
+    next->delta_begin = 0;
+    epoch = next->epoch;
+    {
+      std::unique_lock<std::shared_mutex> lock(snapshot_ptr_mutex_);
+      snapshot_ = std::move(next);
+    }
+  }
+  merges_completed_.fetch_add(1, std::memory_order_relaxed);
+  return epoch;
 }
 
 Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
                                                 double epsilon,
                                                 const QuerySpec& spec) {
-  if (index_ == nullptr) {
+  // Lock-free read path: pin the current epoch and run against it.
+  auto snap = CurrentSnapshot();
+  if (snap == nullptr) {
     return Status::FailedPrecondition("RangeQuery requires BuildIndex()");
   }
   TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  const IndexView view(*snap);
   std::vector<Match> out;
   last_stats_ = QueryStats();
-  TSQ_RETURN_IF_ERROR(IndexRangeQuery(*index_, *relation_, query, epsilon,
+  TSQ_RETURN_IF_ERROR(IndexRangeQuery(view, *relation_, query, epsilon,
                                       spec, &out, &last_stats_));
   return out;
 }
 
 Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
                                          const QuerySpec& spec) {
-  if (index_ == nullptr) {
+  auto snap = CurrentSnapshot();
+  if (snap == nullptr) {
     return Status::FailedPrecondition("Knn requires BuildIndex()");
   }
   TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  const IndexView view(*snap);
   std::vector<Match> out;
   last_stats_ = QueryStats();
-  TSQ_RETURN_IF_ERROR(IndexKnnQuery(*index_, *relation_, query, k, spec,
-                                    &out, &last_stats_));
+  TSQ_RETURN_IF_ERROR(IndexKnnQuery(view, *relation_, query, k, spec, &out,
+                                    &last_stats_));
   return out;
 }
 
@@ -341,9 +526,12 @@ engine::QueryEngine* Database::EnsureEngine(size_t threads) {
   if (it == engines_.end()) {
     engine::QueryEngineOptions options;
     options.threads = threads;
+    // Engines load the epoch pointer per operation, so one engine stays
+    // valid across any number of merges.
+    engine::SnapshotLoader loader = [this] { return CurrentSnapshot(); };
     it = engines_
              .emplace(threads, std::make_unique<engine::QueryEngine>(
-                                   index_.get(), relation_.get(),
+                                   std::move(loader), relation_.get(),
                                    /*subsequence_index=*/nullptr, options))
              .first;
   }
@@ -364,11 +552,10 @@ engine::ThreadPool* Database::EnsureIngestPool(size_t threads) {
 Result<std::vector<engine::BatchResult>> Database::RunBatch(
     const std::vector<engine::BatchQuery>& queries, size_t threads,
     engine::BatchStats* batch_stats) {
-  if (index_ == nullptr) {
+  if (!index_built()) {
     return Status::FailedPrecondition("RunBatch requires BuildIndex()");
   }
   TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   return EnsureEngine(threads)->RunBatch(queries, batch_stats);
 }
 
@@ -385,11 +572,10 @@ Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
 Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
     double epsilon, const std::optional<FeatureTransform>& transform,
     size_t threads, QueryStats* stats) {
-  if (index_ == nullptr) {
+  if (!index_built()) {
     return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
   }
   TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
   return EnsureEngine(threads)->SelfJoin(epsilon, transform, stats);
 }
 
@@ -410,34 +596,36 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
                                           &last_stats_));
       return out;
     case JoinMethod::kIndexPlain: {
-      if (index_ == nullptr) {
+      auto snap = CurrentSnapshot();
+      if (snap == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
       TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-      std::shared_lock<std::shared_mutex> lock(index_mutex_);
-      TSQ_RETURN_IF_ERROR(IndexSelfJoin(*index_, *relation_, epsilon,
-                                        /*transform=*/std::nullopt, &out,
-                                        &last_stats_));
+      TSQ_RETURN_IF_ERROR(IndexSelfJoin(IndexView(*snap), *relation_,
+                                        epsilon, /*transform=*/std::nullopt,
+                                        &out, &last_stats_));
       return out;
     }
     case JoinMethod::kIndexTransformed: {
-      if (index_ == nullptr) {
+      auto snap = CurrentSnapshot();
+      if (snap == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
       TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-      std::shared_lock<std::shared_mutex> lock(index_mutex_);
-      TSQ_RETURN_IF_ERROR(IndexSelfJoin(*index_, *relation_, epsilon,
-                                        transform, &out, &last_stats_));
+      TSQ_RETURN_IF_ERROR(IndexSelfJoin(IndexView(*snap), *relation_,
+                                        epsilon, transform, &out,
+                                        &last_stats_));
       return out;
     }
     case JoinMethod::kTreeMatch: {
-      if (index_ == nullptr) {
+      auto snap = CurrentSnapshot();
+      if (snap == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
       TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-      std::shared_lock<std::shared_mutex> lock(index_mutex_);
-      TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(*index_, *relation_, epsilon,
-                                            transform, &out, &last_stats_));
+      TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(IndexView(*snap), *relation_,
+                                            epsilon, transform, &out,
+                                            &last_stats_));
       return out;
     }
   }

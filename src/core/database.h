@@ -21,15 +21,19 @@
 #define TSQ_CORE_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <shared_mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "core/index_snapshot.h"
 #include "core/k_index.h"
 #include "core/queries.h"
 #include "core/seq_scan.h"
@@ -69,6 +73,16 @@ struct DatabaseOptions {
   /// Build the index with STR bulk loading (default) or with repeated
   /// insertions (the ablation baseline; see bench_ablation).
   bool bulk_load = true;
+  /// Background merge cadence in milliseconds: when non-zero, a merge
+  /// thread periodically folds the delta index into a fresh main tree
+  /// (see Reindex). 0 (the default) disables the thread; merges then
+  /// happen only through explicit Reindex calls or when the delta fills
+  /// up. See docs/ARCHITECTURE.md ("Operating the merge thread").
+  uint64_t merge_interval_ms = 0;
+  /// The background merge thread folds only when at least this many
+  /// unmerged delta entries are visible (avoids churning full rebuilds
+  /// for a trickle of inserts).
+  uint64_t merge_min_delta = 1;
 };
 
 /// One coherent snapshot of every component's counters: relation scan/IO,
@@ -101,11 +115,16 @@ struct DatabaseStats {
   uint64_t tree_entries = 0;
   uint64_t tree_height = 0;
   uint64_t tree_dims = 0;
+  // Epoch-published index state (v4); zero without an index.
+  uint64_t index_epoch = 0;       ///< published snapshot epoch (1 = built)
+  uint64_t delta_entries = 0;     ///< visible delta entries not yet merged
+  uint64_t merges_completed = 0;  ///< successful Reindex/merge passes
 };
 
 /// A similarity-searchable collection of equal-length time series.
 ///
-/// Concurrency contract (v2 write half + v3 read half).
+/// Concurrency contract (v2 write half + v3 read half + v4 index
+/// publication; docs/ARCHITECTURE.md is the consolidated reference).
 ///
 /// Writes: Insert and InsertBatch may be called from any number of
 /// threads at once, and concurrently with RunBatch/ParallelSelfJoin.
@@ -114,28 +133,45 @@ struct DatabaseStats {
 /// scans never block on ingest I/O. InsertBatch assigns dense ids in
 /// argument order no matter the thread count; the resulting relation
 /// files are byte-identical at any concurrency. When the index is built,
-/// each insert call also folds its series into the R*-tree under a brief
-/// exclusive lock; batch queries take the same lock shared, so index
-/// incorporation — not ingest — is the only point where readers and
-/// writers serialize, and it lasts for the tree insertions only.
-/// BuildIndex requires exclusivity with every other call and refuses to
-/// run twice; it collects features with one parallel scan per relation
-/// segment feeding the STR bulk load.
+/// each insert call also publishes its series' feature point into the
+/// delta index (DeltaIndex): a short slot write under the delta writer
+/// mutex — a writer-writer lock that no query path ever takes. A series
+/// is queryable the moment its insert call returns. BuildIndex requires
+/// exclusivity with every other call and refuses to run twice; it
+/// collects features with one parallel scan per relation segment feeding
+/// the STR bulk load.
 ///
-/// Reads: single-query methods are not thread-safe with each other (they
-/// share last_stats_). RunBatch/ParallelSelfJoin execute many queries
-/// concurrently on an internal engine; concurrent queries share the
-/// index's v3 buffer pool (lock-free cached fetches, misses that do not
-/// block their shard). RunBatch may be called from several threads at
-/// once (engines are cached per thread count and never destroyed while
-/// the index stands); concurrent ParallelSelfJoin calls return correct
-/// results but race on last_stats() — callers needing concurrent join
-/// stats should drive engine::QueryEngine::SelfJoin with their own
+/// Reads never block on writes: there is no reader-writer lock anywhere
+/// on the query path. Every query loads the current IndexSnapshot (one
+/// atomic acquire), pins it with its shared_ptr, and runs entirely
+/// against that frozen view — the immutable main R*-tree plus the delta
+/// range visible at load. A concurrent merge publishes a successor epoch
+/// without touching the pinned one; the refcount is the grace period
+/// that keeps the old tree alive until the last in-flight query drops
+/// it. Single-query methods are still not thread-safe with each other
+/// (they share last_stats_). RunBatch/ParallelSelfJoin execute many
+/// queries concurrently on an internal engine; concurrent queries share
+/// the index's v3 buffer pool (lock-free cached fetches, misses that do
+/// not block their shard). RunBatch may be called from several threads
+/// at once (engines are cached per thread count and never destroyed
+/// while the database lives); concurrent ParallelSelfJoin calls return
+/// correct results but race on last_stats() — callers needing concurrent
+/// join stats should drive engine::QueryEngine::SelfJoin with their own
 /// QueryStats.
+///
+/// Merging: Reindex (or the background merge thread, see
+/// DatabaseOptions::merge_interval_ms) STR-bulk-loads a fresh tree from
+/// the relation covering every merged-plus-visible-delta id, persists it
+/// to <name>.idx.tmp, atomically renames it over <name>.idx, and swaps
+/// the epoch pointer; the delta is compacted to the entries the new tree
+/// does not cover. A crash at any point leaves a reopenable database:
+/// Open accepts an index that covers a prefix of the relation and
+/// rebuilds the missing tail into the delta.
 class Database {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Database);
-  ~Database() = default;
+  /// Stops the background merge thread (when running) before teardown.
+  ~Database();
 
   /// Creates a fresh database (truncates existing files of the same name).
   static Result<std::unique_ptr<Database>> Create(
@@ -150,9 +186,10 @@ class Database {
   static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
 
   /// Appends a series. The first insert fixes the series length; later
-  /// inserts must match it. When the index is built, the series is indexed
-  /// immediately. Safe from any number of threads, and concurrently with
-  /// RunBatch/ParallelSelfJoin.
+  /// inserts must match it. When the index is built, the series' feature
+  /// point lands in the delta index before the call returns, so it is
+  /// immediately queryable. Safe from any number of threads, and
+  /// concurrently with RunBatch/ParallelSelfJoin and merges.
   Result<SeriesId> Insert(const std::string& name, const RealVec& values);
 
   /// Appends many series at once: names[i] with values[i] gets id
@@ -174,7 +211,29 @@ class Database {
   Status BuildIndex();
 
   /// True once BuildIndex has succeeded.
-  bool index_built() const { return index_ != nullptr; }
+  bool index_built() const { return CurrentSnapshot() != nullptr; }
+
+  /// The currently published index snapshot, or null before BuildIndex.
+  /// Holding the returned shared_ptr pins the epoch: a concurrent merge
+  /// publishes successors without invalidating it — this is the
+  /// grace-period handle in-flight queries ride on. Copies the handle
+  /// under the shared side of a pointer lock held for a refcount bump
+  /// only; no index work ever happens under it. Exposed for white-box
+  /// tests and tools.
+  std::shared_ptr<const IndexSnapshot> CurrentSnapshot() const {
+    std::shared_lock<std::shared_mutex> lock(snapshot_ptr_mutex_);
+    return snapshot_;
+  }
+
+  /// Folds the visible delta into a fresh main R*-tree and publishes the
+  /// next epoch: rebuild (parallel segment scans + STR bulk load) into
+  /// <name>.idx.tmp, flush, atomic rename over <name>.idx, swap the
+  /// snapshot pointer with the delta compacted to what the new tree does
+  /// not cover. In-flight queries keep their pinned epoch; new queries
+  /// see the merged tree. Returns the published epoch (the current one
+  /// when there was nothing to merge). Serialized against other merges
+  /// and BuildIndex; safe concurrently with inserts and queries.
+  Result<uint64_t> Reindex();
 
   /// Number of stored series / their common length (0 before first insert).
   uint64_t size() const { return relation_->size(); }
@@ -234,8 +293,10 @@ class Database {
   /// Reads one stored record back.
   Result<SeriesRecord> Get(SeriesId id) { return relation_->Get(id); }
 
-  /// Flushes the relation and (when built) the index to disk so Open can
-  /// recover them.
+  /// Flushes the relation and (when built) the current main index to
+  /// disk so Open can recover them. Unmerged delta entries are not
+  /// persisted as index state — Open rebuilds them from the relation
+  /// tail (the delta is always derivable from relation records).
   Status Flush();
 
   /// Statistics of the most recent query (reset per query).
@@ -249,10 +310,23 @@ class Database {
   DatabaseStats StatsSnapshot() const;
 
   /// Underlying components, exposed for benchmarks and white-box tests.
+  /// index() is the currently published snapshot's main tree (null
+  /// before BuildIndex); the raw pointer stays valid only until a merge
+  /// publishes a successor epoch — callers that merge concurrently must
+  /// pin CurrentSnapshot() instead.
   Relation* relation() { return relation_.get(); }
-  KIndex* index() { return index_.get(); }
+  KIndex* index() {
+    auto snap = CurrentSnapshot();
+    return snap == nullptr ? nullptr : snap->main.get();
+  }
   const FeatureExtractor& extractor() const { return extractor_; }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Test-only: invoked during Reindex after the merged tree is built
+  /// and renamed over the index file, immediately before the new epoch
+  /// is published — the gate race tests use to pin queries on the old
+  /// epoch while a swap is in flight. Set only while no merge runs.
+  void SetMergeHookForTesting(std::function<void()> hook);
 
  private:
   explicit Database(DatabaseOptions options)
@@ -262,9 +336,8 @@ class Database {
   /// use. Thread-safe; an engine, once built, lives as long as the
   /// Database — so a concurrent caller can never have its engine
   /// destroyed mid-batch by another caller asking for a different thread
-  /// count. (Engines exist only after BuildIndex succeeded, and
-  /// BuildIndex refuses to run twice, so index_ can never be replaced
-  /// under a live engine.)
+  /// count. Engines hold a snapshot loader, not a tree pointer, so a
+  /// merge can replace the index under a live engine at any time.
   engine::QueryEngine* EnsureEngine(size_t threads);
 
   /// Returns the cached ingest pool for `threads`, building it on first
@@ -274,26 +347,62 @@ class Database {
   /// Claims or checks the common series length. Thread-safe.
   Status CheckSeriesLength(size_t length);
 
-  /// A failed index fold-in is sticky, mirroring the relation's append
-  /// poison: once an Insert/InsertBatch could not add a series to the
-  /// built index, the index no longer covers the relation and every
-  /// later index query or index-maintaining insert returns the recorded
-  /// error instead of silently answering from a partial index. (Reopen
-  /// reports the divergence as Corruption.)
+  /// A failed delta publication is sticky, mirroring the relation's
+  /// append poison: once an Insert/InsertBatch could not publish a
+  /// series' feature point, the index no longer covers the relation and
+  /// every later index query or index-maintaining insert returns the
+  /// recorded error instead of silently answering from a partial index.
+  /// (A failed merge is NOT sticky — the previous epoch stays published
+  /// and correct.)
   Status CheckIndexHealthy() const;
   Status PoisonIndex(Status status);
+
+  /// Publishes one series' feature point into the current delta under
+  /// the writer mutex; on a full delta, merges and retries once.
+  Status DeltaPut(SeriesId id, const SeriesFeatures& features);
+
+  /// Builds a KIndex at `path` over relation ids [0, limit) — parallel
+  /// per-segment feature scans feeding one STR bulk load (or repeated
+  /// insertion when !bulk_load). Shared by BuildIndex and merges.
+  Result<std::shared_ptr<KIndex>> BuildIndexFile(const std::string& path,
+                                                 uint64_t limit,
+                                                 bool bulk_load);
+
+  std::string IndexPath() const {
+    return options_.directory + "/" + options_.name + ".idx";
+  }
+
+  void StartMergeThread();
+  void StopMergeThread();
+  void MergeThreadMain();
 
   DatabaseOptions options_;
   FeatureExtractor extractor_;
   std::unique_ptr<Relation> relation_;
-  std::unique_ptr<KIndex> index_;
+  // The epoch pointer: queries copy it once (a shared_ptr refcount
+  // bump under the shared side of the pointer lock) and pin the
+  // snapshot; BuildIndex/Reindex publish successors under the exclusive
+  // side, held for a pointer assignment only — never during merge I/O
+  // or tree builds. The snapshot itself is never mutated in place.
+  mutable std::shared_mutex snapshot_ptr_mutex_;
+  std::shared_ptr<const IndexSnapshot> snapshot_;
   std::atomic<size_t> series_length_{0};
   QueryStats last_stats_;
-  // Readers (RunBatch/ParallelSelfJoin and the single-query paths) hold
-  // this shared; the index-incorporation phase of Insert/InsertBatch and
-  // BuildIndex hold it exclusive. Relation appends run outside it — the
-  // only reader/writer serialization point is the R*-tree fold-in.
-  mutable std::shared_mutex index_mutex_;
+  // Writer-writer mutex over the delta index: serializes DeltaPut calls
+  // with each other and with the snapshot swap's delta compaction. No
+  // query path ever takes it.
+  std::mutex delta_put_mutex_;
+  // Serializes BuildIndex, Reindex (including the background thread) and
+  // Flush — at most one index (re)build runs at a time. Lock order:
+  // merge_mutex_ before delta_put_mutex_.
+  std::mutex merge_mutex_;
+  std::atomic<uint64_t> merges_completed_{0};
+  std::function<void()> merge_hook_;  // test-only, see setter
+  // Background merge thread (started when merge_interval_ms > 0).
+  std::thread merge_thread_;
+  std::mutex merge_cv_mutex_;
+  std::condition_variable merge_cv_;
+  bool stop_merge_ = false;  // guarded by merge_cv_mutex_
   // Serializes "reserve ids + enqueue per-segment append tasks" so the
   // FIFO pool order matches reservation order: a queued append task then
   // only ever waits on segment turns owned by already-queued or running
@@ -301,8 +410,8 @@ class Database {
   // concurrent InsertBatch calls on a shared pool deadlock-free.
   std::mutex ingest_order_mutex_;
   // Lazily built engines/pools, one per requested thread count so
-  // repeated calls reuse threads. They hold pointers into
-  // index_/relation_; declared after them so they are destroyed first.
+  // repeated calls reuse threads. They hold the snapshot loader and a
+  // relation pointer; declared after those so they are destroyed first.
   std::mutex engines_mutex_;
   std::map<size_t, std::unique_ptr<engine::QueryEngine>> engines_;
   std::mutex pools_mutex_;

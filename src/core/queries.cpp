@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "common/stopwatch.h"
@@ -52,10 +53,27 @@ Status ValidateQuery(const KIndex& index, const RealVec& query) {
   return Status::OK();
 }
 
+/// Appends the view's delta candidates for a range search: each visible
+/// delta point goes through exactly the tree's leaf test — (transformed)
+/// point rectangle intersects the search rectangle — in id order.
+void AppendDeltaRangeCandidates(const IndexView& view,
+                                const spatial::AffineMap* map,
+                                const spatial::Rect& search_rect,
+                                std::vector<SeriesId>* out) {
+  if (!view.has_delta()) return;
+  const DeltaIndex& delta = view.delta();
+  for (uint64_t slot = view.delta_begin(); slot < view.delta_end(); ++slot) {
+    spatial::Rect rect = spatial::Rect::FromPoint(delta.PointAt(slot));
+    if (map != nullptr) rect = map->Apply(rect);
+    if (rect.Intersects(search_rect)) out->push_back(delta.base() + slot);
+  }
+}
+
 }  // namespace
 
-Result<PreparedQuery> PrepareQuery(const KIndex& index, const RealVec& query,
+Result<PreparedQuery> PrepareQuery(const IndexView& view, const RealVec& query,
                                    const QuerySpec& spec) {
+  const KIndex& index = view.main();
   TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
   const SeriesFeatures qf = index.extractor().Extract(query);
   PreparedQuery out;
@@ -73,18 +91,25 @@ Result<PreparedQuery> PrepareQuery(const KIndex& index, const RealVec& query,
   return out;
 }
 
-Status RangeSearchCandidates(const KIndex& index, const PreparedQuery& prepared,
+Status RangeSearchCandidates(const IndexView& view,
+                             const PreparedQuery& prepared,
                              double epsilon, const QuerySpec& spec,
                              std::vector<SeriesId>* out) {
   TSQ_CHECK(out != nullptr);
+  const KIndex& index = view.main();
   const spatial::Rect search_rect = BuildSearchRect(
       index.layout(), prepared.coefficients, epsilon, spec.window);
+  std::optional<spatial::AffineMap> map;
   if (spec.transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(const spatial::AffineMap map,
-                         index.space().ToAffineMap(*spec.transform));
-    return index.RangeCandidatesTransformed(map, search_rect, out);
+    TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*spec.transform));
+    TSQ_RETURN_IF_ERROR(
+        index.RangeCandidatesTransformed(*map, search_rect, out));
+  } else {
+    TSQ_RETURN_IF_ERROR(index.RangeCandidates(search_rect, out));
   }
-  return index.RangeCandidates(search_rect, out);
+  AppendDeltaRangeCandidates(view, map.has_value() ? &*map : nullptr,
+                             search_rect, out);
+  return Status::OK();
 }
 
 double VerifyDistance(const ComplexVec& data_spectrum,
@@ -123,7 +148,7 @@ void SortMatches(std::vector<Match>* matches) {
             });
 }
 
-Status IndexRangeQuery(const KIndex& index, const Relation& relation,
+Status IndexRangeQuery(const IndexView& index, const Relation& relation,
                        const RealVec& query, double epsilon,
                        const QuerySpec& spec, std::vector<Match>* out,
                        QueryStats* stats) {
@@ -152,10 +177,11 @@ Status IndexRangeQuery(const KIndex& index, const Relation& relation,
   return Status::OK();
 }
 
-Status IndexKnnQuery(const KIndex& index, const Relation& relation,
+Status IndexKnnQuery(const IndexView& view, const Relation& relation,
                      const RealVec& query, size_t k, const QuerySpec& spec,
                      std::vector<Match>* out, QueryStats* stats) {
   TSQ_CHECK(out != nullptr);
+  const KIndex& index = view.main();
   out->clear();
   if (k == 0) {
     TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
@@ -164,7 +190,7 @@ Status IndexKnnQuery(const KIndex& index, const Relation& relation,
   StatsScope scope(stats);
 
   TSQ_ASSIGN_OR_RETURN(const PreparedQuery prepared,
-                       PrepareQuery(index, query, spec));
+                       PrepareQuery(view, query, spec));
   const spatial::Point query_point = index.extractor().ToPointFromCoefficients(
       prepared.coefficients, prepared.mean, prepared.std);
   const auto metric = index.space().MakeNnMetric(query_point);
@@ -192,31 +218,81 @@ Status IndexKnnQuery(const KIndex& index, const Relation& relation,
 
   Status inner_status;
   uint64_t candidates = 0;
+  auto visit = [&](SeriesId id, double lower_bound) -> bool {
+    if (best.size() == k && lower_bound > best.front().distance) {
+      return false;  // no unexplored candidate can improve the answer
+    }
+    ++candidates;
+    Result<SeriesRecord> rec = relation.Get(id);
+    if (!rec.ok()) {
+      inner_status = rec.status();
+      return false;
+    }
+    const double d = VerifyDistance(rec->dft, spec.transform,
+                                    prepared.full_spectrum);
+    if (best.size() < k) {
+      best.push_back(Verified{d, id, std::move(rec->name)});
+      std::push_heap(best.begin(), best.end(), heap_cmp);
+    } else if (d < best.front().distance) {
+      std::pop_heap(best.begin(), best.end(), heap_cmp);
+      best.back() = Verified{d, id, std::move(rec->name)};
+      std::push_heap(best.begin(), best.end(), heap_cmp);
+    }
+    return true;
+  };
+
+  // Delta candidates with the same admissible lower bound the tree
+  // computes for its leaf entries (sqrt of MinDistSquared on the
+  // transformed point rectangle), sorted ascending by (bound, id). The
+  // merged visit order is globally nondecreasing in the bound — delta
+  // entries drain strictly below each tree emission, ties go to the tree
+  // — so the optimal multi-step cutoff treats main + delta as one index.
+  struct DeltaCandidate {
+    double lower_bound;
+    SeriesId id;
+  };
+  std::vector<DeltaCandidate> delta_candidates;
+  if (view.has_delta()) {
+    const DeltaIndex& delta = view.delta();
+    for (uint64_t slot = view.delta_begin(); slot < view.delta_end();
+         ++slot) {
+      spatial::Rect rect = spatial::Rect::FromPoint(delta.PointAt(slot));
+      if (map.has_value()) rect = map->Apply(rect);
+      delta_candidates.push_back(DeltaCandidate{
+          std::sqrt(metric->MinDistSquared(rect)), delta.base() + slot});
+    }
+    std::sort(delta_candidates.begin(), delta_candidates.end(),
+              [](const DeltaCandidate& a, const DeltaCandidate& b) {
+                return a.lower_bound < b.lower_bound ||
+                       (a.lower_bound == b.lower_bound && a.id < b.id);
+              });
+  }
+  size_t next_delta = 0;
+  bool keep_going = true;
+  auto drain_delta_below = [&](double bound) {
+    while (keep_going && next_delta < delta_candidates.size() &&
+           delta_candidates[next_delta].lower_bound < bound) {
+      keep_going = visit(delta_candidates[next_delta].id,
+                         delta_candidates[next_delta].lower_bound);
+      ++next_delta;
+    }
+  };
+
   TSQ_RETURN_IF_ERROR(index.StreamNearest(
       *metric, map.has_value() ? &*map : nullptr,
       [&](SeriesId id, double lower_bound) {
-        if (best.size() == k && lower_bound > best.front().distance) {
-          return false;  // no unexplored candidate can improve the answer
-        }
-        ++candidates;
-        Result<SeriesRecord> rec = relation.Get(id);
-        if (!rec.ok()) {
-          inner_status = rec.status();
-          return false;
-        }
-        const double d = VerifyDistance(rec->dft, spec.transform,
-                                        prepared.full_spectrum);
-        if (best.size() < k) {
-          best.push_back(Verified{d, id, std::move(rec->name)});
-          std::push_heap(best.begin(), best.end(), heap_cmp);
-        } else if (d < best.front().distance) {
-          std::pop_heap(best.begin(), best.end(), heap_cmp);
-          best.back() = Verified{d, id, std::move(rec->name)};
-          std::push_heap(best.begin(), best.end(), heap_cmp);
-        }
-        return true;
+        drain_delta_below(lower_bound);
+        if (!keep_going) return false;
+        keep_going = visit(id, lower_bound);
+        return keep_going;
       }));
   TSQ_RETURN_IF_ERROR(inner_status);
+  if (keep_going) {
+    // Tree exhausted without hitting the cutoff; remaining delta
+    // candidates all bound at or above every tree emission.
+    drain_delta_below(std::numeric_limits<double>::infinity());
+    TSQ_RETURN_IF_ERROR(inner_status);
+  }
 
   std::sort(best.begin(), best.end());
   for (Verified& v : best) {
@@ -230,11 +306,12 @@ Status IndexKnnQuery(const KIndex& index, const Relation& relation,
   return Status::OK();
 }
 
-Status IndexSelfJoin(const KIndex& index, const Relation& relation,
+Status IndexSelfJoin(const IndexView& view, const Relation& relation,
                      double epsilon,
                      const std::optional<FeatureTransform>& transform,
                      std::vector<JoinPair>* out, QueryStats* stats) {
   TSQ_CHECK(out != nullptr);
+  const KIndex& index = view.main();
   out->clear();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
@@ -246,10 +323,13 @@ Status IndexSelfJoin(const KIndex& index, const Relation& relation,
     TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*transform));
   }
 
-  // Paper Sec. 5 methods c/d: scan the relation; for every sequence build a
-  // search rectangle and pose it to the (transformed) index as a range
-  // query; verify candidates with full-length distances.
-  const uint64_t n = relation.size();
+  // Paper Sec. 5 methods c/d: for every sequence in view build a search
+  // rectangle and pose it to the (transformed) index — tree plus delta —
+  // as a range query; verify candidates with full-length distances. The
+  // view bounds the iteration (not relation.size()): ids ingested after
+  // the view was taken are invisible to it, keeping the join closed over
+  // one consistent set of series under concurrent ingest.
+  const uint64_t n = view.total_series();
   for (SeriesId qid = 0; qid < n; ++qid) {
     TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation.Get(qid));
     if (stats != nullptr) ++stats->records_scanned;
@@ -268,6 +348,8 @@ Status IndexSelfJoin(const KIndex& index, const Relation& relation,
     } else {
       TSQ_RETURN_IF_ERROR(index.RangeCandidates(rect, &candidates));
     }
+    AppendDeltaRangeCandidates(view, map.has_value() ? &*map : nullptr, rect,
+                               &candidates);
     if (stats != nullptr) stats->candidates += candidates.size();
 
     for (const SeriesId cid : candidates) {
@@ -284,11 +366,12 @@ Status IndexSelfJoin(const KIndex& index, const Relation& relation,
   return Status::OK();
 }
 
-Status TreeMatchSelfJoin(const KIndex& index, const Relation& relation,
+Status TreeMatchSelfJoin(const IndexView& view, const Relation& relation,
                          double epsilon,
                          const std::optional<FeatureTransform>& transform,
                          std::vector<JoinPair>* out, QueryStats* stats) {
   TSQ_CHECK(out != nullptr);
+  const KIndex& index = view.main();
   out->clear();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
@@ -312,6 +395,51 @@ Status TreeMatchSelfJoin(const KIndex& index, const Relation& relation,
         if (a != b) candidates.emplace_back(a, b);
         return true;
       }));
+
+  // Delta probes, appended after the tree-match pairs in slot order. Each
+  // unmerged series poses one search rectangle: against the main tree it
+  // emits both ordered pairs (the tree descent would have found each
+  // direction); against the other delta entries it emits only its own
+  // (qid, cid) — the partner's probe emits the reverse. The rectangle
+  // filter is admissible (Lemma 1), so verification below yields exactly
+  // the pairs a single all-in-one tree would.
+  if (view.has_delta()) {
+    const DeltaIndex& delta = view.delta();
+    for (uint64_t slot = view.delta_begin(); slot < view.delta_end();
+         ++slot) {
+      const SeriesId qid = delta.base() + slot;
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation.Get(qid));
+      if (stats != nullptr) ++stats->records_scanned;
+      ComplexVec target = transform.has_value()
+                              ? transform->spectral.Apply(qrec.dft)
+                              : std::move(qrec.dft);
+      const ComplexVec coeffs = index.extractor().StoredCoefficients(target);
+      const spatial::Rect rect =
+          BuildSearchRect(index.layout(), coeffs, epsilon, std::nullopt);
+
+      std::vector<SeriesId> main_partners;
+      if (map_ptr != nullptr) {
+        TSQ_RETURN_IF_ERROR(
+            index.RangeCandidatesTransformed(*map_ptr, rect, &main_partners));
+      } else {
+        TSQ_RETURN_IF_ERROR(index.RangeCandidates(rect, &main_partners));
+      }
+      for (const SeriesId partner : main_partners) {
+        candidates.emplace_back(qid, partner);
+        candidates.emplace_back(partner, qid);
+      }
+      for (uint64_t other = view.delta_begin(); other < view.delta_end();
+           ++other) {
+        if (other == slot) continue;
+        spatial::Rect other_rect =
+            spatial::Rect::FromPoint(delta.PointAt(other));
+        if (map_ptr != nullptr) other_rect = map_ptr->Apply(other_rect);
+        if (other_rect.Intersects(rect)) {
+          candidates.emplace_back(qid, delta.base() + other);
+        }
+      }
+    }
+  }
   if (stats != nullptr) stats->candidates += candidates.size();
 
   std::unordered_map<SeriesId, ComplexVec> transformed_cache;

@@ -17,6 +17,14 @@
 // Supported queries: range, k-nearest-neighbor (optimal multi-step: verify
 // candidates in ascending lower-bound order, stop when the bound passes the
 // k-th verified distance), and the all-pairs self-join of Sec. 5 (Table 1).
+//
+// Every entry point takes an IndexView (index_snapshot.h): the immutable
+// main R*-tree plus the delta slot range visible when the view was taken.
+// Search consults both structures — delta feature points go through the
+// same rectangle / lower-bound tests as tree leaf entries, so Lemma 1's
+// no-false-dismissal property and the optimal multi-step kNN cutoff hold
+// over the pair exactly as over one tree. A bare KIndex converts
+// implicitly to an all-main view.
 
 #ifndef TSQ_CORE_QUERIES_H_
 #define TSQ_CORE_QUERIES_H_
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/index_snapshot.h"
 #include "core/k_index.h"
 #include "core/search_rect.h"
 #include "storage/relation.h"
@@ -115,12 +124,14 @@ struct PreparedQuery {
 
 /// Step 1 — preprocessing: validates the query length and extracts its
 /// (transformed) features.
-Result<PreparedQuery> PrepareQuery(const KIndex& index, const RealVec& query,
+Result<PreparedQuery> PrepareQuery(const IndexView& index, const RealVec& query,
                                    const QuerySpec& spec);
 
 /// Step 2 — search: builds the Sec. 3.1 rectangle for `prepared` and
-/// collects candidate ids from the (transformed) index traversal.
-Status RangeSearchCandidates(const KIndex& index, const PreparedQuery& prepared,
+/// collects candidate ids from the (transformed) index traversal — tree
+/// leaves first, then the view's delta entries in id order.
+Status RangeSearchCandidates(const IndexView& index,
+                             const PreparedQuery& prepared,
                              double epsilon, const QuerySpec& spec,
                              std::vector<SeriesId>* out);
 
@@ -149,13 +160,13 @@ void SortMatches(std::vector<Match>* matches);
 // ---------------------------------------------------------------------------
 
 /// Range query via the index (Algorithm 2).
-Status IndexRangeQuery(const KIndex& index, const Relation& relation,
+Status IndexRangeQuery(const IndexView& index, const Relation& relation,
                        const RealVec& query, double epsilon,
                        const QuerySpec& spec, std::vector<Match>* out,
                        QueryStats* stats);
 
 /// k-nearest-neighbor query via the index (optimal multi-step).
-Status IndexKnnQuery(const KIndex& index, const Relation& relation,
+Status IndexKnnQuery(const IndexView& index, const Relation& relation,
                      const RealVec& query, size_t k, const QuerySpec& spec,
                      std::vector<Match>* out, QueryStats* stats);
 
@@ -163,7 +174,7 @@ Status IndexKnnQuery(const KIndex& index, const Relation& relation,
 /// query against the (transformed) index — the paper's methods c (no
 /// transformation) and d (with transformation). Emits ordered pairs
 /// (a, b), a != b.
-Status IndexSelfJoin(const KIndex& index, const Relation& relation,
+Status IndexSelfJoin(const IndexView& index, const Relation& relation,
                      double epsilon,
                      const std::optional<FeatureTransform>& transform,
                      std::vector<JoinPair>* out, QueryStats* stats);
@@ -172,7 +183,7 @@ Status IndexSelfJoin(const KIndex& index, const Relation& relation,
 /// against its (transformed) self — the tree-matching extension of the
 /// paper's method d: one lockstep descent instead of one range query per
 /// record. Same answers as IndexSelfJoin (ordered pairs, a != b).
-Status TreeMatchSelfJoin(const KIndex& index, const Relation& relation,
+Status TreeMatchSelfJoin(const IndexView& index, const Relation& relation,
                          double epsilon,
                          const std::optional<FeatureTransform>& transform,
                          std::vector<JoinPair>* out, QueryStats* stats);

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "core/search_rect.h"
 
 namespace tsq {
 namespace engine {
@@ -57,6 +58,18 @@ auto RunTallied(TraversalTally* tally, Fn&& fn) {
 
 }  // namespace
 
+QueryEngine::QueryEngine(SnapshotLoader loader, const Relation* relation,
+                         const SubsequenceIndex* subsequence_index,
+                         const QueryEngineOptions& options)
+    : loader_(std::move(loader)),
+      index_(nullptr),
+      relation_(relation),
+      subsequence_index_(subsequence_index),
+      pool_(options.threads) {
+  TSQ_CHECK(loader_ != nullptr);
+  TSQ_CHECK(relation_ != nullptr);
+}
+
 QueryEngine::QueryEngine(const KIndex* index, const Relation* relation,
                          const SubsequenceIndex* subsequence_index,
                          const QueryEngineOptions& options)
@@ -67,26 +80,40 @@ QueryEngine::QueryEngine(const KIndex* index, const Relation* relation,
   TSQ_CHECK(relation_ != nullptr);
 }
 
-void QueryEngine::RunOne(const BatchQuery& query, BatchResult* result) const {
+QueryEngine::PinnedView QueryEngine::AcquireView() const {
+  PinnedView pinned;
+  if (loader_ != nullptr) {
+    pinned.pin = loader_();
+    if (pinned.pin != nullptr && pinned.pin->main != nullptr) {
+      pinned.view.emplace(*pinned.pin);
+    }
+    return pinned;
+  }
+  if (index_ != nullptr) pinned.view.emplace(*index_);
+  return pinned;
+}
+
+void QueryEngine::RunOne(const BatchQuery& query, const IndexView* view,
+                         BatchResult* result) const {
   switch (query.kind) {
     case BatchQueryKind::kRange:
-      if (index_ == nullptr) {
+      if (view == nullptr) {
         result->status =
             Status::FailedPrecondition("range query without a KIndex");
         return;
       }
       result->status =
-          IndexRangeQuery(*index_, *relation_, query.query, query.epsilon,
+          IndexRangeQuery(*view, *relation_, query.query, query.epsilon,
                           query.spec, &result->matches, &result->stats);
       return;
     case BatchQueryKind::kKnn:
-      if (index_ == nullptr) {
+      if (view == nullptr) {
         result->status =
             Status::FailedPrecondition("kNN query without a KIndex");
         return;
       }
       result->status =
-          IndexKnnQuery(*index_, *relation_, query.query, query.k, query.spec,
+          IndexKnnQuery(*view, *relation_, query.query, query.k, query.spec,
                         &result->matches, &result->stats);
       return;
     case BatchQueryKind::kSubsequence:
@@ -112,11 +139,17 @@ std::vector<BatchResult> QueryEngine::RunBatch(
   std::vector<BatchResult> results(queries.size());
   Stopwatch wall;
 
+  // One snapshot per batch: every query of the batch answers from the
+  // same epoch, pinned until the batch completes (grace period).
+  const PinnedView pinned = AcquireView();
+  const IndexView* view =
+      pinned.view.has_value() ? &*pinned.view : nullptr;
+
   // Work stealing over an atomic cursor: each query writes only its own
   // slot, so the output is identical for any thread count.
   pool_.ParallelFor(queries.size(),
-                    [this, &queries, &results](size_t i) {
-                      RunOne(queries[i], &results[i]);
+                    [this, view, &queries, &results](size_t i) {
+                      RunOne(queries[i], view, &results[i]);
                     });
 
   if (batch_stats != nullptr) {
@@ -135,9 +168,13 @@ std::vector<BatchResult> QueryEngine::RunBatch(
 Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
     double epsilon, const std::optional<FeatureTransform>& transform,
     QueryStats* stats) {
-  if (index_ == nullptr) {
+  // Pin one snapshot for the whole join (grace period across merges).
+  const PinnedView pinned = AcquireView();
+  if (!pinned.view.has_value()) {
     return Status::FailedPrecondition("SelfJoin without a KIndex");
   }
+  const IndexView& view = *pinned.view;
+  const KIndex& kindex = view.main();
   if (epsilon < 0.0) {
     return Status::InvalidArgument("negative join threshold");
   }
@@ -146,11 +183,11 @@ Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
 
   std::optional<spatial::AffineMap> map;
   if (transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(map, index_->space().ToAffineMap(*transform));
+    TSQ_ASSIGN_OR_RETURN(map, kindex.space().ToAffineMap(*transform));
   }
   const spatial::AffineMap* map_ptr = map.has_value() ? &*map : nullptr;
-  const rtree::RStarTree& tree = *index_->tree();
-  const auto may_join = index_->space().MakeJoinPredicate(epsilon);
+  const rtree::RStarTree& tree = *kindex.tree();
+  const auto may_join = kindex.space().MakeJoinPredicate(epsilon);
 
   // Phase 1 (parallel descent): the qualifying root-child pairs are
   // independent lockstep-descent tasks (JoinSeeds mirrors the order the
@@ -186,6 +223,67 @@ Result<std::vector<JoinPair>> QueryEngine::SelfJoin(
   candidates.reserve(num_candidates);
   for (std::vector<std::pair<SeriesId, SeriesId>>& part : seed_out) {
     candidates.insert(candidates.end(), part.begin(), part.end());
+  }
+
+  // Phase 1b (parallel): delta probes. Each unmerged series in view runs
+  // one search-rectangle probe — against the main tree (emitting both
+  // ordered pairs) and against the other delta entries (emitting its own
+  // direction only; the partner's probe emits the reverse). Per-slot
+  // buffers concatenated in slot order keep the candidate sequence — and
+  // therefore the final output — identical to the sequential
+  // TreeMatchSelfJoin at every thread count.
+  if (view.has_delta()) {
+    const DeltaIndex& delta = view.delta();
+    const uint64_t begin_slot = view.delta_begin();
+    const uint64_t num_slots = view.delta_size();
+    std::vector<std::vector<std::pair<SeriesId, SeriesId>>> slot_out(
+        num_slots);
+    std::vector<Status> slot_status(num_slots);
+    pool_.ParallelFor(num_slots, [&](size_t i) {
+      RunTallied(&tally, [&] {
+        const uint64_t slot = begin_slot + i;
+        const SeriesId qid = delta.base() + slot;
+        Result<SeriesRecord> qrec = relation_->Get(qid);
+        if (!qrec.ok()) {
+          slot_status[i] = qrec.status();
+          return;
+        }
+        ComplexVec target = transform.has_value()
+                                ? transform->spectral.Apply(qrec->dft)
+                                : std::move(qrec->dft);
+        const ComplexVec coeffs =
+            kindex.extractor().StoredCoefficients(target);
+        const spatial::Rect rect = BuildSearchRect(kindex.layout(), coeffs,
+                                                   epsilon, std::nullopt);
+        std::vector<SeriesId> main_partners;
+        slot_status[i] =
+            map_ptr != nullptr
+                ? kindex.RangeCandidatesTransformed(*map_ptr, rect,
+                                                    &main_partners)
+                : kindex.RangeCandidates(rect, &main_partners);
+        if (!slot_status[i].ok()) return;
+        for (const SeriesId partner : main_partners) {
+          slot_out[i].emplace_back(qid, partner);
+          slot_out[i].emplace_back(partner, qid);
+        }
+        for (uint64_t other = begin_slot; other < begin_slot + num_slots;
+             ++other) {
+          if (other == slot) continue;
+          spatial::Rect other_rect =
+              spatial::Rect::FromPoint(delta.PointAt(other));
+          if (map_ptr != nullptr) other_rect = map_ptr->Apply(other_rect);
+          if (other_rect.Intersects(rect)) {
+            slot_out[i].emplace_back(qid, delta.base() + other);
+          }
+        }
+      });
+    });
+    for (uint64_t i = 0; i < num_slots; ++i) {
+      TSQ_RETURN_IF_ERROR(slot_status[i]);
+      candidates.insert(candidates.end(), slot_out[i].begin(),
+                        slot_out[i].end());
+    }
+    if (stats != nullptr) stats->records_scanned += num_slots;
   }
 
   // Phase 2a (parallel): fetch and transform every referenced record

@@ -1,14 +1,21 @@
 // Copyright (c) 2026 The tsq Authors.
 //
 // The concurrent batch query engine: executes batches of range, kNN and
-// subsequence queries — plus a parallel partitioned self-join — against a
-// shared read-only KIndex + Relation (and optionally a SubsequenceIndex)
-// on a fixed thread pool.
+// subsequence queries — plus a parallel partitioned self-join — against an
+// epoch-published index snapshot + Relation (and optionally a
+// SubsequenceIndex) on a fixed thread pool.
 //
-// Execution model. The index stack is frozen while an engine uses it (no
-// Insert/BuildIndex concurrently); every query is a reentrant composition
-// of the Algorithm 2 steps in core/queries.h, so workers share the tree,
-// buffer pool and relation without copying them. Under the v3 pool,
+// Execution model. The engine acquires one IndexSnapshot per operation
+// through its snapshot loader (an acquire load of the database's epoch
+// pointer) and pins it for the operation's whole lifetime, so a batch
+// runs against a single frozen view — the main R*-tree plus the delta
+// range visible at acquisition — no matter how many merges publish new
+// epochs meanwhile; the shared_ptr pin is the grace period that keeps the
+// old tree alive until the last in-flight operation drops it. Every query
+// is a reentrant composition of the Algorithm 2 steps in core/queries.h,
+// so workers share the tree, buffer pool and relation without copying
+// them. (The legacy constructor over a bare KIndex pointer still treats
+// the index as externally frozen.) Under the v3 pool,
 // workers touching cached index pages never synchronize at all — a hit is
 // an optimistic lock-free pin — and a worker's cache miss reads from disk
 // without blocking same-shard hits by the others, so the only cross-
@@ -37,10 +44,13 @@
 #define TSQ_ENGINE_QUERY_ENGINE_H_
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
+#include "core/index_snapshot.h"
 #include "core/k_index.h"
 #include "core/queries.h"
 #include "core/subsequence.h"
@@ -89,15 +99,29 @@ struct BatchStats {
   double wall_ms = 0.0;
 };
 
-/// Concurrent executor over a frozen index/relation pair. Thread-safe:
-/// RunBatch/SelfJoin may be called from several threads at once, sharing
-/// the pool.
+/// Loads the current index snapshot; returns null when no index is
+/// built yet. Must be callable from any thread (an atomic load).
+using SnapshotLoader =
+    std::function<std::shared_ptr<const IndexSnapshot>()>;
+
+/// Concurrent executor over an epoch-published index + relation pair.
+/// Thread-safe: RunBatch/SelfJoin may be called from several threads at
+/// once, sharing the pool.
 class QueryEngine {
  public:
-  /// `index` may be null when the engine only serves subsequence queries;
-  /// `subsequence_index` may be null when it only serves whole-series
-  /// queries. `relation` must not be null. All referenced components must
-  /// outlive the engine and must not be mutated while it runs.
+  /// Epoch-published engine: each operation loads the loader's current
+  /// snapshot and runs entirely against it, safely concurrent with
+  /// ingest and merges. `loader` must not be null (it may return null
+  /// while no index exists); `relation` must not be null;
+  /// `subsequence_index` may be null when the engine only serves
+  /// whole-series queries.
+  QueryEngine(SnapshotLoader loader, const Relation* relation,
+              const SubsequenceIndex* subsequence_index = nullptr,
+              const QueryEngineOptions& options = {});
+
+  /// Legacy frozen-index engine (tests, tools): `index` may be null when
+  /// the engine only serves subsequence queries; it must not be mutated
+  /// while the engine runs. `relation` must not be null.
   QueryEngine(const KIndex* index, const Relation* relation,
               const SubsequenceIndex* subsequence_index = nullptr,
               const QueryEngineOptions& options = {});
@@ -130,9 +154,20 @@ class QueryEngine {
       QueryStats* stats = nullptr);
 
  private:
-  void RunOne(const BatchQuery& query, BatchResult* result) const;
+  /// One operation's pinned view: the shared_ptr keeps the snapshot (and
+  /// its tree) alive until the operation finishes — the grace period of
+  /// the epoch swap. `view` is empty when no index is available.
+  struct PinnedView {
+    std::shared_ptr<const IndexSnapshot> pin;
+    std::optional<IndexView> view;
+  };
+  PinnedView AcquireView() const;
 
-  const KIndex* index_;
+  void RunOne(const BatchQuery& query, const IndexView* view,
+              BatchResult* result) const;
+
+  SnapshotLoader loader_;   // null in legacy mode
+  const KIndex* index_;     // legacy mode only
   const Relation* relation_;
   const SubsequenceIndex* subsequence_index_;
   ThreadPool pool_;

@@ -235,5 +235,12 @@ Result<std::vector<JoinPair>> Client::SelfJoin(
   return std::move(reply.pairs);
 }
 
+Result<uint64_t> Client::Reindex() {
+  Request request;
+  request.verb = Verb::kReindex;
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  return reply.reindex_epoch;
+}
+
 }  // namespace server
 }  // namespace tsq

@@ -72,6 +72,11 @@ class Client {
   Result<std::vector<JoinPair>> SelfJoin(
       double epsilon, const std::optional<FeatureTransform>& transform);
 
+  /// Remote Database::Reindex: folds the delta into a fresh main tree on
+  /// the server and returns the published epoch. Queries keep answering
+  /// throughout the merge.
+  Result<uint64_t> Reindex();
+
  private:
   explicit Client(int fd) : fd_(fd) {}
 

@@ -228,6 +228,9 @@ void PutDatabaseStats(Buffer* buf, const DatabaseStats& stats) {
   serde::PutU64(buf, stats.tree_entries);
   serde::PutU64(buf, stats.tree_height);
   serde::PutU64(buf, stats.tree_dims);
+  serde::PutU64(buf, stats.index_epoch);
+  serde::PutU64(buf, stats.delta_entries);
+  serde::PutU64(buf, stats.merges_completed);
 }
 
 Status GetDatabaseStats(Reader* reader, DatabaseStats* out) {
@@ -252,7 +255,10 @@ Status GetDatabaseStats(Reader* reader, DatabaseStats* out) {
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->leaf_entries_tested));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->tree_entries));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->tree_height));
-  return reader->GetU64(&out->tree_dims);
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->tree_dims));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->index_epoch));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->delta_entries));
+  return reader->GetU64(&out->merges_completed);
 }
 
 /// Wraps a finished payload in the frame header.
@@ -265,7 +271,7 @@ void EncodeFrame(const Buffer& payload, Buffer* frame) {
 
 Status CheckVerb(uint32_t verb) {
   if (verb < static_cast<uint32_t>(Verb::kPing) ||
-      verb > static_cast<uint32_t>(Verb::kSelfJoin)) {
+      verb > static_cast<uint32_t>(Verb::kReindex)) {
     return Status::Corruption("unknown verb " + std::to_string(verb));
   }
   return Status::OK();
@@ -280,6 +286,7 @@ void EncodeRequest(const Request& request, Buffer* frame) {
   switch (request.verb) {
     case Verb::kPing:
     case Verb::kStats:
+    case Verb::kReindex:
       break;
     case Verb::kQuery:
       TSQ_CHECK_MSG(request.queries.size() == 1,
@@ -327,6 +334,7 @@ Status DecodeRequest(const uint8_t* payload, size_t size, Request* out) {
   switch (out->verb) {
     case Verb::kPing:
     case Verb::kStats:
+    case Verb::kReindex:
       break;
     case Verb::kQuery: {
       engine::BatchQuery query;
@@ -425,6 +433,9 @@ void EncodeReply(const Reply& reply, Buffer* frame) {
         serde::PutDouble(&payload, p.distance);
       }
       break;
+    case Verb::kReindex:
+      serde::PutU64(&payload, reply.reindex_epoch);
+      break;
   }
   EncodeFrame(payload, frame);
 }
@@ -493,6 +504,9 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
         }
         break;
       }
+      case Verb::kReindex:
+        TSQ_RETURN_IF_ERROR(reader.GetU64(&out->reindex_epoch));
+        break;
     }
   }
   if (reader.remaining() != 0) {

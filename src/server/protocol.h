@@ -2,7 +2,8 @@
 //
 // The tsqd wire protocol: a compact, CRC-checked binary framing over TCP
 // that carries the Database API — range/kNN/subsequence queries (single
-// or batched), bulk insert, self-join, stats and ping — between the
+// or batched), bulk insert, self-join, reindex, stats and ping —
+// between the
 // blocking client (src/server/client.h) and the tsqd server
 // (src/server/server.h).
 //
@@ -72,6 +73,7 @@ enum class Verb : uint8_t {
   kBatch = 4,     ///< a vector of BatchQuery, answered positionally
   kInsert = 5,    ///< bulk insert (Database::InsertBatch)
   kSelfJoin = 6,  ///< parallel self-join
+  kReindex = 7,   ///< fold the delta into a fresh main tree, empty body
 };
 
 /// Reply disposition.
@@ -111,6 +113,8 @@ struct Reply {
   std::vector<JoinPair> pairs;
   /// kStats.
   DatabaseStats stats;
+  /// kReindex: the epoch whose main tree covers every merged series.
+  uint64_t reindex_epoch = 0;
 };
 
 /// Appends the complete frame (header + payload) for a request/reply.

@@ -214,6 +214,15 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
       }
       break;
     }
+    case Verb::kReindex: {
+      auto epoch = db_->Reindex();
+      if (!epoch.ok()) {
+        fail(epoch.status());
+      } else {
+        reply.reindex_epoch = *epoch;
+      }
+      break;
+    }
   }
   QueueReply(conn, reply);
   // Decrement only after the reply frame is buffered: the event thread

@@ -472,7 +472,12 @@ TEST_F(ConcurrencyStressTest, InsertBatchRacesRunBatchSafely) {
                                      kBatchRecords +
                                  kSingleInserts;
   EXPECT_EQ(db_->size(), expected_size);
+  // Ingested entries land in the delta until a merge folds them in.
+  DatabaseStats stats = db_->StatsSnapshot();
+  EXPECT_EQ(stats.tree_entries + stats.delta_entries, expected_size);
+  ASSERT_TRUE(db_->Reindex().ok());
   EXPECT_EQ(db_->index()->size(), expected_size);
+  EXPECT_EQ(db_->StatsSnapshot().delta_entries, 0u);
   // Every ingested record is readable and the dense-id directory intact.
   for (uint64_t id = 0; id < expected_size; ++id) {
     ASSERT_TRUE(db_->relation()->Get(id).ok()) << "id " << id;

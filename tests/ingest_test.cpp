@@ -237,8 +237,16 @@ TEST(DatabaseRecoveryTest, TornTailRecordIsDroppedAndIndexReopens) {
                     .ok());
     ASSERT_TRUE(rel->Flush().ok());
   }
-  // Before the tear: index (N entries) vs relation (N+1) is corruption.
-  EXPECT_TRUE(Database::Open(options).status().IsCorruption());
+  // Before the tear: index (N entries) vs relation (N+1) is the
+  // crash-between-swap shape, not corruption — Open rebuilds the tail
+  // into the delta and serves it (docs/ARCHITECTURE.md).
+  {
+    auto recovered = Database::Open(options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ((*recovered)->size(), names.size() + 1);
+    EXPECT_EQ((*recovered)->StatsSnapshot().delta_entries, 1u);
+    EXPECT_EQ((*recovered)->Get(torn_id).value().name, "torn");
+  }
 
   const std::string torn_segment =
       rel_path + "." + std::to_string(torn_id % 4);

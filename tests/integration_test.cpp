@@ -363,23 +363,34 @@ TEST_F(PersistenceTest, OpenMissingDatabaseFails) {
   EXPECT_TRUE(Database::Open(options).status().IsIOError());
 }
 
-TEST_F(PersistenceTest, OpenDetectsIndexRelationMismatch) {
+TEST_F(PersistenceTest, OpenRebuildsRelationTailIntoDelta) {
   DatabaseOptions options;
   options.directory = dir_.path();
   options.name = "mismatch";
+  RealVec ramp(32);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = double(i);
   {
     auto db = Database::Create(options).value();
     ASSERT_TRUE(db->Insert("a", RealVec(32, 1.0)).ok());
     ASSERT_TRUE(db->BuildIndex().ok());
+    // This lands in the in-memory delta: the on-disk tree still covers
+    // one series after the flush, while the relation holds two.
+    ASSERT_TRUE(db->Insert("tail", ramp).ok());
     ASSERT_TRUE(db->Flush().ok());
-    // Append another record *behind the index's back* by writing to the
-    // relation directly: the index now covers fewer series.
-    ASSERT_TRUE(db->relation()
-                    ->Append("sneaky", RealVec(32, 2.0), ComplexVec(32))
-                    .ok());
-    ASSERT_TRUE(db->relation()->Flush().ok());
   }
-  EXPECT_TRUE(Database::Open(options).status().IsCorruption());
+  // v4 contract: a relation that ran ahead of the on-disk index is the
+  // crash-before-merge shape, not corruption — Open rebuilds the tail
+  // into the delta, and the delta answers queries immediately.
+  auto reopened = Database::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->size(), 2u);
+  EXPECT_EQ((*reopened)->index()->size(), 1u);
+  EXPECT_EQ((*reopened)->StatsSnapshot().delta_entries, 1u);
+  auto hit = (*reopened)->RangeQuery(ramp, 0.001);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].id, 1u);
+  EXPECT_EQ((*hit)[0].distance, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,495 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The v4 index concurrency contract under test: epoch-published
+// snapshots, the delta index, and the merge that folds the delta into a
+// fresh main tree while queries keep answering. Covers the DeltaIndex
+// watermark/compaction semantics in isolation, delta visibility (a
+// series is queryable the moment InsertBatch returns), answer
+// preservation across merges, the gated-merge handshake (queries pinned
+// to the old epoch finish correctly while the swap publishes, and a
+// pinned old snapshot stays valid after it), crash-shaped reopens
+// (stale .idx.tmp, relation ahead of the on-disk tree), the background
+// merge thread, and a TSan-sized ingest+query+merge race. The CI TSan
+// job runs this binary alongside concurrency_stress_test.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/delta_index.h"
+#include "core/index_snapshot.h"
+#include "core/queries.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "transform/builtin.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+using engine::BatchQuery;
+using engine::BatchQueryKind;
+using engine::BatchResult;
+
+constexpr size_t kNumSeries = 80;
+constexpr size_t kLength = 64;
+constexpr uint64_t kSeed = 20260808;
+
+spatial::Point MakePoint(double a, double b) { return spatial::Point{a, b}; }
+
+// ---------------------------------------------------------------------------
+// DeltaIndex in isolation.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaIndexTest, WatermarkAdvancesOverOutOfOrderPuts) {
+  DeltaIndex delta(/*base=*/10, /*dims=*/2);
+  EXPECT_EQ(delta.base(), 10u);
+  EXPECT_EQ(delta.visible(), 0u);
+
+  // Out-of-order arrival: the watermark only moves over dense prefixes.
+  ASSERT_TRUE(delta.Put(12, MakePoint(12.0, -12.0)).ok());
+  EXPECT_EQ(delta.visible(), 0u);
+  ASSERT_TRUE(delta.Put(10, MakePoint(10.0, -10.0)).ok());
+  EXPECT_EQ(delta.visible(), 1u);
+  ASSERT_TRUE(delta.Put(11, MakePoint(11.0, -11.0)).ok());
+  EXPECT_EQ(delta.visible(), 3u);
+
+  for (uint64_t slot = 0; slot < 3; ++slot) {
+    const spatial::Point p = delta.PointAt(slot);
+    EXPECT_EQ(p[0], 10.0 + double(slot));
+    EXPECT_EQ(p[1], -10.0 - double(slot));
+  }
+}
+
+TEST(DeltaIndexTest, PutSpansChunksAndRejectsBadArguments) {
+  DeltaIndex delta(/*base=*/0, /*dims=*/1);
+  // Straddle the first chunk boundary.
+  const uint64_t n = DeltaIndex::kChunkEntries + 5;
+  for (uint64_t id = 0; id < n; ++id) {
+    ASSERT_TRUE(delta.Put(id, spatial::Point{double(id)}).ok());
+  }
+  EXPECT_EQ(delta.visible(), n);
+  EXPECT_EQ(delta.PointAt(DeltaIndex::kChunkEntries)[0],
+            double(DeltaIndex::kChunkEntries));
+
+  DeltaIndex based(/*base=*/100, /*dims=*/2);
+  EXPECT_TRUE(based.Put(99, MakePoint(0, 0)).IsInvalidArgument());
+  EXPECT_TRUE(based.Put(100, spatial::Point{1.0}).IsInvalidArgument());
+  // One past the fixed capacity: the caller's cue to merge.
+  const SeriesId beyond =
+      100 + DeltaIndex::kChunkEntries * DeltaIndex::kMaxChunks;
+  EXPECT_TRUE(based.Put(beyond, MakePoint(0, 0)).IsOutOfRange());
+}
+
+TEST(DeltaIndexTest, CompactKeepsReadySlotsAtOrAboveCutoff) {
+  DeltaIndex old(/*base=*/10, /*dims=*/1);
+  for (SeriesId id = 10; id < 20; ++id) {
+    ASSERT_TRUE(old.Put(id, spatial::Point{double(id)}).ok());
+  }
+  // An in-flight batch left a gap: 21 ready, 20 missing.
+  ASSERT_TRUE(old.Put(21, spatial::Point{21.0}).ok());
+  EXPECT_EQ(old.visible(), 10u);
+
+  auto fresh = DeltaIndex::Compact(old, /*cutoff=*/15);
+  EXPECT_EQ(fresh->base(), 15u);
+  // 15..19 are dense; 21 is ready but 20 is not, so it stays invisible.
+  EXPECT_EQ(fresh->visible(), 5u);
+  for (uint64_t slot = 0; slot < 5; ++slot) {
+    EXPECT_EQ(fresh->PointAt(slot)[0], 15.0 + double(slot));
+  }
+  // The late slot 20 arriving on the fresh delta re-densifies through 21.
+  ASSERT_TRUE(fresh->Put(20, spatial::Point{20.0}).ok());
+  EXPECT_EQ(fresh->visible(), 7u);
+  EXPECT_EQ(fresh->PointAt(6)[0], 21.0);
+}
+
+// ---------------------------------------------------------------------------
+// Database-level merge behavior.
+// ---------------------------------------------------------------------------
+
+class ReindexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = workload::MakeRandomWalkDataset(kSeed, kNumSeries, kLength);
+    DatabaseOptions options;
+    options.directory = dir_.path();
+    options.name = "reindex";
+    db_ = Database::Create(options).value();
+    // Index the first half; the second half stays for delta ingest.
+    for (size_t i = 0; i < kNumSeries / 2; ++i) {
+      ASSERT_TRUE(db_->Insert(data_[i].name(), data_[i].values()).ok());
+    }
+    ASSERT_TRUE(db_->BuildIndex().ok());
+  }
+
+  /// Ingests the second half of the dataset (lands in the delta).
+  void IngestSecondHalf() {
+    std::vector<std::string> names;
+    std::vector<RealVec> values;
+    for (size_t i = kNumSeries / 2; i < kNumSeries; ++i) {
+      names.push_back(data_[i].name());
+      values.push_back(data_[i].values());
+    }
+    auto ids = db_->InsertBatch(names, values, /*threads=*/3);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  }
+
+  /// A mixed range/kNN batch over stored series, plain and transformed.
+  std::vector<BatchQuery> MakeBatch() const {
+    QuerySpec smoothed;
+    smoothed.transform =
+        FeatureTransform::Spectral(transforms::MovingAverage(kLength, 4));
+    std::vector<BatchQuery> batch;
+    for (size_t i = 0; i < 12; ++i) {
+      BatchQuery q;
+      q.query = data_[(i * 13) % kNumSeries].values();
+      if (i % 2 == 0) {
+        q.kind = BatchQueryKind::kRange;
+        q.epsilon = (i % 4 == 0) ? 2.0 : 5.0;
+      } else {
+        q.kind = BatchQueryKind::kKnn;
+        q.k = 4;
+      }
+      if (i % 5 == 3) q.spec = smoothed;
+      batch.push_back(std::move(q));
+    }
+    return batch;
+  }
+
+  static void ExpectSameResults(const std::vector<BatchResult>& actual,
+                                const std::vector<BatchResult>& expected,
+                                const std::string& what) {
+    ASSERT_EQ(actual.size(), expected.size()) << what;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_TRUE(actual[i].status.ok()) << what << " query " << i;
+      ASSERT_EQ(actual[i].matches.size(), expected[i].matches.size())
+          << what << " query " << i;
+      for (size_t m = 0; m < expected[i].matches.size(); ++m) {
+        EXPECT_EQ(actual[i].matches[m].id, expected[i].matches[m].id)
+            << what << " query " << i << " match " << m;
+        EXPECT_EQ(actual[i].matches[m].distance,
+                  expected[i].matches[m].distance)
+            << what << " query " << i << " match " << m;
+      }
+    }
+  }
+
+  testing::TempDir dir_;
+  std::vector<TimeSeries> data_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ReindexTest, DeltaIsQueryableTheMomentInsertReturns) {
+  IngestSecondHalf();
+  // No merge has run: everything past the build sits in the delta.
+  const DatabaseStats stats = db_->StatsSnapshot();
+  EXPECT_EQ(stats.tree_entries, kNumSeries / 2);
+  EXPECT_EQ(stats.delta_entries, kNumSeries - kNumSeries / 2);
+  EXPECT_EQ(stats.merges_completed, 0u);
+
+  // Every unmerged series answers an exact-match range query, and kNN
+  // sees it as its own nearest neighbor.
+  for (size_t i = kNumSeries / 2; i < kNumSeries; ++i) {
+    auto matches = db_->RangeQuery(data_[i].values(), 1e-9);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty()) << "series " << i;
+    EXPECT_EQ((*matches)[0].id, i);
+    auto knn = db_->Knn(data_[i].values(), 1);
+    ASSERT_TRUE(knn.ok());
+    ASSERT_EQ(knn->size(), 1u);
+    EXPECT_EQ((*knn)[0].id, i);
+    EXPECT_EQ((*knn)[0].distance, 0.0);
+  }
+}
+
+TEST_F(ReindexTest, MergePreservesAnswersBitIdentically) {
+  IngestSecondHalf();
+  const std::vector<BatchQuery> batch = MakeBatch();
+  const std::vector<BatchResult> before = db_->RunBatch(batch, 2).value();
+  auto join_before = db_->ParallelSelfJoin(2.0, std::nullopt, 2, nullptr);
+  ASSERT_TRUE(join_before.ok());
+  const uint64_t epoch_before = db_->StatsSnapshot().index_epoch;
+
+  auto epoch = db_->Reindex();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_GT(*epoch, epoch_before);
+
+  const DatabaseStats stats = db_->StatsSnapshot();
+  EXPECT_EQ(stats.tree_entries, kNumSeries);
+  EXPECT_EQ(stats.delta_entries, 0u);
+  EXPECT_EQ(stats.merges_completed, 1u);
+  EXPECT_EQ(stats.index_epoch, *epoch);
+
+  const std::vector<BatchResult> after = db_->RunBatch(batch, 2).value();
+  ExpectSameResults(after, before, "post-merge batch");
+  auto join_after = db_->ParallelSelfJoin(2.0, std::nullopt, 2, nullptr);
+  ASSERT_TRUE(join_after.ok());
+  ASSERT_EQ(join_after->size(), join_before->size());
+  for (size_t i = 0; i < join_before->size(); ++i) {
+    EXPECT_EQ((*join_after)[i].first, (*join_before)[i].first);
+    EXPECT_EQ((*join_after)[i].second, (*join_before)[i].second);
+    EXPECT_EQ((*join_after)[i].distance, (*join_before)[i].distance);
+  }
+
+  // Nothing left to fold: a second reindex is a no-op on the same epoch.
+  auto again = db_->Reindex();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *epoch);
+  EXPECT_EQ(db_->StatsSnapshot().merges_completed, 1u);
+}
+
+TEST_F(ReindexTest, GatedMergeHandshakeKeepsOldEpochAnswering) {
+  IngestSecondHalf();
+  const std::vector<BatchQuery> batch = MakeBatch();
+  const std::vector<BatchResult> baseline = db_->RunBatch(batch, 2).value();
+
+  // Gate the merge between the index-file rename and the epoch publish:
+  // the swap is committed on disk but not yet visible to queries.
+  std::mutex m;
+  std::condition_variable cv;
+  bool merge_at_gate = false;
+  bool release_merge = false;
+  db_->SetMergeHookForTesting([&] {
+    std::unique_lock<std::mutex> lock(m);
+    merge_at_gate = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release_merge; });
+  });
+
+  // Pin the pre-merge snapshot the way an in-flight query would.
+  auto old_snap = db_->CurrentSnapshot();
+  const uint64_t old_epoch = old_snap->epoch;
+
+  std::thread merger([&] {
+    auto epoch = db_->Reindex();
+    ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  });
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return merge_at_gate; });
+  }
+
+  // The swap has not published: queries still run on the old epoch and
+  // answer the baseline.
+  EXPECT_EQ(db_->StatsSnapshot().index_epoch, old_epoch);
+  const std::vector<BatchResult> gated = db_->RunBatch(batch, 2).value();
+  ExpectSameResults(gated, baseline, "query at the merge gate");
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release_merge = true;
+  }
+  cv.notify_all();
+  merger.join();
+  db_->SetMergeHookForTesting(nullptr);
+
+  // Published: new epoch, delta drained, same answers.
+  EXPECT_GT(db_->StatsSnapshot().index_epoch, old_epoch);
+  EXPECT_EQ(db_->StatsSnapshot().delta_entries, 0u);
+  const std::vector<BatchResult> after = db_->RunBatch(batch, 2).value();
+  ExpectSameResults(after, baseline, "query after the swap");
+
+  // Grace period: the pinned old snapshot outlives the swap — a query
+  // still holding it keeps reading the superseded tree (whose file was
+  // renamed over) and gets the exact pre-merge answer.
+  const IndexView old_view(*old_snap);
+  EXPECT_EQ(old_view.total_series(), kNumSeries);
+  for (size_t i = 0; i < kNumSeries; i += 7) {
+    std::vector<Match> out;
+    QueryStats stats;
+    ASSERT_TRUE(IndexRangeQuery(old_view, *db_->relation(),
+                                data_[i].values(), 1e-9, QuerySpec{}, &out,
+                                &stats)
+                    .ok());
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].id, i);
+  }
+}
+
+TEST_F(ReindexTest, CrashShapedReopensRecover) {
+  IngestSecondHalf();
+  ASSERT_TRUE(db_->Flush().ok());
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "reindex";
+
+  // Crash before any merge: the on-disk tree covers half, the relation
+  // all. Open rebuilds the tail into the delta.
+  db_.reset();
+  {
+    auto reopened = Database::Open(options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->size(), kNumSeries);
+    const DatabaseStats stats = (*reopened)->StatsSnapshot();
+    EXPECT_EQ(stats.tree_entries, kNumSeries / 2);
+    EXPECT_EQ(stats.delta_entries, kNumSeries - kNumSeries / 2);
+    for (size_t i = 0; i < kNumSeries; i += 9) {
+      auto matches = (*reopened)->RangeQuery(data_[i].values(), 1e-9);
+      ASSERT_TRUE(matches.ok());
+      ASSERT_FALSE(matches->empty());
+      EXPECT_EQ((*matches)[0].id, i);
+    }
+
+    // Crash mid-build: a leftover .idx.tmp must not survive a reopen.
+    ASSERT_TRUE((*reopened)->Reindex().ok());
+    ASSERT_TRUE((*reopened)->Flush().ok());
+  }
+  const std::string tmp_path = dir_.path() + "/reindex.idx.tmp";
+  { std::ofstream(tmp_path) << "half-built merge junk"; }
+  ASSERT_TRUE(std::filesystem::exists(tmp_path));
+  {
+    auto reopened = Database::Open(options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_FALSE(std::filesystem::exists(tmp_path));
+    // Crash after the rename: the merged tree covers everything, the
+    // delta reopens empty, answers intact.
+    const DatabaseStats stats = (*reopened)->StatsSnapshot();
+    EXPECT_EQ(stats.tree_entries, kNumSeries);
+    EXPECT_EQ(stats.delta_entries, 0u);
+    auto matches =
+        (*reopened)->RangeQuery(data_[kNumSeries - 1].values(), 1e-9);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty());
+    EXPECT_EQ((*matches)[0].id, kNumSeries - 1);
+  }
+}
+
+TEST_F(ReindexTest, BackgroundMergeThreadFoldsDelta) {
+  // Reopen with the merge thread on a tight cadence.
+  ASSERT_TRUE(db_->Flush().ok());
+  db_.reset();
+  DatabaseOptions options;
+  options.directory = dir_.path();
+  options.name = "reindex";
+  options.merge_interval_ms = 5;
+  options.merge_min_delta = 1;
+  db_ = Database::Open(options).value();
+
+  IngestSecondHalf();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const DatabaseStats stats = db_->StatsSnapshot();
+    if (stats.delta_entries == 0 && stats.merges_completed >= 1 &&
+        stats.tree_entries == kNumSeries) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const DatabaseStats stats = db_->StatsSnapshot();
+  EXPECT_EQ(stats.delta_entries, 0u);
+  EXPECT_EQ(stats.tree_entries, kNumSeries);
+  EXPECT_GE(stats.merges_completed, 1u);
+  auto matches = db_->RangeQuery(data_[kNumSeries - 1].values(), 1e-9);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].id, kNumSeries - 1);
+}
+
+TEST_F(ReindexTest, ReindexRacesIngestAndQueriesSafely) {
+  // The v4 headline race, TSan-sized: InsertBatch writers, RunBatch
+  // readers and repeated merges all at once. The ingested series are
+  // flat with means ~1e6 outside every search rectangle (and a zero
+  // normal form sqrt(kLength) away from any unit-variance query), so
+  // every reader's answer set provably never changes no matter how much
+  // ingest landed or which epoch it pinned.
+  std::vector<BatchQuery> batch;
+  for (size_t i = 0; i < 8; ++i) {
+    BatchQuery q;
+    q.kind = BatchQueryKind::kRange;
+    q.query = data_[(i * 13) % (kNumSeries / 2)].values();
+    q.epsilon = (i % 2 == 0) ? 2.0 : 4.0;
+    batch.push_back(std::move(q));
+  }
+  const std::vector<BatchResult> baseline = db_->RunBatch(batch, 2).value();
+
+  constexpr size_t kWriterThreads = 2;
+  constexpr size_t kBatchesPerWriter = 3;
+  constexpr size_t kBatchRecords = 20;
+  constexpr int kReaderReps = 4;
+  constexpr int kMerges = 4;
+
+  auto make_far = [](uint64_t seed, size_t count) {
+    std::vector<std::string> names;
+    std::vector<RealVec> values;
+    for (size_t i = 0; i < count; ++i) {
+      names.push_back("far_" + std::to_string(seed) + "_" +
+                      std::to_string(i));
+      values.emplace_back(kLength, 1e6 + double(seed * 64 + i));
+    }
+    return std::make_pair(std::move(names), std::move(values));
+  };
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < kReaderReps; ++rep) {
+        Result<std::vector<BatchResult>> results = db_->RunBatch(batch, 2);
+        if (!results.ok() || results->size() != batch.size()) {
+          failed.store(true);
+          return;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (!(*results)[i].status.ok() ||
+              (*results)[i].matches.size() != baseline[i].matches.size()) {
+            failed.store(true);
+            return;
+          }
+          for (size_t m = 0; m < baseline[i].matches.size(); ++m) {
+            if ((*results)[i].matches[m].id != baseline[i].matches[m].id ||
+                (*results)[i].matches[m].distance !=
+                    baseline[i].matches[m].distance) {
+              failed.store(true);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (size_t w = 0; w < kWriterThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t b = 0; b < kBatchesPerWriter; ++b) {
+        auto [names, values] = make_far(7000 + w * 100 + b, kBatchRecords);
+        auto ids = db_->InsertBatch(names, values, /*threads=*/2);
+        if (!ids.ok() || ids->size() != kBatchRecords) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kMerges; ++i) {
+      if (!db_->Reindex().ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed.load()) << "a racing call diverged or failed";
+
+  const uint64_t expected_size =
+      kNumSeries / 2 + kWriterThreads * kBatchesPerWriter * kBatchRecords;
+  EXPECT_EQ(db_->size(), expected_size);
+  ASSERT_TRUE(db_->Reindex().ok());
+  EXPECT_EQ(db_->index()->size(), expected_size);
+  EXPECT_EQ(db_->StatsSnapshot().delta_entries, 0u);
+  const std::vector<BatchResult> after = db_->RunBatch(batch, 2).value();
+  ExpectSameResults(after, baseline, "post-race batch");
+}
+
+}  // namespace
+}  // namespace tsq

@@ -121,7 +121,7 @@ Reply RoundTripReply(const Reply& reply) {
 }
 
 TEST(ProtocolTest, PingAndStatsRequestsRoundTrip) {
-  for (Verb verb : {Verb::kPing, Verb::kStats}) {
+  for (Verb verb : {Verb::kPing, Verb::kStats, Verb::kReindex}) {
     Request request;
     request.verb = verb;
     request.id = 42;
@@ -259,11 +259,26 @@ TEST(ProtocolTest, RepliesRoundTripEveryShape) {
   stats_reply.stats.index_built = true;
   stats_reply.stats.pool_hits = 123;
   stats_reply.stats.tree_height = 2;
+  stats_reply.stats.index_epoch = 4;
+  stats_reply.stats.delta_entries = 17;
+  stats_reply.stats.merges_completed = 3;
   out = RoundTripReply(stats_reply);
   EXPECT_EQ(out.stats.series, 80u);
   EXPECT_TRUE(out.stats.index_built);
   EXPECT_EQ(out.stats.pool_hits, 123u);
   EXPECT_EQ(out.stats.tree_height, 2u);
+  EXPECT_EQ(out.stats.index_epoch, 4u);
+  EXPECT_EQ(out.stats.delta_entries, 17u);
+  EXPECT_EQ(out.stats.merges_completed, 3u);
+
+  // Reindex reply.
+  Reply reindex_reply;
+  reindex_reply.verb = Verb::kReindex;
+  reindex_reply.id = 8;
+  reindex_reply.reindex_epoch = 5;
+  out = RoundTripReply(reindex_reply);
+  EXPECT_EQ(out.verb, Verb::kReindex);
+  EXPECT_EQ(out.reindex_epoch, 5u);
 
   // Error reply.
   Reply error_reply;
@@ -523,6 +538,9 @@ TEST_F(ServerTest, PingAndStats) {
   EXPECT_EQ(stats->tree_entries, local.tree_entries);
   EXPECT_EQ(stats->tree_height, local.tree_height);
   EXPECT_EQ(stats->tree_dims, local.tree_dims);
+  EXPECT_EQ(stats->index_epoch, local.index_epoch);
+  EXPECT_EQ(stats->delta_entries, local.delta_entries);
+  EXPECT_EQ(stats->merges_completed, local.merges_completed);
 }
 
 TEST_F(ServerTest, RemoteQueriesMatchInProcess) {
@@ -657,6 +675,53 @@ TEST_F(ServerTest, RemoteInsertMatchesInProcessAndIsQueryable) {
   ASSERT_FALSE(bad.ok());
   EXPECT_TRUE(bad.status().IsInvalidArgument());
   EXPECT_EQ(db_->size(), kNumSeries + names.size());
+}
+
+TEST_F(ServerTest, RemoteReindexFoldsDeltaAndKeepsAnswers) {
+  auto server = StartServer();
+  auto client = Connect(*server);
+
+  // Seed some unmerged entries through the remote insert path.
+  Rng rng(kSeed + 123);
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  for (size_t i = 0; i < 5; ++i) {
+    names.push_back("unmerged_" + std::to_string(i));
+    values.push_back(testing::RandomRealVec(&rng, kLength));
+  }
+  auto ids = client->InsertBatch(names, values);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  auto before = client->Stats();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->delta_entries, names.size());
+
+  // Answers to compare across the merge.
+  auto pre = client->Range(values[2], 1e-9);
+  ASSERT_TRUE(pre.ok());
+
+  auto epoch = client->Reindex();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_GT(*epoch, before->index_epoch);
+
+  auto after = client->Stats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->delta_entries, 0u);
+  EXPECT_EQ(after->tree_entries, kNumSeries + names.size());
+  EXPECT_EQ(after->index_epoch, *epoch);
+  EXPECT_GT(after->merges_completed, before->merges_completed);
+
+  auto post = client->Range(values[2], 1e-9);
+  ASSERT_TRUE(post.ok());
+  ASSERT_EQ(post->size(), pre->size());
+  for (size_t m = 0; m < pre->size(); ++m) {
+    EXPECT_EQ((*post)[m].id, (*pre)[m].id);
+    EXPECT_EQ((*post)[m].distance, (*pre)[m].distance);
+  }
+
+  // A reindex with nothing to fold is a cheap no-op on the same epoch.
+  auto again = client->Reindex();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *epoch);
 }
 
 TEST_F(ServerTest, MalformedPayloadGetsErrorReplyAndConnectionSurvives) {

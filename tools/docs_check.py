@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the CI docs-check job.
+
+Two classes of failure:
+
+1. Dead relative links: every markdown link in every tracked .md file
+   whose target is a relative path must resolve to an existing file
+   (anchors and external URLs are skipped; an anchor on a relative
+   link is checked against the target file's headings).
+
+2. Stale contract prose: the v4 delta-index PR removed the exclusive
+   R*-tree fold-in from the ingest path. Header comment blocks and the
+   README must not still describe the old contract. The patterns below
+   are the phrases that described it; any hit is a failure with the
+   offending file:line printed.
+
+Exit status 0 = clean, 1 = problems found. No dependencies beyond the
+standard library; run from anywhere inside the repository.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Markdown inline links [text](target) — good enough for our docs; code
+# spans are stripped first so `[i](j)` in C++ snippets is not a link.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+# Phrases that describe the pre-v4 exclusive fold-in contract. Checked
+# against README.md and every header under src/. Case-insensitive.
+STALE_PATTERNS = [
+    r"exclusive\s+R\*?-?tree\s+fold-?in",
+    r"fold-?in\s+takes\s+the\s+writers",
+    r"brief\s+exclusive\s+lock",
+    r"index_mutex_",
+    r"fold[s]?\s+new\s+points\s+into\s+the\s+live\s+(R\*?-?)?tree",
+]
+
+SKIP_DIRS = {".git", "build", "build-tsan", "third_party", ".github"}
+
+
+def tracked_files(suffixes):
+    out = []
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS and
+                   not d.startswith("build")]
+        for f in files:
+            if any(f.endswith(s) for s in suffixes):
+                out.append(os.path.join(root, f))
+    return sorted(out)
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor slug (ASCII approximation)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path):
+    anchors = set()
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def check_links(md_files):
+    problems = []
+    for path in md_files:
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                stripped = CODE_SPAN_RE.sub("", line)
+                for target in LINK_RE.findall(stripped):
+                    if re.match(r"[a-z][a-z0-9+.-]*:", target):
+                        continue  # external URL (http:, mailto:, ...)
+                    base, _, anchor = target.partition("#")
+                    if not base:
+                        # Same-file anchor.
+                        if anchor and github_anchor(anchor) not in \
+                                anchors_of(path):
+                            problems.append(
+                                f"{path}:{lineno}: dead anchor "
+                                f"'#{anchor}'")
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base))
+                    if not os.path.exists(resolved):
+                        problems.append(
+                            f"{path}:{lineno}: dead link '{target}' "
+                            f"(resolved to {resolved})")
+                    elif anchor and resolved.endswith(".md"):
+                        if github_anchor(anchor) not in anchors_of(resolved):
+                            problems.append(
+                                f"{path}:{lineno}: dead anchor "
+                                f"'{target}'")
+    return problems
+
+
+def check_stale_prose(files):
+    problems = []
+    regexes = [re.compile(p, re.IGNORECASE) for p in STALE_PATTERNS]
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        # Join continuation lines so a phrase split across a comment
+        # block's line wrap still matches.
+        joined = re.sub(r"\n//\s*", " ", text)
+        joined = re.sub(r"\s+", " ", joined)
+        for rx in regexes:
+            if rx.search(joined):
+                # Recover an approximate line for the report.
+                lineno = 1
+                for i, line in enumerate(text.splitlines(), 1):
+                    if rx.search(line):
+                        lineno = i
+                        break
+                problems.append(
+                    f"{path}:{lineno}: stale pre-v4 contract prose "
+                    f"matches /{rx.pattern}/")
+    return problems
+
+
+def main():
+    md_files = tracked_files([".md"])
+    headers = [p for p in tracked_files([".h"])
+               if os.sep + "src" + os.sep in p]
+    readme = os.path.join(REPO, "README.md")
+    prose_files = headers + ([readme] if os.path.exists(readme) else [])
+
+    problems = check_links(md_files) + check_stale_prose(prose_files)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        for p in problems:
+            print("  " + os.path.relpath(p, REPO) if p.startswith(REPO)
+                  else "  " + p)
+        return 1
+    print(f"docs-check: OK ({len(md_files)} markdown files, "
+          f"{len(prose_files)} prose-checked sources)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,13 @@
 //   tsq_cli knn     --db DIR/NAME --series NAME --k K [--transform ...]
 //   tsq_cli join    --db DIR/NAME --eps X [--transform ...]
 //                   [--method scan|scan-fast|index|index-transform|tree]
+//   tsq_cli reindex --db DIR/NAME        (fold the delta into a fresh tree)
 //   tsq_cli demo    --db DIR/NAME [--count N] [--days D]   (simulated market)
 //
 // tsqd server + remote client commands (src/server/):
 //   tsq_cli serve         --db DIR/NAME [--host H] [--port P] [--workers N]
 //                         [--engine-threads T] [--max-inflight M]
+//                         [--merge-interval-ms MS] [--merge-min-delta N]
 //   tsq_cli remote-ping   [--host H] [--port P]
 //   tsq_cli remote-stats  [--host H] [--port P]
 //   tsq_cli remote-import [--host H] [--port P] --csv FILE
@@ -27,6 +29,7 @@
 //   tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME
 //                         --k K [--transform T]
 //   tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]
+//   tsq_cli remote-reindex [--host H] [--port P]
 //
 // --db takes "directory/name"; files NAME.rel / NAME.idx are stored in the
 // directory. --series names a stored series to use as the query point; the
@@ -78,9 +81,11 @@ int Usage() {
       "[--mode both|data]\n"
       "  tsq_cli knn    --db DIR/NAME --series NAME --k K [--transform T]\n"
       "  tsq_cli join   --db DIR/NAME --eps X [--transform T] [--method M]\n"
+      "  tsq_cli reindex --db DIR/NAME\n"
       "  tsq_cli demo   --db DIR/NAME [--count N] [--days D]\n"
       "  tsq_cli serve  --db DIR/NAME [--host H] [--port P] [--workers N] "
-      "[--engine-threads T] [--max-inflight M]\n"
+      "[--engine-threads T] [--max-inflight M] [--merge-interval-ms MS] "
+      "[--merge-min-delta N]\n"
       "  tsq_cli remote-ping|remote-stats [--host H] [--port P]\n"
       "  tsq_cli remote-import [--host H] [--port P] --csv FILE\n"
       "  tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME "
@@ -88,6 +93,7 @@ int Usage() {
       "  tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME "
       "--k K [--transform T]\n"
       "  tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]\n"
+      "  tsq_cli remote-reindex [--host H] [--port P]\n"
       "transforms: identity | mavg:W | ewma:ALPHA:W | reverse | scale:F | "
       "shift:D\n"
       "join methods: scan | scan-fast | index | index-transform | tree\n"
@@ -290,7 +296,30 @@ int CmdInfo(const Args& args) {
     std::printf("  dims %zu, height %u, node capacity %zu, %llu entries\n",
                 tree->dims(), tree->height(), tree->node_capacity(),
                 static_cast<unsigned long long>(tree->size()));
+    const DatabaseStats stats = (*db)->StatsSnapshot();
+    std::printf("  epoch %llu, %llu unmerged delta entries, "
+                "%llu merges completed\n",
+                static_cast<unsigned long long>(stats.index_epoch),
+                static_cast<unsigned long long>(stats.delta_entries),
+                static_cast<unsigned long long>(stats.merges_completed));
   }
+  return 0;
+}
+
+int CmdReindex(const Args& args) {
+  DatabaseOptions options;
+  const char* db_path = args.Get("db");
+  if (db_path == nullptr || !SplitDbPath(db_path, &options)) return Usage();
+  auto db = Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+  const DatabaseStats before = (*db)->StatsSnapshot();
+  auto epoch = (*db)->Reindex();
+  if (!epoch.ok()) return Fail(epoch.status());
+  if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
+  std::printf("merged %llu delta entries; epoch %llu, tree %llu entries\n",
+              static_cast<unsigned long long>(before.delta_entries),
+              static_cast<unsigned long long>(*epoch),
+              static_cast<unsigned long long>((*db)->index()->size()));
   return 0;
 }
 
@@ -424,6 +453,11 @@ int CmdServe(const Args& args) {
   const char* db_path = args.Get("db");
   if (db_path == nullptr || !SplitDbPath(db_path, &options)) return Usage();
   Logger::ReloadFromEnv();
+  // The merge cadence is a database knob: the background thread folds the
+  // delta into a fresh tree whenever it holds >= merge-min-delta entries.
+  options.merge_interval_ms =
+      std::stoull(args.GetOr("merge-interval-ms", "0"));
+  options.merge_min_delta = std::stoull(args.GetOr("merge-min-delta", "1"));
   auto db = Database::Open(options);
   if (!db.ok()) return Fail(db.status());
 
@@ -469,6 +503,16 @@ int CmdRemotePing(const Args& args) {
   return 0;
 }
 
+int CmdRemoteReindex(const Args& args) {
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  auto epoch = (*client)->Reindex();
+  if (!epoch.ok()) return Fail(epoch.status());
+  std::printf("reindexed; server now at epoch %llu\n",
+              static_cast<unsigned long long>(*epoch));
+  return 0;
+}
+
 int CmdRemoteStats(const Args& args) {
   auto client = ConnectRemote(args);
   if (!client.ok()) return Fail(client.status());
@@ -483,6 +527,11 @@ int CmdRemoteStats(const Args& args) {
                 static_cast<unsigned long long>(stats->tree_entries),
                 static_cast<unsigned long long>(stats->tree_height),
                 static_cast<unsigned long long>(stats->tree_dims));
+    std::printf("  epoch       %llu, %llu unmerged delta entries, "
+                "%llu merges completed\n",
+                static_cast<unsigned long long>(stats->index_epoch),
+                static_cast<unsigned long long>(stats->delta_entries),
+                static_cast<unsigned long long>(stats->merges_completed));
     std::printf("  pool        %llu hits, %llu misses, %llu evictions, "
                 "%llu disk reads, %llu disk writes\n",
                 static_cast<unsigned long long>(stats->pool_hits),
@@ -636,6 +685,7 @@ int main(int argc, char** argv) {
   if (args.command == "range") return CmdRange(args);
   if (args.command == "knn") return CmdKnn(args);
   if (args.command == "join") return CmdJoin(args);
+  if (args.command == "reindex") return CmdReindex(args);
   if (args.command == "serve") return CmdServe(args);
   if (args.command == "remote-ping") return CmdRemotePing(args);
   if (args.command == "remote-stats") return CmdRemoteStats(args);
@@ -643,5 +693,6 @@ int main(int argc, char** argv) {
   if (args.command == "remote-range") return CmdRemoteRange(args);
   if (args.command == "remote-knn") return CmdRemoteKnn(args);
   if (args.command == "remote-join") return CmdRemoteJoin(args);
+  if (args.command == "remote-reindex") return CmdRemoteReindex(args);
   return Usage();
 }
