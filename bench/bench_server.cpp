@@ -1,14 +1,23 @@
 // Copyright (c) 2026 The tsq Authors.
 //
-// tsqd loopback throughput: queries/second through the full network
-// stack — client encode, TCP loopback, server frame decode, admission,
-// execution pool, reply encode — for a clients x workers sweep, plus the
-// in-process RunBatch baseline so the wire overhead is visible. Not a
-// paper figure; it measures the server subsystem the same way
-// bench_batch_throughput measures the engine.
+// tsqd front-end throughput: pipelined frames/second through the full
+// network stack — frame decode, admission, execution pool, reply encode,
+// loopback TCP — for a connections x pollers sweep, plus the in-process
+// RunBatch baseline so the wire overhead is visible. Each connection is
+// a raw-socket driver that writes a stream of single-query frames
+// back-to-back (no request/reply lockstep), so the poller threads see
+// the many-frames-per-recv pattern the multi-poller front end is built
+// for. Not a paper figure; it measures the server subsystem the same
+// way bench_batch_throughput measures the engine.
 //
-// Drops BENCH_server.json next to the console table (CI's bench-perf job
-// archives BENCH_*.json per run, so server perf is tracked PR over PR).
+// Drops BENCH_server.json (schema v2: pipelined rows keyed by pollers x
+// connections) next to the console table. CI's bench-perf job archives
+// BENCH_*.json per run, so server perf is tracked PR over PR.
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <thread>
@@ -16,50 +25,103 @@
 
 #include "bench_util.h"
 #include "server/client.h"
+#include "server/protocol.h"
 #include "server/server.h"
 #include "workload/random_walk.h"
 
 namespace tsq {
 namespace {
 
+/// Blocking loopback connect; aborts on failure (benchmarks have no
+/// error consumers).
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TSQ_CHECK_MSG(fd >= 0, "socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  TSQ_CHECK_MSG(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "connect failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Sends the whole pre-encoded frame stream, then reads until `count`
+/// replies have decoded. The server buffers replies it cannot flush yet,
+/// so write-then-read cannot deadlock.
+void DrivePipelined(uint16_t port, const serde::Buffer& stream,
+                    size_t count) {
+  const int fd = RawConnect(port);
+  size_t sent = 0;
+  while (sent < stream.size()) {
+    const ssize_t n = ::send(fd, stream.data() + sent, stream.size() - sent,
+                             MSG_NOSIGNAL);
+    TSQ_CHECK_MSG(n > 0, "send failed");
+    sent += static_cast<size_t>(n);
+  }
+  server::FrameReader reader;
+  size_t replies = 0;
+  uint8_t buf[64 * 1024];
+  while (replies < count) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    TSQ_CHECK_MSG(n > 0, "recv failed before all replies arrived");
+    Status status = reader.Feed(buf, static_cast<size_t>(n),
+                                [&replies](const uint8_t*, size_t) {
+                                  ++replies;
+                                  return Status::OK();
+                                });
+    TSQ_CHECK_MSG(status.ok(), "reply stream corrupt: %s",
+                  status.ToString().c_str());
+  }
+  ::close(fd);
+}
+
 void Run() {
   bench::Banner(
-      "tsqd: remote queries/sec vs clients x workers",
-      "Mixed range/kNN batches over TCP loopback against one tsqd.\n"
-      "Expected shape: the wire adds per-request latency; concurrent\n"
-      "clients recover throughput until the execution pool saturates.");
+      "tsqd: pipelined frames/sec vs connections x pollers",
+      "Raw-socket drivers stream single-query range frames back-to-back\n"
+      "over TCP loopback against one tsqd. Expected shape: more pollers\n"
+      "spread the socket work across threads; on a single hardware thread\n"
+      "the sweep mostly measures coordination overhead.");
   std::printf("  hardware threads on this host: %u\n\n",
               std::thread::hardware_concurrency());
 
   const size_t kNumSeries = bench::Scaled(1000, 64);
   const size_t kLength = 128;
-  const size_t kQueriesPerClient = bench::Scaled(128, 8);
+  const size_t kFramesPerConnection = bench::Scaled(256, 16);
 
   bench::ScratchDir scratch("bench_server");
   auto data =
       workload::MakeRandomWalkDataset(20260729, kNumSeries, kLength);
   auto db = bench::BuildDatabase(scratch.path(), "served", data);
 
-  auto make_batch = [&](uint64_t salt) {
-    std::vector<engine::BatchQuery> batch;
-    batch.reserve(kQueriesPerClient);
-    for (size_t i = 0; i < kQueriesPerClient; ++i) {
-      engine::BatchQuery q;
-      q.query = data[(i * 13 + salt * 31) % kNumSeries].values();
-      if (i % 4 == 2) {
-        q.kind = engine::BatchQueryKind::kKnn;
-        q.k = 1 + i % 5;
-      } else {
-        q.kind = engine::BatchQueryKind::kRange;
-        q.epsilon = (i % 2 == 0) ? 1.0 : 4.0;
-      }
-      batch.push_back(std::move(q));
+  auto make_query = [&](size_t i, uint64_t salt) {
+    engine::BatchQuery q;
+    q.kind = engine::BatchQueryKind::kRange;
+    q.query = data[(i * 13 + salt * 31) % kNumSeries].values();
+    q.epsilon = (i % 2 == 0) ? 1.0 : 4.0;
+    return q;
+  };
+  // Per-connection pre-encoded frame stream (one query per frame, ids
+  // dense) so the timed region is pure wire + server work.
+  auto make_stream = [&](uint64_t salt) {
+    serde::Buffer stream;
+    for (size_t i = 0; i < kFramesPerConnection; ++i) {
+      server::Request request;
+      request.verb = server::Verb::kQuery;
+      request.id = i + 1;
+      request.queries.push_back(make_query(i, salt));
+      server::EncodeRequest(request, &stream);
     }
-    return batch;
+    return stream;
   };
 
   bench::Json doc = bench::Json::Object();
   doc["bench"] = bench::Json::Str("server");
+  doc["schema_version"] = bench::Json::Int(2);
   bench::Json host = bench::Json::Object();
   host["hardware_threads"] =
       bench::Json::Int(std::thread::hardware_concurrency());
@@ -68,13 +130,17 @@ void Run() {
   bench::Json workload_json = bench::Json::Object();
   workload_json["series"] = bench::Json::Int(kNumSeries);
   workload_json["length"] = bench::Json::Int(kLength);
-  workload_json["queries_per_client"] = bench::Json::Int(kQueriesPerClient);
+  workload_json["frames_per_connection"] =
+      bench::Json::Int(kFramesPerConnection);
   doc["workload"] = std::move(workload_json);
   bench::Json rows = bench::Json::Array();
 
-  // In-process baseline: the same total query count, no network.
+  // In-process baseline: the same queries as one RunBatch, no network.
   {
-    const auto batch = make_batch(0);
+    std::vector<engine::BatchQuery> batch;
+    for (size_t i = 0; i < kFramesPerConnection; ++i) {
+      batch.push_back(make_query(i, 0));
+    }
     const double ms = bench::MeanMillis(
         [&] { db->RunBatch(batch, 0); }, /*reps=*/3);
     const double qps =
@@ -83,57 +149,58 @@ void Run() {
                 qps);
     bench::Json row = bench::Json::Object();
     row["mode"] = bench::Json::Str("in_process");
-    row["clients"] = bench::Json::Int(0);
-    row["workers"] = bench::Json::Int(0);
+    row["pollers"] = bench::Json::Int(0);
+    row["connections"] = bench::Json::Int(0);
     row["wall_ms"] = bench::Json::Num(ms);
-    row["queries_per_sec"] = bench::Json::Num(qps);
+    row["frames_per_sec"] = bench::Json::Num(qps);
     rows.Append(std::move(row));
   }
 
-  bench::Table table({"clients", "workers", "wall ms", "queries/s",
-                      "busy", "frames"});
-  for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+  bench::Table table({"pollers", "conns", "wall ms", "frames/s", "busy",
+                      "backoffs"});
+  for (const size_t pollers : {size_t{1}, size_t{2}, size_t{4}}) {
     server::ServerOptions options;
-    options.workers = workers;
-    options.engine_threads = 1;  // parallelism comes from the worker sweep
+    options.pollers = pollers;
+    options.workers = 2;
+    options.engine_threads = 1;
+    // Pipelining intentionally floods admission; size the bound so the
+    // sweep measures execution, not BUSY bouncing.
+    options.max_inflight = 16 * kFramesPerConnection;
     auto started = server::Server::Start(db.get(), options);
     TSQ_CHECK_MSG(started.ok(), "server start failed: %s",
                   started.status().ToString().c_str());
     auto server = std::move(*started);
 
-    for (const size_t clients : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (const size_t connections :
+         {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
       const double ms = bench::MeanMillis(
           [&] {
             std::vector<std::thread> threads;
-            for (size_t c = 0; c < clients; ++c) {
+            for (size_t c = 0; c < connections; ++c) {
               threads.emplace_back([&, c] {
-                auto client =
-                    server::Client::Connect("127.0.0.1", server->port());
-                TSQ_CHECK_MSG(client.ok(), "connect failed: %s",
-                              client.status().ToString().c_str());
-                auto results = (*client)->RunBatch(make_batch(c));
-                TSQ_CHECK_MSG(results.ok(), "remote batch failed: %s",
-                              results.status().ToString().c_str());
+                DrivePipelined(server->port(), make_stream(c),
+                               kFramesPerConnection);
               });
             }
             for (std::thread& t : threads) t.join();
           },
           /*reps=*/3);
-      const double total_queries =
-          static_cast<double>(clients * kQueriesPerClient);
-      const double qps = ms > 0.0 ? 1000.0 * total_queries / ms : 0.0;
+      const double total_frames =
+          static_cast<double>(connections * kFramesPerConnection);
+      const double fps = ms > 0.0 ? 1000.0 * total_frames / ms : 0.0;
       const server::ServerCounters counters = server->counters();
-      table.AddRow({std::to_string(clients), std::to_string(workers),
-                    bench::Table::Num(ms, 2), bench::Table::Num(qps, 0),
+      table.AddRow({std::to_string(pollers), std::to_string(connections),
+                    bench::Table::Num(ms, 2), bench::Table::Num(fps, 0),
                     std::to_string(counters.busy_rejected),
-                    std::to_string(counters.frames_received)});
+                    std::to_string(counters.accept_backoffs)});
       bench::Json row = bench::Json::Object();
-      row["mode"] = bench::Json::Str("loopback");
-      row["clients"] = bench::Json::Int(clients);
-      row["workers"] = bench::Json::Int(workers);
+      row["mode"] = bench::Json::Str("loopback_pipelined");
+      row["pollers"] = bench::Json::Int(pollers);
+      row["connections"] = bench::Json::Int(connections);
       row["wall_ms"] = bench::Json::Num(ms);
-      row["queries_per_sec"] = bench::Json::Num(qps);
+      row["frames_per_sec"] = bench::Json::Num(fps);
       row["busy_rejected"] = bench::Json::Int(counters.busy_rejected);
+      row["accept_backoffs"] = bench::Json::Int(counters.accept_backoffs);
       rows.Append(std::move(row));
     }
     server->Stop();

@@ -3,8 +3,10 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -16,12 +18,54 @@
 namespace tsq {
 namespace server {
 
+namespace {
+
+/// Connect with a deadline: non-blocking connect, poll for writability,
+/// then surface the socket's final disposition via SO_ERROR. The socket
+/// is restored to blocking mode on success.
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                          const std::string& where, uint64_t timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl " + where);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return ErrnoStatus("connect " + where);
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return ErrnoStatus("poll " + where);
+      if (ready == 0) {
+        return Status::Unavailable("connect " + where + " timed out after " +
+                                   std::to_string(timeout_ms) + "ms");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return ErrnoStatus("getsockopt " + where);
+    }
+    if (err != 0) {
+      errno = err;
+      return ErrnoStatus("connect " + where);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return ErrnoStatus("fcntl " + where);
+  return Status::OK();
+}
+
+}  // namespace
+
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                uint16_t port) {
+                                                uint16_t port,
+                                                const ClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket");
   sockaddr_in addr{};
@@ -31,14 +75,31 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("bad server address '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  const std::string where = host + ":" + std::to_string(port);
+  if (options.connect_timeout_ms > 0) {
+    if (Status status =
+            ConnectWithTimeout(fd, addr, where, options.connect_timeout_ms);
+        !status.ok()) {
+      ::close(fd);
+      return status;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    Status status = ErrnoStatus("connect " + where);
     ::close(fd);
     return status;
   }
+  if (options.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options.io_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((options.io_timeout_ms % 1000) *
+                                          1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd));
+  return std::unique_ptr<Client>(new Client(fd, options));
 }
 
 Status Client::SendAll(const serde::Buffer& bytes) {
@@ -51,6 +112,12 @@ Status Client::SendAll(const serde::Buffer& bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        options_.io_timeout_ms > 0) {
+      return Status::Unavailable(
+          "send timed out after " + std::to_string(options_.io_timeout_ms) +
+          "ms; the request may be partially written — reconnect");
+    }
     return ErrnoStatus("send");
   }
   return Status::OK();
@@ -77,6 +144,16 @@ Result<Reply> Client::RoundTrip(Request request) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+          options_.io_timeout_ms > 0) {
+        // SO_RCVTIMEO expired: the server is hung (or the reply is very
+        // late). The reply may still arrive, so the stream position is
+        // indeterminate — poison the connection; the caller reconnects.
+        fault_ = Status::Unavailable(
+            "no reply within " + std::to_string(options_.io_timeout_ms) +
+            "ms; connection state indeterminate — reconnect");
+        return fault_;
+      }
       fault_ = ErrnoStatus("recv");
       return fault_;
     }

@@ -12,6 +12,16 @@
 // retry. A Corruption status from any call means the reply stream broke
 // framing — the connection is poisoned and must be reconnected.
 //
+// Timeouts. By default every call blocks indefinitely — a hung server
+// (e.g. a stuck drain) hangs the caller in recv. ClientOptions bounds
+// that: `connect_timeout_ms` caps Connect (non-blocking connect + poll),
+// `io_timeout_ms` caps each send/recv (SO_SNDTIMEO/SO_RCVTIMEO). An
+// expired timeout returns Status::Unavailable — and, unlike a BUSY
+// bounce, poisons the connection: a reply may still be in flight, so the
+// stream position is indeterminate and the client must reconnect before
+// issuing another request. Both default to 0 (off), preserving the
+// original blocking behavior exactly.
+//
 // Thread-compatibility: a Client is NOT thread-safe; give each thread its
 // own connection (connections are cheap, and tsqd multiplexes them onto
 // its execution pool server-side).
@@ -32,6 +42,18 @@
 namespace tsq {
 namespace server {
 
+/// Client construction parameters. Zero means "no timeout" (block
+/// forever), the pre-timeout behavior.
+struct ClientOptions {
+  /// Cap on establishing the TCP connection; expiry is
+  /// Status::Unavailable from Connect.
+  uint64_t connect_timeout_ms = 0;
+  /// Cap on each individual send/recv inside a round trip; expiry is
+  /// Status::Unavailable and poisons the connection (reconnect to
+  /// continue).
+  uint64_t io_timeout_ms = 0;
+};
+
 /// A blocking tsqd connection.
 class Client {
  public:
@@ -39,8 +61,9 @@ class Client {
   ~Client();
 
   /// Connects to a tsqd instance (IPv4 dotted quad).
-  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
-                                                 uint16_t port);
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      const ClientOptions& options = {});
 
   /// Liveness probe. Served inline by the server's event thread — never
   /// BUSY, even when the execution pool is saturated.
@@ -78,7 +101,8 @@ class Client {
   Result<uint64_t> Reindex();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, const ClientOptions& options)
+      : fd_(fd), options_(options) {}
 
   /// Sends `request` (id assigned here) and blocks for its reply.
   /// Translates kBusy to Unavailable and kError to the carried status.
@@ -87,6 +111,7 @@ class Client {
   Status SendAll(const serde::Buffer& bytes);
 
   int fd_;
+  const ClientOptions options_;
   uint64_t next_id_ = 1;
   FrameReader reader_;
   Status fault_;  // sticky stream failure

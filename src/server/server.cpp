@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -29,29 +30,42 @@ uint64_t NowMillis() {
           .count());
 }
 
+size_t ResolvePollers(size_t requested) {
+  if (requested > 0) return requested;
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(4, std::max<size_t>(1, hw));
+}
+
+/// accept4 errnos that mean "out of resources, not out of clients": the
+/// listener stays readable, so retrying immediately would spin.
+bool IsAcceptExhaustion(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
 }  // namespace
 
-/// Per-connection state. The event thread owns the socket and the read
-/// side (FrameReader); the write buffer is shared with pool workers under
-/// write_mutex — workers append whole reply frames, the event thread
-/// flushes. `pending` counts admitted requests whose reply frame has not
-/// been appended yet; it is decremented only after QueueReply, so the
-/// event thread observing pending == 0 is guaranteed to also observe
+/// Per-connection state. The owning poller thread owns the socket and
+/// the read side (FrameReader); the write buffer is shared with pool
+/// workers under write_mutex — workers append whole reply frames, the
+/// poller flushes. `pending` counts admitted requests whose reply frame
+/// has not been appended yet; it is decremented only after QueueReply,
+/// so the poller observing pending == 0 is guaranteed to also observe
 /// every reply in the buffer (release/acquire pairing).
 struct Server::Connection {
-  explicit Connection(int fd_in, size_t max_frame)
-      : fd(fd_in), reader(max_frame) {}
-  // Backstop for abnormal event-loop exits: the retire pass closes fds on
+  Connection(int fd_in, size_t max_frame, Poller* owner_in)
+      : fd(fd_in), owner(owner_in), reader(max_frame) {}
+  // Backstop for abnormal poller exits: the retire pass closes fds on
   // the normal paths (and sets fd to -1), but a connection that outlives
-  // the loop must not leak its socket.
+  // its poller must not leak its socket.
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
 
   int fd;
+  Poller* const owner;  // which poller to wake when a reply is queued
   FrameReader reader;
-  bool read_closed = false;  // event thread only
-  bool broken = false;       // write side failed; event thread only
+  bool read_closed = false;  // owning poller only
+  bool broken = false;       // transport dead; owning poller only
 
   std::mutex write_mutex;
   serde::Buffer write_buf;
@@ -98,56 +112,80 @@ Result<std::unique_ptr<Server>> Server::Start(Database* db,
   }
   server->port_ = ntohs(bound.sin_port);
 
-  if (::pipe2(server->wake_fds_, O_CLOEXEC | O_NONBLOCK) != 0) {
-    return ErrnoStatus("pipe2");
+  const size_t pollers = ResolvePollers(options.pollers);
+  server->pollers_.reserve(pollers);
+  for (size_t i = 0; i < pollers; ++i) {
+    auto poller = std::make_unique<Poller>();
+    poller->index = i;
+    if (::pipe2(poller->wake_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+      return ErrnoStatus("pipe2");
+    }
+    server->pollers_.push_back(std::move(poller));
   }
 
   server->pool_ = std::make_unique<engine::ThreadPool>(options.workers);
-  server->event_thread_ = std::thread(&Server::EventLoop, server.get());
+  for (auto& poller : server->pollers_) {
+    poller->thread =
+        std::thread(&Server::PollerLoop, server.get(), poller.get());
+  }
   TSQ_LOG(kInfo) << "tsqd listening on " << options.host << ":"
-                 << server->port_ << " (" << server->pool_->size()
-                 << " workers, max_inflight " << options.max_inflight << ")";
+                 << server->port_ << " (" << pollers << " pollers, "
+                 << server->pool_->size() << " workers, max_inflight "
+                 << options.max_inflight << ")";
   return server;
 }
 
 void Server::Stop() {
   std::call_once(stop_once_, [this] {
     stopping_.store(true, std::memory_order_release);
-    Wake();
-    if (event_thread_.joinable()) event_thread_.join();
-    // The event loop exits only after every connection is closed; any
-    // still-running tasks hold their own Connection references, and the
-    // pool destructor waits them out before the wake pipe closes.
+    for (auto& poller : pollers_) WakePoller(poller.get());
+    for (auto& poller : pollers_) {
+      if (poller->thread.joinable()) poller->thread.join();
+    }
+    // Each poller exits only after every connection it owns is closed;
+    // any still-running tasks hold their own Connection references, and
+    // the pool destructor waits them out before the wake pipes close.
     pool_.reset();
-    // The event loop closes the listener on drain; this covers a Start
-    // that failed before the loop ever ran.
+    // The accept poller closes the listener on drain; this covers a
+    // Start that failed before the loop ever ran.
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
-    for (int& fd : wake_fds_) {
-      if (fd >= 0) ::close(fd);
-      fd = -1;
+    for (auto& poller : pollers_) {
+      // An fd handed off by the acceptor in the last instants before the
+      // target poller exited is still sitting in its inbox: close it now
+      // rather than leak it.
+      for (int fd : poller->inbox) {
+        if (fd >= 0) ::close(fd);
+      }
+      poller->inbox.clear();
+      for (int& fd : poller->wake_fds) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
     }
     TSQ_LOG(kInfo) << "tsqd stopped";
   });
 }
 
-void Server::Wake() {
-  if (wake_fds_[1] < 0) return;
+void Server::WakePoller(Poller* poller) {
+  if (poller->wake_fds[1] < 0) return;
   const uint8_t byte = 0;
   // A full pipe already guarantees a pending wake; all errors ignorable.
-  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  [[maybe_unused]] ssize_t n = ::write(poller->wake_fds[1], &byte, 1);
 }
 
 ServerCounters Server::counters() const {
   ServerCounters out;
   out.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_closed = connections_closed_.load(std::memory_order_relaxed);
   out.frames_received = frames_received_.load(std::memory_order_relaxed);
   out.requests_executed = requests_executed_.load(std::memory_order_relaxed);
   out.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -177,7 +215,7 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
   };
   switch (request->verb) {
     case Verb::kPing:
-      break;  // answered inline by the event thread; kept for safety
+      break;  // answered inline by the owning poller; kept for safety
     case Verb::kStats:
       reply.stats = db_->StatsSnapshot();
       break;
@@ -225,11 +263,11 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
     }
   }
   QueueReply(conn, reply);
-  // Decrement only after the reply frame is buffered: the event thread
+  // Decrement only after the reply frame is buffered: the owning poller
   // treats pending == 0 as "every admitted reply is flushable".
   conn->pending.fetch_sub(1, std::memory_order_release);
   inflight_.fetch_sub(1, std::memory_order_release);
-  Wake();
+  WakePoller(conn->owner);
 }
 
 Status Server::HandleFrame(const std::shared_ptr<Connection>& conn,
@@ -280,12 +318,19 @@ Status Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   return Status::OK();
 }
 
-void Server::EventLoop() {
+void Server::PollerLoop(Poller* self) {
+  const bool acceptor = self->index == 0;
   std::vector<pollfd> pfds;
   std::vector<std::shared_ptr<Connection>> polled;
-  bool listener_open = true;
+  bool listener_open = acceptor;
   bool draining = false;
   uint64_t drain_deadline_ms = 0;
+  // Fd-exhaustion backoff (acceptor only): while now < rearm the
+  // listener is left out of the poll set so a permanently-readable
+  // listener cannot spin this thread; pending peers wait in the backlog.
+  uint64_t listener_rearm_ms = 0;
+  bool exhaustion_logged = false;
+  size_t next_poller = 0;  // round-robin handoff cursor
 
   auto flush_writes = [](Connection* conn) {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
@@ -324,7 +369,7 @@ void Server::EventLoop() {
         listen_fd_ = -1;
         listener_open = false;
       }
-      for (const auto& conn : connections_) {
+      for (const auto& conn : self->connections) {
         if (!conn->read_closed) {
           ::shutdown(conn->fd, SHUT_RD);
           conn->read_closed = true;
@@ -332,10 +377,30 @@ void Server::EventLoop() {
       }
     }
 
+    // Adopt sockets the acceptor handed off. During drain an adopted
+    // connection is immediately read-shut so it only flushes replies —
+    // it carried no admitted requests yet, so it retires right away.
+    {
+      std::vector<int> adopted;
+      {
+        std::lock_guard<std::mutex> lock(self->inbox_mutex);
+        adopted.swap(self->inbox);
+      }
+      for (int fd : adopted) {
+        auto conn = std::make_shared<Connection>(
+            fd, options_.max_frame_bytes, self);
+        if (draining) {
+          ::shutdown(fd, SHUT_RD);
+          conn->read_closed = true;
+        }
+        self->connections.push_back(std::move(conn));
+      }
+    }
+
     // Retire connections that are fully done: nothing more to read,
-    // every admitted request replied, every reply byte flushed (or the
-    // peer broke / the drain deadline passed).
-    for (auto it = connections_.begin(); it != connections_.end();) {
+    // every admitted request replied, every reply byte flushed — or the
+    // transport is dead (broken), or the drain deadline passed.
+    for (auto it = self->connections.begin(); it != self->connections.end();) {
       Connection* conn = it->get();
       const bool drained =
           conn->pending.load(std::memory_order_acquire) == 0 &&
@@ -345,64 +410,110 @@ void Server::EventLoop() {
           expired) {
         ::close(conn->fd);
         conn->fd = -1;
-        it = connections_.erase(it);
+        connections_closed_.fetch_add(1, std::memory_order_relaxed);
+        it = self->connections.erase(it);
       } else {
         ++it;
       }
     }
-    if (draining && connections_.empty()) return;
+    if (draining && self->connections.empty()) return;
 
+    const uint64_t now_ms = NowMillis();
+    const bool listener_armed = listener_open && now_ms >= listener_rearm_ms;
     pfds.clear();
     polled.clear();
-    pfds.push_back({wake_fds_[0], POLLIN, 0});
-    if (listener_open) pfds.push_back({listen_fd_, POLLIN, 0});
-    for (const auto& conn : connections_) {
+    pfds.push_back({self->wake_fds[0], POLLIN, 0});
+    if (listener_armed) pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : self->connections) {
       short events = 0;
       if (!conn->read_closed) events |= POLLIN;
       if (write_pending(conn.get()) > 0) events |= POLLOUT;
       pfds.push_back({conn->fd, events, 0});
       polled.push_back(conn);
     }
-    // Finite timeout: a cheap idle tick that also bounds the drain wait.
-    const int timeout_ms = draining ? 20 : 500;
+    // Finite timeout: a cheap idle tick that also bounds the drain wait
+    // and, while the listener is backed off, its re-arm latency.
+    int timeout_ms = draining ? 20 : 500;
+    if (listener_open && !listener_armed) {
+      const uint64_t until_rearm =
+          listener_rearm_ms > now_ms ? listener_rearm_ms - now_ms : 1;
+      timeout_ms = std::min<int>(timeout_ms, static_cast<int>(until_rearm));
+    }
     const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) {
-      // Unrecoverable poller failure (EINVAL/ENOMEM): close every socket
-      // so peers see FIN instead of hanging; in-flight tasks still hold
-      // their Connection references and finish harmlessly.
-      TSQ_LOG(kError) << "tsqd poll failed: " << std::strerror(errno);
-      for (const auto& conn : connections_) {
+      // Unrecoverable poller failure (EINVAL/ENOMEM): close this
+      // poller's sockets so peers see FIN instead of hanging; in-flight
+      // tasks still hold their Connection references and finish
+      // harmlessly. Other pollers keep serving.
+      TSQ_LOG(kError) << "tsqd poller " << self->index
+                      << " poll failed: " << std::strerror(errno);
+      for (const auto& conn : self->connections) {
         ::close(conn->fd);
         conn->fd = -1;
+        connections_closed_.fetch_add(1, std::memory_order_relaxed);
       }
-      connections_.clear();
+      self->connections.clear();
       if (listener_open) {
         ::close(listen_fd_);
         listen_fd_ = -1;
       }
       return;
     }
-    if (ready <= 0) continue;
+    if (ready <= 0) continue;  // timeout tick or EINTR
 
     size_t idx = 0;
     if (pfds[idx].revents & POLLIN) {
       uint8_t drain[256];
-      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      while (::read(self->wake_fds[0], drain, sizeof(drain)) > 0) {
       }
     }
     ++idx;
 
-    if (listener_open) {
+    if (listener_armed) {
       if (pfds[idx].revents & POLLIN) {
         for (;;) {
           const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
-          if (fd < 0) break;
-          int one = 1;
-          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-          connections_.push_back(
-              std::make_shared<Connection>(fd, options_.max_frame_bytes));
-          connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+          if (fd >= 0) {
+            exhaustion_logged = false;
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+            Poller* target = pollers_[next_poller % pollers_.size()].get();
+            ++next_poller;
+            if (target == self) {
+              self->connections.push_back(std::make_shared<Connection>(
+                  fd, options_.max_frame_bytes, self));
+            } else {
+              {
+                std::lock_guard<std::mutex> lock(target->inbox_mutex);
+                target->inbox.push_back(fd);
+              }
+              WakePoller(target);
+            }
+            continue;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK ||
+              errno == ECONNABORTED) {
+            break;  // backlog empty (or a peer gave up): nothing to do
+          }
+          // Out of fds (or kernel memory): the listener would stay
+          // readable forever, so back off instead of spinning. The
+          // backlog keeps the pending peers; re-arm after the window.
+          listener_rearm_ms = NowMillis() + kAcceptBackoffMs;
+          accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+          if (!exhaustion_logged) {
+            TSQ_LOG(kWarn) << "tsqd accept failed ("
+                           << std::strerror(errno)
+                           << "); pausing the listener for "
+                           << kAcceptBackoffMs << "ms"
+                           << (IsAcceptExhaustion(errno)
+                                   ? ""
+                                   : " (unexpected errno)");
+            exhaustion_logged = true;
+          }
+          break;
         }
       }
       ++idx;
@@ -443,11 +554,14 @@ void Server::EventLoop() {
           }
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-          conn->read_closed = true;
+          // Fatal transport error (e.g. ECONNRESET): the peer is gone,
+          // so replies can never be delivered — retire the connection
+          // now instead of lingering until a later send fails.
+          conn->broken = true;
           break;
         }
       }
-      if (revents & POLLOUT) flush_writes(conn.get());
+      if ((revents & POLLOUT) && !conn->broken) flush_writes(conn.get());
     }
   }
 }

@@ -5,36 +5,53 @@
 // in-process engine (PRs 1-4: concurrent RunBatch, parallel self-join,
 // parallel ingest) into a service that remote clients share.
 //
-// Architecture. One event thread owns every socket: it accepts on the
-// listener, runs the per-connection FrameReader state machine over
-// non-blocking reads, and flushes reply bytes back out. Completed
-// requests are handed to a fixed execution ThreadPool whose workers call
-// the Database's thread-safe entry points (RunBatch, InsertBatch,
-// ParallelSelfJoin, StatsSnapshot) — so the event thread never blocks on
-// engine work and a slow query never stalls another connection's reads.
-// Workers append each finished reply as one whole frame to the owning
-// connection's write buffer (under that connection's mutex) and wake the
-// event thread through a self-pipe; frames never interleave, and a
-// pipelining client matches replies by request id since requests may
-// complete out of order.
+// Architecture. Socket handling is sharded across N poller threads
+// (`ServerOptions::pollers`, default min(4, hardware threads)). Poller 0
+// additionally owns the listener: it accepts new sockets and round-robins
+// them across all pollers through a small per-poller inbox (mutex +
+// vector of fds) plus a per-poller wake pipe. From adoption onward a
+// connection belongs to exactly one poller for its whole life: that
+// poller runs its FrameReader state machine over non-blocking reads,
+// flushes its reply bytes, and retires it — no connection state is ever
+// shared between pollers. Completed requests are handed to one global
+// execution ThreadPool whose workers call the Database's thread-safe
+// entry points (RunBatch, InsertBatch, ParallelSelfJoin, StatsSnapshot)
+// — so no poller ever blocks on engine work and a slow query never
+// stalls another connection's reads. Workers append each finished reply
+// as one whole frame to the owning connection's write buffer (under that
+// connection's mutex) and wake the owning poller through its pipe;
+// frames never interleave, and a pipelining client matches replies by
+// request id since requests may complete out of order.
 //
-// Backpressure. Admission is bounded: at most `max_inflight` requests may
-// be queued-or-executing at once. A request arriving beyond that is
-// answered immediately with a BUSY reply (protocol::ReplyCode::kBusy) by
-// the event thread — no engine work, no unbounded buffering — which the
-// client surfaces as Status::Unavailable. Pings are answered inline by
-// the event thread and never rejected, so liveness probes work under
-// full load.
+// Backpressure. Admission is global and bounded: at most `max_inflight`
+// requests may be queued-or-executing at once across all pollers. A
+// request arriving beyond that is answered immediately with a BUSY reply
+// (protocol::ReplyCode::kBusy) by the owning poller — no engine work, no
+// unbounded buffering — which the client surfaces as
+// Status::Unavailable. Pings are answered inline by the owning poller
+// and never rejected, so liveness probes work under full load.
+//
+// Fd exhaustion. When accept4 fails for lack of resources
+// (EMFILE/ENFILE/ENOBUFS/ENOMEM) the listener stays readable, which
+// would otherwise spin the accept poller at 100% CPU. Instead the
+// listener is taken out of the poll set for a short backoff window
+// (kAcceptBackoffMs) and re-armed afterwards; pending connections wait
+// in the kernel backlog and are accepted once fds are available again.
+// Each pause increments ServerCounters::accept_backoffs.
 //
 // Errors. A connection that breaks framing (bad magic/CRC/oversized
 // frame) is beyond recovery: reading stops at once, already-admitted
 // requests still deliver their replies, then the socket closes. A
 // CRC-valid payload that fails semantic decode gets an ERROR reply and
-// the connection continues.
+// the connection continues. A fatal transport error (ECONNRESET from
+// recv, POLLERR, a failed send) marks the connection broken and retires
+// it immediately — the peer is gone, so no attempt is made to flush
+// replies to it; in-flight requests finish harmlessly against their own
+// Connection reference.
 //
 // Shutdown. Stop() (also run by the destructor) stops accepting and
-// reading, waits for every admitted request to finish executing, flushes
-// each connection's remaining reply bytes (bounded by
+// reading on every poller, waits for every admitted request to finish
+// executing, flushes each connection's remaining reply bytes (bounded by
 // drain_timeout_ms for peers that stopped reading), then closes all
 // sockets and joins the threads — in-flight queries are drained, never
 // dropped.
@@ -59,6 +76,10 @@
 namespace tsq {
 namespace server {
 
+/// How long the accept poller stops polling the listener after an
+/// fd-exhaustion accept failure before re-arming it.
+inline constexpr uint64_t kAcceptBackoffMs = 50;
+
 /// Server construction parameters.
 struct ServerOptions {
   /// Listen address (IPv4 dotted quad).
@@ -66,6 +87,10 @@ struct ServerOptions {
   /// Listen port; 0 asks the kernel for an ephemeral port — read the
   /// actual one back with Server::port().
   uint16_t port = 0;
+  /// Poller threads sharing the socket work; 0 = min(4, hardware
+  /// threads). Poller 0 also owns the listener and round-robins accepted
+  /// connections across all pollers.
+  size_t pollers = 0;
   /// Execution pool workers; 0 = hardware concurrency. Each worker runs
   /// one request at a time against the Database.
   size_t workers = 0;
@@ -74,8 +99,9 @@ struct ServerOptions {
   /// caches one engine per distinct value, so all tsqd requests share one
   /// engine (and its buffer-pool concurrency) by construction.
   size_t engine_threads = 0;
-  /// Admission bound: requests queued-or-executing at once; beyond this a
-  /// request is rejected with BUSY instead of buffered.
+  /// Admission bound: requests queued-or-executing at once (global
+  /// across pollers); beyond this a request is rejected with BUSY
+  /// instead of buffered.
   size_t max_inflight = 128;
   /// Largest frame payload a client may send.
   size_t max_frame_bytes = 64u << 20;
@@ -87,10 +113,12 @@ struct ServerOptions {
 /// Monitoring counters (relaxed atomics, snapshot by value).
 struct ServerCounters {
   uint64_t connections_accepted = 0;
-  uint64_t frames_received = 0;    ///< CRC-valid frames decoded
-  uint64_t requests_executed = 0;  ///< admitted and run on the pool
-  uint64_t busy_rejected = 0;      ///< BUSY replies sent
-  uint64_t protocol_errors = 0;    ///< framing faults + semantic decode fails
+  uint64_t connections_closed = 0;  ///< retired (EOF, broken, or drained)
+  uint64_t frames_received = 0;     ///< CRC-valid frames decoded
+  uint64_t requests_executed = 0;   ///< admitted and run on the pool
+  uint64_t busy_rejected = 0;       ///< BUSY replies sent
+  uint64_t protocol_errors = 0;     ///< framing faults + semantic decode fails
+  uint64_t accept_backoffs = 0;     ///< listener pauses on fd exhaustion
 };
 
 /// A running tsqd instance bound to one Database. All public methods are
@@ -102,7 +130,7 @@ class Server {
   TSQ_DISALLOW_COPY_AND_MOVE(Server);
   ~Server();
 
-  /// Binds, listens and starts the event + worker threads. The database
+  /// Binds, listens and starts the poller + worker threads. The database
   /// may be queried in-process concurrently; index-building must follow
   /// the Database contract (no concurrent BuildIndex).
   static Result<std::unique_ptr<Server>> Start(Database* db,
@@ -110,6 +138,9 @@ class Server {
 
   /// The bound port (resolves port 0 to the kernel-assigned one).
   uint16_t port() const { return port_; }
+
+  /// The resolved poller thread count.
+  size_t pollers() const { return pollers_.size(); }
 
   /// Graceful shutdown; idempotent, safe from any thread. Blocks until
   /// admitted requests drained and sockets closed.
@@ -128,11 +159,24 @@ class Server {
  private:
   struct Connection;
 
+  /// One socket-handling thread and everything it owns. `connections` is
+  /// touched only by the owning poller thread; `inbox` is the only
+  /// cross-poller handoff (acceptor pushes fds under `inbox_mutex`, the
+  /// owner adopts them at the top of its loop).
+  struct Poller {
+    size_t index = 0;
+    int wake_fds[2] = {-1, -1};  // self-pipe: workers/acceptor -> poller
+    std::thread thread;
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;  // accepted fds awaiting adoption
+    std::vector<std::shared_ptr<Connection>> connections;
+  };
+
   explicit Server(Database* db, ServerOptions options);
 
-  void EventLoop();
-  void Wake();
-  /// Handles one CRC-verified payload from `conn` (event thread).
+  void PollerLoop(Poller* self);
+  static void WakePoller(Poller* poller);
+  /// Handles one CRC-verified payload from `conn` (owning poller thread).
   Status HandleFrame(const std::shared_ptr<Connection>& conn,
                      const uint8_t* payload, size_t size);
   /// Executes an admitted request on a pool worker and queues its reply.
@@ -145,24 +189,21 @@ class Server {
   Database* const db_;
   const ServerOptions options_;
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  // self-pipe: workers -> event thread
   uint16_t port_ = 0;
   std::unique_ptr<engine::ThreadPool> pool_;
-  std::thread event_thread_;
+  std::vector<std::unique_ptr<Poller>> pollers_;
   std::atomic<bool> stopping_{false};
   std::once_flag stop_once_;
   std::atomic<size_t> inflight_{0};
   std::function<void()> execution_hook_;  // set before Start returns traffic
 
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> requests_executed_{0};
   std::atomic<uint64_t> busy_rejected_{0};
   std::atomic<uint64_t> protocol_errors_{0};
-
-  // Live connections; owned by the event thread (workers hold shared_ptr
-  // references through in-flight tasks, never the vector).
-  std::vector<std::shared_ptr<Connection>> connections_;
+  std::atomic<uint64_t> accept_backoffs_{0};
 };
 
 }  // namespace server

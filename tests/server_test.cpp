@@ -3,18 +3,28 @@
 // The tsqd subsystem suite: wire-protocol round-trips for every verb,
 // malformed-frame rejection (the server feeds the decoders untrusted
 // bytes), end-to-end loopback equality — every remote verb must answer
-// bit-identically to the in-process Database call it proxies — plus the
-// concurrent multi-client stress, the BUSY backpressure path and the
-// drain-on-shutdown guarantee. The stress runs under the CI TSan job:
-// the event thread, the execution pool and N client threads exercise the
-// connection write-buffer handoff and the admission counter together.
+// bit-identically to the in-process Database call it proxies, at every
+// poller count — plus the concurrent multi-client stress, pipelined and
+// split framing per poller count, a connection-churn stress, the BUSY
+// backpressure path, the front-end failure modes (fd-exhaustion accept
+// backoff, client timeouts on a hung server, immediate retirement of
+// reset peers) and the drain-on-shutdown guarantee. The stress suites
+// run under the CI TSan job: the poller threads, the execution pool and
+// N client threads exercise the accept handoff inboxes, the connection
+// write-buffer handoff and the admission counter together.
 
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +52,76 @@ using engine::BatchResult;
 constexpr size_t kNumSeries = 80;
 constexpr size_t kLength = 64;
 constexpr uint64_t kSeed = 20260729;
+
+/// Opens a raw loopback TCP connection to `port`; -1 on failure.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Polls `pred` until it holds or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 2000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Reads reply frames off `fd` until `count` have decoded.
+::testing::AssertionResult ReadReplies(int fd, size_t count,
+                                       std::vector<Reply>* out) {
+  FrameReader reader;
+  uint8_t buf[64 * 1024];
+  while (out->size() < count) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return ::testing::AssertionFailure()
+             << "connection ended after " << out->size() << "/" << count
+             << " replies";
+    }
+    Status status = reader.Feed(buf, static_cast<size_t>(n),
+                                [out](const uint8_t* payload, size_t size) {
+                                  Reply reply;
+                                  TSQ_RETURN_IF_ERROR(
+                                      DecodeReply(payload, size, &reply));
+                                  out->push_back(std::move(reply));
+                                  return Status::OK();
+                                });
+    if (!status.ok()) {
+      return ::testing::AssertionFailure()
+             << "reply stream corrupt: " << status.ToString();
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Encodes one single-query range request frame.
+serde::Buffer EncodeRangeFrame(uint64_t id, const RealVec& query,
+                               double epsilon) {
+  Request request;
+  request.verb = Verb::kQuery;
+  request.id = id;
+  BatchQuery q;
+  q.kind = BatchQueryKind::kRange;
+  q.query = query;
+  q.epsilon = epsilon;
+  request.queries.push_back(std::move(q));
+  serde::Buffer frame;
+  EncodeRequest(request, &frame);
+  return frame;
+}
 
 // ---------------------------------------------------------------------------
 // Protocol round-trips (no sockets).
@@ -740,14 +820,8 @@ TEST_F(ServerTest, MalformedPayloadGetsErrorReplyAndConnectionSurvives) {
   frame.insert(frame.end(), payload.begin(), payload.end());
 
   // Smuggle the bad frame through a second raw connection.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = RawConnect(server->port());
   ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server->port());
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
   ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
             static_cast<ssize_t>(frame.size()));
   // The reply must be an ERROR frame, not a dropped connection.
@@ -779,14 +853,8 @@ TEST_F(ServerTest, MalformedPayloadGetsErrorReplyAndConnectionSurvives) {
 
 TEST_F(ServerTest, BrokenFramingClosesConnection) {
   auto server = StartServer();
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = RawConnect(server->port());
   ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(server->port());
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
   const serde::Buffer junk(64, 0x5A);  // wrong magic: framing unrecoverable
   ASSERT_EQ(::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL),
             static_cast<ssize_t>(junk.size()));
@@ -948,6 +1016,469 @@ TEST_F(ServerTest, StopDrainsInFlightQueries) {
   auto reconnect = Client::Connect("127.0.0.1", server->port());
   if (reconnect.ok()) {
     EXPECT_FALSE((*reconnect)->Ping().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-poller front end.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, LoopbackEqualityAtEveryPollerCount) {
+  constexpr size_t kClients = 5;
+  constexpr size_t kQueriesPerClient = 12;
+
+  for (size_t pollers : {size_t{1}, size_t{2}, size_t{4}}) {
+    ServerOptions options;
+    options.pollers = pollers;
+    options.workers = 2;
+    auto server = StartServer(options);
+    ASSERT_EQ(server->pollers(), pollers);
+
+    // Ground truth is recomputed every iteration: the insert block below
+    // grows the database between poller counts.
+    std::vector<std::vector<BatchResult>> expected;
+    for (size_t c = 0; c < kClients; ++c) {
+      auto local = db_->RunBatch(MakeBatch(kQueriesPerClient, c), 1);
+      ASSERT_TRUE(local.ok());
+      expected.push_back(std::move(*local));
+    }
+
+    // Concurrent clients land on different pollers (round-robin) and
+    // must each see exactly the single-threaded in-process answers.
+    std::vector<std::thread> threads;
+    std::vector<Status> client_status(kClients);
+    std::vector<std::vector<BatchResult>> got(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = Client::Connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          client_status[c] = client.status();
+          return;
+        }
+        auto batch = (*client)->RunBatch(MakeBatch(kQueriesPerClient, c));
+        if (!batch.ok()) {
+          client_status[c] = batch.status();
+          return;
+        }
+        got[c] = std::move(*batch);
+        client_status[c] = (*client)->Ping();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const std::string what = "pollers " + std::to_string(pollers);
+    for (size_t c = 0; c < kClients; ++c) {
+      ASSERT_TRUE(client_status[c].ok())
+          << what << " client " << c << ": " << client_status[c].ToString();
+      ExpectResultsEq(got[c], expected[c],
+                      what + " client " + std::to_string(c));
+    }
+
+    // Every other verb through one more client on the same server.
+    auto client = Connect(*server);
+
+    const RealVec& probe = data_[3].values();
+    auto remote_knn = client->Knn(probe, 4);
+    auto local_knn = db_->Knn(probe, 4);
+    ASSERT_TRUE(remote_knn.ok() && local_knn.ok()) << what;
+    ASSERT_EQ(remote_knn->size(), local_knn->size()) << what;
+    for (size_t m = 0; m < local_knn->size(); ++m) {
+      EXPECT_EQ((*remote_knn)[m].id, (*local_knn)[m].id) << what;
+      EXPECT_EQ((*remote_knn)[m].distance, (*local_knn)[m].distance) << what;
+    }
+
+    auto remote_join = client->SelfJoin(3.0, std::nullopt);
+    auto local_join = db_->ParallelSelfJoin(3.0, std::nullopt, 1);
+    ASSERT_TRUE(remote_join.ok() && local_join.ok()) << what;
+    ASSERT_EQ(remote_join->size(), local_join->size()) << what;
+    for (size_t i = 0; i < local_join->size(); ++i) {
+      EXPECT_EQ((*remote_join)[i].first, (*local_join)[i].first) << what;
+      EXPECT_EQ((*remote_join)[i].second, (*local_join)[i].second) << what;
+      EXPECT_EQ((*remote_join)[i].distance, (*local_join)[i].distance)
+          << what;
+    }
+
+    auto stats = client->Stats();
+    ASSERT_TRUE(stats.ok()) << what << ": " << stats.status().ToString();
+    const DatabaseStats local_stats = db_->StatsSnapshot();
+    EXPECT_EQ(stats->series, local_stats.series) << what;
+    EXPECT_EQ(stats->tree_entries, local_stats.tree_entries) << what;
+    EXPECT_EQ(stats->index_epoch, local_stats.index_epoch) << what;
+    EXPECT_EQ(stats->delta_entries, local_stats.delta_entries) << what;
+
+    // Inserts (names unique per iteration) assign dense ids and are
+    // immediately visible in the shared database.
+    Rng rng(kSeed + 500 + pollers);
+    std::vector<std::string> names;
+    std::vector<RealVec> values;
+    for (size_t i = 0; i < 3; ++i) {
+      names.push_back("p" + std::to_string(pollers) + "_" +
+                      std::to_string(i));
+      values.push_back(testing::RandomRealVec(&rng, kLength));
+    }
+    const size_t size_before = db_->size();
+    auto ids = client->InsertBatch(names, values);
+    ASSERT_TRUE(ids.ok()) << what << ": " << ids.status().ToString();
+    ASSERT_EQ(ids->size(), names.size()) << what;
+    EXPECT_EQ((*ids)[0], size_before) << what;
+    for (size_t i = 0; i < names.size(); ++i) {
+      auto rec = db_->Get((*ids)[i]);
+      ASSERT_TRUE(rec.ok()) << what;
+      EXPECT_EQ(rec->name, names[i]) << what;
+      EXPECT_EQ(rec->values, values[i]) << what;
+    }
+
+    auto epoch = client->Reindex();
+    ASSERT_TRUE(epoch.ok()) << what << ": " << epoch.status().ToString();
+    EXPECT_EQ(db_->StatsSnapshot().index_epoch, *epoch) << what;
+
+    // Error statuses relay verbatim at every poller count too.
+    auto remote_sub = client->Subsequence(RealVec(8, 0.0), 1.0);
+    auto local_sub = db_->RunBatch(
+        {BatchQuery{BatchQueryKind::kSubsequence, RealVec(8, 0.0), 1.0, 0,
+                    {}}},
+        1);
+    ASSERT_TRUE(local_sub.ok()) << what;
+    ASSERT_FALSE(remote_sub.ok()) << what;
+    EXPECT_EQ(remote_sub.status().code(), (*local_sub)[0].status.code())
+        << what;
+    EXPECT_EQ(remote_sub.status().message(), (*local_sub)[0].status.message())
+        << what;
+  }
+}
+
+TEST_F(ServerTest, PipelinedFramesInOneSendAllAnswer) {
+  constexpr size_t kFrames = 6;
+  for (size_t pollers : {size_t{1}, size_t{2}, size_t{4}}) {
+    ServerOptions options;
+    options.pollers = pollers;
+    options.workers = 2;
+    auto server = StartServer(options);
+
+    // Many requests in one send(): the poller's FrameReader must slice
+    // them apart from a single recv and admit each one.
+    serde::Buffer stream;
+    std::map<uint64_t, std::pair<RealVec, double>> outstanding;
+    for (size_t i = 0; i < kFrames; ++i) {
+      const uint64_t id = 100 + i;
+      const RealVec& query = data_[(i * 7) % kNumSeries].values();
+      const double epsilon = (i % 2 == 0) ? 2.0 : 5.0;
+      const serde::Buffer frame = EncodeRangeFrame(id, query, epsilon);
+      stream.insert(stream.end(), frame.begin(), frame.end());
+      outstanding.emplace(id, std::make_pair(query, epsilon));
+    }
+    const int fd = RawConnect(server->port());
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, stream.data(), stream.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(stream.size()));
+
+    // Requests complete out of order across workers; match by id.
+    std::vector<Reply> replies;
+    ASSERT_TRUE(ReadReplies(fd, kFrames, &replies))
+        << "pollers " << pollers;
+    ::close(fd);
+    for (const Reply& reply : replies) {
+      auto it = outstanding.find(reply.id);
+      ASSERT_NE(it, outstanding.end())
+          << "pollers " << pollers << ": duplicate or unknown reply id "
+          << reply.id;
+      EXPECT_EQ(reply.code, ReplyCode::kOk);
+      auto expected = db_->RangeQuery(it->second.first, it->second.second);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_EQ(reply.results.size(), 1u);
+      ASSERT_EQ(reply.results[0].matches.size(), expected->size());
+      for (size_t m = 0; m < expected->size(); ++m) {
+        EXPECT_EQ(reply.results[0].matches[m].id, (*expected)[m].id);
+        EXPECT_EQ(reply.results[0].matches[m].distance,
+                  (*expected)[m].distance);
+      }
+      outstanding.erase(it);
+    }
+    EXPECT_TRUE(outstanding.empty()) << "pollers " << pollers;
+  }
+}
+
+TEST_F(ServerTest, FrameSplitAcrossManySendsDecodes) {
+  for (size_t pollers : {size_t{1}, size_t{2}}) {
+    ServerOptions options;
+    options.pollers = pollers;
+    auto server = StartServer(options);
+    const int fd = RawConnect(server->port());
+    ASSERT_GE(fd, 0);
+
+    // One frame dribbled out in 16-byte chunks: the reader must buffer
+    // across many recv calls before the single request materializes.
+    const RealVec& query = data_[5].values();
+    const serde::Buffer frame = EncodeRangeFrame(77, query, 3.0);
+    for (size_t off = 0; off < frame.size(); off += 16) {
+      const size_t n = std::min<size_t>(16, frame.size() - off);
+      ASSERT_EQ(::send(fd, frame.data() + off, n, MSG_NOSIGNAL),
+                static_cast<ssize_t>(n));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::vector<Reply> replies;
+    ASSERT_TRUE(ReadReplies(fd, 1, &replies)) << "pollers " << pollers;
+    ::close(fd);
+    EXPECT_EQ(replies[0].id, 77u);
+    EXPECT_EQ(replies[0].code, ReplyCode::kOk);
+    auto expected = db_->RangeQuery(query, 3.0);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(replies[0].results.size(), 1u);
+    EXPECT_EQ(replies[0].results[0].matches.size(), expected->size());
+  }
+}
+
+TEST_F(ServerTest, ConnectionChurnStress) {
+  ServerOptions options;
+  options.pollers = 2;
+  options.workers = 2;
+  auto server = StartServer(options);
+
+  // Hundreds of short-lived connections across threads: exercises the
+  // accept handoff inboxes and the retire pass under TSan.
+  constexpr size_t kThreads = 4;
+  constexpr size_t kConnsPerThread = 50;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kConnsPerThread; ++i) {
+        auto client = Client::Connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        Status status = (*client)->Ping();
+        if (status.ok() && i % 8 == 3) {
+          status =
+              (*client)
+                  ->Range(data_[(t * 13 + i) % kNumSeries].values(), 2.0)
+                  .status();
+        }
+        if (!status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  constexpr size_t kTotal = kThreads * kConnsPerThread;
+  EXPECT_EQ(server->counters().connections_accepted, kTotal);
+  // Retirement is asynchronous to the client-side close.
+  EXPECT_TRUE(WaitUntil(
+      [&] { return server->counters().connections_closed >= kTotal; }))
+      << server->counters().connections_closed << " of " << kTotal
+      << " connections retired";
+}
+
+// ---------------------------------------------------------------------------
+// Front-end failure modes.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, FdExhaustionPausesAcceptAndRecovers) {
+  ServerOptions options;
+  options.pollers = 1;
+  auto server = StartServer(options);
+
+  // A control connection established while fds are plentiful.
+  auto control = Connect(*server);
+  ASSERT_TRUE(control->Ping().ok());
+
+  // Create the starved peer's socket BEFORE exhausting fds — rlimit only
+  // constrains new allocations, existing fds keep working. The limit
+  // must stay above the poller's poll() set size (poll rejects
+  // nfds > RLIMIT_NOFILE with EINVAL), so lower it moderately and then
+  // occupy every free slot below it.
+  const int starved = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(starved, 0);
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit small = old_limit;
+  small.rlim_cur = 256;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &small), 0);
+  std::vector<int> hogs;
+  for (;;) {
+    const int hog = ::open("/dev/null", O_RDONLY);
+    if (hog < 0) break;
+    hogs.push_back(hog);
+  }
+  ASSERT_EQ(errno, EMFILE);
+  ASSERT_FALSE(hogs.empty());
+
+  // The TCP handshake completes in the kernel backlog regardless; the
+  // server's accept4 fails with EMFILE.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(starved, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  // The un-fixed server spun on the permanently-readable listener —
+  // thousands of accept attempts in this window. The fixed one pauses
+  // the listener for kAcceptBackoffMs per failed attempt, so the episode
+  // count is bounded by the window length.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const uint64_t backoffs = server->counters().accept_backoffs;
+  EXPECT_GE(backoffs, 1u);
+  EXPECT_LE(backoffs, 300 / kAcceptBackoffMs + 4);
+
+  // Existing connections keep answering throughout the exhaustion.
+  EXPECT_TRUE(control->Ping().ok());
+
+  for (int hog : hogs) ::close(hog);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  // With fds available again the listener re-arms and drains the
+  // backlog: the starved peer finally gets accepted...
+  EXPECT_TRUE(WaitUntil(
+      [&] { return server->counters().connections_accepted >= 2; }))
+      << "backlogged connection never accepted after rlimit restore";
+  // ...and a brand-new client connects and is served.
+  auto late = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_TRUE((*late)->Ping().ok());
+  ::close(starved);
+}
+
+TEST_F(ServerTest, ClientIoTimeoutOnHungServerReturnsUnavailable) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool release = false;
+
+  // The only worker parks at the gate: from the client's side the server
+  // accepted the request and went silent.
+  ServerOptions options;
+  options.workers = 1;
+  auto server = StartServer(options);
+  server->SetExecutionHookForTesting([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  });
+
+  ClientOptions copts;
+  copts.io_timeout_ms = 200;
+  auto client = Client::Connect("127.0.0.1", server->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto matches = (*client)->Range(data_[0].values(), 2.0);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(matches.ok()) << "request against a parked worker succeeded";
+  EXPECT_TRUE(matches.status().IsUnavailable())
+      << matches.status().ToString();
+  // Pre-fix this blocked forever; the timeout must bound it.
+  EXPECT_LT(elapsed_ms, 5000);
+
+  // The reply may still arrive later, so the connection is poisoned.
+  EXPECT_FALSE((*client)->Ping().ok());
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  server->Stop();  // drains the now-released request
+}
+
+TEST_F(ServerTest, ResetConnectionRetiresImmediately) {
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool release = false;
+
+  ServerOptions options;
+  options.pollers = 1;
+  options.workers = 1;
+  auto server = StartServer(options);
+  server->SetExecutionHookForTesting([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return release; });
+  });
+
+  // Admit one request, park it on the worker, then reset the connection:
+  // SO_LINGER{1,0} turns close() into an RST.
+  const int fd = RawConnect(server->port());
+  ASSERT_GE(fd, 0);
+  const serde::Buffer frame = EncodeRangeFrame(9, data_[0].values(), 2.0);
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(5),
+                                 [&] { return entered; }));
+  }
+  const linger hard_close{1, 0};
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                         sizeof(hard_close)),
+            0);
+  ::close(fd);
+
+  // Pre-fix the fatal recv error only stopped reads, and the connection
+  // lingered until its parked reply flushed. It must retire while the
+  // worker is still at the gate: the peer is gone.
+  EXPECT_TRUE(WaitUntil(
+      [&] { return server->counters().connections_closed >= 1; }))
+      << "reset connection lingered behind a parked request";
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    release = true;
+  }
+  gate_cv.notify_all();
+  server->Stop();
+}
+
+TEST(ClientConnectTimeoutTest, UnacceptedBacklogTimesOut) {
+  // A listener that never accepts: once the backlog is full, a connect
+  // gets no completion and Client::Connect must time out, not hang.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(lfd, 0), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  ClientOptions copts;
+  copts.connect_timeout_ms = 200;
+  std::vector<std::unique_ptr<Client>> parked;  // keep backlog slots filled
+  bool timed_out = false;
+  for (size_t i = 0; i < 16 && !timed_out; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto client = Client::Connect("127.0.0.1", port, copts);
+    if (client.ok()) {
+      parked.push_back(std::move(*client));
+      continue;
+    }
+    if (!client.status().IsUnavailable()) {
+      ::close(lfd);
+      GTEST_SKIP() << "environment rejects backlog-overflow connects: "
+                   << client.status().ToString();
+    }
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_GE(elapsed_ms, 150) << "timed out suspiciously early";
+    EXPECT_LT(elapsed_ms, 5000) << "timeout did not bound the connect";
+    timed_out = true;
+  }
+  ::close(lfd);
+  if (!timed_out) {
+    GTEST_SKIP() << "kernel completed 16 handshakes on a backlog of 0";
   }
 }
 

@@ -83,9 +83,9 @@ int Usage() {
       "  tsq_cli join   --db DIR/NAME --eps X [--transform T] [--method M]\n"
       "  tsq_cli reindex --db DIR/NAME\n"
       "  tsq_cli demo   --db DIR/NAME [--count N] [--days D]\n"
-      "  tsq_cli serve  --db DIR/NAME [--host H] [--port P] [--workers N] "
-      "[--engine-threads T] [--max-inflight M] [--merge-interval-ms MS] "
-      "[--merge-min-delta N]\n"
+      "  tsq_cli serve  --db DIR/NAME [--host H] [--port P] [--pollers N] "
+      "[--workers N] [--engine-threads T] [--max-inflight M] "
+      "[--merge-interval-ms MS] [--merge-min-delta N]\n"
       "  tsq_cli remote-ping|remote-stats [--host H] [--port P]\n"
       "  tsq_cli remote-import [--host H] [--port P] --csv FILE\n"
       "  tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME "
@@ -94,6 +94,8 @@ int Usage() {
       "--k K [--transform T]\n"
       "  tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]\n"
       "  tsq_cli remote-reindex [--host H] [--port P]\n"
+      "remote-* also take [--timeout-ms MS] (bound connect and each "
+      "send/recv; default 0 = block)\n"
       "transforms: identity | mavg:W | ewma:ALPHA:W | reverse | scale:F | "
       "shift:D\n"
       "join methods: scan | scan-fast | index | index-transform | tree\n"
@@ -465,6 +467,7 @@ int CmdServe(const Args& args) {
   server_options.host = args.GetOr("host", "127.0.0.1");
   server_options.port = static_cast<uint16_t>(
       std::stoul(args.GetOr("port", std::to_string(kDefaultPort))));
+  server_options.pollers = std::stoul(args.GetOr("pollers", "0"));
   server_options.workers = std::stoul(args.GetOr("workers", "0"));
   server_options.engine_threads =
       std::stoul(args.GetOr("engine-threads", "0"));
@@ -474,25 +477,43 @@ int CmdServe(const Args& args) {
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
-  std::printf("tsqd serving %s/%s (%llu series) on %s:%u — Ctrl-C stops\n",
-              options.directory.c_str(), options.name.c_str(),
-              static_cast<unsigned long long>((*db)->size()),
-              server_options.host.c_str(), (*server)->port());
+  std::printf(
+      "tsqd serving %s/%s (%llu series) on %s:%u with %zu pollers — "
+      "Ctrl-C stops\n",
+      options.directory.c_str(), options.name.c_str(),
+      static_cast<unsigned long long>((*db)->size()),
+      server_options.host.c_str(), (*server)->port(), (*server)->pollers());
   std::fflush(stdout);
   while (g_stop_requested == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("draining and stopping tsqd\n");
   (*server)->Stop();
+  const server::ServerCounters counters = (*server)->counters();
+  std::printf(
+      "served %llu connections (%llu closed), %llu frames, %llu requests, "
+      "%llu busy-rejected, %llu protocol errors, %llu accept backoffs\n",
+      static_cast<unsigned long long>(counters.connections_accepted),
+      static_cast<unsigned long long>(counters.connections_closed),
+      static_cast<unsigned long long>(counters.frames_received),
+      static_cast<unsigned long long>(counters.requests_executed),
+      static_cast<unsigned long long>(counters.busy_rejected),
+      static_cast<unsigned long long>(counters.protocol_errors),
+      static_cast<unsigned long long>(counters.accept_backoffs));
   if (Status s = (*db)->Flush(); !s.ok()) return Fail(s);
   return 0;
 }
 
 Result<std::unique_ptr<server::Client>> ConnectRemote(const Args& args) {
+  server::ClientOptions client_options;
+  const uint64_t timeout_ms = std::stoull(args.GetOr("timeout-ms", "0"));
+  client_options.connect_timeout_ms = timeout_ms;
+  client_options.io_timeout_ms = timeout_ms;
   return server::Client::Connect(
       args.GetOr("host", "127.0.0.1"),
       static_cast<uint16_t>(
-          std::stoul(args.GetOr("port", std::to_string(kDefaultPort)))));
+          std::stoul(args.GetOr("port", std::to_string(kDefaultPort)))),
+      client_options);
 }
 
 int CmdRemotePing(const Args& args) {
