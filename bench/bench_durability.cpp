@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// The price of a promise: ingest throughput across the three durability
+// levels (none / on-flush / per-batch group commit) at several batch
+// sizes, plus the cost of an explicit Flush() barrier at each level.
+// Not a paper figure — the paper predates fsync discipline — but the
+// trade the levels buy is exactly the classic group-commit curve: small
+// batches pay one fdatasync per segment per batch, so per-batch
+// durability converges on buffered throughput as the batch grows.
+//
+// Drops BENCH_durability.json in the working directory so CI archives
+// the durability-overhead trajectory across PRs.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "workload/random_walk.h"
+
+namespace tsq {
+namespace {
+
+const char* LevelName(Durability level) {
+  switch (level) {
+    case Durability::kNone:
+      return "none";
+    case Durability::kOnFlush:
+      return "flush";
+    case Durability::kPerBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+void Run() {
+  bench::Banner(
+      "Durability overhead: records/sec vs durability level x batch size",
+      "Per-batch group commit fdatasyncs each touched segment before the\n"
+      "batch is acknowledged; on-flush defers the barrier to Flush();\n"
+      "none never syncs. Expected shape: per-batch overhead shrinks as\n"
+      "the batch grows (the sync amortizes), on-flush tracks none until\n"
+      "the explicit barrier.");
+
+  const size_t kNumSeries = bench::Scaled(2000, 64);
+  const size_t kLength = 128;
+  const auto data =
+      workload::MakeRandomWalkDataset(20260808, kNumSeries, kLength);
+  std::vector<std::string> names;
+  std::vector<RealVec> values;
+  names.reserve(data.size());
+  values.reserve(data.size());
+  for (const TimeSeries& s : data) {
+    names.push_back(s.name());
+    values.push_back(s.values());
+  }
+
+  bench::Json doc = bench::Json::Object();
+  doc["bench"] = bench::Json::Str("durability");
+  bench::Json workload_json = bench::Json::Object();
+  workload_json["series"] = bench::Json::Int(kNumSeries);
+  workload_json["length"] = bench::Json::Int(kLength);
+  workload_json["smoke_divisor"] = bench::Json::Int(bench::SmokeDivisor());
+  doc["workload"] = std::move(workload_json);
+
+  bench::ScratchDir dir("durability");
+  bench::Table table({"durability", "batch size", "wall ms", "records/sec",
+                      "flush ms"});
+  bench::Json sweep = bench::Json::Array();
+
+  for (const Durability level :
+       {Durability::kNone, Durability::kOnFlush, Durability::kPerBatch}) {
+    for (const size_t batch : {size_t{1}, size_t{32}, size_t{512}}) {
+      DatabaseOptions options;
+      options.directory = dir.path();
+      options.name = std::string("d_") + LevelName(level) + "_b" +
+                     std::to_string(batch);
+      options.relation_segments = 4;
+      options.durability = level;
+      auto db = Database::Create(options).value();
+
+      // Feed the whole workload as batch-sized InsertBatch calls — each
+      // call is one acknowledgment (and, at per-batch, one group
+      // commit).
+      Stopwatch watch;
+      for (size_t start = 0; start < names.size(); start += batch) {
+        const size_t end = std::min(start + batch, names.size());
+        const std::vector<std::string> batch_names(names.begin() + start,
+                                                   names.begin() + end);
+        const std::vector<RealVec> batch_values(values.begin() + start,
+                                                values.begin() + end);
+        db->InsertBatch(batch_names, batch_values).value();
+      }
+      const double wall_ms = watch.ElapsedMillis();
+      TSQ_CHECK_MSG(db->size() == kNumSeries, "ingest lost records");
+
+      // The explicit barrier on top: a no-op at none (buffered flush
+      // only), a full fdatasync at the durable levels.
+      Stopwatch flush_watch;
+      TSQ_CHECK_MSG(db->Flush().ok(), "flush barrier failed");
+      const double flush_ms = flush_watch.ElapsedMillis();
+
+      table.AddRow({LevelName(level), std::to_string(batch),
+                    bench::Table::Num(wall_ms),
+                    bench::Table::Num(1000.0 * kNumSeries / wall_ms, 0),
+                    bench::Table::Num(flush_ms)});
+      bench::Json row = bench::Json::Object();
+      row["durability"] = bench::Json::Str(LevelName(level));
+      row["batch_size"] = bench::Json::Int(batch);
+      row["wall_ms"] = bench::Json::Num(wall_ms);
+      row["records_per_sec"] = bench::Json::Num(1000.0 * kNumSeries / wall_ms);
+      row["flush_ms"] = bench::Json::Num(flush_ms);
+      sweep.Append(std::move(row));
+    }
+  }
+  table.Print();
+  doc["sweep"] = std::move(sweep);
+
+  const char* out_path = "BENCH_durability.json";
+  if (doc.WriteFile(out_path)) {
+    std::printf("\n  wrote %s\n", out_path);
+  } else {
+    std::printf("\n  WARNING: could not write %s\n", out_path);
+  }
+}
+
+}  // namespace
+}  // namespace tsq
+
+int main() {
+  tsq::Run();
+  return 0;
+}

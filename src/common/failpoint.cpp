@@ -1,0 +1,311 @@
+// Copyright (c) 2026 The tsq Authors.
+
+#include "common/failpoint.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace tsq {
+namespace failpoint {
+namespace {
+
+/// Global registry state. Sites are heap-allocated and never freed so
+/// the pointers cached in call-site statics stay valid through exit.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site*> sites;
+  /// Specs parsed from TSQ_FAILPOINTS for names not yet registered.
+  std::map<std::string, std::string> pending_env;
+  bool env_parsed = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Parses TSQ_FAILPOINTS ("name=spec;name=spec") into pending_env.
+/// Called once under the registry mutex. Malformed entries are skipped
+/// (a bad env var must not take down the process at startup); the spec
+/// itself is validated when applied.
+void ParseEnvLocked(Registry* registry) {
+  if (registry->env_parsed) return;
+  registry->env_parsed = true;
+  const char* env = std::getenv("TSQ_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string all(env);
+  size_t start = 0;
+  while (start <= all.size()) {
+    size_t end = all.find(';', start);
+    if (end == std::string::npos) end = all.size();
+    const std::string entry = all.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "tsq: ignoring malformed TSQ_FAILPOINTS entry '%s'\n",
+                   entry.c_str());
+      continue;
+    }
+    registry->pending_env[entry.substr(0, eq)] = entry.substr(eq + 1);
+  }
+}
+
+Site* FindOrCreateLocked(Registry* registry, const std::string& name) {
+  auto it = registry->sites.find(name);
+  if (it != registry->sites.end()) return it->second;
+  Site* site = new Site(name);
+  registry->sites.emplace(name, site);
+  return site;
+}
+
+}  // namespace
+
+/// The one friend of Site: every touch of a site's locked state funnels
+/// through these static helpers.
+struct SiteAccess {
+  /// Recomputes the armed flag from the action/callback state; caller
+  /// holds site->mutex_.
+  static void PublishArmedLocked(Site* site, ActionKind action,
+                                 bool has_callback) {
+    const bool armed = action != ActionKind::kOff || has_callback;
+    site->armed_.store(armed ? 1 : 0, std::memory_order_relaxed);
+  }
+
+  /// Installs a fully-parsed action. Caller holds no locks.
+  static void Install(Site* site, ActionKind action, int error_errno,
+                      size_t bytes, uint64_t skip, int64_t remaining) {
+    std::lock_guard<std::mutex> lock(site->mutex_);
+    site->action_ = action;
+    site->error_errno_ = error_errno;
+    site->bytes_ = bytes;
+    site->skip_ = skip;
+    site->remaining_ = remaining;
+    PublishArmedLocked(site, action, site->callback_ != nullptr);
+  }
+
+  /// The locked half of Evaluate: bumps the hit counter, consumes
+  /// skip/count bookkeeping, snapshots the callback. The callback is
+  /// returned rather than run so Evaluate can invoke it outside the
+  /// site mutex (callbacks may park the calling thread).
+  static Decision Consume(Site* site, std::function<void(uint64_t)>* callback) {
+    site->hits_.fetch_add(1, std::memory_order_relaxed);
+    Decision decision;
+    std::lock_guard<std::mutex> lock(site->mutex_);
+    *callback = site->callback_;
+    if (site->action_ != ActionKind::kOff) {
+      if (site->skip_ > 0) {
+        --site->skip_;
+      } else {
+        decision.kind = site->action_;
+        decision.error_errno = site->error_errno_;
+        decision.bytes = site->bytes_;
+        // remaining_ < 0 fires forever; a positive count disarms the
+        // action once its last shot (this one) is taken.
+        if (site->remaining_ > 0 && --site->remaining_ == 0) {
+          site->action_ = ActionKind::kOff;
+          PublishArmedLocked(site, ActionKind::kOff,
+                             site->callback_ != nullptr);
+        }
+      }
+    }
+    return decision;
+  }
+
+  /// Disarms everything, callback included.
+  static void Reset(Site* site) {
+    std::lock_guard<std::mutex> lock(site->mutex_);
+    site->action_ = ActionKind::kOff;
+    site->error_errno_ = 0;
+    site->bytes_ = 0;
+    site->skip_ = 0;
+    site->remaining_ = -1;
+    site->callback_ = nullptr;
+    PublishArmedLocked(site, ActionKind::kOff, false);
+  }
+
+  static void SetCallback(Site* site, std::function<void(uint64_t)> callback) {
+    std::lock_guard<std::mutex> lock(site->mutex_);
+    site->callback_ = std::move(callback);
+    PublishArmedLocked(site, site->action_, site->callback_ != nullptr);
+  }
+};
+
+namespace {
+
+/// Applies a parsed spec to a site. Caller holds no locks.
+Status ApplySpec(Site* site, const std::string& spec) {
+  ActionKind action = ActionKind::kOff;
+  int error_errno = EIO;
+  size_t bytes = 0;
+  uint64_t skip = 0;
+  int64_t remaining = -1;
+
+  const size_t colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  if (head == "off") {
+    action = ActionKind::kOff;
+  } else if (head == "error") {
+    action = ActionKind::kError;
+  } else if (head == "enospc") {
+    action = ActionKind::kEnospc;
+    error_errno = ENOSPC;
+  } else if (head == "short") {
+    action = ActionKind::kShortWrite;
+  } else if (head == "torn") {
+    action = ActionKind::kTornWrite;
+  } else if (head == "crash") {
+    action = ActionKind::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action '" + head +
+                                   "' in spec '" + spec + "'");
+  }
+
+  if (colon != std::string::npos) {
+    std::string mods = spec.substr(colon + 1);
+    size_t start = 0;
+    while (start <= mods.size()) {
+      size_t end = mods.find(',', start);
+      if (end == std::string::npos) end = mods.size();
+      const std::string mod = mods.substr(start, end - start);
+      start = end + 1;
+      if (mod.empty()) continue;
+      const size_t eq = mod.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("failpoint modifier '" + mod +
+                                       "' is not key=value");
+      }
+      const std::string key = mod.substr(0, eq);
+      const std::string value = mod.substr(eq + 1);
+      char* parse_end = nullptr;
+      errno = 0;
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &parse_end, 10);
+      if (value.empty() || *parse_end != '\0' || errno != 0) {
+        return Status::InvalidArgument("failpoint modifier value '" + value +
+                                       "' is not a number");
+      }
+      if (key == "skip") {
+        skip = parsed;
+      } else if (key == "count") {
+        remaining = static_cast<int64_t>(parsed);
+      } else if (key == "bytes") {
+        bytes = static_cast<size_t>(parsed);
+      } else if (key == "errno") {
+        error_errno = static_cast<int>(parsed);
+      } else {
+        return Status::InvalidArgument("unknown failpoint modifier '" + key +
+                                       "'");
+      }
+    }
+  }
+
+  if (remaining == 0) action = ActionKind::kOff;  // count=0 never fires
+
+  SiteAccess::Install(site, action, error_errno, bytes, skip, remaining);
+  return Status::OK();
+}
+
+}  // namespace
+
+Site* Register(const char* name) {
+  Registry& registry = GetRegistry();
+  Site* site = nullptr;
+  std::string pending;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    ParseEnvLocked(&registry);
+    site = FindOrCreateLocked(&registry, name);
+    auto it = registry.pending_env.find(name);
+    if (it != registry.pending_env.end()) {
+      pending = it->second;
+      registry.pending_env.erase(it);
+    }
+  }
+  if (!pending.empty()) {
+    const Status applied = ApplySpec(site, pending);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "tsq: bad TSQ_FAILPOINTS spec for '%s': %s\n", name,
+                   applied.ToString().c_str());
+    }
+  }
+  return site;
+}
+
+void CrashProcess(const char* site_name) {
+  std::fprintf(stderr, "tsq: failpoint '%s' terminating the process\n",
+               site_name);
+  ::_exit(kCrashExitCode);
+}
+
+Decision Evaluate(Site* site, uint64_t arg) {
+  std::function<void(uint64_t)> callback;
+  const Decision decision = SiteAccess::Consume(site, &callback);
+  if (callback) callback(arg);
+  if (decision.kind == ActionKind::kCrash) CrashProcess(site->name().c_str());
+  return decision;
+}
+
+Status Configure(const std::string& name, const std::string& spec) {
+  Site* site = Register(name.c_str());
+  return ApplySpec(site, spec);
+}
+
+void Clear(const std::string& name) {
+  Registry& registry = GetRegistry();
+  Site* site = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.sites.find(name);
+    if (it == registry.sites.end()) return;
+    site = it->second;
+  }
+  SiteAccess::Reset(site);
+}
+
+void ClearAll() {
+  Registry& registry = GetRegistry();
+  std::vector<Site*> sites;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (auto& entry : registry.sites) sites.push_back(entry.second);
+  }
+  for (Site* site : sites) SiteAccess::Reset(site);
+}
+
+void SetCallback(const std::string& name,
+                 std::function<void(uint64_t)> callback) {
+  Site* site = Register(name.c_str());
+  SiteAccess::SetCallback(site, std::move(callback));
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(name);
+  return it == registry.sites.end() ? 0 : it->second->hits();
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& registry = GetRegistry();
+  std::vector<std::string> armed;
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& entry : registry.sites) {
+    if (entry.second->armed()) armed.push_back(entry.first);
+  }
+  return armed;
+}
+
+Status ErrnoError(int err, const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(err));
+}
+
+}  // namespace failpoint
+}  // namespace tsq

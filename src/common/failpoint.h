@@ -1,0 +1,163 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Central failpoint registry: named, always-compiled fault-injection
+// sites at every I/O boundary of the storage stack (page file read/
+// write, relation segment append, the merge's temp-tree write + rename,
+// positioned pread/pwrite). A disarmed site costs one relaxed atomic
+// load; an armed site can fail with an injected errno (EIO, ENOSPC),
+// perform a short write (a prefix of the payload reaches the file, then
+// the call fails), a torn write (a prefix reaches the file, then the
+// process exits — the crash-mid-write signature the recovery code must
+// survive), or kill the process outright before touching the file.
+//
+// Sites also carry an optional callback, invoked on every traversal
+// with a site-specific argument (e.g. the PageId being read). Tests use
+// it to park a thread inside an I/O path on a gate — the mechanism that
+// previously lived in the ad-hoc PageFile Set{Read,Write}HookForTesting
+// hooks, now available at every registered site.
+//
+// Configuration is by name, either through the API below or the
+// TSQ_FAILPOINTS environment variable, read once at process start:
+//
+//   TSQ_FAILPOINTS="relation_append=enospc;page_file_write=error:skip=3"
+//
+// Spec grammar (case-sensitive):
+//   off | error | enospc | short | torn | crash
+// optionally followed by ":" and comma-separated modifiers:
+//   skip=N    let the first N traversals pass before firing
+//   count=N   fire at most N times, then disarm
+//   bytes=N   for short/torn: how many payload bytes actually land
+//   errno=N   for error/short: the errno to report (default EIO)
+//
+// Thread safety: every function is safe from any thread. Action state
+// is guarded by a per-site mutex; the armed flag is the lock-free fast
+// path. Process-exit actions use _exit(kCrashExitCode) so user-space
+// buffers are genuinely lost, exactly as in a real crash.
+
+#ifndef TSQ_COMMON_FAILPOINT_H_
+#define TSQ_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsq {
+namespace failpoint {
+
+/// Exit code of the torn-write / crash actions; the crash harness
+/// asserts the child died with exactly this code, proving the intended
+/// site (and not an unrelated abort) terminated it.
+inline constexpr int kCrashExitCode = 86;
+
+/// What an armed site does when traversed.
+enum class ActionKind {
+  kOff = 0,    ///< pass through (callback still runs)
+  kError,      ///< fail with the configured errno (default EIO)
+  kEnospc,     ///< fail with ENOSPC
+  kShortWrite, ///< let `bytes` payload bytes through, then fail
+  kTornWrite,  ///< let `bytes` payload bytes through, then _exit
+  kCrash,      ///< _exit before the I/O happens
+};
+
+/// The outcome of traversing a site: what the call site must do.
+/// Process-exit actions never produce a Decision — Evaluate exits.
+struct Decision {
+  ActionKind kind = ActionKind::kOff;
+  int error_errno = 0;  ///< errno to report (kError / kShortWrite)
+  size_t bytes = 0;     ///< payload prefix to actually write (short/torn)
+
+  /// True when the call site must inject a fault.
+  bool fire() const { return kind != ActionKind::kOff; }
+};
+
+/// One named injection site. Obtain with Register (never freed); the
+/// armed() check is the only cost on the happy path.
+class Site {
+ public:
+  explicit Site(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Lock-free fast path: false means the traversal is a no-op.
+  bool armed() const { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  /// Times this site has been traversed while armed (callback or
+  /// action configured).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  /// The registry implementation (failpoint.cpp) manipulates site state
+  /// through this single friend; nothing else can.
+  friend struct SiteAccess;
+
+  const std::string name_;
+  std::atomic<int> armed_{0};
+  std::atomic<uint64_t> hits_{0};
+
+  std::mutex mutex_;  // guards everything below
+  ActionKind action_ = ActionKind::kOff;
+  int error_errno_ = 0;
+  size_t bytes_ = 0;
+  uint64_t skip_ = 0;        // traversals to pass before firing
+  int64_t remaining_ = -1;   // fires left; -1 = unlimited; 0 disarms
+  std::function<void(uint64_t)> callback_;
+};
+
+/// Finds or creates the site with this name. The returned pointer is
+/// valid for the life of the process; call sites cache it in a
+/// function-local static. Applies any pending TSQ_FAILPOINTS spec for
+/// the name on first registration.
+Site* Register(const char* name);
+
+/// Slow path of a traversal: runs the callback (if any) with `arg`,
+/// consumes skip/count bookkeeping, and returns what the call site must
+/// inject. kCrash (and kTornWrite with bytes already written by the
+/// call site) terminate the process inside the call-site logic; Evaluate
+/// itself exits only for kCrash.
+Decision Evaluate(Site* site, uint64_t arg);
+
+/// The standard call-site traversal: free when disarmed.
+inline Decision Check(Site* site, uint64_t arg = 0) {
+  if (!site->armed()) return Decision{};
+  return Evaluate(site, arg);
+}
+
+/// Terminates the process the way a torn write does — exposed so call
+/// sites that must flush a partial payload before dying (stdio-buffered
+/// writers) can sequence the exit themselves.
+[[noreturn]] void CrashProcess(const char* site_name);
+
+/// Arms `name` with a spec string (grammar in the header comment).
+/// Registers the site if no call site has reached it yet. "off" clears.
+Status Configure(const std::string& name, const std::string& spec);
+
+/// Disarms one site / every site (callbacks included).
+void Clear(const std::string& name);
+void ClearAll();
+
+/// Installs a callback run on every traversal of `name` (even when no
+/// fault action is armed). Pass nullptr to remove. Registers the site
+/// if needed.
+void SetCallback(const std::string& name,
+                 std::function<void(uint64_t)> callback);
+
+/// Hit counter for `name`; 0 if the site was never registered.
+uint64_t HitCount(const std::string& name);
+
+/// Names of currently armed sites (for stats / debugging).
+std::vector<std::string> ArmedSites();
+
+/// Builds the errno-bearing IOError a call site reports for an injected
+/// (or real) failure: "<what> '<path>': <strerror(err)>".
+Status ErrnoError(int err, const std::string& what, const std::string& path);
+
+}  // namespace failpoint
+}  // namespace tsq
+
+#endif  // TSQ_COMMON_FAILPOINT_H_

@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kUnimplemented = 8,     ///< Feature intentionally not supported.
   kInternal = 9,          ///< Invariant broken; indicates a tsq bug.
   kUnavailable = 10,      ///< Transient overload / shutdown; retry later.
+  kReadOnly = 11,         ///< Store degraded to read-only after a write fault.
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
@@ -80,6 +81,9 @@ class Status final {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -105,6 +109,7 @@ class Status final {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsReadOnly() const { return code_ == StatusCode::kReadOnly; }
 
   /// "OK" or "<CodeName>: <message>" for logs and test failure output.
   std::string ToString() const;

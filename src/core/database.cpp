@@ -2,15 +2,59 @@
 
 #include "core/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <numeric>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace tsq {
+
+namespace {
+
+/// Fires a merge-step failpoint: a crash action exits inside Evaluate, a
+/// torn action crashes here too (for a non-write step the two are the
+/// same), and an error action surfaces as an errno-bearing IOError
+/// naming `path`.
+Status MergeFailpoint(failpoint::Site* site, const std::string& what,
+                      const std::string& path) {
+  if (!site->armed()) return Status::OK();
+  const failpoint::Decision d = failpoint::Evaluate(site, 0);
+  if (d.kind == failpoint::ActionKind::kTornWrite) {
+    failpoint::CrashProcess(site->name().c_str());
+  }
+  if (d.fire()) {
+    return failpoint::ErrnoError(d.error_errno != 0 ? d.error_errno : EIO,
+                                 what, path);
+  }
+  return Status::OK();
+}
+
+/// fsync(2) of a directory: makes a just-renamed entry durable. Renaming
+/// alone only updates the directory in the page cache; a machine crash
+/// can undo it until the directory itself is synced.
+Status SyncDirectory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return failpoint::ErrnoError(errno, "cannot open directory", path);
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return failpoint::ErrnoError(err, "fsync failed for directory", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Database::~Database() { StopMergeThread(); }
 
@@ -37,13 +81,14 @@ void Database::MergeThreadMain() {
     if (stop_merge_) return;
     lock.unlock();
     auto snap = CurrentSnapshot();
-    if (snap != nullptr && CheckIndexHealthy().ok()) {
+    if (snap != nullptr && !degraded()) {
       const uint64_t unmerged =
           snap->delta->base() + snap->delta->visible() - snap->main->size();
       if (unmerged >= options_.merge_min_delta) {
         if (Result<uint64_t> merged = Reindex(); !merged.ok()) {
-          // The previous epoch stays published and correct; retry next
-          // tick.
+          // The previous epoch stays published and correct. A write
+          // fault inside Reindex has already degraded the database;
+          // anything else retries next tick.
           TSQ_LOG(kWarn) << "background merge failed: "
                          << merged.status().ToString();
         }
@@ -139,12 +184,19 @@ Result<std::unique_ptr<Database>> Database::Open(
 }
 
 Status Database::Flush() {
-  TSQ_RETURN_IF_ERROR(relation_->Flush());
+  // At kNone the flush pushes buffered bytes to the OS; at kOnFlush and
+  // kPerBatch it is a durability barrier (fdatasync of every segment).
+  Status status = options_.durability == Durability::kNone
+                      ? relation_->Flush()
+                      : relation_->Sync();
+  if (!status.ok()) return EnterReadOnly(std::move(status));
   // merge_mutex_ keeps the flush from racing a merge's rename of the
   // index file; the main tree itself is immutable once published.
   std::lock_guard<std::mutex> lock(merge_mutex_);
   if (auto snap = CurrentSnapshot(); snap != nullptr) {
-    TSQ_RETURN_IF_ERROR(snap->main->Flush());
+    if (Status index_status = snap->main->Flush(); !index_status.ok()) {
+      return EnterReadOnly(std::move(index_status));
+    }
   }
   return Status::OK();
 }
@@ -159,6 +211,9 @@ DatabaseStats Database::StatsSnapshot() const {
   out.relation_bytes_read = rel.bytes_read.load(std::memory_order_relaxed);
   out.relation_bytes_written =
       rel.bytes_written.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_acquire);
+  out.write_faults = write_faults_.load(std::memory_order_relaxed);
+  out.repairs_completed = repairs_completed_.load(std::memory_order_relaxed);
   // One acquire load pins a coherent snapshot; counters within it are
   // individually atomic (monitoring does not need mutual consistency).
   auto snap = CurrentSnapshot();
@@ -202,19 +257,26 @@ Status Database::CheckSeriesLength(size_t length) {
   return Status::OK();
 }
 
-Status Database::CheckIndexHealthy() const {
-  if (!index_poisoned_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lock(index_fault_mutex_);
-  return index_fault_;
+Status Database::EnterReadOnly(Status cause) {
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (!degraded_.load(std::memory_order_relaxed)) {
+      fault_ = cause;
+      degraded_.store(true, std::memory_order_release);
+      write_faults_.fetch_add(1, std::memory_order_relaxed);
+      TSQ_LOG(kWarn) << "write fault, degrading to read-only: "
+                     << cause.ToString();
+    }
+  }
+  return cause;
 }
 
-Status Database::PoisonIndex(Status status) {
-  std::lock_guard<std::mutex> lock(index_fault_mutex_);
-  if (!index_poisoned_.load(std::memory_order_relaxed)) {
-    index_fault_ = status;
-    index_poisoned_.store(true, std::memory_order_release);
-  }
-  return status;
+Status Database::CheckWritable() const {
+  if (!degraded_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return Status::ReadOnly("database is read-only after a write fault (" +
+                          fault_.ToString() +
+                          "); repair once the fault is resolved");
 }
 
 Result<SeriesId> Database::Insert(const std::string& name,
@@ -222,16 +284,21 @@ Result<SeriesId> Database::Insert(const std::string& name,
   if (values.empty()) {
     return Status::InvalidArgument("cannot insert an empty series");
   }
-  if (index_built()) {
-    TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-  }
+  TSQ_RETURN_IF_ERROR(CheckWritable());
   TSQ_RETURN_IF_ERROR(CheckSeriesLength(values.size()));
   const SeriesFeatures features = extractor_.Extract(values);
-  TSQ_ASSIGN_OR_RETURN(const SeriesId id,
-                       relation_->Append(name, values, features.spectrum));
+  Result<SeriesId> appended =
+      relation_->Append(name, values, features.spectrum);
+  if (!appended.ok()) return EnterReadOnly(appended.status());
+  const SeriesId id = appended.value();
+  if (options_.durability == Durability::kPerBatch) {
+    if (Status status = relation_->Sync(); !status.ok()) {
+      return EnterReadOnly(std::move(status));
+    }
+  }
   if (index_built()) {
     if (Status status = DeltaPut(id, features); !status.ok()) {
-      return PoisonIndex(std::move(status));
+      return EnterReadOnly(std::move(status));
     }
   }
   return id;
@@ -283,9 +350,7 @@ Result<std::vector<SeriesId>> Database::InsertBatch(
           std::to_string(values[0].size()));
     }
   }
-  if (index_built()) {
-    TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
-  }
+  TSQ_RETURN_IF_ERROR(CheckWritable());
   TSQ_RETURN_IF_ERROR(CheckSeriesLength(values[0].size()));
 
   const size_t count = values.size();
@@ -333,8 +398,16 @@ Result<std::vector<SeriesId>> Database::InsertBatch(
     std::unique_lock<std::mutex> lock(done_mutex);
     done_cv.wait(lock, [&pending] { return pending == 0; });
   }
-  for (const Status& status : segment_status) {
-    TSQ_RETURN_IF_ERROR(status);
+  for (Status& status : segment_status) {
+    if (!status.ok()) return EnterReadOnly(std::move(status));
+  }
+
+  // Group commit: one fdatasync per segment covers the whole batch
+  // before it is acknowledged.
+  if (options_.durability == Durability::kPerBatch) {
+    if (Status status = relation_->Sync(); !status.ok()) {
+      return EnterReadOnly(std::move(status));
+    }
   }
 
   // Phase 3: publish the batch's feature points into the delta index
@@ -345,7 +418,7 @@ Result<std::vector<SeriesId>> Database::InsertBatch(
   if (index_built()) {
     for (size_t i = 0; i < count; ++i) {
       if (Status status = DeltaPut(base + i, features[i]); !status.ok()) {
-        return PoisonIndex(std::move(status));
+        return EnterReadOnly(std::move(status));
       }
     }
   }
@@ -400,6 +473,7 @@ Result<std::shared_ptr<KIndex>> Database::BuildIndexFile(
 
 Status Database::BuildIndex() {
   std::lock_guard<std::mutex> merge_lock(merge_mutex_);
+  TSQ_RETURN_IF_ERROR(CheckWritable());
   const uint64_t total = relation_->size();
   if (total == 0) {
     return Status::FailedPrecondition("BuildIndex on an empty database");
@@ -424,7 +498,7 @@ Status Database::BuildIndex() {
 
 Result<uint64_t> Database::Reindex() {
   std::lock_guard<std::mutex> merge_lock(merge_mutex_);
-  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
+  TSQ_RETURN_IF_ERROR(CheckWritable());
   auto snap = CurrentSnapshot();
   if (snap == nullptr) {
     return Status::FailedPrecondition("Reindex requires BuildIndex()");
@@ -444,12 +518,49 @@ Result<uint64_t> Database::Reindex() {
   const std::string tmp_path = IndexPath() + ".tmp";
   std::remove(tmp_path.c_str());
   std::shared_ptr<KIndex> merged;
-  TSQ_ASSIGN_OR_RETURN(merged,
-                       BuildIndexFile(tmp_path, cutoff, /*bulk_load=*/true));
-  TSQ_RETURN_IF_ERROR(merged->Flush());
+  {
+    Result<std::shared_ptr<KIndex>> built =
+        BuildIndexFile(tmp_path, cutoff, /*bulk_load=*/true);
+    if (!built.ok()) return EnterReadOnly(built.status());
+    merged = std::move(built).value();
+  }
+  // Publication sequence with its crash points: fsync the complete temp
+  // tree, atomically rename it over the canonical file, then fsync the
+  // parent directory so the rename itself is durable. A crash before
+  // the rename leaves ignorable scratch; after it, the new file — in
+  // both cases Open recovers (the reindex_* failpoints let the crash
+  // harness stop at each step).
+  static failpoint::Site* fp_flush =
+      failpoint::Register("reindex_before_flush");
+  if (Status s = MergeFailpoint(fp_flush, "merge failed before flushing",
+                                tmp_path);
+      !s.ok()) {
+    return EnterReadOnly(std::move(s));
+  }
+  if (Status s = merged->Flush(); !s.ok()) {
+    return EnterReadOnly(std::move(s));
+  }
+  static failpoint::Site* fp_rename =
+      failpoint::Register("reindex_before_rename");
+  if (Status s = MergeFailpoint(fp_rename, "merge failed before publishing",
+                                tmp_path);
+      !s.ok()) {
+    return EnterReadOnly(std::move(s));
+  }
   if (std::rename(tmp_path.c_str(), IndexPath().c_str()) != 0) {
-    return Status::IOError("failed to rename " + tmp_path + " over " +
-                           IndexPath());
+    return EnterReadOnly(failpoint::ErrnoError(
+        errno != 0 ? errno : EIO, "failed to rename " + tmp_path + " over",
+        IndexPath()));
+  }
+  static failpoint::Site* fp_post =
+      failpoint::Register("reindex_after_rename");
+  if (Status s = MergeFailpoint(fp_post, "merge failed after publishing",
+                                IndexPath());
+      !s.ok()) {
+    return EnterReadOnly(std::move(s));
+  }
+  if (Status s = SyncDirectory(options_.directory); !s.ok()) {
+    return EnterReadOnly(std::move(s));
   }
   if (merge_hook_) merge_hook_();
 
@@ -476,6 +587,55 @@ Result<uint64_t> Database::Reindex() {
   return epoch;
 }
 
+Status Database::Repair() {
+  std::lock_guard<std::mutex> merge_lock(merge_mutex_);
+  if (!degraded() && !relation_->poisoned()) return Status::OK();
+  // 1. Repair the relation in place: re-walk the segment files, rewind
+  // to the largest dense record prefix, lift the append poison. Fails
+  // (keeping the degradation) while the fault persists.
+  TSQ_RETURN_IF_ERROR(relation_->Repair());
+  const uint64_t total = relation_->size();
+  // 2. Re-cover the relation tail the published index may have missed
+  // (a failed delta publication, or records the rewind removed). The
+  // published main tree indexes ids [0, main->size()); every one of
+  // them was visible before its merge cutoff, so the rewind never
+  // truncates below it. Rebuild the delta for [main->size(), total)
+  // from relation records — the same tail rebuild Open performs — and
+  // publish it as the next epoch.
+  if (auto snap = CurrentSnapshot(); snap != nullptr) {
+    auto next = std::make_shared<IndexSnapshot>();
+    next->epoch = snap->epoch + 1;
+    next->main = snap->main;
+    next->delta = std::make_shared<DeltaIndex>(snap->main->size(),
+                                               options_.layout.dims());
+    next->delta_begin = 0;
+    for (SeriesId id = snap->main->size(); id < total; ++id) {
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation_->Get(id));
+      const SeriesFeatures features =
+          extractor_.FromStored(rec.values, rec.dft);
+      TSQ_RETURN_IF_ERROR(next->delta->Put(id, extractor_.ToPoint(features)));
+    }
+    {
+      // Same two-lock order as the merge swap: no DeltaPut can land in
+      // the old delta after the rebuild copied the tail.
+      std::lock_guard<std::mutex> put_lock(delta_put_mutex_);
+      std::unique_lock<std::shared_mutex> lock(snapshot_ptr_mutex_);
+      snapshot_ = std::move(next);
+    }
+  }
+  // 3. A merge may have died mid-build; its scratch is dead weight now.
+  std::remove((IndexPath() + ".tmp").c_str());
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    fault_ = Status::OK();
+    degraded_.store(false, std::memory_order_release);
+  }
+  repairs_completed_.fetch_add(1, std::memory_order_relaxed);
+  TSQ_LOG(kInfo) << "repair complete, writes resumed (relation size "
+                 << total << ")";
+  return Status::OK();
+}
+
 Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
                                                 double epsilon,
                                                 const QuerySpec& spec) {
@@ -484,7 +644,6 @@ Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
   if (snap == nullptr) {
     return Status::FailedPrecondition("RangeQuery requires BuildIndex()");
   }
-  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   const IndexView view(*snap);
   std::vector<Match> out;
   last_stats_ = QueryStats();
@@ -499,7 +658,6 @@ Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
   if (snap == nullptr) {
     return Status::FailedPrecondition("Knn requires BuildIndex()");
   }
-  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   const IndexView view(*snap);
   std::vector<Match> out;
   last_stats_ = QueryStats();
@@ -555,7 +713,6 @@ Result<std::vector<engine::BatchResult>> Database::RunBatch(
   if (!index_built()) {
     return Status::FailedPrecondition("RunBatch requires BuildIndex()");
   }
-  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   return EnsureEngine(threads)->RunBatch(queries, batch_stats);
 }
 
@@ -575,7 +732,6 @@ Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
   if (!index_built()) {
     return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
   }
-  TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
   return EnsureEngine(threads)->SelfJoin(epsilon, transform, stats);
 }
 
@@ -600,7 +756,6 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       if (snap == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
-      TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
       TSQ_RETURN_IF_ERROR(IndexSelfJoin(IndexView(*snap), *relation_,
                                         epsilon, /*transform=*/std::nullopt,
                                         &out, &last_stats_));
@@ -611,7 +766,6 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       if (snap == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
-      TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
       TSQ_RETURN_IF_ERROR(IndexSelfJoin(IndexView(*snap), *relation_,
                                         epsilon, transform, &out,
                                         &last_stats_));
@@ -622,7 +776,6 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       if (snap == nullptr) {
         return Status::FailedPrecondition("index join requires BuildIndex()");
       }
-      TSQ_RETURN_IF_ERROR(CheckIndexHealthy());
       TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(IndexView(*snap), *relation_,
                                             epsilon, transform, &out,
                                             &last_stats_));

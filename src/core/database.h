@@ -54,6 +54,24 @@ enum class JoinMethod {
   kTreeMatch,
 };
 
+/// When an acknowledged write must have reached stable storage. The
+/// levels trade ingest latency for crash-loss exposure; see
+/// docs/ARCHITECTURE.md ("Durability & degradation contract").
+enum class Durability {
+  /// Writes land in the OS page cache only. A process crash loses
+  /// nothing (the cache survives); a machine crash may lose recently
+  /// acknowledged series. The default, and the pre-durability behavior.
+  kNone = 0,
+  /// Flush() additionally fdatasyncs every relation segment (and the
+  /// index file), so an explicit flush is a full durability barrier.
+  kOnFlush = 1,
+  /// Group commit: every Insert/InsertBatch fdatasyncs the relation
+  /// segments it touched before acknowledging — one fdatasync per
+  /// segment per batch, amortized over the batch. Flush() is a barrier
+  /// here too.
+  kPerBatch = 2,
+};
+
 /// Database construction parameters.
 struct DatabaseOptions {
   /// Directory for the backing files (must exist).
@@ -83,6 +101,8 @@ struct DatabaseOptions {
   /// unmerged delta entries are visible (avoids churning full rebuilds
   /// for a trickle of inserts).
   uint64_t merge_min_delta = 1;
+  /// When an acknowledged write is on stable storage (see Durability).
+  Durability durability = Durability::kNone;
 };
 
 /// One coherent snapshot of every component's counters: relation scan/IO,
@@ -119,6 +139,11 @@ struct DatabaseStats {
   uint64_t index_epoch = 0;       ///< published snapshot epoch (1 = built)
   uint64_t delta_entries = 0;     ///< visible delta entries not yet merged
   uint64_t merges_completed = 0;  ///< successful Reindex/merge passes
+  // Degradation state (v5): a write fault turns the database read-only
+  // until Repair() succeeds; queries keep serving throughout.
+  bool degraded = false;           ///< writes currently rejected (kReadOnly)
+  uint64_t write_faults = 0;       ///< write faults that entered degradation
+  uint64_t repairs_completed = 0;  ///< successful Repair() passes
 };
 
 /// A similarity-searchable collection of equal-length time series.
@@ -167,6 +192,13 @@ struct DatabaseStats {
 /// does not cover. A crash at any point leaves a reopenable database:
 /// Open accepts an index that covers a prefix of the relation and
 /// rebuilds the missing tail into the delta.
+///
+/// Faults: a write fault (failed append, failed delta publication,
+/// failed merge) degrades the database to read-only — writes return
+/// kReadOnly while queries keep serving the last published state, which
+/// covers exactly the acknowledged writes. Repair() recovers in place
+/// once the fault is resolved. See docs/ARCHITECTURE.md ("Durability &
+/// degradation contract").
 class Database {
  public:
   TSQ_DISALLOW_COPY_AND_MOVE(Database);
@@ -296,8 +328,29 @@ class Database {
   /// Flushes the relation and (when built) the current main index to
   /// disk so Open can recover them. Unmerged delta entries are not
   /// persisted as index state — Open rebuilds them from the relation
-  /// tail (the delta is always derivable from relation records).
+  /// tail (the delta is always derivable from relation records). At
+  /// Durability::kOnFlush and above this is a full barrier: every
+  /// acknowledged record has been fdatasynced when Flush returns.
   Status Flush();
+
+  /// True while the database is read-only after a write fault: writes
+  /// return kReadOnly, queries keep serving the last published state.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Recovers from a write fault and lifts the read-only degradation:
+  /// repairs the relation in place (re-walks the segment files and
+  /// rewinds to the largest dense record prefix, see Relation::Repair),
+  /// rebuilds the delta index over any relation tail the published
+  /// index no longer covers (the same tail rebuild Open performs),
+  /// publishes the result as the next epoch, removes stale merge
+  /// scratch, and clears the degraded flag so writes resume. Requires
+  /// no concurrent writers (they are being rejected with kReadOnly
+  /// anyway); queries may continue throughout. Fails — and stays
+  /// degraded — while the underlying fault persists. A no-op when the
+  /// database is healthy.
+  Status Repair();
 
   /// Statistics of the most recent query (reset per query).
   const QueryStats& last_stats() const { return last_stats_; }
@@ -347,15 +400,20 @@ class Database {
   /// Claims or checks the common series length. Thread-safe.
   Status CheckSeriesLength(size_t length);
 
-  /// A failed delta publication is sticky, mirroring the relation's
-  /// append poison: once an Insert/InsertBatch could not publish a
-  /// series' feature point, the index no longer covers the relation and
-  /// every later index query or index-maintaining insert returns the
-  /// recorded error instead of silently answering from a partial index.
-  /// (A failed merge is NOT sticky — the previous epoch stays published
-  /// and correct.)
-  Status CheckIndexHealthy() const;
-  Status PoisonIndex(Status status);
+  /// Records a write fault and enters read-only degradation: later
+  /// writes return kReadOnly until Repair() succeeds. Returns `cause`
+  /// unchanged so the faulting caller reports the real error. Queries
+  /// are deliberately NOT gated on this state — the published snapshot
+  /// and the relation's dense prefix cover exactly the acknowledged
+  /// writes, so they stay correct to serve. (A failed merge leaves the
+  /// previous epoch published and correct, but still degrades: the
+  /// disk is evidently unhealthy and accepting more writes would only
+  /// widen the unmerged tail.)
+  Status EnterReadOnly(Status cause);
+
+  /// OK when writes are admitted; kReadOnly (naming the original
+  /// fault) while degraded.
+  Status CheckWritable() const;
 
   /// Publishes one series' feature point into the current delta under
   /// the writer mutex; on a full delta, merges and retries once.
@@ -416,9 +474,12 @@ class Database {
   std::map<size_t, std::unique_ptr<engine::QueryEngine>> engines_;
   std::mutex pools_mutex_;
   std::map<size_t, std::unique_ptr<engine::ThreadPool>> ingest_pools_;
-  std::atomic<bool> index_poisoned_{false};
-  mutable std::mutex index_fault_mutex_;  // guards index_fault_
-  Status index_fault_;
+  // Degradation state: set by EnterReadOnly, cleared by Repair.
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex fault_mutex_;  // guards fault_
+  Status fault_;                    // the write fault that degraded us
+  std::atomic<uint64_t> write_faults_{0};
+  std::atomic<uint64_t> repairs_completed_{0};
 };
 
 }  // namespace tsq

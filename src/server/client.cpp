@@ -11,7 +11,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "server/net_util.h"
 
@@ -57,15 +59,11 @@ Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
   return Status::OK();
 }
 
-}  // namespace
-
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                uint16_t port,
-                                                const ClientOptions& options) {
+/// The socket half of Connect: resolves, connects (with the optional
+/// deadline) and applies the socket options. Shared by Connect and
+/// Reconnect.
+Result<int> OpenSocket(const std::string& host, uint16_t port,
+                       const ClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return ErrnoStatus("socket");
   sockaddr_in addr{};
@@ -99,7 +97,29 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd, options));
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const ClientOptions& options) {
+  TSQ_ASSIGN_OR_RETURN(const int fd, OpenSocket(host, port, options));
+  return std::unique_ptr<Client>(new Client(fd, host, port, options));
+}
+
+Status Client::Reconnect() {
+  TSQ_ASSIGN_OR_RETURN(const int fd, OpenSocket(host_, port_, options_));
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  reader_ = FrameReader();  // any half-read frame died with the old stream
+  fault_ = Status::OK();
+  return Status::OK();
 }
 
 Status Client::SendAll(const serde::Buffer& bytes) {
@@ -187,16 +207,66 @@ Result<Reply> Client::RoundTrip(Request request) {
   return reply;
 }
 
+Result<Reply> Client::RoundTripWithRetry(Request request) {
+  // Inserts are deliberately excluded: an indeterminate failure (io
+  // timeout) leaves it unknown whether ids were assigned, and a resend
+  // could store the batch twice. Everything else is idempotent.
+  const bool idempotent = request.verb != Verb::kInsert;
+  Result<Reply> result = RoundTrip(request);
+  for (uint32_t attempt = 0; attempt < options_.max_retries; ++attempt) {
+    if (result.ok() || !idempotent ||
+        result.status().code() != StatusCode::kUnavailable) {
+      break;
+    }
+    // Capped exponential backoff with jitter: sleep a uniform draw from
+    // [backoff/2, backoff] so a herd of clients bounced by the same BUSY
+    // burst does not return in lockstep.
+    uint64_t backoff_ms = options_.retry_base_ms > 0
+                              ? options_.retry_base_ms
+                              : 1;
+    for (uint32_t i = 0; i < attempt && backoff_ms < 1000; ++i) {
+      backoff_ms *= 2;
+    }
+    if (backoff_ms > 1000) backoff_ms = 1000;
+    if (jitter_state_ == 0) {
+      // Seed once per client from the address of this object and the
+      // clock — uncorrelated across processes, no global state.
+      jitter_state_ =
+          reinterpret_cast<uintptr_t>(this) ^
+          static_cast<uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()) |
+          1;
+    }
+    // xorshift64: cheap, stateless-enough jitter (not cryptographic).
+    jitter_state_ ^= jitter_state_ << 13;
+    jitter_state_ ^= jitter_state_ >> 7;
+    jitter_state_ ^= jitter_state_ << 17;
+    const uint64_t sleep_ms =
+        backoff_ms / 2 + jitter_state_ % (backoff_ms / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    if (!fault_.ok()) {
+      // The failure poisoned the stream (timeout mid-reply); a BUSY
+      // bounce leaves it healthy and retries in place.
+      if (Status status = Reconnect(); !status.ok()) {
+        result = status;
+        continue;
+      }
+    }
+    result = RoundTrip(request);
+  }
+  return result;
+}
+
 Status Client::Ping() {
   Request request;
   request.verb = Verb::kPing;
-  return RoundTrip(std::move(request)).status();
+  return RoundTripWithRetry(std::move(request)).status();
 }
 
 Result<DatabaseStats> Client::Stats() {
   Request request;
   request.verb = Verb::kStats;
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   return reply.stats;
 }
 
@@ -205,7 +275,7 @@ Result<std::vector<engine::BatchResult>> Client::RunBatch(
   Request request;
   request.verb = Verb::kBatch;
   request.queries = queries;
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   if (reply.results.size() != queries.size()) {
     fault_ = Status::Corruption(
         "batch reply carries " + std::to_string(reply.results.size()) +
@@ -242,7 +312,7 @@ Result<std::vector<Match>> Client::Range(const RealVec& query, double epsilon,
   q.epsilon = epsilon;
   q.spec = spec;
   request.queries.push_back(std::move(q));
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
                        SingleResult(std::move(reply)));
   return std::move(result.matches);
@@ -258,7 +328,7 @@ Result<std::vector<Match>> Client::Knn(const RealVec& query, size_t k,
   q.k = k;
   q.spec = spec;
   request.queries.push_back(std::move(q));
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
                        SingleResult(std::move(reply)));
   return std::move(result.matches);
@@ -273,7 +343,7 @@ Result<std::vector<SubsequenceMatch>> Client::Subsequence(const RealVec& query,
   q.query = query;
   q.epsilon = epsilon;
   request.queries.push_back(std::move(q));
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
                        SingleResult(std::move(reply)));
   return std::move(result.subsequence_matches);
@@ -286,7 +356,7 @@ Result<std::vector<SeriesId>> Client::InsertBatch(
   request.verb = Verb::kInsert;
   request.insert_names = names;
   request.insert_values = values;
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   // Bound the allocation by what was actually sent: a corrupt reply must
   // not make the client size a vector from an arbitrary wire value.
   if (reply.insert_count != names.size()) {
@@ -308,15 +378,27 @@ Result<std::vector<JoinPair>> Client::SelfJoin(
   request.verb = Verb::kSelfJoin;
   request.epsilon = epsilon;
   request.transform = transform;
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   return std::move(reply.pairs);
 }
 
 Result<uint64_t> Client::Reindex() {
   Request request;
   request.verb = Verb::kReindex;
-  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTrip(std::move(request)));
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   return reply.reindex_epoch;
+}
+
+Status Client::Flush() {
+  Request request;
+  request.verb = Verb::kFlush;
+  return RoundTripWithRetry(std::move(request)).status();
+}
+
+Status Client::Repair() {
+  Request request;
+  request.verb = Verb::kRepair;
+  return RoundTripWithRetry(std::move(request)).status();
 }
 
 }  // namespace server

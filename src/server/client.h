@@ -12,6 +12,14 @@
 // retry. A Corruption status from any call means the reply stream broke
 // framing — the connection is poisoned and must be reconnected.
 //
+// Retries. With ClientOptions::max_retries > 0 the client retries
+// idempotent verbs — everything except insert — on Unavailable (BUSY or
+// a transport timeout), sleeping a capped exponential backoff with
+// jitter between attempts and transparently reconnecting first when the
+// failure poisoned the connection. Inserts are never retried: a timeout
+// leaves it unknown whether the server assigned ids, and a blind resend
+// could store the batch twice.
+//
 // Timeouts. By default every call blocks indefinitely — a hung server
 // (e.g. a stuck drain) hangs the caller in recv. ClientOptions bounds
 // that: `connect_timeout_ms` caps Connect (non-blocking connect + poll),
@@ -52,6 +60,13 @@ struct ClientOptions {
   /// Status::Unavailable and poisons the connection (reconnect to
   /// continue).
   uint64_t io_timeout_ms = 0;
+  /// Retries after the first attempt for idempotent verbs answered with
+  /// Unavailable (BUSY backpressure or a transport timeout). 0 (the
+  /// default) preserves the no-retry behavior.
+  uint32_t max_retries = 0;
+  /// Backoff before the first retry; doubles per retry, capped at
+  /// 1000 ms, with uniform jitter over [backoff/2, backoff].
+  uint64_t retry_base_ms = 10;
 };
 
 /// A blocking tsqd connection.
@@ -100,21 +115,42 @@ class Client {
   /// throughout the merge.
   Result<uint64_t> Reindex();
 
+  /// Remote Database::Flush: a durability barrier at the server's
+  /// configured durability level.
+  Status Flush();
+
+  /// Remote Database::Repair: recovers a write-fault-degraded database
+  /// and lifts its read-only state (see Database::Repair).
+  Status Repair();
+
  private:
-  Client(int fd, const ClientOptions& options)
-      : fd_(fd), options_(options) {}
+  Client(int fd, std::string host, uint16_t port,
+         const ClientOptions& options)
+      : fd_(fd), host_(std::move(host)), port_(port), options_(options) {}
 
   /// Sends `request` (id assigned here) and blocks for its reply.
   /// Translates kBusy to Unavailable and kError to the carried status.
   Result<Reply> RoundTrip(Request request);
 
+  /// RoundTrip plus the retry policy: up to max_retries extra attempts
+  /// for idempotent verbs on Unavailable, with capped exponential
+  /// backoff + jitter, reconnecting when the connection is poisoned.
+  Result<Reply> RoundTripWithRetry(Request request);
+
+  /// Replaces the poisoned connection with a fresh one to the original
+  /// host:port and clears the sticky fault.
+  Status Reconnect();
+
   Status SendAll(const serde::Buffer& bytes);
 
   int fd_;
+  const std::string host_;
+  const uint16_t port_;
   const ClientOptions options_;
   uint64_t next_id_ = 1;
   FrameReader reader_;
   Status fault_;  // sticky stream failure
+  uint64_t jitter_state_ = 0;  // lazily seeded xorshift for retry jitter
 };
 
 }  // namespace server

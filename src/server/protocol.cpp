@@ -29,7 +29,7 @@ Status GetStatus(Reader* reader, Status* out) {
   std::string message;
   TSQ_RETURN_IF_ERROR(reader->GetU32(&code));
   TSQ_RETURN_IF_ERROR(reader->GetString(&message));
-  if (code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
+  if (code > static_cast<uint32_t>(StatusCode::kReadOnly)) {
     return Status::Corruption("unknown status code " + std::to_string(code));
   }
   *out = code == 0 ? Status::OK()
@@ -231,6 +231,9 @@ void PutDatabaseStats(Buffer* buf, const DatabaseStats& stats) {
   serde::PutU64(buf, stats.index_epoch);
   serde::PutU64(buf, stats.delta_entries);
   serde::PutU64(buf, stats.merges_completed);
+  serde::PutU32(buf, stats.degraded ? 1 : 0);
+  serde::PutU64(buf, stats.write_faults);
+  serde::PutU64(buf, stats.repairs_completed);
 }
 
 Status GetDatabaseStats(Reader* reader, DatabaseStats* out) {
@@ -258,7 +261,15 @@ Status GetDatabaseStats(Reader* reader, DatabaseStats* out) {
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->tree_dims));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->index_epoch));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->delta_entries));
-  return reader->GetU64(&out->merges_completed);
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->merges_completed));
+  uint32_t degraded = 0;
+  TSQ_RETURN_IF_ERROR(reader->GetU32(&degraded));
+  if (degraded > 1) {
+    return Status::Corruption("stats degraded flag out of range");
+  }
+  out->degraded = degraded == 1;
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->write_faults));
+  return reader->GetU64(&out->repairs_completed);
 }
 
 /// Wraps a finished payload in the frame header.
@@ -271,7 +282,7 @@ void EncodeFrame(const Buffer& payload, Buffer* frame) {
 
 Status CheckVerb(uint32_t verb) {
   if (verb < static_cast<uint32_t>(Verb::kPing) ||
-      verb > static_cast<uint32_t>(Verb::kReindex)) {
+      verb > static_cast<uint32_t>(Verb::kRepair)) {
     return Status::Corruption("unknown verb " + std::to_string(verb));
   }
   return Status::OK();
@@ -287,6 +298,8 @@ void EncodeRequest(const Request& request, Buffer* frame) {
     case Verb::kPing:
     case Verb::kStats:
     case Verb::kReindex:
+    case Verb::kFlush:
+    case Verb::kRepair:
       break;
     case Verb::kQuery:
       TSQ_CHECK_MSG(request.queries.size() == 1,
@@ -335,6 +348,8 @@ Status DecodeRequest(const uint8_t* payload, size_t size, Request* out) {
     case Verb::kPing:
     case Verb::kStats:
     case Verb::kReindex:
+    case Verb::kFlush:
+    case Verb::kRepair:
       break;
     case Verb::kQuery: {
       engine::BatchQuery query;
@@ -405,6 +420,8 @@ void EncodeReply(const Reply& reply, Buffer* frame) {
   }
   switch (reply.verb) {
     case Verb::kPing:
+    case Verb::kFlush:
+    case Verb::kRepair:
       break;
     case Verb::kStats:
       PutDatabaseStats(&payload, reply.stats);
@@ -461,6 +478,8 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
   } else if (out->code == ReplyCode::kOk) {
     switch (out->verb) {
       case Verb::kPing:
+      case Verb::kFlush:
+      case Verb::kRepair:
         break;
       case Verb::kStats:
         TSQ_RETURN_IF_ERROR(GetDatabaseStats(&reader, &out->stats));

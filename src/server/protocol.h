@@ -2,10 +2,9 @@
 //
 // The tsqd wire protocol: a compact, CRC-checked binary framing over TCP
 // that carries the Database API — range/kNN/subsequence queries (single
-// or batched), bulk insert, self-join, reindex, stats and ping —
-// between the
-// blocking client (src/server/client.h) and the tsqd server
-// (src/server/server.h).
+// or batched), bulk insert, self-join, reindex, flush, repair, stats and
+// ping — between the blocking client (src/server/client.h) and the tsqd
+// server (src/server/server.h).
 //
 // Framing. Every message (request or reply) travels as one frame:
 //
@@ -74,6 +73,8 @@ enum class Verb : uint8_t {
   kInsert = 5,    ///< bulk insert (Database::InsertBatch)
   kSelfJoin = 6,  ///< parallel self-join
   kReindex = 7,   ///< fold the delta into a fresh main tree, empty body
+  kFlush = 8,     ///< Database::Flush() durability barrier, empty body
+  kRepair = 9,    ///< Database::Repair() after a write fault, empty body
 };
 
 /// Reply disposition.

@@ -261,6 +261,12 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
       }
       break;
     }
+    case Verb::kFlush:
+      if (Status status = db_->Flush(); !status.ok()) fail(status);
+      break;
+    case Verb::kRepair:
+      if (Status status = db_->Repair(); !status.ok()) fail(status);
+      break;
   }
   QueueReply(conn, reply);
   // Decrement only after the reply frame is buffered: the owning poller

@@ -3,6 +3,10 @@
 // Positioned POSIX I/O helpers shared by the storage layer (PageFile,
 // Relation). Both read paths rely on pread/pwrite having no shared file
 // position, which is what makes them safe from any number of threads.
+//
+// Both helpers carry a failpoint (`io_pread` / `io_pwrite`, arg = file
+// offset): the deepest injection sites in the stack, under every page
+// and record I/O. See common/failpoint.h for the action grammar.
 
 #ifndef TSQ_STORAGE_IO_UTIL_H_
 #define TSQ_STORAGE_IO_UTIL_H_
@@ -13,11 +17,21 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/failpoint.h"
+
 namespace tsq {
 
 /// Positioned read of exactly `count` bytes; retries partial reads and
 /// EINTR. False on error or EOF before `count` bytes arrived.
 inline bool PreadExact(int fd, void* buf, size_t count, uint64_t offset) {
+  static failpoint::Site* fp = failpoint::Register("io_pread");
+  if (fp->armed()) {
+    const failpoint::Decision d = failpoint::Evaluate(fp, offset);
+    if (d.fire()) {  // every fault action reads as a failed pread
+      errno = d.error_errno != 0 ? d.error_errno : EIO;
+      return false;
+    }
+  }
   uint8_t* cursor = static_cast<uint8_t*>(buf);
   while (count > 0) {
     const ssize_t n = ::pread(fd, cursor, count, static_cast<off_t>(offset));
@@ -39,6 +53,26 @@ inline bool PreadExact(int fd, void* buf, size_t count, uint64_t offset) {
 inline bool PwriteExact(int fd, const void* buf, size_t count,
                         uint64_t offset) {
   const uint8_t* cursor = static_cast<const uint8_t*>(buf);
+  static failpoint::Site* fp = failpoint::Register("io_pwrite");
+  if (fp->armed()) {
+    const failpoint::Decision d = failpoint::Evaluate(fp, offset);
+    if (d.fire()) {
+      // Short and torn writes land a prefix of the payload first, so
+      // the file is left in the partially-written state a real fault
+      // (or crash mid-write) produces.
+      const size_t prefix = d.bytes < count ? d.bytes : count;
+      if ((d.kind == failpoint::ActionKind::kShortWrite ||
+           d.kind == failpoint::ActionKind::kTornWrite) &&
+          prefix > 0) {
+        (void)!::pwrite(fd, cursor, prefix, static_cast<off_t>(offset));
+      }
+      if (d.kind == failpoint::ActionKind::kTornWrite) {
+        failpoint::CrashProcess("io_pwrite");
+      }
+      errno = d.error_errno != 0 ? d.error_errno : EIO;
+      return false;
+    }
+  }
   while (count > 0) {
     const ssize_t n = ::pwrite(fd, cursor, count, static_cast<off_t>(offset));
     if (n < 0) {

@@ -2,9 +2,13 @@
 
 #include "storage/page_file.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "storage/io_util.h"
 
 namespace tsq {
@@ -104,7 +108,12 @@ Status PageFile::WriteHeader() {
 }
 
 Status PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
+  errno = 0;
   if (!PreadExact(fd_, buf, n, offset)) {
+    const int err = errno;
+    const std::string what =
+        "read failed at offset " + std::to_string(offset) + " in";
+    if (err != 0) return failpoint::ErrnoError(err, what, path_);
     return Status::IOError("short read at offset " + std::to_string(offset) +
                            " in " + path_);
   }
@@ -112,7 +121,12 @@ Status PageFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
 }
 
 Status PageFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
+  errno = 0;
   if (!PwriteExact(fd_, buf, n, offset)) {
+    const int err = errno;
+    const std::string what =
+        "write failed at offset " + std::to_string(offset) + " in";
+    if (err != 0) return failpoint::ErrnoError(err, what, path_);
     return Status::IOError("short write at offset " + std::to_string(offset) +
                            " in " + path_);
   }
@@ -157,7 +171,16 @@ Status PageFile::Read(PageId id, Page* out) {
     return Status::InvalidArgument("Read: bad page id " + std::to_string(id));
   }
   if (out->size() != page_size_) *out = Page(page_size_);
-  if (read_hook_) read_hook_(id);
+  static failpoint::Site* fp = failpoint::Register("page_file_read");
+  if (fp->armed()) {
+    const failpoint::Decision d = failpoint::Evaluate(fp, id);
+    if (d.fire()) {
+      return failpoint::ErrnoError(d.error_errno != 0 ? d.error_errno : EIO,
+                                   "read failed for page " +
+                                       std::to_string(id) + " in",
+                                   path_);
+    }
+  }
   ++stats_.page_reads;
   return ReadRaw(id * page_size_, out->data(), page_size_);
 }
@@ -169,7 +192,28 @@ Status PageFile::Write(PageId id, const Page& page) {
   if (page.size() != page_size_) {
     return Status::InvalidArgument("Write: page size mismatch");
   }
-  if (write_hook_) write_hook_(id);
+  static failpoint::Site* fp = failpoint::Register("page_file_write");
+  if (fp->armed()) {
+    const failpoint::Decision d = failpoint::Evaluate(fp, id);
+    if (d.fire()) {
+      // Short/torn actions land a prefix of the page so recovery sees
+      // the bytes a mid-write crash leaves behind.
+      const size_t prefix = std::min(d.bytes, page.size());
+      if ((d.kind == failpoint::ActionKind::kShortWrite ||
+           d.kind == failpoint::ActionKind::kTornWrite) &&
+          prefix > 0) {
+        (void)!::pwrite(fd_, page.data(), prefix,
+                        static_cast<off_t>(id * page_size_));
+      }
+      if (d.kind == failpoint::ActionKind::kTornWrite) {
+        failpoint::CrashProcess("page_file_write");
+      }
+      return failpoint::ErrnoError(d.error_errno != 0 ? d.error_errno : EIO,
+                                   "write failed for page " +
+                                       std::to_string(id) + " in",
+                                   path_);
+    }
+  }
   ++stats_.page_writes;
   return WriteRaw(id * page_size_, page.data(), page_size_);
 }
@@ -181,6 +225,23 @@ Status PageFile::Sync() {
   // (none in steady operation) for symmetry with the pre-v2 contract.
   if (std::fflush(file_) != 0) {
     return Status::IOError(ErrnoMessage("fflush failed for", path_));
+  }
+  // Then push everything the OS holds to stable storage: Sync is the
+  // durability barrier the merge publish path relies on.
+  static failpoint::Site* fp = failpoint::Register("page_file_sync");
+  if (fp->armed()) {
+    const failpoint::Decision d = failpoint::Evaluate(fp, 0);
+    if (d.kind == failpoint::ActionKind::kTornWrite ||
+        d.kind == failpoint::ActionKind::kCrash) {
+      failpoint::CrashProcess("page_file_sync");
+    }
+    if (d.fire()) {
+      return failpoint::ErrnoError(d.error_errno != 0 ? d.error_errno : EIO,
+                                   "fdatasync failed for", path_);
+    }
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync failed for", path_));
   }
   return Status::OK();
 }

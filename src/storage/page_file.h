@@ -15,7 +15,6 @@
 
 #include <atomic>
 #include <cstdio>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -74,7 +73,9 @@ class PageFile {
   /// Writes `page` (must match the page size) to page `id`.
   Status Write(PageId id, const Page& page);
 
-  /// Persists the header to the OS.
+  /// Persists the header and all previously written pages to stable
+  /// storage (fdatasync). Called on explicit flush and merge-publish
+  /// paths only, never per page write.
   Status Sync();
 
   /// Page size in bytes.
@@ -89,19 +90,12 @@ class PageFile {
   const PageFileStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PageFileStats(); }
 
-  /// Test-only fault injection: when set, invoked at the top of every
-  /// Read(id) (after id validation, before the pread), on the reading
-  /// thread. Lets tests make specific page reads slow or block them on a
-  /// latch to prove I/O-in-progress behavior. Not synchronized: install
-  /// before concurrent readers start and clear only after joining them.
-  void SetReadHookForTesting(std::function<void(PageId)> hook) {
-    read_hook_ = std::move(hook);
-  }
-
-  /// Same, for Write(id) — e.g. to park an eviction write-back mid-flight.
-  void SetWriteHookForTesting(std::function<void(PageId)> hook) {
-    write_hook_ = std::move(hook);
-  }
+  // Fault injection: every Read(id) traverses the `page_file_read`
+  // failpoint and every Write(id) traverses `page_file_write` (arg =
+  // the page id, after id validation, before the raw I/O, on the
+  // calling thread). Tests park readers/writers on a gate with
+  // failpoint::SetCallback or inject errno faults with
+  // failpoint::Configure — see common/failpoint.h.
 
  private:
   PageFile(std::FILE* file, std::string path, size_t page_size);
@@ -118,8 +112,6 @@ class PageFile {
   std::atomic<uint64_t> num_pages_{0};  // data pages allocated so far
   PageId free_list_head_ = kInvalidPageId;
   PageFileStats stats_;
-  std::function<void(PageId)> read_hook_;   // test-only, see setter
-  std::function<void(PageId)> write_hook_;  // test-only, see setter
 };
 
 }  // namespace tsq

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "storage/io_util.h"
 
 namespace tsq {
@@ -362,7 +363,34 @@ Status Relation::AppendWithId(SeriesId id, const std::string& name,
 
   const uint64_t offset = seg.end_offset;
   Status write_status;
-  if (offset + record.size() > kOffsetMask) {
+  static failpoint::Site* append_fp = failpoint::Register("relation_append");
+  if (append_fp->armed()) {
+    const failpoint::Decision d = failpoint::Evaluate(append_fp, id);
+    if (d.fire()) {
+      // Short and torn writes land a prefix of the record first. The
+      // short write then reports a fault (and the error path below
+      // truncates the prefix away, as with a real ENOSPC mid-record);
+      // the torn write kills the process with the prefix on disk — the
+      // crash-mid-append state recovery must clean up.
+      const size_t prefix = std::min(d.bytes, record.size());
+      if ((d.kind == failpoint::ActionKind::kShortWrite ||
+           d.kind == failpoint::ActionKind::kTornWrite) &&
+          prefix > 0 &&
+          std::fseek(seg.file, static_cast<long>(offset), SEEK_SET) == 0) {
+        (void)!std::fwrite(record.data(), 1, prefix, seg.file);
+        (void)std::fflush(seg.file);
+      }
+      if (d.kind == failpoint::ActionKind::kTornWrite) {
+        failpoint::CrashProcess("relation_append");
+      }
+      write_status =
+          failpoint::ErrnoError(d.error_errno != 0 ? d.error_errno : EIO,
+                                "append failed in", seg.path);
+    }
+  }
+  if (!write_status.ok()) {
+    // handled below exactly like a real write failure
+  } else if (offset + record.size() > kOffsetMask) {
     write_status = Status::IOError("relation segment '" + seg.path +
                                    "' exceeds the addressable 2^48 bytes");
   } else if (std::fseek(seg.file, static_cast<long>(offset), SEEK_SET) != 0) {
@@ -533,6 +561,106 @@ Status Relation::Flush() {
     if (std::fflush(seg->file) != 0) {
       return Status::IOError(ErrnoMessage("fflush failed for", seg->path));
     }
+  }
+  return Status::OK();
+}
+
+Status Relation::Sync() {
+  static failpoint::Site* sync_fp = failpoint::Register("relation_sync");
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    Segment& seg = *segments_[s];
+    std::lock_guard<std::mutex> lock(seg.mutex);
+    if (std::fflush(seg.file) != 0) {
+      return Status::IOError(ErrnoMessage("fflush failed for", seg.path));
+    }
+    if (sync_fp->armed()) {
+      const failpoint::Decision d = failpoint::Evaluate(sync_fp, s);
+      if (d.kind == failpoint::ActionKind::kTornWrite) {
+        // The fflush above already landed the bytes in the OS; dying
+        // here is "crashed after write, before the sync barrier".
+        failpoint::CrashProcess("relation_sync");
+      }
+      if (d.fire()) {
+        return failpoint::ErrnoError(d.error_errno != 0 ? d.error_errno : EIO,
+                                     "fdatasync failed for", seg.path);
+      }
+    }
+    if (::fdatasync(seg.fd) != 0) {
+      return Status::IOError(ErrnoMessage("fdatasync failed for", seg.path));
+    }
+  }
+  return Status::OK();
+}
+
+Status Relation::Repair() {
+  // Hold every segment mutex in index order for the whole rewind; any
+  // appender arriving concurrently blocks here, then sees either the
+  // still-set poison or (after a successful repair) an unreserved-id
+  // error for its stale reservation.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(segments_.size());
+  for (const auto& seg : segments_) locks.emplace_back(seg->mutex);
+
+  const size_t n = segments_.size();
+  std::vector<uint64_t> file_sizes(n);
+  std::vector<SegmentRecovery> recoveries(n);
+  for (size_t s = 0; s < n; ++s) {
+    Segment& seg = *segments_[s];
+    // Drain any stdio state left by the faulted append so the recovery
+    // walk sees the file's real bytes (errors ignored: the walk and the
+    // truncate below decide what survives).
+    (void)std::fflush(seg.file);
+    if (std::fseek(seg.file, 0, SEEK_END) != 0) {
+      return Status::IOError(ErrnoMessage("seek failed in", seg.path));
+    }
+    file_sizes[s] = static_cast<uint64_t>(std::ftell(seg.file));
+    recoveries[s] = RecoverSegment(seg.fd, seg.path, s, n, file_sizes[s]);
+    TSQ_RETURN_IF_ERROR(recoveries[s].status);
+  }
+
+  // Largest dense id prefix, exactly as Open computes it. Everything the
+  // watermark acknowledged is below it: a visible record was written and
+  // flushed before publication, so the walk always recovers it.
+  uint64_t k = UINT64_MAX;
+  for (size_t s = 0; s < n; ++s) {
+    k = std::min(k,
+                 static_cast<uint64_t>(s) + recoveries[s].records.size() * n);
+  }
+  for (size_t s = 0; s < n; ++s) {
+    Segment& seg = *segments_[s];
+    const auto& records = recoveries[s].records;
+    size_t kept = 0;
+    if (k > s) {
+      kept = std::min(records.size(),
+                      static_cast<size_t>((k - s + n - 1) / n));
+    }
+    const uint64_t valid_end = kept == 0 ? 0 : records[kept - 1].second;
+    if (valid_end < file_sizes[s]) {
+      if (::ftruncate(seg.fd, static_cast<off_t>(valid_end)) != 0) {
+        return Status::IOError(ErrnoMessage("cannot truncate torn tail of",
+                                            seg.path));
+      }
+    }
+    seg.end_offset = valid_end;
+    seg.next_id = (k <= s) ? s : s + ((k - s + n - 1) / n) * n;
+  }
+
+  // Ids in [k, reserved) are gone: reserved-but-never-appended ones, and
+  // published ones truncated with the non-dense tail. Clear their
+  // directory entries so Get goes back to NotFound; the rewound counter
+  // re-issues the ids to future appends.
+  const uint64_t reserved = next_id_.load(std::memory_order_relaxed);
+  for (uint64_t id = k; id < reserved; ++id) {
+    TSQ_RETURN_IF_ERROR(
+        directory_.Publish(id, internal::RecordDirectory::kEmpty));
+  }
+  visible_.store(k, std::memory_order_release);
+  next_id_.store(k, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    poison_status_ = Status::OK();
+    poisoned_.store(false, std::memory_order_release);
   }
   return Status::OK();
 }

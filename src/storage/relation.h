@@ -129,10 +129,20 @@ class RecordDirectory {
 ///   of the same segment.
 /// * Each append flushes the stdio buffer before publishing its directory
 ///   entry, so a record is visible to pread readers the moment its id is.
-/// * A failed append write poisons the relation: the error is sticky, all
-///   current and future appenders (including ones blocked on their
-///   segment turn) return it, and size() freezes at the last dense prefix.
-///   Already-published records stay readable.
+///   Flush() pushes buffered bytes to the OS; Sync() additionally
+///   fdatasyncs every segment — the durability barrier group commit and
+///   explicit database flushes sit on.
+/// * A failed append write poisons the relation: all current and future
+///   appenders (including ones blocked on their segment turn) return the
+///   error, and size() freezes at the last dense prefix. Already-published
+///   records stay readable throughout. The poison is repairable: Repair()
+///   re-runs the Open-time recovery walk over the live segment files,
+///   rewinds to the largest dense id prefix, and clears the poison so
+///   appends can resume — callers must retire any ids reserved but not
+///   appended before the fault (they are re-issued after the rewind).
+/// * Appends traverse the `relation_append` failpoint and Sync the
+///   `relation_sync` failpoint (common/failpoint.h), so every disk-full /
+///   short-write / crash-mid-append behavior is testable on demand.
 /// * Open recovers all segments in parallel. A torn tail record (truncated
 ///   header/payload, or a CRC mismatch on a segment's last record — the
 ///   crash-mid-append signatures) is dropped and the segment truncated to
@@ -210,6 +220,23 @@ class Relation {
 
   /// Flushes buffered writes to the OS.
   Status Flush();
+
+  /// Flush() plus fdatasync(2) of every segment: on return every record
+  /// below size() has reached stable storage.
+  Status Sync();
+
+  /// True once a write fault poisoned the relation (appends fail until
+  /// Repair()).
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  /// Recovers from a write fault in place: re-walks every segment file
+  /// (the same walk Open performs), truncates torn or above-prefix
+  /// records, rewinds the id counters to the largest dense prefix, clears
+  /// directory entries above it, and lifts the poison. Requires no
+  /// concurrent appenders (blocked ones have already returned the poison
+  /// error); readers may continue throughout. Fails — and stays poisoned
+  /// — while the underlying fault persists.
+  Status Repair();
 
   /// Scan counters.
   const RelationStats& stats() const { return stats_; }

@@ -3,10 +3,11 @@
 // Targeted tests for the v3 buffer-pool concurrency contract: lock-free
 // optimistic hits, I/O-in-progress frames (a miss drops the shard lock
 // around the pread), waiters sharing one in-flight load, optimistic-retry
-// storms, and the bounded yield-retry pin-exhaustion path. Uses
-// PageFile::SetReadHookForTesting to make specific page reads block on a
-// latch, so the "a slow miss no longer stalls same-shard hits" claim is
-// proven by handshakes, not timing. Runs under the CI TSan job.
+// storms, and the bounded yield-retry pin-exhaustion path. Uses the
+// page_file_read/page_file_write failpoint callbacks to make specific
+// page I/Os block on a latch, so the "a slow miss no longer stalls
+// same-shard hits" claim is proven by handshakes, not timing. Runs under
+// the CI TSan job.
 
 #include <atomic>
 #include <chrono>
@@ -16,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "gtest/gtest.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_file.h"
@@ -65,6 +67,10 @@ class BufferPoolConcurrencyTest : public ::testing::Test {
     file_ = std::move(*pf);
   }
 
+  // Gate callbacks are installed per test; drop them even when an
+  // assertion bailed out early (they are process-global state).
+  void TearDown() override { failpoint::ClearAll(); }
+
   /// Materializes `count` pages through `pool` (each page's first word is
   /// its own id, so readers can verify what they pinned) and returns the
   /// ids. Handles are released before returning.
@@ -93,7 +99,7 @@ TEST_F(BufferPoolConcurrencyTest, SameShardHitDoesNotStallBehindSlowMiss) {
 
   ReadGate gate;
   const PageId slow_page = p[0];
-  file_->SetReadHookForTesting([&gate, slow_page](PageId id) {
+  failpoint::SetCallback("page_file_read", [&gate, slow_page](uint64_t id) {
     if (id == slow_page) gate.Wait();
   });
 
@@ -132,7 +138,7 @@ TEST_F(BufferPoolConcurrencyTest, SameShardHitDoesNotStallBehindSlowMiss) {
 
   gate.Open();
   misser.join();
-  file_->SetReadHookForTesting(nullptr);
+  failpoint::Clear("page_file_read");
 }
 
 TEST_F(BufferPoolConcurrencyTest, ConcurrentFetchersShareOneInFlightLoad) {
@@ -144,7 +150,7 @@ TEST_F(BufferPoolConcurrencyTest, ConcurrentFetchersShareOneInFlightLoad) {
 
   ReadGate gate;
   std::atomic<int> reads_of_target{0};
-  file_->SetReadHookForTesting([&](PageId id) {
+  failpoint::SetCallback("page_file_read", [&](uint64_t id) {
     if (id == p[0]) {
       reads_of_target.fetch_add(1);
       gate.Wait();
@@ -175,7 +181,7 @@ TEST_F(BufferPoolConcurrencyTest, ConcurrentFetchersShareOneInFlightLoad) {
   gate.Open();
   loader.join();
   for (std::thread& t : waiters) t.join();
-  file_->SetReadHookForTesting(nullptr);
+  failpoint::Clear("page_file_read");
 
   EXPECT_EQ(good.load(), kWaiters);
   EXPECT_EQ(reads_of_target.load(), 1) << "waiters duplicated the disk read";
@@ -348,7 +354,7 @@ TEST_F(BufferPoolConcurrencyTest, HitsProceedWhileEvictionWritesBack) {
   }
 
   ReadGate gate;
-  file_->SetWriteHookForTesting([&gate](PageId) { gate.Wait(); });
+  failpoint::SetCallback("page_file_write", [&gate](uint64_t) { gate.Wait(); });
   std::thread misser([&pool, &p] {
     auto h = pool.Fetch(p[0]);
     ASSERT_TRUE(h.ok()) << h.status().ToString();
@@ -380,7 +386,7 @@ TEST_F(BufferPoolConcurrencyTest, HitsProceedWhileEvictionWritesBack) {
   gate.Open();
   misser.join();
   for (std::thread& t : hitters) t.join();
-  file_->SetWriteHookForTesting(nullptr);
+  failpoint::Clear("page_file_write");
   EXPECT_EQ(completed.load(), 3);
 }
 

@@ -17,6 +17,11 @@
 //   tsq_cli reindex --db DIR/NAME        (fold the delta into a fresh tree)
 //   tsq_cli demo    --db DIR/NAME [--count N] [--days D]   (simulated market)
 //
+// Commands that open a database locally (create/import/serve/demo) accept
+// --durability none|flush|batch to pick the fdatasync policy (see
+// DatabaseOptions::durability); default none matches the historical
+// buffered behavior.
+//
 // tsqd server + remote client commands (src/server/):
 //   tsq_cli serve         --db DIR/NAME [--host H] [--port P] [--workers N]
 //                         [--engine-threads T] [--max-inflight M]
@@ -30,6 +35,8 @@
 //                         --k K [--transform T]
 //   tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]
 //   tsq_cli remote-reindex [--host H] [--port P]
+//   tsq_cli remote-flush  [--host H] [--port P]   (durability barrier)
+//   tsq_cli remote-repair [--host H] [--port P]   (lift read-only state)
 //
 // --db takes "directory/name"; files NAME.rel / NAME.idx are stored in the
 // directory. --series names a stored series to use as the query point; the
@@ -74,8 +81,9 @@ int Usage() {
       stderr,
       "usage:\n"
       "  tsq_cli create --db DIR/NAME --csv FILE [--segments N] "
-      "[--threads T]\n"
-      "  tsq_cli import --db DIR/NAME --csv FILE [--threads T]\n"
+      "[--threads T] [--durability D]\n"
+      "  tsq_cli import --db DIR/NAME --csv FILE [--threads T] "
+      "[--durability D]\n"
       "  tsq_cli info   --db DIR/NAME\n"
       "  tsq_cli range  --db DIR/NAME --series NAME --eps X [--transform T] "
       "[--mode both|data]\n"
@@ -85,7 +93,7 @@ int Usage() {
       "  tsq_cli demo   --db DIR/NAME [--count N] [--days D]\n"
       "  tsq_cli serve  --db DIR/NAME [--host H] [--port P] [--pollers N] "
       "[--workers N] [--engine-threads T] [--max-inflight M] "
-      "[--merge-interval-ms MS] [--merge-min-delta N]\n"
+      "[--merge-interval-ms MS] [--merge-min-delta N] [--durability D]\n"
       "  tsq_cli remote-ping|remote-stats [--host H] [--port P]\n"
       "  tsq_cli remote-import [--host H] [--port P] --csv FILE\n"
       "  tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME "
@@ -93,9 +101,13 @@ int Usage() {
       "  tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME "
       "--k K [--transform T]\n"
       "  tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]\n"
-      "  tsq_cli remote-reindex [--host H] [--port P]\n"
+      "  tsq_cli remote-reindex|remote-flush|remote-repair [--host H] "
+      "[--port P]\n"
       "remote-* also take [--timeout-ms MS] (bound connect and each "
-      "send/recv; default 0 = block)\n"
+      "send/recv; default 0 = block) and [--retries N] (retry idempotent "
+      "requests on BUSY/timeout with backoff; default 0)\n"
+      "durability levels: none | flush | batch (fdatasync policy; "
+      "default none)\n"
       "transforms: identity | mavg:W | ewma:ALPHA:W | reverse | scale:F | "
       "shift:D\n"
       "join methods: scan | scan-fast | index | index-transform | tree\n"
@@ -126,6 +138,22 @@ bool SplitDbPath(const std::string& path, DatabaseOptions* options) {
     options->name = path.substr(slash + 1);
   }
   return !options->name.empty();
+}
+
+/// Applies --durability to a DatabaseOptions; true on success (including
+/// the flag being absent).
+bool ParseDurability(const Args& args, DatabaseOptions* options) {
+  const std::string level = args.GetOr("durability", "none");
+  if (level == "none") {
+    options->durability = Durability::kNone;
+  } else if (level == "flush") {
+    options->durability = Durability::kOnFlush;
+  } else if (level == "batch") {
+    options->durability = Durability::kPerBatch;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 /// Parses "mavg:20", "ewma:0.3:20", "reverse", "scale:2", "shift:5",
@@ -203,6 +231,7 @@ int CmdCreate(const Args& args) {
     return Usage();
   }
   options.relation_segments = std::stoul(args.GetOr("segments", "4"));
+  if (!ParseDurability(args, &options)) return Usage();
   const size_t threads = std::stoul(args.GetOr("threads", "0"));
   std::filesystem::create_directories(options.directory);
   auto series = workload::LoadCsv(csv);
@@ -231,6 +260,7 @@ int CmdImport(const Args& args) {
   if (db_path == nullptr || csv == nullptr || !SplitDbPath(db_path, &options)) {
     return Usage();
   }
+  if (!ParseDurability(args, &options)) return Usage();
   const size_t threads = std::stoul(args.GetOr("threads", "0"));
   auto series = workload::LoadCsv(csv);
   if (!series.ok()) return Fail(series.status());
@@ -260,6 +290,7 @@ int CmdDemo(const Args& args) {
   DatabaseOptions options;
   const char* db_path = args.Get("db");
   if (db_path == nullptr || !SplitDbPath(db_path, &options)) return Usage();
+  if (!ParseDurability(args, &options)) return Usage();
   std::filesystem::create_directories(options.directory);
   workload::StockMarketOptions market;
   market.num_series = std::stoul(args.GetOr("count", "1067"));
@@ -460,6 +491,7 @@ int CmdServe(const Args& args) {
   options.merge_interval_ms =
       std::stoull(args.GetOr("merge-interval-ms", "0"));
   options.merge_min_delta = std::stoull(args.GetOr("merge-min-delta", "1"));
+  if (!ParseDurability(args, &options)) return Usage();
   auto db = Database::Open(options);
   if (!db.ok()) return Fail(db.status());
 
@@ -509,6 +541,8 @@ Result<std::unique_ptr<server::Client>> ConnectRemote(const Args& args) {
   const uint64_t timeout_ms = std::stoull(args.GetOr("timeout-ms", "0"));
   client_options.connect_timeout_ms = timeout_ms;
   client_options.io_timeout_ms = timeout_ms;
+  client_options.max_retries =
+      static_cast<uint32_t>(std::stoul(args.GetOr("retries", "0")));
   return server::Client::Connect(
       args.GetOr("host", "127.0.0.1"),
       static_cast<uint16_t>(
@@ -531,6 +565,22 @@ int CmdRemoteReindex(const Args& args) {
   if (!epoch.ok()) return Fail(epoch.status());
   std::printf("reindexed; server now at epoch %llu\n",
               static_cast<unsigned long long>(*epoch));
+  return 0;
+}
+
+int CmdRemoteFlush(const Args& args) {
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  if (Status s = (*client)->Flush(); !s.ok()) return Fail(s);
+  std::printf("flushed\n");
+  return 0;
+}
+
+int CmdRemoteRepair(const Args& args) {
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  if (Status s = (*client)->Repair(); !s.ok()) return Fail(s);
+  std::printf("repaired; writes resumed\n");
   return 0;
 }
 
@@ -571,6 +621,11 @@ int CmdRemoteStats(const Args& args) {
               static_cast<unsigned long long>(stats->relation_records_read),
               static_cast<unsigned long long>(stats->relation_bytes_read),
               static_cast<unsigned long long>(stats->relation_bytes_written));
+  std::printf("health        %s (%llu write faults, %llu repairs)\n",
+              stats->degraded ? "DEGRADED (read-only; run remote-repair)"
+                              : "ok",
+              static_cast<unsigned long long>(stats->write_faults),
+              static_cast<unsigned long long>(stats->repairs_completed));
   return 0;
 }
 
@@ -715,5 +770,7 @@ int main(int argc, char** argv) {
   if (args.command == "remote-knn") return CmdRemoteKnn(args);
   if (args.command == "remote-join") return CmdRemoteJoin(args);
   if (args.command == "remote-reindex") return CmdRemoteReindex(args);
+  if (args.command == "remote-flush") return CmdRemoteFlush(args);
+  if (args.command == "remote-repair") return CmdRemoteRepair(args);
   return Usage();
 }
