@@ -8,13 +8,33 @@
 // the paper-shaped stock relation.
 
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
 
 #include "bench_util.h"
+#include "common/macros.h"
 #include "transform/builtin.h"
 #include "workload/stock_sim.h"
 
 namespace tsq {
 namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Order-sensitive answer checksum; bitwise-compared across iterations so
+// the optimizer cannot elide the verified work and a nondeterministic
+// answer set aborts the bench instead of silently skewing it.
+double MatchChecksum(const std::vector<Match>& matches) {
+  double acc = 0.0;
+  for (const Match& m : matches) {
+    acc = acc * 1.0009765625 + m.distance + static_cast<double>(m.id);
+  }
+  return acc;
+}
 
 void Run() {
   bench::Banner(
@@ -43,16 +63,28 @@ void Run() {
       uint64_t verified = 0;
       for (int q = 0; q < kQueries; ++q) {
         const RealVec& query = market[(q * 97) % market.size()].values();
+        const double expected = MatchChecksum(db->Knn(query, k, spec).value());
         index_ms += bench::MeanMillis(
-            [&db, &query, k, &spec]() { db->Knn(query, k, spec).value(); },
+            [&db, &query, k, &spec, expected]() {
+              const double got = MatchChecksum(db->Knn(query, k, spec).value());
+              TSQ_CHECK_MSG(Bits(got) == Bits(expected),
+                            "kNN answer drift across iterations");
+            },
             2);
         verified += db->last_stats().verified;
         // Scan ranking: a full pass with an infinite threshold, then
         // take the top k (what a user without the index would run).
+        const double scan_expected = MatchChecksum(
+            db->ScanRangeQuery(query, 1e18, spec, /*early_abandon=*/false)
+                .value());
         scan_ms += bench::MeanMillis(
-            [&db, &query, &spec]() {
-              db->ScanRangeQuery(query, 1e18, spec, /*early_abandon=*/false)
-                  .value();
+            [&db, &query, &spec, scan_expected]() {
+              const double got = MatchChecksum(
+                  db->ScanRangeQuery(query, 1e18, spec,
+                                     /*early_abandon=*/false)
+                      .value());
+              TSQ_CHECK_MSG(Bits(got) == Bits(scan_expected),
+                            "scan answer drift across iterations");
             },
             2);
       }

@@ -653,7 +653,8 @@ Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
 }
 
 Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
-                                         const QuerySpec& spec) {
+                                         const QuerySpec& spec,
+                                         const KnnOptions& options) {
   auto snap = CurrentSnapshot();
   if (snap == nullptr) {
     return Status::FailedPrecondition("Knn requires BuildIndex()");
@@ -661,8 +662,8 @@ Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
   const IndexView view(*snap);
   std::vector<Match> out;
   last_stats_ = QueryStats();
-  TSQ_RETURN_IF_ERROR(IndexKnnQuery(view, *relation_, query, k, spec, &out,
-                                    &last_stats_));
+  TSQ_RETURN_IF_ERROR(IndexKnnQuery(view, *relation_, query, k, spec, options,
+                                    &out, &last_stats_));
   return out;
 }
 

@@ -278,8 +278,11 @@ class Database {
                                         const QuerySpec& spec = {});
 
   /// k-nearest neighbors through the index. Requires BuildIndex.
+  /// Non-default `options` trades exactness for speed; the observed
+  /// (candidates, pruned, max_error) lands in last_stats().
   Result<std::vector<Match>> Knn(const RealVec& query, size_t k,
-                                 const QuerySpec& spec = {});
+                                 const QuerySpec& spec = {},
+                                 const KnnOptions& options = {});
 
   /// Range query by sequential scan (the baseline; works without an index).
   Result<std::vector<Match>> ScanRangeQuery(const RealVec& query,

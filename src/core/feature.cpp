@@ -75,24 +75,34 @@ namespace {
 
 /// The single definition of a series' linear feature dimensions: both the
 /// insert path (Extract) and the index-rebuild path (FromStored) fill
-/// mean/std through this helper, so the two can never drift apart.
-NormalForm FillMoments(const RealVec& values, SeriesFeatures* out) {
-  NormalForm nf = ToNormalForm(values);
-  out->mean = nf.mean;
-  out->std = nf.std;
-  return nf;
+/// mean/std through series::Moments (the kernel-layer moments pass), so
+/// the two can never drift apart.
+void FillMoments(const RealVec& values, SeriesFeatures* out) {
+  Moments(values, &out->mean, &out->std);
 }
 
 }  // namespace
 
 SeriesFeatures FeatureExtractor::Extract(const RealVec& values) const {
   SeriesFeatures out;
-  NormalForm nf = FillMoments(values, &out);
-  const RealVec& input = layout_.normalize ? nf.normalized : values;
+  if (layout_.normalize) {
+    // ToNormalForm shares the Moments computation, so mean/std here are
+    // bit-identical to the FillMoments path.
+    NormalForm nf = ToNormalForm(values);
+    out.mean = nf.mean;
+    out.std = nf.std;
+    if (layout_.basis == FeatureBasis::kHaar) {
+      out.spectrum = cvec::FromReal(haar::Forward(nf.normalized));
+    } else {
+      out.spectrum = dft::Forward(nf.normalized);
+    }
+    return out;
+  }
+  FillMoments(values, &out);
   if (layout_.basis == FeatureBasis::kHaar) {
-    out.spectrum = cvec::FromReal(haar::Forward(input));
+    out.spectrum = cvec::FromReal(haar::Forward(values));
   } else {
-    out.spectrum = dft::Forward(input);
+    out.spectrum = dft::Forward(values);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <complex>
 #include <numbers>
 
+#include "simd/simd.h"
 #include "spatial/metrics.h"
 
 namespace tsq {
@@ -14,24 +15,30 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 
-/// MINDIST in Srect: plain rectangular MINDIST over the spectral dims.
+/// MINDIST in Srect: plain rectangular MINDIST over the spectral dims,
+/// computed by the kernel layer. The batch override resolves the kernel
+/// table once per node instead of once per rect.
 class RectSpaceMetric final : public rtree::NnMetric {
  public:
   RectSpaceMetric(spatial::Point query, size_t spectral_offset)
       : query_(std::move(query)), offset_(spectral_offset) {}
 
   double MinDistSquared(const spatial::Rect& rect) const override {
-    double acc = 0.0;
-    for (size_t d = offset_; d < query_.size(); ++d) {
-      double gap = 0.0;
-      if (query_[d] < rect.lo(d)) {
-        gap = rect.lo(d) - query_[d];
-      } else if (query_[d] > rect.hi(d)) {
-        gap = query_[d] - rect.hi(d);
-      }
-      acc += gap * gap;
+    return simd::MinDistSquared(query_.data() + offset_,
+                                rect.lo().data() + offset_,
+                                rect.hi().data() + offset_,
+                                query_.size() - offset_);
+  }
+
+  void MinDistSquaredBatch(const spatial::Rect* const* rects, size_t count,
+                           double* out) const override {
+    const auto& k = simd::Kernels();
+    const double* q = query_.data() + offset_;
+    const size_t n = query_.size() - offset_;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = k.min_dist_squared(q, rects[i]->lo().data() + offset_,
+                                  rects[i]->hi().data() + offset_, n);
     }
-    return acc;
   }
 
  private:

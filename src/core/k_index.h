@@ -76,11 +76,13 @@ class KIndex {
                                     std::vector<SeriesId>* out) const;
 
   /// Streams data entries in ascending lower-bound distance order under
-  /// `metric` (optionally through `map`); the callback returns false to
-  /// stop. Backbone of the optimal multi-step kNN in core/queries.h.
+  /// `metric` (optionally through `map`); bounds arrive SQUARED (see
+  /// rtree::RStarTree::NearestNeighborsStream); the callback returns false
+  /// to stop. Backbone of the optimal multi-step kNN in core/queries.h.
   Status StreamNearest(
       const rtree::NnMetric& metric, const spatial::AffineMap* map,
-      const std::function<bool(SeriesId id, double lower_bound)>& emit) const;
+      const std::function<bool(SeriesId id, double lower_bound_sq)>& emit)
+      const;
 
   const FeatureSpace& space() const { return space_; }
   const FeatureExtractor& extractor() const { return space_.extractor(); }

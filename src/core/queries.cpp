@@ -112,14 +112,21 @@ Status RangeSearchCandidates(const IndexView& view,
   return Status::OK();
 }
 
+double VerifyDistanceSquared(const ComplexVec& data_spectrum,
+                             const std::optional<FeatureTransform>& transform,
+                             const ComplexVec& query_target) {
+  if (transform.has_value()) {
+    return cvec::DistanceSquared(transform->spectral.Apply(data_spectrum),
+                                 query_target);
+  }
+  return cvec::DistanceSquared(data_spectrum, query_target);
+}
+
 double VerifyDistance(const ComplexVec& data_spectrum,
                       const std::optional<FeatureTransform>& transform,
                       const ComplexVec& query_target) {
-  if (transform.has_value()) {
-    return cvec::Distance(transform->spectral.Apply(data_spectrum),
-                          query_target);
-  }
-  return cvec::Distance(data_spectrum, query_target);
+  return std::sqrt(
+      VerifyDistanceSquared(data_spectrum, transform, query_target));
 }
 
 Status VerifyRangeCandidates(const Relation& relation,
@@ -179,10 +186,14 @@ Status IndexRangeQuery(const IndexView& index, const Relation& relation,
 
 Status IndexKnnQuery(const IndexView& view, const Relation& relation,
                      const RealVec& query, size_t k, const QuerySpec& spec,
-                     std::vector<Match>* out, QueryStats* stats) {
+                     const KnnOptions& options, std::vector<Match>* out,
+                     QueryStats* stats) {
   TSQ_CHECK(out != nullptr);
   const KIndex& index = view.main();
   out->clear();
+  if (options.epsilon < 0.0) {
+    return Status::InvalidArgument("negative kNN error tolerance");
+  }
   if (k == 0) {
     TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
     return Status::OK();
@@ -203,52 +214,82 @@ Status IndexKnnQuery(const IndexView& view, const Relation& relation,
   // Optimal multi-step kNN: verify candidates in ascending lower-bound
   // order; once k answers are verified and the next lower bound exceeds the
   // k-th verified distance, no better answer can exist (the lower bound is
-  // admissible w.r.t. the full-length distance).
+  // admissible w.r.t. the full-length distance). Everything runs in
+  // SQUARED space — bounds arrive squared from the stream, candidates are
+  // verified with VerifyDistanceSquared against a squared cutoff, and the
+  // one sqrt per answer happens at materialization. sqrt is monotone, so
+  // every comparison decides exactly as its sqrt'ed counterpart.
+  //
+  // Approximation (KnnOptions) relaxes the stop rule: with tolerance
+  // epsilon the cutoff fires once L^2 * (1+epsilon)^2 > d_k^2 — i.e. the
+  // true k-th neighbor can undercut the reported one by at most a factor
+  // (1+epsilon). epsilon = 0 makes the factor exactly 1.0 and multiplying
+  // by 1.0 is exact, so the epsilon-0 path is bit-identical to exact. The
+  // probe budget and first-leaf knobs stop unconditionally; whatever
+  // bound was in effect at the stop yields the observed max_error.
   struct Verified {
-    double distance;
+    double dist_sq;
     SeriesId id;
     std::string name;
     bool operator<(const Verified& other) const {
-      return distance < other.distance ||
-             (distance == other.distance && id < other.id);
+      return dist_sq < other.dist_sq ||
+             (dist_sq == other.dist_sq && id < other.id);
     }
   };
-  std::vector<Verified> best;  // kept as a max-heap on distance
+  std::vector<Verified> best;  // kept as a max-heap on squared distance
   auto heap_cmp = [](const Verified& a, const Verified& b) { return a < b; };
 
+  const double relax = (1.0 + options.epsilon) * (1.0 + options.epsilon);
   Status inner_status;
-  uint64_t candidates = 0;
-  auto visit = [&](SeriesId id, double lower_bound) -> bool {
-    if (best.size() == k && lower_bound > best.front().distance) {
-      return false;  // no unexplored candidate can improve the answer
+  uint64_t visited = 0;
+  bool stopped = false;          // any stop rule fired (incl. exact cutoff)
+  double stop_bound_sq = std::numeric_limits<double>::infinity();
+
+  auto visit = [&](SeriesId id, double lower_bound_sq) -> bool {
+    if (best.size() == k) {
+      if (lower_bound_sq * relax > best.front().dist_sq) {
+        stopped = true;  // exact (or epsilon-relaxed) optimality cutoff
+        stop_bound_sq = lower_bound_sq;
+        return false;
+      }
+      if (options.stop_after_first_leaf) {
+        stopped = true;
+        stop_bound_sq = lower_bound_sq;
+        return false;
+      }
     }
-    ++candidates;
+    if (options.probe_budget > 0 && visited >= options.probe_budget) {
+      stopped = true;
+      stop_bound_sq = lower_bound_sq;
+      return false;
+    }
+    ++visited;
     Result<SeriesRecord> rec = relation.Get(id);
     if (!rec.ok()) {
       inner_status = rec.status();
       return false;
     }
-    const double d = VerifyDistance(rec->dft, spec.transform,
-                                    prepared.full_spectrum);
+    const double d_sq = VerifyDistanceSquared(rec->dft, spec.transform,
+                                              prepared.full_spectrum);
     if (best.size() < k) {
-      best.push_back(Verified{d, id, std::move(rec->name)});
+      best.push_back(Verified{d_sq, id, std::move(rec->name)});
       std::push_heap(best.begin(), best.end(), heap_cmp);
-    } else if (d < best.front().distance) {
+    } else if (d_sq < best.front().dist_sq) {
       std::pop_heap(best.begin(), best.end(), heap_cmp);
-      best.back() = Verified{d, id, std::move(rec->name)};
+      best.back() = Verified{d_sq, id, std::move(rec->name)};
       std::push_heap(best.begin(), best.end(), heap_cmp);
     }
     return true;
   };
 
   // Delta candidates with the same admissible lower bound the tree
-  // computes for its leaf entries (sqrt of MinDistSquared on the
-  // transformed point rectangle), sorted ascending by (bound, id). The
-  // merged visit order is globally nondecreasing in the bound — delta
-  // entries drain strictly below each tree emission, ties go to the tree
-  // — so the optimal multi-step cutoff treats main + delta as one index.
+  // computes for its leaf entries (MinDistSquared on the transformed
+  // point rectangle), sorted ascending by (bound, id). The merged visit
+  // order is globally nondecreasing in the bound — delta entries drain
+  // strictly below each tree emission, ties go to the tree — so the
+  // optimal multi-step cutoff treats main + delta as one index.
   struct DeltaCandidate {
-    double lower_bound;
+    double lower_bound_sq;
     SeriesId id;
   };
   std::vector<DeltaCandidate> delta_candidates;
@@ -258,32 +299,32 @@ Status IndexKnnQuery(const IndexView& view, const Relation& relation,
          ++slot) {
       spatial::Rect rect = spatial::Rect::FromPoint(delta.PointAt(slot));
       if (map.has_value()) rect = map->Apply(rect);
-      delta_candidates.push_back(DeltaCandidate{
-          std::sqrt(metric->MinDistSquared(rect)), delta.base() + slot});
+      delta_candidates.push_back(DeltaCandidate{metric->MinDistSquared(rect),
+                                                delta.base() + slot});
     }
     std::sort(delta_candidates.begin(), delta_candidates.end(),
               [](const DeltaCandidate& a, const DeltaCandidate& b) {
-                return a.lower_bound < b.lower_bound ||
-                       (a.lower_bound == b.lower_bound && a.id < b.id);
+                return a.lower_bound_sq < b.lower_bound_sq ||
+                       (a.lower_bound_sq == b.lower_bound_sq && a.id < b.id);
               });
   }
   size_t next_delta = 0;
   bool keep_going = true;
-  auto drain_delta_below = [&](double bound) {
+  auto drain_delta_below = [&](double bound_sq) {
     while (keep_going && next_delta < delta_candidates.size() &&
-           delta_candidates[next_delta].lower_bound < bound) {
+           delta_candidates[next_delta].lower_bound_sq < bound_sq) {
       keep_going = visit(delta_candidates[next_delta].id,
-                         delta_candidates[next_delta].lower_bound);
+                         delta_candidates[next_delta].lower_bound_sq);
       ++next_delta;
     }
   };
 
   TSQ_RETURN_IF_ERROR(index.StreamNearest(
       *metric, map.has_value() ? &*map : nullptr,
-      [&](SeriesId id, double lower_bound) {
-        drain_delta_below(lower_bound);
+      [&](SeriesId id, double lower_bound_sq) {
+        drain_delta_below(lower_bound_sq);
         if (!keep_going) return false;
-        keep_going = visit(id, lower_bound);
+        keep_going = visit(id, lower_bound_sq);
         return keep_going;
       }));
   TSQ_RETURN_IF_ERROR(inner_status);
@@ -295,15 +336,50 @@ Status IndexKnnQuery(const IndexView& view, const Relation& relation,
   }
 
   std::sort(best.begin(), best.end());
+  out->reserve(best.size());
   for (Verified& v : best) {
-    out->push_back(Match{v.id, std::move(v.name), v.distance});
+    out->push_back(Match{v.id, std::move(v.name), std::sqrt(v.dist_sq)});
   }
+
+  // Observed error bound: when the search stopped at lower bound L with
+  // L < d_k, the true k-th distance lies in [L, d_k], so every reported
+  // distance is within d_k / L of its true rank's distance. When the
+  // index was exhausted, or the stopping bound already dominates d_k
+  // (every exact run), the answer is provably exact: error 0. A probe
+  // budget can stop the search before k answers were even found; the
+  // distances of the missing ranks are then unbounded, so no finite
+  // error can be certified.
+  double max_error = 0.0;
+  if (stopped) {
+    if (best.size() < k) {
+      max_error = std::numeric_limits<double>::infinity();
+    } else {
+      const double d_k_sq = best.back().dist_sq;  // k-th: best is sorted now
+      if (stop_bound_sq < d_k_sq) {
+        max_error = stop_bound_sq > 0.0
+                        ? std::sqrt(d_k_sq / stop_bound_sq) - 1.0
+                        : std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+
   if (stats != nullptr) {
-    stats->candidates += candidates;
-    stats->verified += candidates;
+    stats->candidates += visited;
+    stats->verified += visited;
     stats->answers += out->size();
+    const uint64_t total = view.total_series();
+    stats->pruned += total > visited ? total - visited : 0;
+    if (max_error > stats->max_error) stats->max_error = max_error;
+    stats->approx = stats->approx || !options.is_default();
   }
   return Status::OK();
+}
+
+Status IndexKnnQuery(const IndexView& view, const Relation& relation,
+                     const RealVec& query, size_t k, const QuerySpec& spec,
+                     std::vector<Match>* out, QueryStats* stats) {
+  return IndexKnnQuery(view, relation, query, k, spec, KnnOptions{}, out,
+                       stats);
 }
 
 Status IndexSelfJoin(const IndexView& view, const Relation& relation,

@@ -77,10 +77,23 @@ struct QueryStats {
   uint64_t disk_reads = 0;       ///< buffer-pool misses gone to disk
   uint64_t records_scanned = 0;  ///< relation records read (scans)
   double elapsed_ms = 0.0;
+  /// kNN only: series in the view never fetched for verification
+  /// (total_series - candidates). Measures how much work the index —
+  /// or an approximation knob — saved.
+  uint64_t pruned = 0;
+  /// Approximate kNN: observed upper bound on the relative error of the
+  /// k-th reported distance, (d_k / L) - 1 against the stopping lower
+  /// bound L. 0 whenever the run provably returned the exact answer
+  /// (including every exact-mode query). Guaranteed <= the requested
+  /// KnnOptions::epsilon.
+  double max_error = 0.0;
+  /// True iff the result was produced under non-default KnnOptions.
+  bool approx = false;
 
   /// Accumulates `other` into this. Batch execution merges the per-query
   /// stats of every worker; elapsed_ms sums, so after a parallel batch it
-  /// reads as aggregate compute time, not wall-clock time.
+  /// reads as aggregate compute time, not wall-clock time; max_error is
+  /// the max over merged queries (a batch-level guarantee).
   void Merge(const QueryStats& other) {
     candidates += other.candidates;
     verified += other.verified;
@@ -90,6 +103,9 @@ struct QueryStats {
     disk_reads += other.disk_reads;
     records_scanned += other.records_scanned;
     elapsed_ms += other.elapsed_ms;
+    pruned += other.pruned;
+    if (other.max_error > max_error) max_error = other.max_error;
+    approx = approx || other.approx;
   }
 };
 
@@ -98,6 +114,32 @@ struct QuerySpec {
   std::optional<FeatureTransform> transform;
   TransformMode mode = TransformMode::kBoth;
   std::optional<MeanStdWindow> window;
+};
+
+/// Approximation knobs for kNN (all default to exact search). The three
+/// knobs compose; whichever stops the search first wins, and the observed
+/// quality is reported in QueryStats (candidates visited, pruned,
+/// max_error).
+struct KnnOptions {
+  /// Relative error tolerance: stop once the next lower bound L satisfies
+  /// L * (1 + epsilon) > d_k, guaranteeing every reported distance is
+  /// within (1 + epsilon) of the true k-th distance. 0 = exact — and
+  /// structurally identical to the exact code path, so epsilon = 0
+  /// answers are bit-identical to a default-options run.
+  double epsilon = 0.0;
+  /// Hard cap on candidates fetched and verified; 0 = unlimited. The
+  /// error of the answers at the moment the budget ran out is reported
+  /// as QueryStats::max_error (no a-priori guarantee).
+  uint64_t probe_budget = 0;
+  /// Stop as soon as k candidates have been verified — the ng-approx
+  /// "first leaf" heuristic: the best-first descent's opening candidates
+  /// come from the leaf nearest the query, which is where the true
+  /// neighbors concentrate. Observed error reported, no guarantee.
+  bool stop_after_first_leaf = false;
+
+  bool is_default() const {
+    return epsilon == 0.0 && probe_budget == 0 && !stop_after_first_leaf;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -141,6 +183,13 @@ double VerifyDistance(const ComplexVec& data_spectrum,
                       const std::optional<FeatureTransform>& transform,
                       const ComplexVec& query_target);
 
+/// Squared form of VerifyDistance — the kNN refine compares candidates
+/// against a squared cutoff and takes one sqrt per materialized answer,
+/// not one per candidate (VerifyDistance is exactly the sqrt of this).
+double VerifyDistanceSquared(const ComplexVec& data_spectrum,
+                             const std::optional<FeatureTransform>& transform,
+                             const ComplexVec& query_target);
+
 /// Step 3 — postprocessing: fetches every candidate record and appends the
 /// ones within `epsilon` to `out` (unsorted; callers order the final
 /// answer set). Bumps stats->verified per fetched record when given.
@@ -165,7 +214,16 @@ Status IndexRangeQuery(const IndexView& index, const Relation& relation,
                        const QuerySpec& spec, std::vector<Match>* out,
                        QueryStats* stats);
 
-/// k-nearest-neighbor query via the index (optimal multi-step).
+/// k-nearest-neighbor query via the index (optimal multi-step). With
+/// non-default `options` the search may stop before the exactness proof
+/// completes; QueryStats reports the observed (candidates, pruned,
+/// max_error) triple so recall is measurable.
+Status IndexKnnQuery(const IndexView& index, const Relation& relation,
+                     const RealVec& query, size_t k, const QuerySpec& spec,
+                     const KnnOptions& options, std::vector<Match>* out,
+                     QueryStats* stats);
+
+/// Exact-mode convenience overload (default KnnOptions).
 Status IndexKnnQuery(const IndexView& index, const Relation& relation,
                      const RealVec& query, size_t k, const QuerySpec& spec,
                      std::vector<Match>* out, QueryStats* stats);

@@ -6,12 +6,16 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "simd/simd.h"
 
 namespace tsq {
 
 namespace {
 
 /// D(T(x), q_target) with early abandoning; `t` may be null (identity).
+/// The untransformed case runs through the kernel layer (checkpointed
+/// early abandon); the transformed case stays a scalar loop — the complex
+/// multiply dominates and per-element abandon wins more there.
 std::optional<double> EarlyAbandonToTarget(const ComplexVec& x,
                                            const LinearTransform* t,
                                            const ComplexVec& target,
@@ -20,10 +24,9 @@ std::optional<double> EarlyAbandonToTarget(const ComplexVec& x,
   const double limit = epsilon * epsilon;
   double acc = 0.0;
   if (t == nullptr) {
-    for (size_t f = 0; f < x.size(); ++f) {
-      acc += std::norm(x[f] - target[f]);
-      if (acc > limit) return std::nullopt;
-    }
+    acc = simd::SumSquaredDiffEarlyAbandon(
+        cvec::AsDoubles(x), cvec::AsDoubles(target), 2 * x.size(), limit);
+    if (acc > limit) return std::nullopt;
   } else {
     const ComplexVec& a = t->a();
     const ComplexVec& b = t->b();
@@ -41,7 +44,7 @@ double FullDistanceToTarget(const ComplexVec& x, const LinearTransform* t,
   TSQ_DCHECK(x.size() == target.size());
   double acc = 0.0;
   if (t == nullptr) {
-    for (size_t f = 0; f < x.size(); ++f) acc += std::norm(x[f] - target[f]);
+    acc = cvec::DistanceSquared(x, target);
   } else {
     const ComplexVec& a = t->a();
     const ComplexVec& b = t->b();
@@ -62,10 +65,9 @@ std::optional<double> EarlyAbandonPairDistance(const ComplexVec& x,
   const double limit = epsilon * epsilon;
   double acc = 0.0;
   if (t == nullptr) {
-    for (size_t f = 0; f < x.size(); ++f) {
-      acc += std::norm(x[f] - y[f]);
-      if (acc > limit) return std::nullopt;
-    }
+    acc = simd::SumSquaredDiffEarlyAbandon(
+        cvec::AsDoubles(x), cvec::AsDoubles(y), 2 * x.size(), limit);
+    if (acc > limit) return std::nullopt;
   } else {
     // T(x)-T(y) = a*(x-y): one complex multiply per coefficient.
     const ComplexVec& a = t->a();

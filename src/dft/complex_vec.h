@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "simd/simd.h"
 
 namespace tsq {
 
@@ -64,18 +65,25 @@ inline ComplexVec Scale(const ComplexVec& x, double s) {
   return out;
 }
 
+/// Views a complex vector as its interleaved {re, im} doubles —
+/// guaranteed layout-compatible by the standard's array-oriented access
+/// rule for std::complex. Lets the real-valued simd kernels serve the
+/// complex paths: sum |x_i - y_i|^2 over n Complex equals the squared
+/// Euclidean distance over the 2n underlying doubles.
+inline const double* AsDoubles(const ComplexVec& x) {
+  static_assert(sizeof(Complex) == 2 * sizeof(double),
+                "std::complex<double> must be two packed doubles");
+  return reinterpret_cast<const double*>(x.data());
+}
+
 /// Signal energy E(x) = sum |x_i|^2 (Eq. 3).
 inline double Energy(const ComplexVec& x) {
-  double e = 0.0;
-  for (const Complex& c : x) e += std::norm(c);
-  return e;
+  return simd::SumSquares(AsDoubles(x), 2 * x.size());
 }
 
 /// Signal energy of a real sequence.
 inline double Energy(const RealVec& x) {
-  double e = 0.0;
-  for (double v : x) e += v * v;
-  return e;
+  return simd::SumSquares(x.data(), x.size());
 }
 
 /// Euclidean distance between complex vectors, D(x, y) = sqrt(E(x - y))
@@ -83,9 +91,16 @@ inline double Energy(const RealVec& x) {
 inline double Distance(const ComplexVec& x, const ComplexVec& y) {
   TSQ_CHECK_MSG(x.size() == y.size(), "Distance: size mismatch %zu vs %zu",
                 x.size(), y.size());
-  double e = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) e += std::norm(x[i] - y[i]);
-  return std::sqrt(e);
+  return std::sqrt(simd::SumSquaredDiff(AsDoubles(x), AsDoubles(y),
+                                        2 * x.size()));
+}
+
+/// Squared Euclidean distance between complex vectors, E(x - y).
+inline double DistanceSquared(const ComplexVec& x, const ComplexVec& y) {
+  TSQ_CHECK_MSG(x.size() == y.size(),
+                "DistanceSquared: size mismatch %zu vs %zu", x.size(),
+                y.size());
+  return simd::SumSquaredDiff(AsDoubles(x), AsDoubles(y), 2 * x.size());
 }
 
 /// Squared Euclidean distance over the first `k` coefficients only — the
@@ -93,9 +108,7 @@ inline double Distance(const ComplexVec& x, const ComplexVec& y) {
 inline double PrefixDistanceSquared(const ComplexVec& x, const ComplexVec& y,
                                     size_t k) {
   TSQ_DCHECK(k <= x.size() && k <= y.size());
-  double e = 0.0;
-  for (size_t i = 0; i < k; ++i) e += std::norm(x[i] - y[i]);
-  return e;
+  return simd::SumSquaredDiff(AsDoubles(x), AsDoubles(y), 2 * k);
 }
 
 /// Promotes a real sequence to a complex vector with zero imaginary parts.

@@ -6,17 +6,36 @@
 
 #include "common/macros.h"
 #include "dft/fft.h"
+#include "simd/simd.h"
 
 namespace tsq {
 namespace dft {
 
-ComplexVec Forward(const RealVec& x) { return Forward(cvec::FromReal(x)); }
+namespace {
+
+// Applies the 1/sqrt(n) projection scaling through the kernel layer.
+// std::complex<double> is two packed doubles, and multiplying a complex
+// by a real scalar is an independent multiply per component, so the 2n
+// underlying doubles scale elementwise.
+void ScaleSpectrum(ComplexVec* X, double scale) {
+  simd::Kernels().scale_inplace(reinterpret_cast<double*>(X->data()),
+                                2 * X->size(), scale);
+}
+
+}  // namespace
+
+ComplexVec Forward(const RealVec& x) {
+  ComplexVec widened(x.size());
+  simd::Kernels().widen_to_complex(
+      x.data(), x.size(), reinterpret_cast<double*>(widened.data()));
+  return Forward(widened);
+}
 
 ComplexVec Forward(const ComplexVec& x) {
   ComplexVec X = x;
   fft::Transform(&X, /*inverse=*/false);
   const double scale = 1.0 / std::sqrt(static_cast<double>(x.empty() ? 1 : x.size()));
-  for (Complex& c : X) c *= scale;
+  ScaleSpectrum(&X, scale);
   return X;
 }
 
@@ -24,7 +43,7 @@ ComplexVec Inverse(const ComplexVec& X) {
   ComplexVec x = X;
   fft::Transform(&x, /*inverse=*/true);
   const double scale = 1.0 / std::sqrt(static_cast<double>(X.empty() ? 1 : X.size()));
-  for (Complex& c : x) c *= scale;
+  ScaleSpectrum(&x, scale);
   return x;
 }
 

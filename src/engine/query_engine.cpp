@@ -114,7 +114,7 @@ void QueryEngine::RunOne(const BatchQuery& query, const IndexView* view,
       }
       result->status =
           IndexKnnQuery(*view, *relation_, query.query, query.k, query.spec,
-                        &result->matches, &result->stats);
+                        query.knn, &result->matches, &result->stats);
       return;
     case BatchQueryKind::kSubsequence:
       if (subsequence_index_ == nullptr) {

@@ -80,6 +80,7 @@ struct BatchQuery {
   double epsilon = 0.0;  ///< range / subsequence threshold
   size_t k = 0;          ///< kNN answer count
   QuerySpec spec;        ///< transform/mode/window (range and kNN)
+  KnnOptions knn;        ///< kNN approximation knobs (default = exact)
 };
 
 /// One query's outcome. `status` is per-query: a malformed query fails

@@ -788,29 +788,43 @@ Status RStarTree::NearestNeighborsStream(
   std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
   heap.push(Item{0.0, false, root_});
 
+  // Per-node scratch, reused across the whole descent: transformed rect
+  // copies (only when a map is active), the pointer batch handed to the
+  // metric, and the bound it fills in.
+  std::vector<spatial::Rect> transformed;
+  std::vector<const spatial::Rect*> batch;
+  std::vector<double> bounds;
+
   while (!heap.empty()) {
     const Item item = heap.top();
     heap.pop();
     if (item.is_entry) {
-      if (!emit(item.id, std::sqrt(item.dist_sq))) return Status::OK();
+      if (!emit(item.id, item.dist_sq)) return Status::OK();
       continue;
     }
     TSQ_ASSIGN_OR_RETURN(Node node, LoadNode(item.id));
-    for (const Entry& e : node.entries) {
-      spatial::Rect rect = e.rect;
-      if (map != nullptr) {
-        rect = map->Apply(rect);
-        ++stats_.rect_transforms;
-        ++tls_traversal.rect_transforms;
+    const size_t count = node.entries.size();
+    batch.resize(count);
+    bounds.resize(count);
+    if (map != nullptr) {
+      transformed.clear();
+      transformed.reserve(count);
+      for (const Entry& e : node.entries) {
+        transformed.push_back(map->Apply(e.rect));
       }
-      const double d = metric.MinDistSquared(rect);
-      if (node.IsLeaf()) {
-        ++stats_.leaf_entries_tested;
-        ++tls_traversal.leaf_entries_tested;
-        heap.push(Item{d, true, e.id});
-      } else {
-        heap.push(Item{d, false, e.id});
-      }
+      stats_.rect_transforms += count;
+      tls_traversal.rect_transforms += count;
+      for (size_t i = 0; i < count; ++i) batch[i] = &transformed[i];
+    } else {
+      for (size_t i = 0; i < count; ++i) batch[i] = &node.entries[i].rect;
+    }
+    metric.MinDistSquaredBatch(batch.data(), count, bounds.data());
+    if (node.IsLeaf()) {
+      stats_.leaf_entries_tested += count;
+      tls_traversal.leaf_entries_tested += count;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      heap.push(Item{bounds[i], node.IsLeaf(), node.entries[i].id});
     }
   }
   return Status::OK();
@@ -823,8 +837,9 @@ Status RStarTree::NearestNeighbors(const NnMetric& metric, size_t k,
   out->clear();
   if (k == 0) return Status::OK();
   return NearestNeighborsStream(metric, map,
-                                [out, k](uint64_t id, double dist) {
-                                  out->push_back(NnResult{id, dist});
+                                [out, k](uint64_t id, double dist_sq) {
+                                  out->push_back(
+                                      NnResult{id, std::sqrt(dist_sq)});
                                   return out->size() < k;
                                 });
 }

@@ -107,6 +107,16 @@ class NnMetric {
  public:
   virtual ~NnMetric() = default;
   virtual double MinDistSquared(const spatial::Rect& rect) const = 0;
+
+  /// out[i] = MinDistSquared(*rects[i]) for i < count — one call per tree
+  /// node instead of one virtual call per entry. The default loops;
+  /// metrics backed by the simd kernel layer override it with a batched
+  /// kernel (bit-identical per element, so which form runs is
+  /// unobservable in the answers).
+  virtual void MinDistSquaredBatch(const spatial::Rect* const* rects,
+                                   size_t count, double* out) const {
+    for (size_t i = 0; i < count; ++i) out[i] = MinDistSquared(*rects[i]);
+  }
 };
 
 /// Result of CheckInvariants.
@@ -193,12 +203,16 @@ class RStarTree {
 
   /// Incremental best-first enumeration: emits data entries in ascending
   /// lower-bound distance order until the callback returns false or the
-  /// tree is exhausted. The backbone of optimal multi-step kNN (candidates
-  /// are verified against full-length data by the caller, which stops as
-  /// soon as the lower bound passes its k-th verified distance).
+  /// tree is exhausted. Bounds are emitted SQUARED — the refine layer
+  /// compares in squared space and takes one sqrt per materialized
+  /// answer, not one per candidate. The backbone of optimal multi-step
+  /// kNN (candidates are verified against full-length data by the caller,
+  /// which stops as soon as the lower bound passes its k-th verified
+  /// distance).
   Status NearestNeighborsStream(
       const NnMetric& metric, const spatial::AffineMap* map,
-      const std::function<bool(uint64_t id, double lower_bound)>& emit) const;
+      const std::function<bool(uint64_t id, double lower_bound_sq)>& emit)
+      const;
 
   /// Decides whether a pair of (transformed) rectangles can contain
   /// qualifying join pairs; false prunes the subtree pair.

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "simd/simd.h"
 
 namespace tsq {
 
@@ -12,12 +13,7 @@ double SquaredEuclideanDistance(const RealVec& x, const RealVec& y) {
   TSQ_CHECK_MSG(x.size() == y.size(),
                 "Euclidean distance requires equal lengths (%zu vs %zu)",
                 x.size(), y.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::SumSquaredDiff(x.data(), y.data(), x.size());
 }
 
 double EuclideanDistance(const RealVec& x, const RealVec& y) {
@@ -48,12 +44,9 @@ std::optional<double> EarlyAbandonEuclidean(const RealVec& x, const RealVec& y,
                 x.size(), y.size());
   TSQ_DCHECK(threshold >= 0.0);
   const double limit = threshold * threshold;
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-    if (acc > limit) return std::nullopt;
-  }
+  const double acc =
+      simd::SumSquaredDiffEarlyAbandon(x.data(), y.data(), x.size(), limit);
+  if (acc > limit) return std::nullopt;
   return std::sqrt(acc);
 }
 
@@ -65,11 +58,9 @@ std::optional<double> EarlyAbandonEuclidean(const ComplexVec& x,
                 x.size(), y.size());
   TSQ_DCHECK(threshold >= 0.0);
   const double limit = threshold * threshold;
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    acc += std::norm(x[i] - y[i]);
-    if (acc > limit) return std::nullopt;
-  }
+  const double acc = simd::SumSquaredDiffEarlyAbandon(
+      cvec::AsDoubles(x), cvec::AsDoubles(y), 2 * x.size(), limit);
+  if (acc > limit) return std::nullopt;
   return std::sqrt(acc);
 }
 

@@ -6,34 +6,38 @@
 
 #include "common/macros.h"
 #include "series/distance.h"
+#include "simd/simd.h"
 
 namespace tsq {
+
+void Moments(const RealVec& x, double* mean, double* std) {
+  *mean = 0.0;
+  *std = 0.0;
+  if (x.empty()) return;
+
+  const auto& k = simd::Kernels();
+  const size_t n = x.size();
+  *mean = k.sum(x.data(), n) / static_cast<double>(n);
+  *std = std::sqrt(k.centered_sum_squares(x.data(), n, *mean) /
+                   static_cast<double>(n));
+
+  // A numerically flat series (std at rounding-noise level relative to the
+  // magnitude of the data) must not be amplified into garbage: treat it as
+  // exactly flat.
+  if (*std <= 1e-12 * std::max(1.0, std::abs(*mean))) {
+    *std = 0.0;
+  }
+}
 
 NormalForm ToNormalForm(const RealVec& x) {
   NormalForm nf;
   nf.normalized.assign(x.size(), 0.0);
   if (x.empty()) return nf;
 
-  double sum = 0.0;
-  for (double v : x) sum += v;
-  nf.mean = sum / static_cast<double>(x.size());
-
-  double acc = 0.0;
-  for (double v : x) acc += (v - nf.mean) * (v - nf.mean);
-  nf.std = std::sqrt(acc / static_cast<double>(x.size()));
-
-  // A numerically flat series (std at rounding-noise level relative to the
-  // magnitude of the data) must not be amplified into garbage: treat it as
-  // exactly flat.
-  if (nf.std <= 1e-12 * std::max(1.0, std::abs(nf.mean))) {
-    nf.std = 0.0;
-  }
-
+  Moments(x, &nf.mean, &nf.std);
   if (nf.std > 0.0) {
-    const double inv = 1.0 / nf.std;
-    for (size_t i = 0; i < x.size(); ++i) {
-      nf.normalized[i] = (x[i] - nf.mean) * inv;
-    }
+    simd::Kernels().scale_shift(x.data(), x.size(), nf.mean, 1.0 / nf.std,
+                                nf.normalized.data());
   }
   // Flat series: normalized stays all-zero; reconstruction uses mean only.
   return nf;

@@ -29,6 +29,12 @@ struct NormalForm {
 NormalForm ToNormalForm(const RealVec& x);
 NormalForm ToNormalForm(const TimeSeries& x);
 
+/// The (mean, population std) pair of ToNormalForm — same computation, same
+/// flat-series clamp, bit-identical values — without materializing the
+/// normalized samples. For callers that only need the two moment features
+/// (e.g. rebuilding index points from stored spectra).
+void Moments(const RealVec& x, double* mean, double* std);
+
 /// Reconstructs the original samples from a normal form.
 RealVec FromNormalForm(const NormalForm& nf);
 

@@ -232,9 +232,9 @@ Result<Reply> Client::RoundTripWithRetry(Request request) {
       // Seed once per client from the address of this object and the
       // clock — uncorrelated across processes, no global state.
       jitter_state_ =
-          reinterpret_cast<uintptr_t>(this) ^
-          static_cast<uint64_t>(
-              std::chrono::steady_clock::now().time_since_epoch().count()) |
+          (reinterpret_cast<uintptr_t>(this) ^
+           static_cast<uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count())) |
           1;
     }
     // xorshift64: cheap, stateless-enough jitter (not cryptographic).
@@ -319,7 +319,9 @@ Result<std::vector<Match>> Client::Range(const RealVec& query, double epsilon,
 }
 
 Result<std::vector<Match>> Client::Knn(const RealVec& query, size_t k,
-                                       const QuerySpec& spec) {
+                                       const QuerySpec& spec,
+                                       const KnnOptions& options,
+                                       QueryStats* stats) {
   Request request;
   request.verb = Verb::kQuery;
   engine::BatchQuery q;
@@ -327,10 +329,12 @@ Result<std::vector<Match>> Client::Knn(const RealVec& query, size_t k,
   q.query = query;
   q.k = k;
   q.spec = spec;
+  q.knn = options;
   request.queries.push_back(std::move(q));
   TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
   TSQ_ASSIGN_OR_RETURN(engine::BatchResult result,
                        SingleResult(std::move(reply)));
+  if (stats != nullptr) *stats = result.stats;
   return std::move(result.matches);
 }
 

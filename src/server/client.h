@@ -91,8 +91,13 @@ class Client {
   /// batch (per-query status unwrapped).
   Result<std::vector<Match>> Range(const RealVec& query, double epsilon,
                                    const QuerySpec& spec = {});
+  /// `options` selects approximate kNN (exact by default); when `stats`
+  /// is non-null the per-query stats — including the observed
+  /// (candidates, pruned, max_error) — are copied out.
   Result<std::vector<Match>> Knn(const RealVec& query, size_t k,
-                                 const QuerySpec& spec = {});
+                                 const QuerySpec& spec = {},
+                                 const KnnOptions& options = {},
+                                 QueryStats* stats = nullptr);
   Result<std::vector<SubsequenceMatch>> Subsequence(const RealVec& query,
                                                     double epsilon);
 

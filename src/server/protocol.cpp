@@ -118,31 +118,90 @@ Status GetSpec(Reader* reader, QuerySpec* out) {
   return Status::OK();
 }
 
+// --------------------------------------------------------------------------
+// Version gating for the approximate-kNN extension (v9). Two flag bits —
+// one on a request BatchQuery's `kind` word, one on a reply's code word —
+// gate the optional payload fields, so an exact-mode conversation emits
+// byte-for-byte the pre-extension wire format:
+//
+//   * A KnnOptions payload (epsilon f64 | probe_budget u64 | first_leaf
+//     u32) follows the QuerySpec iff kKnnOptionsFlag is set on the kind
+//     word. The flag is set only for a kKnn query with non-default
+//     options; decoders enforce exactly that (the canonical encoding), so
+//     a flagged non-kNN query or a flagged all-default payload is
+//     Corruption, never a silent variant encoding.
+//   * The extended QueryStats tail (pruned u64 | max_error f64 | approx
+//     u32) follows every result's stats iff kApproxStatsFlag is set on
+//     the reply code word — set only on an OK kQuery/kBatch reply where
+//     some result ran approximate.
+//
+// An old peer decoding a flagged word sees an out-of-range value and
+// rejects the frame as Corruption — a clean refusal, not a misparse. An
+// old client can never receive the extended reply layout, because only
+// flagged requests produce approximate results.
+// --------------------------------------------------------------------------
+inline constexpr uint32_t kKnnOptionsFlag = 0x100;
+inline constexpr uint32_t kApproxStatsFlag = 0x100;
+
 void PutBatchQuery(Buffer* buf, const engine::BatchQuery& query) {
-  serde::PutU32(buf, static_cast<uint32_t>(query.kind));
+  const bool with_options = query.kind == engine::BatchQueryKind::kKnn &&
+                            !query.knn.is_default();
+  serde::PutU32(buf, static_cast<uint32_t>(query.kind) |
+                         (with_options ? kKnnOptionsFlag : 0));
   serde::PutRealVec(buf, query.query);
   serde::PutDouble(buf, query.epsilon);
   serde::PutU64(buf, query.k);
   PutSpec(buf, query.spec);
+  if (with_options) {
+    serde::PutDouble(buf, query.knn.epsilon);
+    serde::PutU64(buf, query.knn.probe_budget);
+    serde::PutU32(buf, query.knn.stop_after_first_leaf ? 1 : 0);
+  }
 }
 
 Status GetBatchQuery(Reader* reader, engine::BatchQuery* out) {
-  uint32_t kind = 0;
-  TSQ_RETURN_IF_ERROR(reader->GetU32(&kind));
+  uint32_t kind_word = 0;
+  TSQ_RETURN_IF_ERROR(reader->GetU32(&kind_word));
+  if ((kind_word & ~0xFFu & ~kKnnOptionsFlag) != 0) {
+    return Status::Corruption("unknown batch query kind flags " +
+                              std::to_string(kind_word));
+  }
+  const bool with_options = (kind_word & kKnnOptionsFlag) != 0;
+  const uint32_t kind = kind_word & 0xFFu;
   if (kind > static_cast<uint32_t>(engine::BatchQueryKind::kSubsequence)) {
     return Status::Corruption("unknown batch query kind " +
                               std::to_string(kind));
   }
   out->kind = static_cast<engine::BatchQueryKind>(kind);
+  if (with_options && out->kind != engine::BatchQueryKind::kKnn) {
+    return Status::Corruption("kNN options flag on a non-kNN query");
+  }
   TSQ_RETURN_IF_ERROR(reader->GetRealVec(&out->query));
   TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->epsilon));
   uint64_t k = 0;
   TSQ_RETURN_IF_ERROR(reader->GetU64(&k));
   out->k = static_cast<size_t>(k);
-  return GetSpec(reader, &out->spec);
+  TSQ_RETURN_IF_ERROR(GetSpec(reader, &out->spec));
+  if (with_options) {
+    uint32_t first_leaf = 0;
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->knn.epsilon));
+    TSQ_RETURN_IF_ERROR(reader->GetU64(&out->knn.probe_budget));
+    TSQ_RETURN_IF_ERROR(reader->GetU32(&first_leaf));
+    if (!(out->knn.epsilon >= 0.0)) {  // rejects negatives and NaN
+      return Status::Corruption("kNN error tolerance out of range");
+    }
+    if (first_leaf > 1) {
+      return Status::Corruption("kNN first-leaf flag out of range");
+    }
+    out->knn.stop_after_first_leaf = first_leaf == 1;
+    if (out->knn.is_default()) {
+      return Status::Corruption("kNN options flag on all-default options");
+    }
+  }
+  return Status::OK();
 }
 
-void PutQueryStats(Buffer* buf, const QueryStats& stats) {
+void PutQueryStats(Buffer* buf, const QueryStats& stats, bool extended) {
   serde::PutU64(buf, stats.candidates);
   serde::PutU64(buf, stats.verified);
   serde::PutU64(buf, stats.answers);
@@ -151,9 +210,14 @@ void PutQueryStats(Buffer* buf, const QueryStats& stats) {
   serde::PutU64(buf, stats.disk_reads);
   serde::PutU64(buf, stats.records_scanned);
   serde::PutDouble(buf, stats.elapsed_ms);
+  if (extended) {
+    serde::PutU64(buf, stats.pruned);
+    serde::PutDouble(buf, stats.max_error);
+    serde::PutU32(buf, stats.approx ? 1 : 0);
+  }
 }
 
-Status GetQueryStats(Reader* reader, QueryStats* out) {
+Status GetQueryStats(Reader* reader, QueryStats* out, bool extended) {
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->candidates));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->verified));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->answers));
@@ -161,10 +225,22 @@ Status GetQueryStats(Reader* reader, QueryStats* out) {
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->rect_transforms));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->disk_reads));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->records_scanned));
-  return reader->GetDouble(&out->elapsed_ms);
+  TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->elapsed_ms));
+  if (extended) {
+    uint32_t approx = 0;
+    TSQ_RETURN_IF_ERROR(reader->GetU64(&out->pruned));
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->max_error));
+    TSQ_RETURN_IF_ERROR(reader->GetU32(&approx));
+    if (approx > 1) {
+      return Status::Corruption("stats approx flag out of range");
+    }
+    out->approx = approx == 1;
+  }
+  return Status::OK();
 }
 
-void PutBatchResult(Buffer* buf, const engine::BatchResult& result) {
+void PutBatchResult(Buffer* buf, const engine::BatchResult& result,
+                    bool extended) {
   PutStatus(buf, result.status);
   serde::PutU64(buf, result.matches.size());
   for (const Match& m : result.matches) {
@@ -178,10 +254,11 @@ void PutBatchResult(Buffer* buf, const engine::BatchResult& result) {
     serde::PutU64(buf, m.offset);
     serde::PutDouble(buf, m.distance);
   }
-  PutQueryStats(buf, result.stats);
+  PutQueryStats(buf, result.stats, extended);
 }
 
-Status GetBatchResult(Reader* reader, engine::BatchResult* out) {
+Status GetBatchResult(Reader* reader, engine::BatchResult* out,
+                      bool extended) {
   TSQ_RETURN_IF_ERROR(GetStatus(reader, &out->status));
   uint64_t matches = 0;
   TSQ_RETURN_IF_ERROR(reader->GetU64(&matches));
@@ -207,7 +284,7 @@ Status GetBatchResult(Reader* reader, engine::BatchResult* out) {
     m.offset = static_cast<size_t>(offset);
     out->subsequence_matches.push_back(m);
   }
-  return GetQueryStats(reader, &out->stats);
+  return GetQueryStats(reader, &out->stats, extended);
 }
 
 void PutDatabaseStats(Buffer* buf, const DatabaseStats& stats) {
@@ -406,7 +483,17 @@ Status DecodeRequest(const uint8_t* payload, size_t size, Request* out) {
 
 void EncodeReply(const Reply& reply, Buffer* frame) {
   Buffer payload;
-  serde::PutU32(&payload, static_cast<uint32_t>(reply.code));
+  // Extended stats layout iff some result ran approximate (only possible
+  // on an OK query/batch reply — see the version-gating comment above).
+  bool extended = false;
+  if (reply.code == ReplyCode::kOk &&
+      (reply.verb == Verb::kQuery || reply.verb == Verb::kBatch)) {
+    for (const engine::BatchResult& r : reply.results) {
+      extended = extended || r.stats.approx;
+    }
+  }
+  serde::PutU32(&payload, static_cast<uint32_t>(reply.code) |
+                              (extended ? kApproxStatsFlag : 0));
   serde::PutU32(&payload, static_cast<uint32_t>(reply.verb));
   serde::PutU64(&payload, reply.id);
   if (reply.code == ReplyCode::kError) {
@@ -430,12 +517,12 @@ void EncodeReply(const Reply& reply, Buffer* frame) {
       TSQ_CHECK_MSG(reply.results.size() == 1,
                     "kQuery reply carries exactly one result, got %zu",
                     reply.results.size());
-      PutBatchResult(&payload, reply.results[0]);
+      PutBatchResult(&payload, reply.results[0], extended);
       break;
     case Verb::kBatch:
       serde::PutU64(&payload, reply.results.size());
       for (const engine::BatchResult& r : reply.results) {
-        PutBatchResult(&payload, r);
+        PutBatchResult(&payload, r, extended);
       }
       break;
     case Verb::kInsert:
@@ -459,8 +546,14 @@ void EncodeReply(const Reply& reply, Buffer* frame) {
 
 Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
   Reader reader(payload, size);
-  uint32_t code = 0;
-  TSQ_RETURN_IF_ERROR(reader.GetU32(&code));
+  uint32_t code_word = 0;
+  TSQ_RETURN_IF_ERROR(reader.GetU32(&code_word));
+  if ((code_word & ~0xFFu & ~kApproxStatsFlag) != 0) {
+    return Status::Corruption("unknown reply code flags " +
+                              std::to_string(code_word));
+  }
+  const bool extended = (code_word & kApproxStatsFlag) != 0;
+  const uint32_t code = code_word & 0xFFu;
   if (code > static_cast<uint32_t>(ReplyCode::kBusy)) {
     return Status::Corruption("unknown reply code " + std::to_string(code));
   }
@@ -469,6 +562,10 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
   TSQ_RETURN_IF_ERROR(reader.GetU32(&verb));
   TSQ_RETURN_IF_ERROR(CheckVerb(verb));
   out->verb = static_cast<Verb>(verb);
+  if (extended && (out->code != ReplyCode::kOk ||
+                   (out->verb != Verb::kQuery && out->verb != Verb::kBatch))) {
+    return Status::Corruption("approx stats flag on a non-query reply");
+  }
   TSQ_RETURN_IF_ERROR(reader.GetU64(&out->id));
   if (out->code == ReplyCode::kError) {
     TSQ_RETURN_IF_ERROR(GetStatus(&reader, &out->error));
@@ -486,7 +583,7 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
         break;
       case Verb::kQuery: {
         engine::BatchResult result;
-        TSQ_RETURN_IF_ERROR(GetBatchResult(&reader, &result));
+        TSQ_RETURN_IF_ERROR(GetBatchResult(&reader, &result, extended));
         out->results.push_back(std::move(result));
         break;
       }
@@ -495,7 +592,7 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
         TSQ_RETURN_IF_ERROR(reader.GetU64(&count));
         for (uint64_t i = 0; i < count; ++i) {
           engine::BatchResult result;
-          TSQ_RETURN_IF_ERROR(GetBatchResult(&reader, &result));
+          TSQ_RETURN_IF_ERROR(GetBatchResult(&reader, &result, extended));
           out->results.push_back(std::move(result));
         }
         break;

@@ -29,6 +29,16 @@
 //
 // The request id is chosen by the client and echoed verbatim, so a
 // pipelining client can match replies that tsqd completed out of order.
+//
+// Optional extensions ride on flag bits above the low value byte of the
+// u32 they extend (a BatchQuery's kind word; the reply code word): a set
+// flag means "an extra payload section follows", a clear flag means the
+// pre-extension byte layout, bit for bit. Old peers reject flagged words
+// as out-of-range (Corruption) instead of misparsing — that is the whole
+// version-gating rule. Currently assigned: bit 8 on a kind word = kNN
+// approximation options follow the QuerySpec; bit 8 on a reply code =
+// every result's QueryStats carries the approx tail (pruned, max_error,
+// approx). See protocol.cpp for the exact field layouts.
 // Reply code kBusy is the backpressure signal: the server's admission
 // queue was full and the request was rejected *before* any engine work —
 // the client surfaces it as Status::Unavailable and may retry.

@@ -1,0 +1,677 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Kernel implementations. Every level implements the lane-reduction
+// contract documented in simd.h; the scalar level is the executable
+// specification the SIMD levels are tested bit-identical against. This
+// translation unit is compiled with -ffp-contract=off (see CMakeLists)
+// so the scalar mul-then-add sequences cannot be fused into FMAs that
+// would round differently from the intrinsic levels, and — on x86 —
+// with auto-vectorization disabled, so the scalar level stays literally
+// scalar: the per-level numbers in BENCH_kernels.json then measure real
+// hardware speedup, not "hand intrinsics vs whatever the compiler
+// vectorized the reference into". The dispatcher never picks the scalar
+// level on x86 (SSE2 is baseline), so production code pays nothing.
+
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define TSQ_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define TSQ_SIMD_X86 0
+#endif
+
+namespace tsq {
+namespace simd {
+namespace {
+
+// Hardware max semantics (MAXPD): second operand wins on NaN.
+inline double MaxPd(double a, double b) { return a > b ? a : b; }
+
+// ---------------------------------------------------------------------------
+// Scalar level — the executable form of the lane contract.
+// ---------------------------------------------------------------------------
+
+// Reduces the 16-lane accumulator array of the long-reduction kernels:
+// V_j = (A_j + A_{j+8}) + (A_{j+4} + A_{j+12}) for j in 0..3 — exactly
+// the vector adds (Y0 + Y2) + (Y1 + Y3) of the four AVX2 accumulators —
+// then the 4-lane reduce (V0 + V2) + (V1 + V3).
+inline double ReduceLanes16(const double lane[16]) {
+  double v[4];
+  for (int j = 0; j < 4; ++j) {
+    v[j] = (lane[j] + lane[j + 8]) + (lane[j + 4] + lane[j + 12]);
+  }
+  return (v[0] + v[2]) + (v[1] + v[3]);
+}
+
+double SumSquaredDiffScalar(const double* x, const double* y, size_t n) {
+  double lane[16] = {0.0};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    const double* py = y + 16 * b;
+    for (size_t j = 0; j < 16; ++j) {
+      const double d = px[j] - py[j];
+      lane[j] += d * d;
+    }
+  }
+  for (size_t i = 16 * nblk; i < n; ++i) {
+    const double d = x[i] - y[i];
+    lane[i - 16 * nblk] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+double SumSquaredDiffEaScalar(const double* x, const double* y, size_t n,
+                              double limit) {
+  double lane[16] = {0.0};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    const double* py = y + 16 * b;
+    for (size_t j = 0; j < 16; ++j) {
+      const double d = px[j] - py[j];
+      lane[j] += d * d;
+    }
+    // Checkpoint: after every full 16-element block.
+    const double partial = ReduceLanes16(lane);
+    if (partial > limit) return partial;
+  }
+  for (size_t i = 16 * nblk; i < n; ++i) {
+    const double d = x[i] - y[i];
+    lane[i - 16 * nblk] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+double MinDistSquaredScalar(const double* p, const double* lo,
+                            const double* hi, size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  const size_t nblk = n / 4;
+  for (size_t b = 0; b < nblk; ++b) {
+    const size_t i = 4 * b;
+    const double g0 = MaxPd(MaxPd(lo[i + 0] - p[i + 0], p[i + 0] - hi[i + 0]), 0.0);
+    const double g1 = MaxPd(MaxPd(lo[i + 1] - p[i + 1], p[i + 1] - hi[i + 1]), 0.0);
+    const double g2 = MaxPd(MaxPd(lo[i + 2] - p[i + 2], p[i + 2] - hi[i + 2]), 0.0);
+    const double g3 = MaxPd(MaxPd(lo[i + 3] - p[i + 3], p[i + 3] - hi[i + 3]), 0.0);
+    a0 += g0 * g0;
+    a1 += g1 * g1;
+    a2 += g2 * g2;
+    a3 += g3 * g3;
+  }
+  double lane[4] = {a0, a1, a2, a3};
+  for (size_t i = 4 * nblk; i < n; ++i) {
+    const double g = MaxPd(MaxPd(lo[i] - p[i], p[i] - hi[i]), 0.0);
+    lane[i - 4 * nblk] += g * g;
+  }
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+void MinDistSquaredBatchScalar(const double* p, const double* const* los,
+                               const double* const* his, size_t count,
+                               size_t n, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = MinDistSquaredScalar(p, los[i], his[i], n);
+  }
+}
+
+double SumScalar(const double* x, size_t n) {
+  double lane[16] = {0.0};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    for (size_t j = 0; j < 16; ++j) lane[j] += px[j];
+  }
+  for (size_t i = 16 * nblk; i < n; ++i) lane[i - 16 * nblk] += x[i];
+  return ReduceLanes16(lane);
+}
+
+double CenteredSumSquaresScalar(const double* x, size_t n, double mean) {
+  double lane[16] = {0.0};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    for (size_t j = 0; j < 16; ++j) {
+      const double d = px[j] - mean;
+      lane[j] += d * d;
+    }
+  }
+  for (size_t i = 16 * nblk; i < n; ++i) {
+    const double d = x[i] - mean;
+    lane[i - 16 * nblk] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+void ScaleShiftScalar(const double* x, size_t n, double sub, double mul,
+                      double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = (x[i] - sub) * mul;
+}
+
+void ScaleInPlaceScalar(double* x, size_t n, double s) {
+  for (size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void WidenToComplexScalar(const double* src, size_t n, double* dst) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[2 * i] = src[i];
+    dst[2 * i + 1] = 0.0;
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    &SumSquaredDiffScalar,    &SumSquaredDiffEaScalar,
+    &MinDistSquaredScalar,    &MinDistSquaredBatchScalar,
+    &SumScalar,               &CenteredSumSquaresScalar,
+    &ScaleShiftScalar,        &ScaleInPlaceScalar,
+    &WidenToComplexScalar,
+};
+
+#if TSQ_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 level. Long-reduction kernels: eight __m128d accumulators X_k
+// holding lanes {2k, 2k+1} — eight independent add chains. MinDist (tiny
+// n, feature dims): two accumulators {A0,A1}, {A2,A3} on the 4-lane
+// contract. x86-64 baseline, so no target attribute needed.
+// ---------------------------------------------------------------------------
+
+// Reduces {A0,A1} + {A2,A3} to (A0 + A2) + (A1 + A3).
+inline double Reduce128(__m128d acc01, __m128d acc23) {
+  const __m128d s = _mm_add_pd(acc01, acc23);  // [A0+A2, A1+A3]
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+// The 16-lane reduce: V01/V23 hold {V0,V1}/{V2,V3} with
+// V_j = (A_j + A_{j+8}) + (A_{j+4} + A_{j+12}), then the 4-lane reduce.
+inline double Reduce128x8(const __m128d acc[8]) {
+  const __m128d v01 = _mm_add_pd(_mm_add_pd(acc[0], acc[4]),
+                                 _mm_add_pd(acc[2], acc[6]));
+  const __m128d v23 = _mm_add_pd(_mm_add_pd(acc[1], acc[5]),
+                                 _mm_add_pd(acc[3], acc[7]));
+  return Reduce128(v01, v23);
+}
+
+// Folds the <16-element tail into the stored lanes and reduces.
+inline double TailReduceDiff(const __m128d acc[8], const double* x,
+                             const double* y, size_t base, size_t n) {
+  double lane[16];
+  for (int k = 0; k < 8; ++k) _mm_storeu_pd(lane + 2 * k, acc[k]);
+  for (size_t i = base; i < n; ++i) {
+    const double d = x[i] - y[i];
+    lane[i - base] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+double SumSquaredDiffSse2(const double* x, const double* y, size_t n) {
+  __m128d acc[8] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd()};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    const double* py = y + 16 * b;
+    for (int k = 0; k < 8; ++k) {
+      const __m128d d =
+          _mm_sub_pd(_mm_loadu_pd(px + 2 * k), _mm_loadu_pd(py + 2 * k));
+      acc[k] = _mm_add_pd(acc[k], _mm_mul_pd(d, d));
+    }
+  }
+  return TailReduceDiff(acc, x, y, 16 * nblk, n);
+}
+
+double SumSquaredDiffEaSse2(const double* x, const double* y, size_t n,
+                            double limit) {
+  __m128d acc[8] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd()};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    const double* py = y + 16 * b;
+    for (int k = 0; k < 8; ++k) {
+      const __m128d d =
+          _mm_sub_pd(_mm_loadu_pd(px + 2 * k), _mm_loadu_pd(py + 2 * k));
+      acc[k] = _mm_add_pd(acc[k], _mm_mul_pd(d, d));
+    }
+    const double partial = Reduce128x8(acc);
+    if (partial > limit) return partial;
+  }
+  return TailReduceDiff(acc, x, y, 16 * nblk, n);
+}
+
+double MinDistSquaredSse2(const double* p, const double* lo, const double* hi,
+                          size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  const __m128d zero = _mm_setzero_pd();
+  const size_t nblk = n / 4;
+  for (size_t b = 0; b < nblk; ++b) {
+    const size_t i = 4 * b;
+    const __m128d p01 = _mm_loadu_pd(p + i), p23 = _mm_loadu_pd(p + i + 2);
+    const __m128d g01 = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(_mm_loadu_pd(lo + i), p01),
+                   _mm_sub_pd(p01, _mm_loadu_pd(hi + i))),
+        zero);
+    const __m128d g23 = _mm_max_pd(
+        _mm_max_pd(_mm_sub_pd(_mm_loadu_pd(lo + i + 2), p23),
+                   _mm_sub_pd(p23, _mm_loadu_pd(hi + i + 2))),
+        zero);
+    acc01 = _mm_add_pd(acc01, _mm_mul_pd(g01, g01));
+    acc23 = _mm_add_pd(acc23, _mm_mul_pd(g23, g23));
+  }
+  double lane[4];
+  _mm_storeu_pd(lane + 0, acc01);
+  _mm_storeu_pd(lane + 2, acc23);
+  for (size_t i = 4 * nblk; i < n; ++i) {
+    const double g = MaxPd(MaxPd(lo[i] - p[i], p[i] - hi[i]), 0.0);
+    lane[i - 4 * nblk] += g * g;
+  }
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+void MinDistSquaredBatchSse2(const double* p, const double* const* los,
+                             const double* const* his, size_t count, size_t n,
+                             double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = MinDistSquaredSse2(p, los[i], his[i], n);
+  }
+}
+
+double SumSse2(const double* x, size_t n) {
+  __m128d acc[8] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd()};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    for (int k = 0; k < 8; ++k) {
+      acc[k] = _mm_add_pd(acc[k], _mm_loadu_pd(px + 2 * k));
+    }
+  }
+  double lane[16];
+  for (int k = 0; k < 8; ++k) _mm_storeu_pd(lane + 2 * k, acc[k]);
+  for (size_t i = 16 * nblk; i < n; ++i) lane[i - 16 * nblk] += x[i];
+  return ReduceLanes16(lane);
+}
+
+double CenteredSumSquaresSse2(const double* x, size_t n, double mean) {
+  __m128d acc[8] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd(), _mm_setzero_pd()};
+  const __m128d m = _mm_set1_pd(mean);
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    for (int k = 0; k < 8; ++k) {
+      const __m128d d = _mm_sub_pd(_mm_loadu_pd(px + 2 * k), m);
+      acc[k] = _mm_add_pd(acc[k], _mm_mul_pd(d, d));
+    }
+  }
+  double lane[16];
+  for (int k = 0; k < 8; ++k) _mm_storeu_pd(lane + 2 * k, acc[k]);
+  for (size_t i = 16 * nblk; i < n; ++i) {
+    const double d = x[i] - mean;
+    lane[i - 16 * nblk] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+void ScaleShiftSse2(const double* x, size_t n, double sub, double mul,
+                    double* out) {
+  const __m128d s = _mm_set1_pd(sub);
+  const __m128d m = _mm_set1_pd(mul);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i,
+                  _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(x + i), s), m));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - sub) * mul;
+}
+
+void ScaleInPlaceSse2(double* x, size_t n, double s) {
+  const __m128d f = _mm_set1_pd(s);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i, _mm_mul_pd(_mm_loadu_pd(x + i), f));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void WidenToComplexSse2(const double* src, size_t n, double* dst) {
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(src + i);
+    _mm_storeu_pd(dst + 2 * i, _mm_unpacklo_pd(v, zero));
+    _mm_storeu_pd(dst + 2 * i + 2, _mm_unpackhi_pd(v, zero));
+  }
+  for (; i < n; ++i) {
+    dst[2 * i] = src[i];
+    dst[2 * i + 1] = 0.0;
+  }
+}
+
+constexpr KernelTable kSse2Table = {
+    &SumSquaredDiffSse2,    &SumSquaredDiffEaSse2,
+    &MinDistSquaredSse2,    &MinDistSquaredBatchSse2,
+    &SumSse2,               &CenteredSumSquaresSse2,
+    &ScaleShiftSse2,        &ScaleInPlaceSse2,
+    &WidenToComplexSse2,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 level. Long-reduction kernels: four __m256d accumulators Y0..Y3
+// (Y_q holds lanes {4q .. 4q+3}) — four independent add chains, so the
+// loop is load-throughput bound instead of serialized on vaddpd latency.
+// MinDist: one __m256d whose lanes ARE the 4-lane contract's {A0..A3}.
+// Compiled via per-function target attributes so the rest of the binary
+// stays baseline.
+// ---------------------------------------------------------------------------
+
+#define TSQ_AVX2 __attribute__((target("avx2")))
+
+// add(low128, high128) = [A0+A2, A1+A3], then horizontal add.
+TSQ_AVX2 inline double Reduce256(__m256d acc) {
+  const __m128d s =
+      _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+// The 16-lane reduce: V = (Y0 + Y2) + (Y1 + Y3) holds {V0..V3}, then the
+// 4-lane reduce of V.
+TSQ_AVX2 inline double Reduce256x4(const __m256d acc[4]) {
+  const __m256d v = _mm256_add_pd(_mm256_add_pd(acc[0], acc[2]),
+                                  _mm256_add_pd(acc[1], acc[3]));
+  return Reduce256(v);
+}
+
+TSQ_AVX2 inline double TailReduceDiff256(const __m256d acc[4],
+                                         const double* x, const double* y,
+                                         size_t base, size_t n) {
+  double lane[16];
+  for (int q = 0; q < 4; ++q) _mm256_storeu_pd(lane + 4 * q, acc[q]);
+  for (size_t i = base; i < n; ++i) {
+    const double d = x[i] - y[i];
+    lane[i - base] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+TSQ_AVX2 double SumSquaredDiffAvx2(const double* x, const double* y,
+                                   size_t n) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    const double* py = y + 16 * b;
+    for (int q = 0; q < 4; ++q) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(px + 4 * q),
+                                      _mm256_loadu_pd(py + 4 * q));
+      acc[q] = _mm256_add_pd(acc[q], _mm256_mul_pd(d, d));
+    }
+  }
+  return TailReduceDiff256(acc, x, y, 16 * nblk, n);
+}
+
+TSQ_AVX2 double SumSquaredDiffEaAvx2(const double* x, const double* y,
+                                     size_t n, double limit) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    const double* py = y + 16 * b;
+    for (int q = 0; q < 4; ++q) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(px + 4 * q),
+                                      _mm256_loadu_pd(py + 4 * q));
+      acc[q] = _mm256_add_pd(acc[q], _mm256_mul_pd(d, d));
+    }
+    const double partial = Reduce256x4(acc);
+    if (partial > limit) return partial;
+  }
+  return TailReduceDiff256(acc, x, y, 16 * nblk, n);
+}
+
+TSQ_AVX2 double MinDistSquaredAvx2(const double* p, const double* lo,
+                                   const double* hi, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const __m256d zero = _mm256_setzero_pd();
+  const size_t nblk = n / 4;
+  for (size_t b = 0; b < nblk; ++b) {
+    const size_t i = 4 * b;
+    const __m256d pv = _mm256_loadu_pd(p + i);
+    const __m256d g = _mm256_max_pd(
+        _mm256_max_pd(_mm256_sub_pd(_mm256_loadu_pd(lo + i), pv),
+                      _mm256_sub_pd(pv, _mm256_loadu_pd(hi + i))),
+        zero);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(g, g));
+  }
+  double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (size_t i = 4 * nblk; i < n; ++i) {
+    const double g = MaxPd(MaxPd(lo[i] - p[i], p[i] - hi[i]), 0.0);
+    lane[i - 4 * nblk] += g * g;
+  }
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+TSQ_AVX2 void MinDistSquaredBatchAvx2(const double* p,
+                                      const double* const* los,
+                                      const double* const* his, size_t count,
+                                      size_t n, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = MinDistSquaredAvx2(p, los[i], his[i], n);
+  }
+}
+
+TSQ_AVX2 double SumAvx2(const double* x, size_t n) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    for (int q = 0; q < 4; ++q) {
+      acc[q] = _mm256_add_pd(acc[q], _mm256_loadu_pd(px + 4 * q));
+    }
+  }
+  double lane[16];
+  for (int q = 0; q < 4; ++q) _mm256_storeu_pd(lane + 4 * q, acc[q]);
+  for (size_t i = 16 * nblk; i < n; ++i) lane[i - 16 * nblk] += x[i];
+  return ReduceLanes16(lane);
+}
+
+TSQ_AVX2 double CenteredSumSquaresAvx2(const double* x, size_t n,
+                                       double mean) {
+  __m256d acc[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                    _mm256_setzero_pd(), _mm256_setzero_pd()};
+  const __m256d m = _mm256_set1_pd(mean);
+  const size_t nblk = n / 16;
+  for (size_t b = 0; b < nblk; ++b) {
+    const double* px = x + 16 * b;
+    for (int q = 0; q < 4; ++q) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(px + 4 * q), m);
+      acc[q] = _mm256_add_pd(acc[q], _mm256_mul_pd(d, d));
+    }
+  }
+  double lane[16];
+  for (int q = 0; q < 4; ++q) _mm256_storeu_pd(lane + 4 * q, acc[q]);
+  for (size_t i = 16 * nblk; i < n; ++i) {
+    const double d = x[i] - mean;
+    lane[i - 16 * nblk] += d * d;
+  }
+  return ReduceLanes16(lane);
+}
+
+TSQ_AVX2 void ScaleShiftAvx2(const double* x, size_t n, double sub,
+                             double mul, double* out) {
+  const __m256d s = _mm256_set1_pd(sub);
+  const __m256d m = _mm256_set1_pd(mul);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(x + i), s),
+                                   m));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - sub) * mul;
+}
+
+TSQ_AVX2 void ScaleInPlaceAvx2(double* x, size_t n, double s) {
+  const __m256d f = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), f));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+constexpr KernelTable kAvx2Table = {
+    &SumSquaredDiffAvx2,    &SumSquaredDiffEaAvx2,
+    &MinDistSquaredAvx2,    &MinDistSquaredBatchAvx2,
+    &SumAvx2,               &CenteredSumSquaresAvx2,
+    &ScaleShiftAvx2,        &ScaleInPlaceAvx2,
+    &WidenToComplexSse2,  // interleave is memory-bound; SSE2 form suffices
+};
+
+#endif  // TSQ_SIMD_X86
+
+const KernelTable* TableFor(Level level) {
+  switch (level) {
+#if TSQ_SIMD_X86
+    case Level::kSse2:
+      return &kSse2Table;
+    case Level::kAvx2:
+      return &kAvx2Table;
+#endif
+    default:
+      return &kScalarTable;
+  }
+}
+
+Level DetectBest() {
+#if TSQ_SIMD_X86 && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Level::kSse2;
+#endif
+  return Level::kScalar;
+}
+
+Level DetectInitial() {
+  const Level best = DetectBest();
+  const char* env = std::getenv("TSQ_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    const std::optional<Level> parsed = ParseLevel(env);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "tsq: ignoring unknown TSQ_SIMD value '%s' "
+                   "(expected scalar|sse2|avx2)\n",
+                   env);
+    } else if (*parsed > best) {
+      std::fprintf(stderr,
+                   "tsq: TSQ_SIMD=%s not supported on this CPU; using %s\n",
+                   env, LevelName(best));
+    } else {
+      return *parsed;
+    }
+  }
+  return best;
+}
+
+// -1 = not yet initialized; otherwise the int value of the active Level.
+std::atomic<int> g_active_level{-1};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+std::optional<Level> ParseLevel(std::string_view name) {
+  char buf[8] = {0};
+  if (name.size() >= sizeof(buf)) return std::nullopt;
+  for (size_t i = 0; i < name.size(); ++i) {
+    buf[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(name[i])));
+  }
+  if (std::strcmp(buf, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(buf, "sse2") == 0) return Level::kSse2;
+  if (std::strcmp(buf, "avx2") == 0) return Level::kAvx2;
+  return std::nullopt;
+}
+
+Level BestSupportedLevel() {
+  static const Level best = DetectBest();
+  return best;
+}
+
+Level ActiveLevel() {
+  int v = g_active_level.load(std::memory_order_acquire);
+  if (v < 0) {
+    const Level detected = DetectInitial();
+    int expected = -1;
+    g_active_level.compare_exchange_strong(expected,
+                                           static_cast<int>(detected),
+                                           std::memory_order_acq_rel);
+    v = g_active_level.load(std::memory_order_acquire);
+  }
+  return static_cast<Level>(v);
+}
+
+bool SetLevelForTesting(Level level) {
+  if (level > BestSupportedLevel()) return false;
+  g_active_level.store(static_cast<int>(level), std::memory_order_release);
+  return true;
+}
+
+const KernelTable& Kernels() { return *TableFor(ActiveLevel()); }
+
+const KernelTable& KernelsFor(Level level) {
+  if (level > BestSupportedLevel()) {
+    std::fprintf(stderr, "tsq: simd level %s not supported on this CPU\n",
+                 LevelName(level));
+    std::abort();
+  }
+  return *TableFor(level);
+}
+
+double SumSquaredDiff(const double* x, const double* y, size_t n) {
+  return Kernels().sum_squared_diff(x, y, n);
+}
+
+double SumSquaredDiffEarlyAbandon(const double* x, const double* y, size_t n,
+                                  double limit) {
+  return Kernels().sum_squared_diff_ea(x, y, n, limit);
+}
+
+double MinDistSquared(const double* p, const double* lo, const double* hi,
+                      size_t n) {
+  return Kernels().min_dist_squared(p, lo, hi, n);
+}
+
+double Sum(const double* x, size_t n) { return Kernels().sum(x, n); }
+
+double CenteredSumSquares(const double* x, size_t n, double mean) {
+  return Kernels().centered_sum_squares(x, n, mean);
+}
+
+double SumSquares(const double* x, size_t n) {
+  return Kernels().centered_sum_squares(x, n, 0.0);
+}
+
+}  // namespace simd
+}  // namespace tsq

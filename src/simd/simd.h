@@ -1,0 +1,141 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Runtime-dispatched vector kernels for the hot numeric loops: squared
+// Euclidean distance (with and without early abandoning), point-vs-rect
+// MinDist lower bounds, the moments pass of normalization, and the
+// elementwise scale/widen steps of the DFT feature projection.
+//
+// Lane-reduction determinism contract
+// -----------------------------------
+// Every reduction kernel — at every dispatch level, scalar included —
+// accumulates into the SAME conceptual lanes and reduces them in the
+// SAME order, so scalar, SSE2 and AVX2 produce bit-identical doubles.
+//
+// Long-reduction kernels (sum_squared_diff[_ea], sum,
+// centered_sum_squares — n is a series length) use SIXTEEN lanes:
+//
+//   * element i accumulates into lane (i mod 16), blocks of sixteen
+//     elements processed in increasing order, the <16 tail elements
+//     last. Sixteen lanes are four independent AVX2 accumulators
+//     Y0..Y3 (Y_q = lanes {4q .. 4q+3}), so the hot loop is bound by
+//     load throughput, not serialized on vaddpd latency; SSE2 splits
+//     the same lanes over eight __m128d accumulators.
+//   * no FMA contraction: every term is rounded as mul-then-add (the
+//     build pins -ffp-contract=off for this translation unit);
+//   * the final reduce is first V = (Y0 + Y2) + (Y1 + Y3) — vector
+//     adds, i.e. V_j = (A_j + A_{j+8}) + (A_{j+4} + A_{j+12}) — then
+//     the 4-lane reduce (V0 + V2) + (V1 + V3) via add(low128, high128)
+//     and a horizontal add.
+//
+// MinDist kernels traverse feature-space rects (n = a handful of
+// dimensions, too short for 16-element blocks to ever engage), so they
+// keep a FOUR-lane contract: element i -> lane (i mod 4), final reduce
+// (A0 + A2) + (A1 + A3).
+//
+// Early-abandoning kernels additionally pin WHERE the running sum is
+// compared against the limit: after every full 16-element block, never
+// inside the tail. On abandon they return the checkpoint partial
+// (> limit); otherwise the exact full sum. Because partial sums of
+// squares are monotone for finite inputs, "result > limit" is
+// equivalent to "full sum > limit" — only the constant factor of work
+// saved differs from a per-element check.
+//
+// MinDist kernels use hardware max semantics: max(a, b) = a > b ? a : b
+// (the second operand wins on NaN, matching MAXPD), applied as
+// gap = max(max(lo - p, p - hi), 0).
+//
+// Dispatch
+// --------
+// The active level is picked once per process: the TSQ_SIMD environment
+// variable ("scalar" | "sse2" | "avx2", case-insensitive) if set and
+// supported, else the best level the CPU supports. Tests and benches may
+// override it at runtime with SetLevelForTesting. Non-x86 builds compile
+// the scalar level only.
+
+#ifndef TSQ_SIMD_SIMD_H_
+#define TSQ_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace tsq {
+namespace simd {
+
+/// Dispatch levels, ordered from portable to widest.
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Short lowercase name ("scalar" / "sse2" / "avx2").
+const char* LevelName(Level level);
+
+/// Parses a level name (case-insensitive); nullopt on unknown input.
+std::optional<Level> ParseLevel(std::string_view name);
+
+/// Best level this CPU supports (kScalar on non-x86 builds).
+Level BestSupportedLevel();
+
+/// The level kernels dispatch to: TSQ_SIMD override if valid, else
+/// BestSupportedLevel(), unless SetLevelForTesting changed it.
+Level ActiveLevel();
+
+/// Forces the active level (clamped semantics: returns false and leaves
+/// the level unchanged if `level` exceeds BestSupportedLevel()). For
+/// tests and benches; takes effect process-wide.
+bool SetLevelForTesting(Level level);
+
+/// The per-level kernel implementations. Callers on a hot path may cache
+/// `const KernelTable& k = simd::Kernels();` once and invoke members
+/// directly; the table itself is immutable.
+struct KernelTable {
+  /// sum_i (x[i] - y[i])^2.
+  double (*sum_squared_diff)(const double* x, const double* y, size_t n);
+  /// Early-abandoning sum of squared diffs; returns a checkpoint partial
+  /// (> limit) on abandon, the exact full sum otherwise.
+  double (*sum_squared_diff_ea)(const double* x, const double* y, size_t n,
+                                double limit);
+  /// sum_d max(max(lo[d] - p[d], p[d] - hi[d]), 0)^2 — the R*-tree
+  /// MINDIST lower bound, squared.
+  double (*min_dist_squared)(const double* p, const double* lo,
+                             const double* hi, size_t n);
+  /// out[i] = min_dist_squared(p, los[i], his[i], n) for i < count. The
+  /// batched form the tree descent feeds a whole node through at once.
+  void (*min_dist_squared_batch)(const double* p, const double* const* los,
+                                 const double* const* his, size_t count,
+                                 size_t n, double* out);
+  /// sum_i x[i].
+  double (*sum)(const double* x, size_t n);
+  /// sum_i (x[i] - mean)^2. With mean == 0.0 this is the energy kernel
+  /// (x - 0.0 is bit-identical to x for every double).
+  double (*centered_sum_squares)(const double* x, size_t n, double mean);
+  /// out[i] = (x[i] - sub) * mul — the normalize step. Elementwise, so
+  /// results are level-independent by construction.
+  void (*scale_shift)(const double* x, size_t n, double sub, double mul,
+                      double* out);
+  /// x[i] *= s in place — the DFT 1/sqrt(n) projection scaling.
+  void (*scale_inplace)(double* x, size_t n, double s);
+  /// dst[2i] = src[i], dst[2i+1] = 0 — real-to-complex widening.
+  void (*widen_to_complex)(const double* src, size_t n, double* dst);
+};
+
+/// The table for ActiveLevel(). Re-reads the active level on each call;
+/// cache the reference when calling in a loop.
+const KernelTable& Kernels();
+
+/// The table for an explicit level (for cross-level equality tests).
+/// Aborts if the level is not compiled in / not supported by the CPU.
+const KernelTable& KernelsFor(Level level);
+
+/// Convenience wrappers through the active table.
+double SumSquaredDiff(const double* x, const double* y, size_t n);
+double SumSquaredDiffEarlyAbandon(const double* x, const double* y, size_t n,
+                                  double limit);
+double MinDistSquared(const double* p, const double* lo, const double* hi,
+                      size_t n);
+double Sum(const double* x, size_t n);
+double CenteredSumSquares(const double* x, size_t n, double mean);
+double SumSquares(const double* x, size_t n);
+
+}  // namespace simd
+}  // namespace tsq
+
+#endif  // TSQ_SIMD_SIMD_H_

@@ -7,23 +7,15 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "simd/simd.h"
 
 namespace tsq {
 namespace spatial {
 
 double MinDistSquared(const Point& p, const Rect& r) {
   TSQ_DCHECK(p.size() == r.dims());
-  double acc = 0.0;
-  for (size_t d = 0; d < p.size(); ++d) {
-    double gap = 0.0;
-    if (p[d] < r.lo(d)) {
-      gap = r.lo(d) - p[d];
-    } else if (p[d] > r.hi(d)) {
-      gap = p[d] - r.hi(d);
-    }
-    acc += gap * gap;
-  }
-  return acc;
+  return simd::MinDistSquared(p.data(), r.lo().data(), r.hi().data(),
+                              p.size());
 }
 
 double MinMaxDistSquared(const Point& p, const Rect& r) {
@@ -69,12 +61,7 @@ double PointSegmentDistSquared(double px, double py, double ax, double ay,
 
 double PointDistSquared(const Point& a, const Point& b) {
   TSQ_DCHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t d = 0; d < a.size(); ++d) {
-    const double diff = a[d] - b[d];
-    acc += diff * diff;
-  }
-  return acc;
+  return simd::SumSquaredDiff(a.data(), b.data(), a.size());
 }
 
 }  // namespace spatial

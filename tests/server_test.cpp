@@ -19,6 +19,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -380,6 +381,108 @@ TEST(ProtocolTest, RepliesRoundTripEveryShape) {
   EXPECT_EQ(out.id, 9u);
 }
 
+TEST(ProtocolTest, ApproxKnnOptionsRoundTripAndVersionGate) {
+  Rng rng(kSeed + 2);
+  Request request;
+  request.verb = Verb::kQuery;
+  request.id = 21;
+  BatchQuery knn;
+  knn.kind = BatchQueryKind::kKnn;
+  knn.query = testing::RandomRealVec(&rng, kLength);
+  knn.k = 7;
+  request.queries = {knn};
+
+  // Exact mode: the kind word carries no flag bit — byte-compatible with
+  // the pre-extension wire format. The kind u32 sits at payload offset 12
+  // (verb u32 + id u64); its second byte holds bits 8..15.
+  serde::Buffer frame;
+  EncodeRequest(request, &frame);
+  ASSERT_GT(frame.size(), 16u + 16u);
+  EXPECT_EQ(frame[16 + 13] & 0x01, 0);
+
+  // Approximate mode: flag set, options round-trip exactly.
+  request.queries[0].knn.epsilon = 0.25;
+  request.queries[0].knn.probe_budget = 99;
+  request.queries[0].knn.stop_after_first_leaf = true;
+  frame.clear();
+  EncodeRequest(request, &frame);
+  EXPECT_EQ(frame[16 + 13] & 0x01, 1);
+  Request out = RoundTripRequest(request);
+  ASSERT_EQ(out.queries.size(), 1u);
+  EXPECT_EQ(out.queries[0].knn.epsilon, 0.25);
+  EXPECT_EQ(out.queries[0].knn.probe_budget, 99u);
+  EXPECT_TRUE(out.queries[0].knn.stop_after_first_leaf);
+
+  // A flagged payload whose options decode to all-default is a
+  // non-canonical encoding: Corruption, not a silent second spelling of
+  // the exact wire bytes. The options tail is the last 20 payload bytes
+  // (epsilon f64 | probe u64 | first_leaf u32).
+  request.queries[0].knn = KnnOptions{0.5, 0, false};
+  frame.clear();
+  EncodeRequest(request, &frame);
+  serde::Buffer payload(frame.begin() + 16, frame.end());
+  std::fill(payload.end() - 20, payload.end() - 12, uint8_t{0});
+  Request rejected;
+  EXPECT_TRUE(DecodeRequest(payload.data(), payload.size(), &rejected)
+                  .IsCorruption());
+
+  // The flag on a non-kNN kind is Corruption too: rewrite the kind value
+  // byte (payload offset 12, low byte) from kKnn to kRange, flag kept.
+  payload.assign(frame.begin() + 16, frame.end());
+  payload[12] = static_cast<uint8_t>(BatchQueryKind::kRange);
+  EXPECT_TRUE(DecodeRequest(payload.data(), payload.size(), &rejected)
+                  .IsCorruption());
+
+  // Unknown flag bits above the assigned one are Corruption (reserved
+  // for future extensions; an old decoder must refuse, never misparse).
+  payload.assign(frame.begin() + 16, frame.end());
+  payload[14] |= 0x01;  // bit 16 of the kind word
+  EXPECT_TRUE(DecodeRequest(payload.data(), payload.size(), &rejected)
+                  .IsCorruption());
+}
+
+TEST(ProtocolTest, ApproxStatsReplyRoundTripAndVersionGate) {
+  // A reply whose result ran approximate carries the extended stats tail,
+  // gated by the flag on the reply code word.
+  Reply reply;
+  reply.verb = Verb::kQuery;
+  reply.id = 22;
+  BatchResult result;
+  result.matches = {{5, "SIMa", 1.25}};
+  result.stats.candidates = 12;
+  result.stats.pruned = 188;
+  result.stats.max_error = 0.125;
+  result.stats.approx = true;
+  reply.results.push_back(result);
+  Reply out = RoundTripReply(reply);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0].stats.pruned, 188u);
+  EXPECT_EQ(out.results[0].stats.max_error, 0.125);
+  EXPECT_TRUE(out.results[0].stats.approx);
+
+  // Exact results encode the pre-extension reply layout: no flag bit on
+  // the code word (payload offset 0), and the extended fields drop out.
+  reply.results[0].stats.approx = false;
+  serde::Buffer frame;
+  EncodeReply(reply, &frame);
+  EXPECT_EQ(frame[16 + 1] & 0x01, 0);
+  out = RoundTripReply(reply);
+  EXPECT_EQ(out.results[0].stats.pruned, 0u);
+  EXPECT_EQ(out.results[0].stats.max_error, 0.0);
+
+  // The flag on a verb that carries no query stats is Corruption.
+  Reply ping;
+  ping.verb = Verb::kPing;
+  ping.id = 23;
+  frame.clear();
+  EncodeReply(ping, &frame);
+  serde::Buffer payload(frame.begin() + 16, frame.end());
+  payload[1] |= 0x01;  // set bit 8 of the code word
+  Reply rejected;
+  EXPECT_TRUE(
+      DecodeReply(payload.data(), payload.size(), &rejected).IsCorruption());
+}
+
 TEST(ProtocolTest, PipelinedFramesDecodeInOneFeed) {
   Request a;
   a.verb = Verb::kPing;
@@ -679,7 +782,7 @@ TEST_F(ServerTest, RemoteErrorsMatchInProcess) {
   const RealVec short_query(3, 1.0);
   auto remote = client->Range(short_query, 1.0);
   auto local = db_->RunBatch(
-      {BatchQuery{BatchQueryKind::kRange, short_query, 1.0, 0, {}}}, 1);
+      {BatchQuery{BatchQueryKind::kRange, short_query, 1.0, 0, {}, {}}}, 1);
   ASSERT_TRUE(local.ok());
   ASSERT_FALSE(remote.ok());
   EXPECT_EQ(remote.status().code(), (*local)[0].status.code());
@@ -689,7 +792,8 @@ TEST_F(ServerTest, RemoteErrorsMatchInProcess) {
   // remote answer must be the same refusal the in-process batch gives.
   auto remote_sub = client->Subsequence(RealVec(8, 0.0), 1.0);
   auto local_sub = db_->RunBatch(
-      {BatchQuery{BatchQueryKind::kSubsequence, RealVec(8, 0.0), 1.0, 0, {}}},
+      {BatchQuery{BatchQueryKind::kSubsequence, RealVec(8, 0.0), 1.0, 0, {},
+                  {}}},
       1);
   ASSERT_TRUE(local_sub.ok());
   ASSERT_FALSE(remote_sub.ok());
@@ -1135,7 +1239,7 @@ TEST_F(ServerTest, LoopbackEqualityAtEveryPollerCount) {
     auto remote_sub = client->Subsequence(RealVec(8, 0.0), 1.0);
     auto local_sub = db_->RunBatch(
         {BatchQuery{BatchQueryKind::kSubsequence, RealVec(8, 0.0), 1.0, 0,
-                    {}}},
+                    {}, {}}},
         1);
     ASSERT_TRUE(local_sub.ok()) << what;
     ASSERT_FALSE(remote_sub.ok()) << what;

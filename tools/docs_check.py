@@ -14,6 +14,12 @@ Two classes of failure:
    are the phrases that described it; any hit is a failure with the
    offending file:line printed.
 
+3. Required sections: load-bearing doc sections that later PRs link to
+   (the kernel determinism contract, the wire-protocol extension rule,
+   the benchmark tables) must keep existing under their exact heading —
+   renaming one silently breaks the cross-references and the contract
+   of record.
+
 Exit status 0 = clean, 1 = problems found. No dependencies beyond the
 standard library; run from anywhere inside the repository.
 """
@@ -42,6 +48,25 @@ STALE_PATTERNS = [
 ]
 
 SKIP_DIRS = {".git", "build", "build-tsan", "third_party", ".github"}
+
+# Doc sections other files cross-reference by heading. Path (relative
+# to the repo root) -> exact headings that must exist in that file.
+REQUIRED_SECTIONS = {
+    "docs/ARCHITECTURE.md": [
+        "Kernel layer & dispatch",
+        "Invariants",
+        "Lock inventory",
+    ],
+    "docs/WIRE_PROTOCOL.md": [
+        "Versioning",
+        "Optional-extension flag bits",
+    ],
+    "README.md": [
+        "Kernels",
+        "Approximate kNN",
+        "Benchmarks",
+    ],
+}
 
 
 def tracked_files(suffixes):
@@ -140,6 +165,32 @@ def check_stale_prose(files):
     return problems
 
 
+def check_required_sections():
+    problems = []
+    for rel_path, headings in REQUIRED_SECTIONS.items():
+        path = os.path.join(REPO, rel_path)
+        if not os.path.exists(path):
+            problems.append(f"{rel_path}: required doc file is missing")
+            continue
+        present = set()
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    present.add(m.group(1).strip())
+        for heading in headings:
+            if heading not in present:
+                problems.append(
+                    f"{rel_path}: required section '{heading}' is missing")
+    return problems
+
+
 def main():
     md_files = tracked_files([".md"])
     headers = [p for p in tracked_files([".h"])
@@ -147,7 +198,8 @@ def main():
     readme = os.path.join(REPO, "README.md")
     prose_files = headers + ([readme] if os.path.exists(readme) else [])
 
-    problems = check_links(md_files) + check_stale_prose(prose_files)
+    problems = (check_links(md_files) + check_stale_prose(prose_files) +
+                check_required_sections())
     if problems:
         print(f"docs-check: {len(problems)} problem(s)")
         for p in problems:

@@ -32,7 +32,8 @@
 //   tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME
 //                         --eps X [--transform T] [--mode both|data]
 //   tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME
-//                         --k K [--transform T]
+//                         --k K [--transform T] [--epsilon E] [--probes N]
+//                         [--first-leaf 1]   (approximate kNN knobs)
 //   tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]
 //   tsq_cli remote-reindex [--host H] [--port P]
 //   tsq_cli remote-flush  [--host H] [--port P]   (durability barrier)
@@ -99,7 +100,7 @@ int Usage() {
       "  tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME "
       "--eps X [--transform T] [--mode both|data]\n"
       "  tsq_cli remote-knn    [--host H] [--port P] --csv FILE --series NAME "
-      "--k K [--transform T]\n"
+      "--k K [--transform T] [--epsilon E] [--probes N] [--first-leaf 1]\n"
       "  tsq_cli remote-join   [--host H] [--port P] --eps X [--transform T]\n"
       "  tsq_cli remote-reindex|remote-flush|remote-repair [--host H] "
       "[--port P]\n"
@@ -412,12 +413,24 @@ int CmdKnn(const Args& args) {
     spec.transform = *transform;
   }
   const size_t k = std::stoul(args.GetOr("k", "5"));
-  auto matches = (*db)->Knn(query->values, k, spec);
+  KnnOptions knn_options;
+  knn_options.epsilon = std::stod(args.GetOr("epsilon", "0"));
+  knn_options.probe_budget = std::stoull(args.GetOr("probes", "0"));
+  knn_options.stop_after_first_leaf = args.GetOr("first-leaf", "0") == "1";
+  auto matches = (*db)->Knn(query->values, k, spec, knn_options);
   if (!matches.ok()) return Fail(matches.status());
   std::printf("%zu nearest neighbors of %s:\n", matches->size(), series_name);
   for (const Match& m : *matches) {
     std::printf("  %-16s %.6f\n", m.name.c_str(), m.distance);
   }
+  const QueryStats& qs = (*db)->last_stats();
+  std::printf("visited %llu, pruned %llu",
+              static_cast<unsigned long long>(qs.candidates),
+              static_cast<unsigned long long>(qs.pruned));
+  if (qs.approx) {
+    std::printf(", max relative error %.6f (approximate)", qs.max_error);
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -708,12 +721,24 @@ int CmdRemoteKnn(const Args& args) {
   auto spec = MakeRemoteSpec(args, client->get());
   if (!spec.ok()) return Fail(spec.status());
   const size_t k = std::stoul(args.GetOr("k", "5"));
-  auto matches = (*client)->Knn(*query, k, *spec);
+  KnnOptions options;
+  options.epsilon = std::stod(args.GetOr("epsilon", "0"));
+  options.probe_budget = std::stoull(args.GetOr("probes", "0"));
+  options.stop_after_first_leaf = args.GetOr("first-leaf", "0") == "1";
+  QueryStats stats;
+  auto matches = (*client)->Knn(*query, k, *spec, options, &stats);
   if (!matches.ok()) return Fail(matches.status());
   std::printf("%zu nearest neighbors:\n", matches->size());
   for (const Match& m : *matches) {
     std::printf("  %-16s %.6f\n", m.name.c_str(), m.distance);
   }
+  std::printf("visited %llu, pruned %llu",
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.pruned));
+  if (stats.approx) {
+    std::printf(", max relative error %.6f (approximate)", stats.max_error);
+  }
+  std::printf("\n");
   return 0;
 }
 
