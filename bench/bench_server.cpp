@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -156,8 +157,14 @@ void Run() {
     rows.Append(std::move(row));
   }
 
-  bench::Table table({"pollers", "conns", "wall ms", "frames/s", "busy",
-                      "backoffs"});
+  bench::Table table({"pollers", "conns", "wall ms", "frames/s", "p50us",
+                      "p99us", "busy", "backoffs"});
+  // Every frame in the sweep is a kQuery, so the server-side per-verb
+  // latency histogram for verb="query" captures exactly this workload.
+  // Server::Start arms the metrics registry, so it records for free;
+  // snapshot deltas isolate each cell of the sweep.
+  obs::Histogram* const latency =
+      obs::RegisterHistogram("tsqd_request_latency_us", "verb=\"query\"");
   for (const size_t pollers : {size_t{1}, size_t{2}, size_t{4}}) {
     server::ServerOptions options;
     options.pollers = pollers;
@@ -173,6 +180,7 @@ void Run() {
 
     for (const size_t connections :
          {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      const obs::Histogram::Snapshot before = latency->Snap();
       const double ms = bench::MeanMillis(
           [&] {
             std::vector<std::thread> threads;
@@ -185,12 +193,17 @@ void Run() {
             for (std::thread& t : threads) t.join();
           },
           /*reps=*/3);
+      const obs::Histogram::Snapshot delta =
+          obs::SnapshotDelta(before, latency->Snap());
+      const double p50 = obs::SnapshotQuantileMicros(delta, 0.5);
+      const double p99 = obs::SnapshotQuantileMicros(delta, 0.99);
       const double total_frames =
           static_cast<double>(connections * kFramesPerConnection);
       const double fps = ms > 0.0 ? 1000.0 * total_frames / ms : 0.0;
       const server::ServerCounters counters = server->counters();
       table.AddRow({std::to_string(pollers), std::to_string(connections),
                     bench::Table::Num(ms, 2), bench::Table::Num(fps, 0),
+                    bench::Table::Num(p50, 0), bench::Table::Num(p99, 0),
                     std::to_string(counters.busy_rejected),
                     std::to_string(counters.accept_backoffs)});
       bench::Json row = bench::Json::Object();
@@ -199,6 +212,8 @@ void Run() {
       row["connections"] = bench::Json::Int(connections);
       row["wall_ms"] = bench::Json::Num(ms);
       row["frames_per_sec"] = bench::Json::Num(fps);
+      row["latency_p50_us"] = bench::Json::Num(p50);
+      row["latency_p99_us"] = bench::Json::Num(p99);
       row["busy_rejected"] = bench::Json::Int(counters.busy_rejected);
       row["accept_backoffs"] = bench::Json::Int(counters.accept_backoffs);
       rows.Append(std::move(row));

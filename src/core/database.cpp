@@ -9,11 +9,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsq {
 
@@ -57,6 +60,56 @@ Status SyncDirectory(const std::string& path) {
 }  // namespace
 
 Database::~Database() { StopMergeThread(); }
+
+void Database::InitSlowQueryLog() {
+  if (const char* env = std::getenv("TSQ_SLOW_QUERY_MS")) {
+    char* end = nullptr;
+    const unsigned long long ms = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      options_.slow_query_ms = static_cast<uint64_t>(ms);
+    } else {
+      TSQ_LOG(kWarn) << "ignoring unparsable TSQ_SLOW_QUERY_MS='" << env
+                     << "'";
+    }
+  }
+  if (options_.slow_query_ms > 0) {
+    // The breakdown in the log line comes from the stage timers, so
+    // enabling the log arms tracing process-wide. Answers are unaffected
+    // (tracing only ever reads clocks); see tests/obs_test.cpp.
+    obs::ArmTracing();
+    obs::ArmMetrics();
+    TSQ_LOG(kInfo) << "slow-query log armed at " << options_.slow_query_ms
+                   << "ms";
+  }
+}
+
+void Database::MaybeLogSlowQuery(const char* op,
+                                 const QueryStats& stats) const {
+  if (options_.slow_query_ms == 0 ||
+      stats.elapsed_ms < static_cast<double>(options_.slow_query_ms)) {
+    return;
+  }
+  // Cold path by construction (the query already burned >= threshold ms).
+  // The counter is bumped unconditionally — even when the log level
+  // swallows the line — so tests and scrapes can observe the gating
+  // without capturing stderr.
+  static obs::Counter* slow_queries =
+      obs::RegisterCounter("tsq_slow_queries_total");
+  slow_queries->Add(1);
+  TSQ_LOG(kWarn) << "slow query op=" << op << " elapsed_ms="
+                 << stats.elapsed_ms << " prepare_ms=" << stats.prepare_ms
+                 << " descent_ms=" << stats.descent_ms
+                 << " delta_ms=" << stats.delta_ms
+                 << " pool_wait_ms=" << stats.pool_wait_ms
+                 << " refine_ms=" << stats.refine_ms
+                 << " candidates=" << stats.candidates
+                 << " verified=" << stats.verified
+                 << " answers=" << stats.answers
+                 << " nodes_visited=" << stats.nodes_visited
+                 << " disk_reads=" << stats.disk_reads
+                 << " records_scanned=" << stats.records_scanned
+                 << (stats.traced ? "" : " (untraced)");
+}
 
 void Database::StartMergeThread() {
   if (options_.merge_interval_ms == 0) return;
@@ -115,6 +168,7 @@ Result<std::unique_ptr<Database>> Database::Create(
                        options.relation_segments));
   // Clear any leftover merge scratch from a previous incarnation.
   std::remove((db->IndexPath() + ".tmp").c_str());
+  db->InitSlowQueryLog();
   db->StartMergeThread();
   return db;
 }
@@ -179,6 +233,7 @@ Result<std::unique_ptr<Database>> Database::Open(
       db->snapshot_ = std::move(snap);
     }
   }
+  db->InitSlowQueryLog();
   db->StartMergeThread();
   return db;
 }
@@ -649,6 +704,7 @@ Result<std::vector<Match>> Database::RangeQuery(const RealVec& query,
   last_stats_ = QueryStats();
   TSQ_RETURN_IF_ERROR(IndexRangeQuery(view, *relation_, query, epsilon,
                                       spec, &out, &last_stats_));
+  MaybeLogSlowQuery("range", last_stats_);
   return out;
 }
 
@@ -664,6 +720,7 @@ Result<std::vector<Match>> Database::Knn(const RealVec& query, size_t k,
   last_stats_ = QueryStats();
   TSQ_RETURN_IF_ERROR(IndexKnnQuery(view, *relation_, query, k, spec, options,
                                     &out, &last_stats_));
+  MaybeLogSlowQuery("knn", last_stats_);
   return out;
 }
 
@@ -676,6 +733,7 @@ Result<std::vector<Match>> Database::ScanRangeQuery(const RealVec& query,
   TSQ_RETURN_IF_ERROR(SeqScanRangeQuery(*relation_, extractor_, query,
                                         epsilon, spec, early_abandon, &out,
                                         &last_stats_));
+  MaybeLogSlowQuery("scan_range", last_stats_);
   return out;
 }
 
@@ -714,7 +772,12 @@ Result<std::vector<engine::BatchResult>> Database::RunBatch(
   if (!index_built()) {
     return Status::FailedPrecondition("RunBatch requires BuildIndex()");
   }
-  return EnsureEngine(threads)->RunBatch(queries, batch_stats);
+  std::vector<engine::BatchResult> results =
+      EnsureEngine(threads)->RunBatch(queries, batch_stats);
+  for (const engine::BatchResult& r : results) {
+    if (r.status.ok()) MaybeLogSlowQuery("batch", r.stats);
+  }
+  return results;
 }
 
 Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
@@ -733,7 +796,11 @@ Result<std::vector<JoinPair>> Database::ParallelSelfJoin(
   if (!index_built()) {
     return Status::FailedPrecondition("ParallelSelfJoin requires BuildIndex()");
   }
-  return EnsureEngine(threads)->SelfJoin(epsilon, transform, stats);
+  auto pairs = EnsureEngine(threads)->SelfJoin(epsilon, transform, stats);
+  if (pairs.ok() && stats != nullptr) {
+    MaybeLogSlowQuery("parallel_self_join", *stats);
+  }
+  return pairs;
 }
 
 Result<std::vector<JoinPair>> Database::SelfJoin(
@@ -746,11 +813,13 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(*relation_, epsilon, transform,
                                           /*early_abandon=*/false, &out,
                                           &last_stats_));
+      MaybeLogSlowQuery("self_join", last_stats_);
       return out;
     case JoinMethod::kScanEarlyAbandon:
       TSQ_RETURN_IF_ERROR(SeqScanSelfJoin(*relation_, epsilon, transform,
                                           /*early_abandon=*/true, &out,
                                           &last_stats_));
+      MaybeLogSlowQuery("self_join", last_stats_);
       return out;
     case JoinMethod::kIndexPlain: {
       auto snap = CurrentSnapshot();
@@ -760,6 +829,7 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       TSQ_RETURN_IF_ERROR(IndexSelfJoin(IndexView(*snap), *relation_,
                                         epsilon, /*transform=*/std::nullopt,
                                         &out, &last_stats_));
+      MaybeLogSlowQuery("self_join", last_stats_);
       return out;
     }
     case JoinMethod::kIndexTransformed: {
@@ -770,6 +840,7 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       TSQ_RETURN_IF_ERROR(IndexSelfJoin(IndexView(*snap), *relation_,
                                         epsilon, transform, &out,
                                         &last_stats_));
+      MaybeLogSlowQuery("self_join", last_stats_);
       return out;
     }
     case JoinMethod::kTreeMatch: {
@@ -780,6 +851,7 @@ Result<std::vector<JoinPair>> Database::SelfJoin(
       TSQ_RETURN_IF_ERROR(TreeMatchSelfJoin(IndexView(*snap), *relation_,
                                             epsilon, transform, &out,
                                             &last_stats_));
+      MaybeLogSlowQuery("self_join", last_stats_);
       return out;
     }
   }

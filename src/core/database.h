@@ -103,6 +103,13 @@ struct DatabaseOptions {
   uint64_t merge_min_delta = 1;
   /// When an acknowledged write is on stable storage (see Durability).
   Durability durability = Durability::kNone;
+  /// Slow-query log threshold in milliseconds; 0 (the default) disables
+  /// it. When enabled, per-query stage tracing is armed at Create/Open
+  /// and every query whose elapsed time reaches the threshold emits one
+  /// structured WARN line with its stage self-time breakdown (and bumps
+  /// the tsq_slow_queries_total counter). The TSQ_SLOW_QUERY_MS
+  /// environment variable, when set, overrides this value at Create/Open.
+  uint64_t slow_query_ms = 0;
 };
 
 /// One coherent snapshot of every component's counters: relation scan/IO,
@@ -402,6 +409,15 @@ class Database {
 
   /// Claims or checks the common series length. Thread-safe.
   Status CheckSeriesLength(size_t length);
+
+  /// Applies the TSQ_SLOW_QUERY_MS override and arms stage tracing when
+  /// the slow-query log is enabled. Run once per Create/Open.
+  void InitSlowQueryLog();
+
+  /// Emits the slow-query line (and bumps the counter) when `stats`
+  /// crossed the configured threshold. `op` names the entry point.
+  /// Cold path: one branch per query when the log is disabled.
+  void MaybeLogSlowQuery(const char* op, const QueryStats& stats) const;
 
   /// Records a write fault and enters read-only degradation: later
   /// writes return kReadOnly until Repair() succeeds. Returns `cause`

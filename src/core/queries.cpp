@@ -9,21 +9,50 @@
 
 #include "common/stopwatch.h"
 #include "core/search_rect.h"
+#include "obs/trace.h"
 
 namespace tsq {
+
+static_assert(obs::kNumStages == 5,
+              "StageStatsCapture and the QueryStats stage fields assume "
+              "five pipeline stages");
+
+StageStatsCapture::StageStatsCapture(QueryStats* stats)
+    : stats_(stats), active_(stats != nullptr && obs::TracingArmed()) {
+  if (!active_) return;
+  const obs::ThreadStageNanos& s = obs::ThisThreadStageNanos();
+  for (size_t i = 0; i < obs::kNumStages; ++i) before_ns_[i] = s.ns[i];
+}
+
+StageStatsCapture::~StageStatsCapture() {
+  if (!active_) return;
+  const obs::ThreadStageNanos& s = obs::ThisThreadStageNanos();
+  double ms[obs::kNumStages];
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    ms[i] = static_cast<double>(s.ns[i] - before_ns_[i]) * 1e-6;
+  }
+  stats_->traced = true;
+  stats_->prepare_ms += ms[static_cast<int>(obs::Stage::kPrepare)];
+  stats_->descent_ms += ms[static_cast<int>(obs::Stage::kDescent)];
+  stats_->delta_ms += ms[static_cast<int>(obs::Stage::kDelta)];
+  stats_->pool_wait_ms += ms[static_cast<int>(obs::Stage::kPoolWait)];
+  stats_->refine_ms += ms[static_cast<int>(obs::Stage::kRefine)];
+}
 
 namespace {
 
 /// Captures this thread's tree/pool counter deltas around a query (the v2
 /// exact-stats contract: traversals mirror their shared atomic counters
 /// into thread-local ones, and a query runs entirely on one thread, so
-/// the delta can never include a concurrent query's work).
+/// the delta can never include a concurrent query's work). Stage-timer
+/// deltas ride the same contract through the embedded StageStatsCapture.
 class StatsScope {
  public:
   explicit StatsScope(QueryStats* stats)
       : stats_(stats),
         tree_before_(rtree::ThisThreadTraversalCounters()),
-        pool_before_(ThisThreadPoolCounters()) {}
+        pool_before_(ThisThreadPoolCounters()),
+        stages_(stats) {}
   ~StatsScope() {
     if (stats_ == nullptr) return;
     const rtree::ThreadTraversalCounters& t =
@@ -40,6 +69,7 @@ class StatsScope {
   QueryStats* stats_;
   rtree::ThreadTraversalCounters tree_before_;
   ThreadPoolCounters pool_before_;
+  StageStatsCapture stages_;
   Stopwatch watch_;
 };
 
@@ -73,6 +103,7 @@ void AppendDeltaRangeCandidates(const IndexView& view,
 
 Result<PreparedQuery> PrepareQuery(const IndexView& view, const RealVec& query,
                                    const QuerySpec& spec) {
+  obs::StageTimer span(obs::Stage::kPrepare);
   const KIndex& index = view.main();
   TSQ_RETURN_IF_ERROR(ValidateQuery(index, query));
   const SeriesFeatures qf = index.extractor().Extract(query);
@@ -100,13 +131,17 @@ Status RangeSearchCandidates(const IndexView& view,
   const spatial::Rect search_rect = BuildSearchRect(
       index.layout(), prepared.coefficients, epsilon, spec.window);
   std::optional<spatial::AffineMap> map;
-  if (spec.transform.has_value()) {
-    TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*spec.transform));
-    TSQ_RETURN_IF_ERROR(
-        index.RangeCandidatesTransformed(*map, search_rect, out));
-  } else {
-    TSQ_RETURN_IF_ERROR(index.RangeCandidates(search_rect, out));
+  {
+    obs::StageTimer span(obs::Stage::kDescent);
+    if (spec.transform.has_value()) {
+      TSQ_ASSIGN_OR_RETURN(map, index.space().ToAffineMap(*spec.transform));
+      TSQ_RETURN_IF_ERROR(
+          index.RangeCandidatesTransformed(*map, search_rect, out));
+    } else {
+      TSQ_RETURN_IF_ERROR(index.RangeCandidates(search_rect, out));
+    }
   }
+  obs::StageTimer span(obs::Stage::kDelta);
   AppendDeltaRangeCandidates(view, map.has_value() ? &*map : nullptr,
                              search_rect, out);
   return Status::OK();
@@ -135,6 +170,7 @@ Status VerifyRangeCandidates(const Relation& relation,
                              const QuerySpec& spec, double epsilon,
                              std::vector<Match>* out, QueryStats* stats) {
   TSQ_CHECK(out != nullptr);
+  obs::StageTimer span(obs::Stage::kRefine);
   for (const SeriesId id : candidates) {
     TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation.Get(id));
     if (stats != nullptr) ++stats->verified;
@@ -264,6 +300,7 @@ Status IndexKnnQuery(const IndexView& view, const Relation& relation,
       return false;
     }
     ++visited;
+    obs::StageTimer span(obs::Stage::kRefine);
     Result<SeriesRecord> rec = relation.Get(id);
     if (!rec.ok()) {
       inner_status = rec.status();
@@ -294,6 +331,7 @@ Status IndexKnnQuery(const IndexView& view, const Relation& relation,
   };
   std::vector<DeltaCandidate> delta_candidates;
   if (view.has_delta()) {
+    obs::StageTimer span(obs::Stage::kDelta);
     const DeltaIndex& delta = view.delta();
     for (uint64_t slot = view.delta_begin(); slot < view.delta_end();
          ++slot) {
@@ -319,18 +357,25 @@ Status IndexKnnQuery(const IndexView& view, const Relation& relation,
     }
   };
 
-  TSQ_RETURN_IF_ERROR(index.StreamNearest(
-      *metric, map.has_value() ? &*map : nullptr,
-      [&](SeriesId id, double lower_bound_sq) {
-        drain_delta_below(lower_bound_sq);
-        if (!keep_going) return false;
-        keep_going = visit(id, lower_bound_sq);
-        return keep_going;
-      }));
+  {
+    // The stream span covers the best-first traversal; per-candidate
+    // verification inside `visit` opens its own kRefine span, so descent
+    // self-time is pure tree work.
+    obs::StageTimer span(obs::Stage::kDescent);
+    TSQ_RETURN_IF_ERROR(index.StreamNearest(
+        *metric, map.has_value() ? &*map : nullptr,
+        [&](SeriesId id, double lower_bound_sq) {
+          drain_delta_below(lower_bound_sq);
+          if (!keep_going) return false;
+          keep_going = visit(id, lower_bound_sq);
+          return keep_going;
+        }));
+  }
   TSQ_RETURN_IF_ERROR(inner_status);
   if (keep_going) {
     // Tree exhausted without hitting the cutoff; remaining delta
     // candidates all bound at or above every tree emission.
+    obs::StageTimer span(obs::Stage::kDelta);
     drain_delta_below(std::numeric_limits<double>::infinity());
     TSQ_RETURN_IF_ERROR(inner_status);
   }
@@ -407,27 +452,36 @@ Status IndexSelfJoin(const IndexView& view, const Relation& relation,
   // one consistent set of series under concurrent ingest.
   const uint64_t n = view.total_series();
   for (SeriesId qid = 0; qid < n; ++qid) {
-    TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation.Get(qid));
-    if (stats != nullptr) ++stats->records_scanned;
-
-    ComplexVec target = transform.has_value()
-                            ? transform->spectral.Apply(qrec.dft)
-                            : qrec.dft;
+    std::vector<SeriesId> candidates;
+    ComplexVec target;
+    {
+      obs::StageTimer prepare_span(obs::Stage::kPrepare);
+      TSQ_ASSIGN_OR_RETURN(SeriesRecord qrec, relation.Get(qid));
+      if (stats != nullptr) ++stats->records_scanned;
+      target = transform.has_value() ? transform->spectral.Apply(qrec.dft)
+                                     : qrec.dft;
+    }
     const ComplexVec coeffs = index.extractor().StoredCoefficients(target);
     const spatial::Rect rect =
         BuildSearchRect(index.layout(), coeffs, epsilon, std::nullopt);
 
-    std::vector<SeriesId> candidates;
-    if (map.has_value()) {
-      TSQ_RETURN_IF_ERROR(
-          index.RangeCandidatesTransformed(*map, rect, &candidates));
-    } else {
-      TSQ_RETURN_IF_ERROR(index.RangeCandidates(rect, &candidates));
+    {
+      obs::StageTimer descent_span(obs::Stage::kDescent);
+      if (map.has_value()) {
+        TSQ_RETURN_IF_ERROR(
+            index.RangeCandidatesTransformed(*map, rect, &candidates));
+      } else {
+        TSQ_RETURN_IF_ERROR(index.RangeCandidates(rect, &candidates));
+      }
     }
-    AppendDeltaRangeCandidates(view, map.has_value() ? &*map : nullptr, rect,
-                               &candidates);
+    {
+      obs::StageTimer delta_span(obs::Stage::kDelta);
+      AppendDeltaRangeCandidates(view, map.has_value() ? &*map : nullptr,
+                                 rect, &candidates);
+    }
     if (stats != nullptr) stats->candidates += candidates.size();
 
+    obs::StageTimer refine_span(obs::Stage::kRefine);
     for (const SeriesId cid : candidates) {
       if (cid == qid) continue;
       TSQ_ASSIGN_OR_RETURN(SeriesRecord crec, relation.Get(cid));
@@ -464,13 +518,16 @@ Status TreeMatchSelfJoin(const IndexView& view, const Relation& relation,
   // verification resolves them, caching transformed spectra so each record
   // is fetched and transformed once.
   std::vector<std::pair<SeriesId, SeriesId>> candidates;
-  TSQ_RETURN_IF_ERROR(index.tree()->JoinWith(
-      *index.tree(), map_ptr, map_ptr,
-      index.space().MakeJoinPredicate(epsilon),
-      [&candidates](uint64_t a, uint64_t b) {
-        if (a != b) candidates.emplace_back(a, b);
-        return true;
-      }));
+  {
+    obs::StageTimer span(obs::Stage::kDescent);
+    TSQ_RETURN_IF_ERROR(index.tree()->JoinWith(
+        *index.tree(), map_ptr, map_ptr,
+        index.space().MakeJoinPredicate(epsilon),
+        [&candidates](uint64_t a, uint64_t b) {
+          if (a != b) candidates.emplace_back(a, b);
+          return true;
+        }));
+  }
 
   // Delta probes, appended after the tree-match pairs in slot order. Each
   // unmerged series poses one search rectangle: against the main tree it
@@ -480,6 +537,7 @@ Status TreeMatchSelfJoin(const IndexView& view, const Relation& relation,
   // filter is admissible (Lemma 1), so verification below yields exactly
   // the pairs a single all-in-one tree would.
   if (view.has_delta()) {
+    obs::StageTimer span(obs::Stage::kDelta);
     const DeltaIndex& delta = view.delta();
     for (uint64_t slot = view.delta_begin(); slot < view.delta_end();
          ++slot) {
@@ -533,6 +591,7 @@ Status TreeMatchSelfJoin(const IndexView& view, const Relation& relation,
     return &it->second;
   };
 
+  obs::StageTimer refine_span(obs::Stage::kRefine);
   for (const auto& [a, b] : candidates) {
     TSQ_ASSIGN_OR_RETURN(const ComplexVec* sa, transformed_spectrum(a));
     TSQ_ASSIGN_OR_RETURN(const ComplexVec* sb, transformed_spectrum(b));

@@ -89,6 +89,19 @@ struct QueryStats {
   double max_error = 0.0;
   /// True iff the result was produced under non-default KnnOptions.
   bool approx = false;
+  /// True iff stage tracing (obs::TracingArmed) was on while this query
+  /// ran — the stage fields below are meaningful only then. Tracing only
+  /// reads clocks; answers are bit-identical either way.
+  bool traced = false;
+  /// Per-stage self-time breakdown of elapsed_ms (obs/trace.h): where
+  /// inside the multi-step filter pipeline the query spent its time. The
+  /// stages are exclusive (a pool read during descent counts under
+  /// pool_wait_ms only), so they sum to at most elapsed_ms.
+  double prepare_ms = 0.0;    ///< validation + DFT feature projection
+  double descent_ms = 0.0;    ///< R*-tree traversal
+  double delta_ms = 0.0;      ///< delta-index scan/sort/drain
+  double pool_wait_ms = 0.0;  ///< buffer-pool disk reads + load waits
+  double refine_ms = 0.0;     ///< full-length verification distances
 
   /// Accumulates `other` into this. Batch execution merges the per-query
   /// stats of every worker; elapsed_ms sums, so after a parallel batch it
@@ -106,7 +119,32 @@ struct QueryStats {
     pruned += other.pruned;
     if (other.max_error > max_error) max_error = other.max_error;
     approx = approx || other.approx;
+    traced = traced || other.traced;
+    prepare_ms += other.prepare_ms;
+    descent_ms += other.descent_ms;
+    delta_ms += other.delta_ms;
+    pool_wait_ms += other.pool_wait_ms;
+    refine_ms += other.refine_ms;
   }
+};
+
+/// Captures this thread's stage-timer deltas (obs/trace.h) into `stats`
+/// at destruction, following the same thread-local before/after contract
+/// as the tree/pool counters: a query runs on one thread, so the delta is
+/// exactly that query's stage breakdown. No-op (beyond one relaxed load)
+/// while tracing is disarmed or stats is null.
+class StageStatsCapture {
+ public:
+  explicit StageStatsCapture(QueryStats* stats);
+  ~StageStatsCapture();
+
+  StageStatsCapture(const StageStatsCapture&) = delete;
+  StageStatsCapture& operator=(const StageStatsCapture&) = delete;
+
+ private:
+  QueryStats* stats_;
+  bool active_;
+  uint64_t before_ns_[5] = {};
 };
 
 /// Shared query parameters.

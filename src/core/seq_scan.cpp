@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "simd/simd.h"
 
 namespace tsq {
@@ -90,17 +91,23 @@ Status SeqScanRangeQuery(const Relation& relation,
     return Status::InvalidArgument("negative query threshold");
   }
   Stopwatch watch;
+  StageStatsCapture stages(stats);
 
-  const SeriesFeatures qf = extractor.Extract(query);
-  ComplexVec target = qf.spectrum;
+  ComplexVec target;
   const LinearTransform* t = nullptr;
-  if (spec.transform.has_value()) {
-    t = &spec.transform->spectral;
-    if (spec.mode == TransformMode::kBoth) {
-      target = spec.transform->spectral.Apply(qf.spectrum);
+  {
+    obs::StageTimer prepare_span(obs::Stage::kPrepare);
+    const SeriesFeatures qf = extractor.Extract(query);
+    target = qf.spectrum;
+    if (spec.transform.has_value()) {
+      t = &spec.transform->spectral;
+      if (spec.mode == TransformMode::kBoth) {
+        target = spec.transform->spectral.Apply(qf.spectrum);
+      }
     }
   }
 
+  obs::StageTimer refine_span(obs::Stage::kRefine);
   Status scan_status = relation.Scan([&](const SeriesRecord& rec) {
     if (stats != nullptr) ++stats->records_scanned;
     if (rec.dft.size() != target.size()) return true;  // length mismatch
@@ -134,6 +141,8 @@ Status SeqScanSelfJoin(const Relation& relation, double epsilon,
     return Status::InvalidArgument("negative join threshold");
   }
   Stopwatch watch;
+  StageStatsCapture stages(stats);
+  obs::StageTimer refine_span(obs::Stage::kRefine);
 
   // Faithful to the paper's methods a/b: a nested-loop join over the
   // *disk-resident* relation — "scan the relation of Fourier coefficients

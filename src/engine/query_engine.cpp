@@ -10,6 +10,7 @@
 
 #include "common/stopwatch.h"
 #include "core/search_rect.h"
+#include "obs/trace.h"
 
 namespace tsq {
 namespace engine {
@@ -116,20 +117,27 @@ void QueryEngine::RunOne(const BatchQuery& query, const IndexView* view,
           IndexKnnQuery(*view, *relation_, query.query, query.k, query.spec,
                         query.knn, &result->matches, &result->stats);
       return;
-    case BatchQueryKind::kSubsequence:
+    case BatchQueryKind::kSubsequence: {
       if (subsequence_index_ == nullptr) {
         result->status = Status::FailedPrecondition(
             "subsequence query without a SubsequenceIndex");
         return;
       }
+      // The ST-index fills its own stats; stage deltas (the whole search
+      // counts as descent, record fetches as refine) are captured here
+      // since this path does not run through core/queries.cpp.
+      StageStatsCapture stages(&result->stats);
+      obs::StageTimer descent_span(obs::Stage::kDescent);
       result->status = subsequence_index_->RangeSearch(
           query.query, query.epsilon,
           [this](SeriesId id) -> Result<RealVec> {
+            obs::StageTimer refine_span(obs::Stage::kRefine);
             TSQ_ASSIGN_OR_RETURN(SeriesRecord rec, relation_->Get(id));
             return std::move(rec.values);
           },
           &result->subsequence_matches, &result->stats);
       return;
+    }
   }
   result->status = Status::InvalidArgument("unknown batch query kind");
 }

@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The tsq Authors.
+//
+// Per-query stage tracing. The multi-step filter pipeline (Sec. 4 of the
+// paper: DFT projection -> tree descent -> delta scan -> full-length
+// refine, with buffer-pool I/O underneath) is instrumented with
+// StageTimer spans; each span charges its *self* time — wall time minus
+// enclosed child spans — to one Stage on a thread-local accumulator.
+// Self-time accounting is what makes nesting honest: a pool read issued
+// mid-descent lands in kPoolWait, not double-counted under kDescent.
+//
+// The accumulator follows the v2 exact-stats contract exactly like
+// ThisThreadPoolCounters(): it is cumulative and monotone per thread, a
+// query runs entirely on one thread, so a before/after delta around a
+// query is that query's own stage breakdown with no cross-query bleed
+// (core/queries.cpp captures the delta into QueryStats).
+//
+// Armed/disarmed like the metrics registry: TracingArmed() is one
+// relaxed load, and a disarmed StageTimer constructor returns before
+// reading any clock — queries with tracing off do no timing work beyond
+// one branch per span site, which is the overhead contract bench_obs
+// measures. Arming mid-span is safe (activity is latched at
+// construction). When metrics are also armed, each span feeds its
+// self-time into a per-stage global histogram
+// (tsq_query_stage_self_us{stage="..."}).
+
+#ifndef TSQ_OBS_TRACE_H_
+#define TSQ_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tsq {
+namespace obs {
+
+/// Pipeline stages, in pipeline order. Kept dense and small: QueryStats
+/// carries one wire field per stage.
+enum class Stage : int {
+  kPrepare = 0,   ///< query validation + DFT feature projection
+  kDescent = 1,   ///< R*-tree traversal (range collect / kNN stream)
+  kDelta = 2,     ///< delta-index scan, sort and drain
+  kPoolWait = 3,  ///< buffer-pool misses: disk reads + in-flight waits
+  kRefine = 4,    ///< full-length verification distances
+};
+inline constexpr size_t kNumStages = 5;
+
+/// Lower-case stable identifier ("prepare", "descent", ...) used in
+/// metric labels and slow-query-log fields.
+const char* StageName(Stage stage);
+
+/// This thread's cumulative self-time per stage, in nanoseconds
+/// (monotone; snapshot to diff — same contract as ThisThreadPoolCounters).
+struct ThreadStageNanos {
+  uint64_t ns[kNumStages] = {};
+};
+const ThreadStageNanos& ThisThreadStageNanos();
+
+/// True when stage spans should record. One relaxed load.
+bool TracingArmed();
+void ArmTracing();
+void DisarmTracing();
+
+/// RAII stage span. Nested spans charge parents only with the time the
+/// child did not consume (self-time accounting, via a thread-local span
+/// stack). Cheap enough for per-candidate sites only when coarse; keep
+/// spans at stage granularity (one per pipeline phase per query), not
+/// per record.
+class StageTimer {
+ public:
+  explicit StageTimer(Stage stage);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Stage stage_;
+  bool active_;
+  StageTimer* parent_ = nullptr;
+  int64_t start_ns_ = 0;
+  int64_t child_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tsq
+
+#endif  // TSQ_OBS_TRACE_H_

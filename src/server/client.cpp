@@ -263,11 +263,25 @@ Status Client::Ping() {
   return RoundTripWithRetry(std::move(request)).status();
 }
 
-Result<DatabaseStats> Client::Stats() {
+Result<DatabaseStats> Client::Stats(ServerCounters* counters) {
   Request request;
   request.verb = Verb::kStats;
+  request.want_server_counters = counters != nullptr;
   TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
+  if (counters != nullptr) {
+    if (!reply.has_server_counters) {
+      return Status::Corruption("stats reply omits the requested counters");
+    }
+    *counters = reply.server_counters;
+  }
   return reply.stats;
+}
+
+Result<std::string> Client::Metrics() {
+  Request request;
+  request.verb = Verb::kMetrics;
+  TSQ_ASSIGN_OR_RETURN(Reply reply, RoundTripWithRetry(std::move(request)));
+  return std::move(reply.metrics_text);
 }
 
 Result<std::vector<engine::BatchResult>> Client::RunBatch(

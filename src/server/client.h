@@ -84,8 +84,16 @@ class Client {
   /// BUSY, even when the execution pool is saturated.
   Status Ping();
 
-  /// Remote Database::StatsSnapshot().
-  Result<DatabaseStats> Stats();
+  /// Remote Database::StatsSnapshot(). With a non-null `counters` the
+  /// request additionally asks for the server's own monitoring counters
+  /// (rides on a verb-word flag bit; an old server answers ERROR, which
+  /// surfaces here as that status — pass nullptr to stay compatible).
+  Result<DatabaseStats> Stats(ServerCounters* counters = nullptr);
+
+  /// Remote metrics scrape: the server's Prometheus-style text
+  /// exposition. Served inline like Ping — never BUSY — so monitoring
+  /// works when the admission queue is saturated.
+  Result<std::string> Metrics();
 
   /// Remote single queries; match Database::RunBatch of a one-query
   /// batch (per-query status unwrapped).

@@ -139,9 +139,29 @@ Status GetSpec(Reader* reader, QuerySpec* out) {
 // rejects the frame as Corruption — a clean refusal, not a misparse. An
 // old client can never receive the extended reply layout, because only
 // flagged requests produce approximate results.
+//
+// The observability extension (v10) adds three more bits under the same
+// rule:
+//
+//   * kStatsCountersFlag on a request's verb word (kStats only): the
+//     client asks the server to append its ServerCounters to the reply.
+//     An old server sees verb 0x102, out of range, and answers ERROR.
+//   * kStageStatsFlag on a reply code word: every result's QueryStats
+//     carries the stage-trace tail (traced u32 | prepare f64 | descent
+//     f64 | delta f64 | pool_wait f64 | refine f64) — set only on an OK
+//     kQuery/kBatch reply where some result was traced. An untraced
+//     result in a flagged reply carries traced=0 and five zeros; a
+//     flagged reply where *no* result is traced is Corruption (the
+//     canonical encoding would have cleared the flag).
+//   * kServerCountersFlag on a reply code word (OK kStats only): a
+//     ServerCounters block (7 × u64, declaration order) follows the
+//     DatabaseStats — set iff the request asked.
 // --------------------------------------------------------------------------
 inline constexpr uint32_t kKnnOptionsFlag = 0x100;
 inline constexpr uint32_t kApproxStatsFlag = 0x100;
+inline constexpr uint32_t kStatsCountersFlag = 0x100;
+inline constexpr uint32_t kStageStatsFlag = 0x200;
+inline constexpr uint32_t kServerCountersFlag = 0x400;
 
 void PutBatchQuery(Buffer* buf, const engine::BatchQuery& query) {
   const bool with_options = query.kind == engine::BatchQueryKind::kKnn &&
@@ -201,7 +221,8 @@ Status GetBatchQuery(Reader* reader, engine::BatchQuery* out) {
   return Status::OK();
 }
 
-void PutQueryStats(Buffer* buf, const QueryStats& stats, bool extended) {
+void PutQueryStats(Buffer* buf, const QueryStats& stats, bool approx_ext,
+                   bool stage_ext) {
   serde::PutU64(buf, stats.candidates);
   serde::PutU64(buf, stats.verified);
   serde::PutU64(buf, stats.answers);
@@ -210,14 +231,23 @@ void PutQueryStats(Buffer* buf, const QueryStats& stats, bool extended) {
   serde::PutU64(buf, stats.disk_reads);
   serde::PutU64(buf, stats.records_scanned);
   serde::PutDouble(buf, stats.elapsed_ms);
-  if (extended) {
+  if (approx_ext) {
     serde::PutU64(buf, stats.pruned);
     serde::PutDouble(buf, stats.max_error);
     serde::PutU32(buf, stats.approx ? 1 : 0);
   }
+  if (stage_ext) {
+    serde::PutU32(buf, stats.traced ? 1 : 0);
+    serde::PutDouble(buf, stats.prepare_ms);
+    serde::PutDouble(buf, stats.descent_ms);
+    serde::PutDouble(buf, stats.delta_ms);
+    serde::PutDouble(buf, stats.pool_wait_ms);
+    serde::PutDouble(buf, stats.refine_ms);
+  }
 }
 
-Status GetQueryStats(Reader* reader, QueryStats* out, bool extended) {
+Status GetQueryStats(Reader* reader, QueryStats* out, bool approx_ext,
+                     bool stage_ext) {
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->candidates));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->verified));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->answers));
@@ -226,7 +256,7 @@ Status GetQueryStats(Reader* reader, QueryStats* out, bool extended) {
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->disk_reads));
   TSQ_RETURN_IF_ERROR(reader->GetU64(&out->records_scanned));
   TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->elapsed_ms));
-  if (extended) {
+  if (approx_ext) {
     uint32_t approx = 0;
     TSQ_RETURN_IF_ERROR(reader->GetU64(&out->pruned));
     TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->max_error));
@@ -236,11 +266,30 @@ Status GetQueryStats(Reader* reader, QueryStats* out, bool extended) {
     }
     out->approx = approx == 1;
   }
+  if (stage_ext) {
+    uint32_t traced = 0;
+    TSQ_RETURN_IF_ERROR(reader->GetU32(&traced));
+    if (traced > 1) {
+      return Status::Corruption("stats traced flag out of range");
+    }
+    out->traced = traced == 1;
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->prepare_ms));
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->descent_ms));
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->delta_ms));
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->pool_wait_ms));
+    TSQ_RETURN_IF_ERROR(reader->GetDouble(&out->refine_ms));
+    if (!out->traced &&
+        (out->prepare_ms != 0.0 || out->descent_ms != 0.0 ||
+         out->delta_ms != 0.0 || out->pool_wait_ms != 0.0 ||
+         out->refine_ms != 0.0)) {
+      return Status::Corruption("stage times on an untraced result");
+    }
+  }
   return Status::OK();
 }
 
 void PutBatchResult(Buffer* buf, const engine::BatchResult& result,
-                    bool extended) {
+                    bool approx_ext, bool stage_ext) {
   PutStatus(buf, result.status);
   serde::PutU64(buf, result.matches.size());
   for (const Match& m : result.matches) {
@@ -254,11 +303,11 @@ void PutBatchResult(Buffer* buf, const engine::BatchResult& result,
     serde::PutU64(buf, m.offset);
     serde::PutDouble(buf, m.distance);
   }
-  PutQueryStats(buf, result.stats, extended);
+  PutQueryStats(buf, result.stats, approx_ext, stage_ext);
 }
 
 Status GetBatchResult(Reader* reader, engine::BatchResult* out,
-                      bool extended) {
+                      bool approx_ext, bool stage_ext) {
   TSQ_RETURN_IF_ERROR(GetStatus(reader, &out->status));
   uint64_t matches = 0;
   TSQ_RETURN_IF_ERROR(reader->GetU64(&matches));
@@ -284,7 +333,27 @@ Status GetBatchResult(Reader* reader, engine::BatchResult* out,
     m.offset = static_cast<size_t>(offset);
     out->subsequence_matches.push_back(m);
   }
-  return GetQueryStats(reader, &out->stats, extended);
+  return GetQueryStats(reader, &out->stats, approx_ext, stage_ext);
+}
+
+void PutServerCounters(Buffer* buf, const ServerCounters& counters) {
+  serde::PutU64(buf, counters.connections_accepted);
+  serde::PutU64(buf, counters.connections_closed);
+  serde::PutU64(buf, counters.frames_received);
+  serde::PutU64(buf, counters.requests_executed);
+  serde::PutU64(buf, counters.busy_rejected);
+  serde::PutU64(buf, counters.protocol_errors);
+  serde::PutU64(buf, counters.accept_backoffs);
+}
+
+Status GetServerCounters(Reader* reader, ServerCounters* out) {
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->connections_accepted));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->connections_closed));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->frames_received));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->requests_executed));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->busy_rejected));
+  TSQ_RETURN_IF_ERROR(reader->GetU64(&out->protocol_errors));
+  return reader->GetU64(&out->accept_backoffs);
 }
 
 void PutDatabaseStats(Buffer* buf, const DatabaseStats& stats) {
@@ -359,7 +428,7 @@ void EncodeFrame(const Buffer& payload, Buffer* frame) {
 
 Status CheckVerb(uint32_t verb) {
   if (verb < static_cast<uint32_t>(Verb::kPing) ||
-      verb > static_cast<uint32_t>(Verb::kRepair)) {
+      verb > static_cast<uint32_t>(Verb::kMetrics)) {
     return Status::Corruption("unknown verb " + std::to_string(verb));
   }
   return Status::OK();
@@ -369,7 +438,13 @@ Status CheckVerb(uint32_t verb) {
 
 void EncodeRequest(const Request& request, Buffer* frame) {
   Buffer payload;
-  serde::PutU32(&payload, static_cast<uint32_t>(request.verb));
+  // Canonical encoding: the counters flag is emitted only on a kStats
+  // request that asks for them; any other combination stays bit-identical
+  // to the pre-extension layout.
+  const bool with_counters =
+      request.verb == Verb::kStats && request.want_server_counters;
+  serde::PutU32(&payload, static_cast<uint32_t>(request.verb) |
+                              (with_counters ? kStatsCountersFlag : 0));
   serde::PutU64(&payload, request.id);
   switch (request.verb) {
     case Verb::kPing:
@@ -377,6 +452,7 @@ void EncodeRequest(const Request& request, Buffer* frame) {
     case Verb::kReindex:
     case Verb::kFlush:
     case Verb::kRepair:
+    case Verb::kMetrics:
       break;
     case Verb::kQuery:
       TSQ_CHECK_MSG(request.queries.size() == 1,
@@ -412,21 +488,34 @@ void EncodeRequest(const Request& request, Buffer* frame) {
 }
 
 Status DecodeRequest(const uint8_t* payload, size_t size, Request* out) {
+  *out = Request{};  // a reused out-struct must not leak stale fields
   Reader reader(payload, size);
-  uint32_t verb = 0;
-  TSQ_RETURN_IF_ERROR(reader.GetU32(&verb));
+  uint32_t verb_word = 0;
+  TSQ_RETURN_IF_ERROR(reader.GetU32(&verb_word));
   // Capture the request id before rejecting an unknown verb: the
   // server's ERROR reply echoes out->id, and a client (possibly newer,
   // speaking a verb this server lacks) matches the reply by that id.
   TSQ_RETURN_IF_ERROR(reader.GetU64(&out->id));
+  if ((verb_word & ~0xFFu & ~kStatsCountersFlag) != 0) {
+    return Status::Corruption("unknown request verb flags " +
+                              std::to_string(verb_word));
+  }
+  const uint32_t verb = verb_word & 0xFFu;
   TSQ_RETURN_IF_ERROR(CheckVerb(verb));
   out->verb = static_cast<Verb>(verb);
+  if ((verb_word & kStatsCountersFlag) != 0) {
+    if (out->verb != Verb::kStats) {
+      return Status::Corruption("server counters flag on a non-stats request");
+    }
+    out->want_server_counters = true;
+  }
   switch (out->verb) {
     case Verb::kPing:
     case Verb::kStats:
     case Verb::kReindex:
     case Verb::kFlush:
     case Verb::kRepair:
+    case Verb::kMetrics:
       break;
     case Verb::kQuery: {
       engine::BatchQuery query;
@@ -483,17 +572,26 @@ Status DecodeRequest(const uint8_t* payload, size_t size, Request* out) {
 
 void EncodeReply(const Reply& reply, Buffer* frame) {
   Buffer payload;
-  // Extended stats layout iff some result ran approximate (only possible
-  // on an OK query/batch reply — see the version-gating comment above).
-  bool extended = false;
+  // Extended stats layouts iff some result ran approximate / was traced
+  // (only possible on an OK query/batch reply — see the version-gating
+  // comment above). The counters block rides on an OK kStats reply iff
+  // the request asked for it.
+  bool approx_ext = false;
+  bool stage_ext = false;
   if (reply.code == ReplyCode::kOk &&
       (reply.verb == Verb::kQuery || reply.verb == Verb::kBatch)) {
     for (const engine::BatchResult& r : reply.results) {
-      extended = extended || r.stats.approx;
+      approx_ext = approx_ext || r.stats.approx;
+      stage_ext = stage_ext || r.stats.traced;
     }
   }
+  const bool with_counters = reply.code == ReplyCode::kOk &&
+                             reply.verb == Verb::kStats &&
+                             reply.has_server_counters;
   serde::PutU32(&payload, static_cast<uint32_t>(reply.code) |
-                              (extended ? kApproxStatsFlag : 0));
+                              (approx_ext ? kApproxStatsFlag : 0) |
+                              (stage_ext ? kStageStatsFlag : 0) |
+                              (with_counters ? kServerCountersFlag : 0));
   serde::PutU32(&payload, static_cast<uint32_t>(reply.verb));
   serde::PutU64(&payload, reply.id);
   if (reply.code == ReplyCode::kError) {
@@ -512,17 +610,21 @@ void EncodeReply(const Reply& reply, Buffer* frame) {
       break;
     case Verb::kStats:
       PutDatabaseStats(&payload, reply.stats);
+      if (with_counters) PutServerCounters(&payload, reply.server_counters);
+      break;
+    case Verb::kMetrics:
+      serde::PutString(&payload, reply.metrics_text);
       break;
     case Verb::kQuery:
       TSQ_CHECK_MSG(reply.results.size() == 1,
                     "kQuery reply carries exactly one result, got %zu",
                     reply.results.size());
-      PutBatchResult(&payload, reply.results[0], extended);
+      PutBatchResult(&payload, reply.results[0], approx_ext, stage_ext);
       break;
     case Verb::kBatch:
       serde::PutU64(&payload, reply.results.size());
       for (const engine::BatchResult& r : reply.results) {
-        PutBatchResult(&payload, r, extended);
+        PutBatchResult(&payload, r, approx_ext, stage_ext);
       }
       break;
     case Verb::kInsert:
@@ -545,14 +647,18 @@ void EncodeReply(const Reply& reply, Buffer* frame) {
 }
 
 Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
+  *out = Reply{};  // a reused out-struct must not leak stale fields
   Reader reader(payload, size);
   uint32_t code_word = 0;
   TSQ_RETURN_IF_ERROR(reader.GetU32(&code_word));
-  if ((code_word & ~0xFFu & ~kApproxStatsFlag) != 0) {
+  if ((code_word & ~0xFFu & ~kApproxStatsFlag & ~kStageStatsFlag &
+       ~kServerCountersFlag) != 0) {
     return Status::Corruption("unknown reply code flags " +
                               std::to_string(code_word));
   }
-  const bool extended = (code_word & kApproxStatsFlag) != 0;
+  const bool approx_ext = (code_word & kApproxStatsFlag) != 0;
+  const bool stage_ext = (code_word & kStageStatsFlag) != 0;
+  const bool with_counters = (code_word & kServerCountersFlag) != 0;
   const uint32_t code = code_word & 0xFFu;
   if (code > static_cast<uint32_t>(ReplyCode::kBusy)) {
     return Status::Corruption("unknown reply code " + std::to_string(code));
@@ -562,9 +668,18 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
   TSQ_RETURN_IF_ERROR(reader.GetU32(&verb));
   TSQ_RETURN_IF_ERROR(CheckVerb(verb));
   out->verb = static_cast<Verb>(verb);
-  if (extended && (out->code != ReplyCode::kOk ||
-                   (out->verb != Verb::kQuery && out->verb != Verb::kBatch))) {
+  const bool query_reply =
+      out->code == ReplyCode::kOk &&
+      (out->verb == Verb::kQuery || out->verb == Verb::kBatch);
+  if (approx_ext && !query_reply) {
     return Status::Corruption("approx stats flag on a non-query reply");
+  }
+  if (stage_ext && !query_reply) {
+    return Status::Corruption("stage stats flag on a non-query reply");
+  }
+  if (with_counters &&
+      (out->code != ReplyCode::kOk || out->verb != Verb::kStats)) {
+    return Status::Corruption("server counters flag on a non-stats reply");
   }
   TSQ_RETURN_IF_ERROR(reader.GetU64(&out->id));
   if (out->code == ReplyCode::kError) {
@@ -580,10 +695,18 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
         break;
       case Verb::kStats:
         TSQ_RETURN_IF_ERROR(GetDatabaseStats(&reader, &out->stats));
+        if (with_counters) {
+          TSQ_RETURN_IF_ERROR(GetServerCounters(&reader, &out->server_counters));
+          out->has_server_counters = true;
+        }
+        break;
+      case Verb::kMetrics:
+        TSQ_RETURN_IF_ERROR(reader.GetString(&out->metrics_text));
         break;
       case Verb::kQuery: {
         engine::BatchResult result;
-        TSQ_RETURN_IF_ERROR(GetBatchResult(&reader, &result, extended));
+        TSQ_RETURN_IF_ERROR(
+            GetBatchResult(&reader, &result, approx_ext, stage_ext));
         out->results.push_back(std::move(result));
         break;
       }
@@ -592,7 +715,8 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
         TSQ_RETURN_IF_ERROR(reader.GetU64(&count));
         for (uint64_t i = 0; i < count; ++i) {
           engine::BatchResult result;
-          TSQ_RETURN_IF_ERROR(GetBatchResult(&reader, &result, extended));
+          TSQ_RETURN_IF_ERROR(
+              GetBatchResult(&reader, &result, approx_ext, stage_ext));
           out->results.push_back(std::move(result));
         }
         break;
@@ -623,6 +747,18 @@ Status DecodeReply(const uint8_t* payload, size_t size, Reply* out) {
       case Verb::kReindex:
         TSQ_RETURN_IF_ERROR(reader.GetU64(&out->reindex_epoch));
         break;
+    }
+  }
+  if (stage_ext) {
+    // Canonical encoding: the flag is set only when some result was
+    // traced, so a flagged reply whose tails are all untraced is a
+    // non-canonical variant, not a valid alternative spelling.
+    bool any_traced = false;
+    for (const engine::BatchResult& r : out->results) {
+      any_traced = any_traced || r.stats.traced;
+    }
+    if (!any_traced) {
+      return Status::Corruption("stage stats flag on an untraced reply");
     }
   }
   if (reader.remaining() != 0) {

@@ -38,7 +38,12 @@
 // version-gating rule. Currently assigned: bit 8 on a kind word = kNN
 // approximation options follow the QuerySpec; bit 8 on a reply code =
 // every result's QueryStats carries the approx tail (pruned, max_error,
-// approx). See protocol.cpp for the exact field layouts.
+// approx); bit 8 on a request verb word = the (kStats) request asks for
+// server counters in the reply; bit 9 on a reply code = every result's
+// QueryStats carries the stage-trace tail (traced, prepare/descent/
+// delta/pool_wait/refine ms); bit 10 on a reply code = a ServerCounters
+// block follows the DatabaseStats on a kStats OK reply. See protocol.cpp
+// for the exact field layouts.
 // Reply code kBusy is the backpressure signal: the server's admission
 // queue was full and the request was rejected *before* any engine work —
 // the client surfaces it as Status::Unavailable and may retry.
@@ -85,6 +90,7 @@ enum class Verb : uint8_t {
   kReindex = 7,   ///< fold the delta into a fresh main tree, empty body
   kFlush = 8,     ///< Database::Flush() durability barrier, empty body
   kRepair = 9,    ///< Database::Repair() after a write fault, empty body
+  kMetrics = 10,  ///< Prometheus-style metrics exposition, empty body
 };
 
 /// Reply disposition.
@@ -94,10 +100,26 @@ enum class ReplyCode : uint8_t {
   kBusy = 2,   ///< admission queue full; retry later (empty body)
 };
 
+/// Monitoring counters (maintained as relaxed atomics in the server,
+/// snapshot by value; carried on the wire after a kStats reply's
+/// DatabaseStats when the request asked for them).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;  ///< retired (EOF, broken, or drained)
+  uint64_t frames_received = 0;     ///< CRC-valid frames decoded
+  uint64_t requests_executed = 0;   ///< admitted and run on the pool
+  uint64_t busy_rejected = 0;       ///< BUSY replies sent
+  uint64_t protocol_errors = 0;     ///< framing faults + semantic decode fails
+  uint64_t accept_backoffs = 0;     ///< listener pauses on fd exhaustion
+};
+
 /// A decoded request — `verb` selects which fields are meaningful.
 struct Request {
   Verb verb = Verb::kPing;
   uint64_t id = 0;
+  /// kStats: ask the server to append its ServerCounters to the reply.
+  /// Rides on a verb-word flag bit, so old servers reject it cleanly.
+  bool want_server_counters = false;
   /// kQuery (exactly one element) / kBatch.
   std::vector<engine::BatchQuery> queries;
   /// kInsert.
@@ -124,8 +146,13 @@ struct Reply {
   std::vector<JoinPair> pairs;
   /// kStats.
   DatabaseStats stats;
+  /// kStats, iff the request set want_server_counters.
+  bool has_server_counters = false;
+  ServerCounters server_counters;
   /// kReindex: the epoch whose main tree covers every merged series.
   uint64_t reindex_epoch = 0;
+  /// kMetrics: the Prometheus-style text exposition.
+  std::string metrics_text;
 };
 
 /// Appends the complete frame (header + payload) for a request/reply.

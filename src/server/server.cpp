@@ -11,17 +11,77 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <string>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "server/net_util.h"
 
 namespace tsq {
 namespace server {
 
 namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stable label values for the per-verb request metrics.
+const char* VerbLabel(Verb verb) {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kStats: return "stats";
+    case Verb::kQuery: return "query";
+    case Verb::kBatch: return "batch";
+    case Verb::kInsert: return "insert";
+    case Verb::kSelfJoin: return "self_join";
+    case Verb::kReindex: return "reindex";
+    case Verb::kFlush: return "flush";
+    case Verb::kRepair: return "repair";
+    case Verb::kMetrics: return "metrics";
+  }
+  return "unknown";
+}
+
+/// One counter + latency histogram per verb, registered once and cached.
+/// Lookup is branch-free after first use: function-local static init.
+struct VerbMetrics {
+  obs::Counter* requests;
+  obs::Histogram* latency;
+};
+
+VerbMetrics& MetricsForVerb(Verb verb) {
+  static std::array<VerbMetrics, static_cast<size_t>(Verb::kMetrics)>
+      metrics = [] {
+    std::array<VerbMetrics, static_cast<size_t>(Verb::kMetrics)> m{};
+    for (size_t i = 0; i < m.size(); ++i) {
+      const Verb v = static_cast<Verb>(i + 1);
+      const std::string label =
+          std::string("verb=\"") + VerbLabel(v) + "\"";
+      m[i].requests = obs::RegisterCounter("tsqd_requests_total", label);
+      m[i].latency =
+          obs::RegisterHistogram("tsqd_request_latency_us", label);
+    }
+    return m;
+  }();
+  return metrics[static_cast<size_t>(verb) - 1];
+}
+
+/// Records one served request (any disposition) against the per-verb
+/// families. Disarmed metrics make this one relaxed load.
+void RecordRequest(Verb verb, uint64_t start_nanos) {
+  if (!obs::MetricsArmed()) return;
+  VerbMetrics& m = MetricsForVerb(verb);
+  m.requests->Add(1);
+  m.latency->Observe(NowNanos() - start_nanos);
+}
 
 uint64_t NowMillis() {
   return static_cast<uint64_t>(
@@ -52,8 +112,8 @@ bool IsAcceptExhaustion(int err) {
 /// so the poller observing pending == 0 is guaranteed to also observe
 /// every reply in the buffer (release/acquire pairing).
 struct Server::Connection {
-  Connection(int fd_in, size_t max_frame, Poller* owner_in)
-      : fd(fd_in), owner(owner_in), reader(max_frame) {}
+  Connection(int fd_in, uint64_t id_in, size_t max_frame, Poller* owner_in)
+      : fd(fd_in), id(id_in), owner(owner_in), reader(max_frame) {}
   // Backstop for abnormal poller exits: the retire pass closes fds on
   // the normal paths (and sets fd to -1), but a connection that outlives
   // its poller must not leak its socket.
@@ -62,6 +122,7 @@ struct Server::Connection {
   }
 
   int fd;
+  const uint64_t id;    // stable across the connection's life; in log lines
   Poller* const owner;  // which poller to wake when a reply is queued
   FrameReader reader;
   bool read_closed = false;  // owning poller only
@@ -123,6 +184,10 @@ Result<std::unique_ptr<Server>> Server::Start(Database* db,
     server->pollers_.push_back(std::move(poller));
   }
 
+  // Serving traffic arms the metrics registry for the whole process:
+  // per-verb histograms, query stage timers and engine gauges all start
+  // recording the moment a scrape could observe them.
+  obs::ArmMetrics();
   server->pool_ = std::make_unique<engine::ThreadPool>(options.workers);
   for (auto& poller : server->pollers_) {
     poller->thread =
@@ -193,6 +258,75 @@ void Server::SetExecutionHookForTesting(std::function<void()> hook) {
   execution_hook_ = std::move(hook);
 }
 
+std::string Server::RenderMetricsText() {
+  // Point-in-time engine state is refreshed into gauges at scrape time —
+  // no registration-time callbacks, no lifetime puzzles: a scrape simply
+  // reports the database as it is now.
+  // Families that otherwise register lazily (the first traced span, the
+  // first slow query) are pinned here so every scrape carries them and
+  // dashboards never see a family appear mid-flight.
+  static const bool lazy_families_pinned = [] {
+    obs::RegisterCounter("tsq_slow_queries_total");
+    for (const char* s :
+         {"prepare", "descent", "delta", "pool_wait", "refine"}) {
+      obs::RegisterHistogram("tsq_query_stage_self_us",
+                             std::string("stage=\"") + s + "\"");
+    }
+    return true;
+  }();
+  (void)lazy_families_pinned;
+  static obs::Gauge* series = obs::RegisterGauge("tsq_series");
+  static obs::Gauge* index_epoch = obs::RegisterGauge("tsq_index_epoch");
+  static obs::Gauge* delta_entries = obs::RegisterGauge("tsq_delta_entries");
+  static obs::Gauge* merges = obs::RegisterGauge("tsq_merges_completed");
+  static obs::Gauge* degraded = obs::RegisterGauge("tsq_degraded");
+  static obs::Gauge* write_faults = obs::RegisterGauge("tsq_write_faults");
+  static obs::Gauge* repairs = obs::RegisterGauge("tsq_repairs_completed");
+  const DatabaseStats stats = db_->StatsSnapshot();
+  series->Set(static_cast<int64_t>(stats.series));
+  index_epoch->Set(static_cast<int64_t>(stats.index_epoch));
+  delta_entries->Set(static_cast<int64_t>(stats.delta_entries));
+  merges->Set(static_cast<int64_t>(stats.merges_completed));
+  degraded->Set(stats.degraded ? 1 : 0);
+  write_faults->Set(static_cast<int64_t>(stats.write_faults));
+  repairs->Set(static_cast<int64_t>(stats.repairs_completed));
+
+  // The server's own counters live as relaxed atomics on this object;
+  // mirror them into monotone registry counters by delta. The lock keeps
+  // two concurrent scrapes from double-applying one delta, and the clamp
+  // keeps a second Server in the same process (tests do this) from
+  // driving a mirror backwards.
+  static obs::Counter* accepted =
+      obs::RegisterCounter("tsqd_connections_accepted_total");
+  static obs::Counter* closed =
+      obs::RegisterCounter("tsqd_connections_closed_total");
+  static obs::Counter* frames =
+      obs::RegisterCounter("tsqd_frames_received_total");
+  static obs::Counter* executed =
+      obs::RegisterCounter("tsqd_requests_executed_total");
+  static obs::Counter* busy = obs::RegisterCounter("tsqd_busy_rejected_total");
+  static obs::Counter* errors =
+      obs::RegisterCounter("tsqd_protocol_errors_total");
+  static obs::Counter* backoffs =
+      obs::RegisterCounter("tsqd_accept_backoffs_total");
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    const ServerCounters c = counters();
+    auto mirror = [](obs::Counter* counter, uint64_t current) {
+      const uint64_t seen = counter->Value();
+      if (current > seen) counter->Add(current - seen);
+    };
+    mirror(accepted, c.connections_accepted);
+    mirror(closed, c.connections_closed);
+    mirror(frames, c.frames_received);
+    mirror(executed, c.requests_executed);
+    mirror(busy, c.busy_rejected);
+    mirror(errors, c.protocol_errors);
+    mirror(backoffs, c.accept_backoffs);
+  }
+  return obs::Registry::Global().RenderPrometheus();
+}
+
 void Server::QueueReply(const std::shared_ptr<Connection>& conn,
                         const Reply& reply) {
   serde::Buffer frame;
@@ -205,6 +339,7 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
                             const std::shared_ptr<Request>& request) {
   if (execution_hook_) execution_hook_();
   requests_executed_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t start_nanos = NowNanos();
 
   Reply reply;
   reply.verb = request->verb;
@@ -215,9 +350,14 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
   };
   switch (request->verb) {
     case Verb::kPing:
+    case Verb::kMetrics:
       break;  // answered inline by the owning poller; kept for safety
     case Verb::kStats:
       reply.stats = db_->StatsSnapshot();
+      if (request->want_server_counters) {
+        reply.server_counters = counters();
+        reply.has_server_counters = true;
+      }
       break;
     case Verb::kQuery:
     case Verb::kBatch: {
@@ -268,6 +408,7 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
       if (Status status = db_->Repair(); !status.ok()) fail(status);
       break;
   }
+  RecordRequest(request->verb, start_nanos);
   QueueReply(conn, reply);
   // Decrement only after the reply frame is buffered: the owning poller
   // treats pending == 0 as "every admitted reply is flushable".
@@ -279,12 +420,15 @@ void Server::ExecuteRequest(const std::shared_ptr<Connection>& conn,
 Status Server::HandleFrame(const std::shared_ptr<Connection>& conn,
                            const uint8_t* payload, size_t size) {
   frames_received_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t start_nanos = NowNanos();
   auto request = std::make_shared<Request>();
   if (Status status = DecodeRequest(payload, size, request.get());
       !status.ok()) {
     // CRC was valid, so framing is intact: report the decode failure to
     // the peer (verb/id are best-effort partial decodes) and carry on.
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    TSQ_LOG(kDebug) << "tsqd conn=" << conn->id << " req=" << request->id
+                    << " undecodable request: " << status.ToString();
     Reply reply;
     reply.code = ReplyCode::kError;
     reply.verb = request->verb;
@@ -298,6 +442,20 @@ Status Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     Reply reply;
     reply.verb = Verb::kPing;
     reply.id = request->id;
+    RecordRequest(Verb::kPing, start_nanos);
+    QueueReply(conn, reply);
+    return Status::OK();
+  }
+  if (request->verb == Verb::kMetrics) {
+    // Metrics scrapes bypass admission too: monitoring must keep working
+    // when the admission queue is saturated — that is exactly when the
+    // numbers matter. Rendering reads only relaxed atomics plus one
+    // StatsSnapshot; cheap enough for the poller thread.
+    Reply reply;
+    reply.verb = Verb::kMetrics;
+    reply.id = request->id;
+    reply.metrics_text = RenderMetricsText();
+    RecordRequest(Verb::kMetrics, start_nanos);
     QueueReply(conn, reply);
     return Status::OK();
   }
@@ -394,7 +552,8 @@ void Server::PollerLoop(Poller* self) {
       }
       for (int fd : adopted) {
         auto conn = std::make_shared<Connection>(
-            fd, options_.max_frame_bytes, self);
+            fd, next_connection_id_.fetch_add(1, std::memory_order_relaxed),
+            options_.max_frame_bytes, self);
         if (draining) {
           ::shutdown(fd, SHUT_RD);
           conn->read_closed = true;
@@ -489,7 +648,9 @@ void Server::PollerLoop(Poller* self) {
             ++next_poller;
             if (target == self) {
               self->connections.push_back(std::make_shared<Connection>(
-                  fd, options_.max_frame_bytes, self));
+                  fd,
+                  next_connection_id_.fetch_add(1, std::memory_order_relaxed),
+                  options_.max_frame_bytes, self));
             } else {
               {
                 std::lock_guard<std::mutex> lock(target->inbox_mutex);
@@ -546,7 +707,8 @@ void Server::PollerLoop(Poller* self) {
               // Framing is gone (bad magic/CRC/oversize): stop reading,
               // deliver what was admitted, then the retire pass closes.
               protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-              TSQ_LOG(kDebug) << "tsqd dropping connection: "
+              TSQ_LOG(kDebug) << "tsqd conn=" << conn->id
+                              << " dropping connection: "
                               << status.ToString();
               ::shutdown(conn->fd, SHUT_RD);
               conn->read_closed = true;

@@ -110,17 +110,6 @@ struct ServerOptions {
   uint64_t drain_timeout_ms = 5000;
 };
 
-/// Monitoring counters (relaxed atomics, snapshot by value).
-struct ServerCounters {
-  uint64_t connections_accepted = 0;
-  uint64_t connections_closed = 0;  ///< retired (EOF, broken, or drained)
-  uint64_t frames_received = 0;     ///< CRC-valid frames decoded
-  uint64_t requests_executed = 0;   ///< admitted and run on the pool
-  uint64_t busy_rejected = 0;       ///< BUSY replies sent
-  uint64_t protocol_errors = 0;     ///< framing faults + semantic decode fails
-  uint64_t accept_backoffs = 0;     ///< listener pauses on fd exhaustion
-};
-
 /// A running tsqd instance bound to one Database. All public methods are
 /// thread-safe. The Database must outlive the server; tsqd adds no calls
 /// the Database contract does not already allow concurrently (see
@@ -179,6 +168,9 @@ class Server {
   /// Handles one CRC-verified payload from `conn` (owning poller thread).
   Status HandleFrame(const std::shared_ptr<Connection>& conn,
                      const uint8_t* payload, size_t size);
+  /// Renders the Prometheus-style exposition: refreshes the point-in-time
+  /// gauges and the server-counter mirrors, then dumps the registry.
+  std::string RenderMetricsText();
   /// Executes an admitted request on a pool worker and queues its reply.
   void ExecuteRequest(const std::shared_ptr<Connection>& conn,
                       const std::shared_ptr<Request>& request);
@@ -196,6 +188,13 @@ class Server {
   std::once_flag stop_once_;
   std::atomic<size_t> inflight_{0};
   std::function<void()> execution_hook_;  // set before Start returns traffic
+
+  /// Stable id stamped on every accepted connection; all log lines about
+  /// a connection carry `conn=<id>` so concurrent connections' events can
+  /// be correlated across pollers and workers.
+  std::atomic<uint64_t> next_connection_id_{0};
+  /// Serializes scrape-time counter mirroring (see RenderMetricsText).
+  std::mutex metrics_mutex_;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_closed_{0};

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace tsq {
 
 namespace {
@@ -324,7 +326,9 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
       // v2 accounting, where the waiter queued on the shard mutex and
       // found the page cached. If the odd frame was actually mid-eviction
       // of this page (or the load fails), the retry falls through to the
-      // slow path and counts the miss it really is.
+      // slow path and counts the miss it really is. Either way the stall
+      // is I/O-shaped and charged to the query's pool-wait stage.
+      obs::StageTimer wait_span(obs::Stage::kPoolWait);
       WaitForFrameTransition(*wait_frame, id);
       continue;
     }
@@ -361,7 +365,13 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
     DirInsert(&shard, id, idx);
     lock.unlock();
 
-    Status read_status = file_->Read(id, &f.page);
+    Status read_status;
+    {
+      // The miss I/O itself: charged to pool_wait so a descent that
+      // faults pages reports tree CPU and disk stall separately.
+      obs::StageTimer read_span(obs::Stage::kPoolWait);
+      read_status = file_->Read(id, &f.page);
+    }
     if (!read_status.ok()) {
       std::lock_guard<std::mutex> relock(shard.mutex);
       DirErase(&shard, id);

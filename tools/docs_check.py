@@ -56,15 +56,18 @@ REQUIRED_SECTIONS = {
         "Kernel layer & dispatch",
         "Invariants",
         "Lock inventory",
+        "Observability",
     ],
     "docs/WIRE_PROTOCOL.md": [
         "Versioning",
         "Optional-extension flag bits",
+        "Metrics exposition",
     ],
     "README.md": [
         "Kernels",
         "Approximate kNN",
         "Benchmarks",
+        "Metrics",
     ],
 }
 

@@ -28,6 +28,7 @@
 //                         [--merge-interval-ms MS] [--merge-min-delta N]
 //   tsq_cli remote-ping   [--host H] [--port P]
 //   tsq_cli remote-stats  [--host H] [--port P]
+//   tsq_cli remote-metrics [--host H] [--port P]  (Prometheus exposition)
 //   tsq_cli remote-import [--host H] [--port P] --csv FILE
 //   tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME
 //                         --eps X [--transform T] [--mode both|data]
@@ -95,7 +96,8 @@ int Usage() {
       "  tsq_cli serve  --db DIR/NAME [--host H] [--port P] [--pollers N] "
       "[--workers N] [--engine-threads T] [--max-inflight M] "
       "[--merge-interval-ms MS] [--merge-min-delta N] [--durability D]\n"
-      "  tsq_cli remote-ping|remote-stats [--host H] [--port P]\n"
+      "  tsq_cli remote-ping|remote-stats|remote-metrics [--host H] "
+      "[--port P]\n"
       "  tsq_cli remote-import [--host H] [--port P] --csv FILE\n"
       "  tsq_cli remote-range  [--host H] [--port P] --csv FILE --series NAME "
       "--eps X [--transform T] [--mode both|data]\n"
@@ -600,7 +602,8 @@ int CmdRemoteRepair(const Args& args) {
 int CmdRemoteStats(const Args& args) {
   auto client = ConnectRemote(args);
   if (!client.ok()) return Fail(client.status());
-  auto stats = (*client)->Stats();
+  server::ServerCounters counters;
+  auto stats = (*client)->Stats(&counters);
   if (!stats.ok()) return Fail(stats.status());
   std::printf("series        %llu x length %llu\n",
               static_cast<unsigned long long>(stats->series),
@@ -639,6 +642,27 @@ int CmdRemoteStats(const Args& args) {
                               : "ok",
               static_cast<unsigned long long>(stats->write_faults),
               static_cast<unsigned long long>(stats->repairs_completed));
+  std::printf("server        %llu connections accepted, %llu closed\n",
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.connections_closed));
+  std::printf("  requests    %llu frames, %llu executed, %llu busy-rejected, "
+              "%llu protocol errors, %llu accept backoffs\n",
+              static_cast<unsigned long long>(counters.frames_received),
+              static_cast<unsigned long long>(counters.requests_executed),
+              static_cast<unsigned long long>(counters.busy_rejected),
+              static_cast<unsigned long long>(counters.protocol_errors),
+              static_cast<unsigned long long>(counters.accept_backoffs));
+  return 0;
+}
+
+int CmdRemoteMetrics(const Args& args) {
+  auto client = ConnectRemote(args);
+  if (!client.ok()) return Fail(client.status());
+  auto text = (*client)->Metrics();
+  if (!text.ok()) return Fail(text.status());
+  // The exposition is already newline-terminated text; print it verbatim
+  // so the output pipes straight into a scrape file.
+  std::fwrite(text->data(), 1, text->size(), stdout);
   return 0;
 }
 
@@ -790,6 +814,7 @@ int main(int argc, char** argv) {
   if (args.command == "serve") return CmdServe(args);
   if (args.command == "remote-ping") return CmdRemotePing(args);
   if (args.command == "remote-stats") return CmdRemoteStats(args);
+  if (args.command == "remote-metrics") return CmdRemoteMetrics(args);
   if (args.command == "remote-import") return CmdRemoteImport(args);
   if (args.command == "remote-range") return CmdRemoteRange(args);
   if (args.command == "remote-knn") return CmdRemoteKnn(args);
